@@ -1,0 +1,41 @@
+# AutoMap reproduction — common targets.
+
+GO ?= go
+
+.PHONY: all build test race bench fuzz experiments experiments-quick cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Short fuzzing pass over every fuzz target.
+fuzz:
+	$(GO) test -fuzz FuzzInputParsers -fuzztime 30s ./internal/apps
+	$(GO) test -fuzz FuzzLoad -fuzztime 20s ./internal/mapping
+	$(GO) test -fuzz FuzzCanonicalKey -fuzztime 20s ./internal/mapping
+	$(GO) test -fuzz FuzzLoad -fuzztime 20s ./internal/profile
+
+# Full-protocol reproduction of every table and figure (~30 min).
+experiments:
+	$(GO) run ./cmd/experiments -fig all -csv results | tee results/full_results.txt
+
+# Reduced-protocol smoke pass (~3 min).
+experiments-quick:
+	$(GO) run ./cmd/experiments -fig all -quick
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	$(GO) clean ./...

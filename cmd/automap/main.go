@@ -1,0 +1,348 @@
+// Command automap is the AutoMap driver (Section 3.3 of the paper): it
+// profiles an application once to generate the search-space file, runs an
+// offline search over candidate mappings, and reports the fastest mapping
+// found — all without modifying the application.
+//
+// Subcommands:
+//
+//	automap profile  -app pennant -input 320x360 [-cluster shepard] [-nodes 1] [-o space.json]
+//	automap search   -app pennant -input 320x360 [-algo ccd|cd|ot] [-budget 3600] [-o mapping.json]
+//	automap evaluate -app pennant -input 320x360 [-mapper default|custom|allzc] [-mapping mapping.json]
+//	automap apps
+//
+// The search prints the best mapping (Figure 2/3-style), its measured
+// runtime versus the default mapping, and the Section 5.3 accounting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"automap/internal/apps"
+	"automap/internal/cluster"
+	"automap/internal/driver"
+	"automap/internal/machine"
+	"automap/internal/mapper"
+	"automap/internal/mapping"
+	"automap/internal/profile"
+	"automap/internal/search"
+	"automap/internal/sim"
+	"automap/internal/taskir"
+	"automap/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "profile":
+		cmdProfile(os.Args[2:])
+	case "search":
+		cmdSearch(os.Args[2:])
+	case "evaluate":
+		cmdEvaluate(os.Args[2:])
+	case "apps":
+		cmdApps()
+	case "machine":
+		cmdMachine(os.Args[2:])
+	case "online":
+		cmdOnline(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: automap <profile|search|evaluate|online|apps|machine> [flags]")
+}
+
+// commonFlags registers the flags shared by all subcommands.
+type commonFlags struct {
+	fs      *flag.FlagSet
+	app     *string
+	input   *string
+	cluster *string
+	nodes   *int
+	seed    *uint64
+}
+
+func newCommon(name string) *commonFlags {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	return &commonFlags{
+		fs:      fs,
+		app:     fs.String("app", "", "application: "+fmt.Sprint(apps.Names())),
+		input:   fs.String("input", "", "input size string (see 'automap apps')"),
+		cluster: fs.String("cluster", "shepard", "cluster model: shepard, lassen, or a JSON machine-spec file"),
+		nodes:   fs.Int("nodes", 1, "number of machine nodes"),
+		seed:    fs.Uint64("seed", 1, "random seed for noise and search"),
+	}
+}
+
+func (c *commonFlags) build() (*machine.Machine, *taskir.Graph) {
+	app, err := apps.Get(*c.app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *c.input == "" {
+		if list := app.Inputs[*c.nodes]; len(list) > 0 {
+			*c.input = list[0]
+		} else {
+			log.Fatalf("no -input given and no default for %d nodes", *c.nodes)
+		}
+	}
+	g, err := app.Build(*c.input, *c.nodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var spec cluster.NodeSpec
+	switch *c.cluster {
+	case "shepard":
+		spec = cluster.ShepardNode()
+	case "lassen":
+		spec = cluster.LassenNode()
+	case "perlmutter":
+		spec = cluster.PerlmutterNode()
+	default:
+		var err error
+		spec, err = cluster.LoadSpec(*c.cluster)
+		if err != nil {
+			log.Fatalf("-cluster must be shepard, lassen, perlmutter, or a machine-spec file: %v", err)
+		}
+	}
+	return cluster.Build(spec, *c.nodes), g
+}
+
+func cmdProfile(args []string) {
+	c := newCommon("profile")
+	out := c.fs.String("o", "space.json", "output search-space file")
+	c.fs.Parse(args)
+	m, g := c.build()
+	start := mapping.Default(g, m.Model())
+	sp, err := profile.Extract(m, g, start, sim.Config{NoiseSigma: 0.04, Seed: *c.seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sp.Save(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profiled %s (%s) on %s ×%d: %d tasks, %d collection args, baseline %.4fs\n",
+		*c.app, *c.input, *c.cluster, *c.nodes, len(sp.Tasks), len(sp.Args), sp.BaselineSec)
+	fmt.Printf("search space written to %s\n", *out)
+}
+
+func cmdSearch(args []string) {
+	c := newCommon("search")
+	algoName := c.fs.String("algo", "ccd", "search algorithm: ccd, cd, ot, random, or anneal")
+	budget := c.fs.Float64("budget", 0, "search budget in simulated seconds (0 = unlimited for ccd/cd)")
+	out := c.fs.String("o", "", "write the best mapping to this JSON file")
+	dot := c.fs.String("dot", "", "write the mapped dependence graph to this Graphviz DOT file")
+	spaceFile := c.fs.String("space", "", "search-space file from 'automap profile' (skips re-profiling)")
+	c.fs.Parse(args)
+	m, g := c.build()
+
+	var sp *profile.Space
+	if *spaceFile != "" {
+		var err error
+		sp, err = profile.Load(*spaceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var alg search.Algorithm
+	switch *algoName {
+	case "ccd":
+		alg = search.NewCCD()
+	case "cd":
+		alg = search.NewCD()
+	case "ot":
+		alg = search.NewOpenTuner()
+		if *budget == 0 {
+			*budget = 2 * 3600 // the ensemble needs a bound
+		}
+	case "random":
+		alg = search.NewRandom()
+		if *budget == 0 {
+			*budget = 2 * 3600
+		}
+	case "anneal":
+		alg = search.NewAnneal()
+	default:
+		log.Fatalf("unknown algorithm %q", *algoName)
+	}
+
+	opts := driver.DefaultOptions()
+	opts.Seed = *c.seed
+	if *c.app == "maestro" {
+		opts.Tunable = apps.MaestroTunable(g)
+	}
+	rep, err := driver.SearchFromSpace(m, g, sp, alg, opts, search.Budget{MaxSearchSec: *budget})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defSec, err := driver.MeasureMapping(m, g, mapper.Default(g, m.Model()), opts.FinalRepeats, opts.NoiseSigma, *c.seed^0xd1ce)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s on %s (%s, %d node(s)) — algorithm %s\n", *c.app, *c.cluster, *c.input, *c.nodes, rep.Algorithm)
+	fmt.Printf("  best mapping: %.4fs   default mapper: %.4fs   speedup: %.2fx\n",
+		rep.FinalSec, defSec, defSec/rep.FinalSec)
+	if rep.StartSec > 0 {
+		verdict := "not significant"
+		if rep.Significance.Faster(0.05) {
+			verdict = "significant at α=0.05"
+		}
+		fmt.Printf("  improvement over starting mapping: %s (Welch's t: %s)\n", verdict, rep.Significance)
+	}
+	fmt.Printf("  search time: %.0f simulated seconds (%.0f%% evaluating candidates)\n",
+		rep.SearchSec, 100*rep.EvalSec/rep.SearchSec)
+	fmt.Printf("  mappings suggested: %d, evaluated: %d\n", rep.Suggested, rep.Evaluated)
+	fmt.Printf("  mapping shape: %s\n\n", rep.Best.ComputeStats(g))
+	fmt.Print(viz.RenderMapping(g, rep.Best))
+	if *out != "" {
+		if err := rep.Best.Save(*out, g); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nmapping written to %s\n", *out)
+	}
+	if *dot != "" {
+		f, err := os.Create(*dot)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := viz.WriteDOT(f, g, rep.Best); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("dependence graph written to %s\n", *dot)
+	}
+}
+
+func cmdEvaluate(args []string) {
+	c := newCommon("evaluate")
+	mapperName := c.fs.String("mapper", "default", "mapper: default, custom, allzc, or a saved mapping via -mapping")
+	mappingFile := c.fs.String("mapping", "", "mapping JSON file produced by 'automap search -o'")
+	repeats := c.fs.Int("repeats", 31, "measurement repetitions")
+	gantt := c.fs.Bool("gantt", false, "render an execution timeline of one run")
+	traceFile := c.fs.String("trace", "", "write a chrome://tracing JSON of one run to this file")
+	c.fs.Parse(args)
+	m, g := c.build()
+	md := m.Model()
+
+	var mp *mapping.Mapping
+	var err error
+	switch {
+	case *mappingFile != "":
+		mp, err = mapping.Load(*mappingFile, g)
+		if err != nil {
+			log.Fatal(err)
+		}
+	case *mapperName == "default":
+		mp = mapper.Default(g, md)
+	case *mapperName == "custom":
+		mp = mapper.Custom(*c.app, g, md)
+	case *mapperName == "allzc":
+		mp = mapper.AllZeroCopy(g, md)
+	default:
+		log.Fatalf("unknown mapper %q", *mapperName)
+	}
+	if err := mp.Validate(g, md); err != nil {
+		log.Fatalf("mapping invalid: %v", err)
+	}
+	sec, err := driver.MeasureMapping(m, g, mp, *repeats, 0.04, *c.seed)
+	if err != nil {
+		log.Fatalf("execution failed: %v", err)
+	}
+	fmt.Printf("%s (%s) on %s ×%d: %.4fs (avg of %d runs, %.2f ms/iteration)\n",
+		*c.app, *c.input, *c.cluster, *c.nodes, sec, *repeats, sec/float64(g.Iterations)*1000)
+	if *gantt {
+		res, err := sim.Simulate(m, g, mp, sim.Config{Trace: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(viz.RenderGantt(g, res, 100))
+	}
+	if *traceFile != "" {
+		res, err := sim.Simulate(m, g, mp, sim.Config{Trace: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := viz.WriteChromeTrace(f, g, res); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("chrome trace written to %s\n", *traceFile)
+	}
+}
+
+func cmdOnline(args []string) {
+	c := newCommon("online")
+	inspect := c.fs.Float64("inspect", 600, "inspection budget in simulated seconds")
+	production := c.fs.Int("production", 100000, "production run length in iterations")
+	c.fs.Parse(args)
+	m, g := c.build()
+	opts := driver.DefaultOptions()
+	opts.Seed = *c.seed
+	if *c.app == "maestro" {
+		opts.Tunable = apps.MaestroTunable(g)
+	}
+	rep, err := driver.OnlineSearch(m, g, search.NewCCD(), opts, *inspect, *production)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s (%s) inspector-executor over %d production iterations\n", *c.app, *c.input, *production)
+	fmt.Printf("  per-iteration: default %.3f ms -> tuned %.3f ms\n",
+		rep.PerIterDefaultSec*1000, rep.PerIterBestSec*1000)
+	fmt.Printf("  inspection: %.0fs; break-even at %.0f iterations\n", rep.InspectionSec, rep.BreakEvenIterations)
+	fmt.Printf("  end-to-end: %.1fs vs %.1fs default (%.2fx)\n", rep.TotalSec, rep.BaselineSec, rep.Speedup())
+}
+
+func cmdMachine(args []string) {
+	c := newCommon("machine")
+	c.fs.Parse(args)
+	// The machine subcommand does not need an application; render the
+	// topology directly.
+	var spec cluster.NodeSpec
+	switch *c.cluster {
+	case "shepard":
+		spec = cluster.ShepardNode()
+	case "lassen":
+		spec = cluster.LassenNode()
+	case "perlmutter":
+		spec = cluster.PerlmutterNode()
+	default:
+		var err error
+		spec, err = cluster.LoadSpec(*c.cluster)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Print(viz.RenderMachine(cluster.Build(spec, *c.nodes)))
+}
+
+func cmdApps() {
+	fmt.Println("applications and example inputs:")
+	for _, app := range apps.All() {
+		fmt.Printf("  %-8s %s\n", app.Name, app.Description)
+		for _, nodes := range []int{1, 2, 4, 8} {
+			if list := app.Inputs[nodes]; len(list) > 0 {
+				fmt.Printf("           %d node(s): %v\n", nodes, list)
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// CSV export of experiment rows, for plotting the figures with external
+// tools. Enabled with -csv <dir>: each harness writes <dir>/<figure>.csv
+// alongside its textual output.
+
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"automap/internal/experiments"
+)
+
+// csvDir is the output directory ("" disables CSV export).
+var csvDir string
+
+// writeCSV writes one file of rows under csvDir.
+func writeCSV(name string, header []string, rows [][]string) {
+	if csvDir == "" {
+		return
+	}
+	if err := os.MkdirAll(csvDir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+		return
+	}
+	path := filepath.Join(csvDir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+		return
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	defer w.Flush()
+	if err := w.Write(header); err != nil {
+		fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+		return
+	}
+	for _, row := range rows {
+		if err := w.Write(row); err != nil {
+			fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+			return
+		}
+	}
+	fmt.Printf("(csv written to %s)\n", path)
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+func itoa(v int) string     { return strconv.Itoa(v) }
+
+func csvFig6(app string, rows []experiments.Fig6Row) {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{itoa(r.Nodes), r.Input, ftoa(r.DefaultSec), ftoa(r.CustomSec),
+			ftoa(r.AutoMapSec), ftoa(r.CustomSpeedup), ftoa(r.AutoSpeedup)}
+	}
+	writeCSV("fig6_"+app,
+		[]string{"nodes", "input", "default_sec", "custom_sec", "automap_sec", "custom_speedup", "automap_speedup"},
+		out)
+}
+
+func csvFig7(rows []experiments.Fig7Row) {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{itoa(r.Nodes), itoa(r.Resolution), itoa(r.Samples), ftoa(r.HFOnlySec),
+			ftoa(r.DegCPUSys), ftoa(r.DegGPUZC), ftoa(r.DegAutoMap)}
+	}
+	writeCSV("fig7",
+		[]string{"nodes", "resolution", "lf_samples", "hf_only_sec", "deg_cpu_sys", "deg_gpu_zc", "deg_automap"},
+		out)
+}
+
+func csvFig8(cluster string, rows []experiments.Fig8Row) {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{itoa(r.Nodes), ftoa(r.OverPct), ftoa(r.GPUZCSec), ftoa(r.AutoMapSec),
+			ftoa(r.Speedup), itoa(r.DemotedArgs), strconv.FormatBool(r.DefaultOOM)}
+	}
+	writeCSV("fig8_"+cluster,
+		[]string{"nodes", "over_pct", "gpu_zc_sec", "automap_sec", "speedup", "demoted_args", "default_oom"},
+		out)
+}
+
+func csvFig9(app, input string, traces []experiments.Fig9Trace) {
+	var out [][]string
+	for _, tr := range traces {
+		for _, pt := range tr.Points {
+			out = append(out, []string{tr.Algorithm, ftoa(pt.SearchSec), ftoa(pt.BestSec)})
+		}
+	}
+	writeCSV(fmt.Sprintf("fig9_%s_%s", app, input),
+		[]string{"algorithm", "search_sec", "best_ms_per_iter"}, out)
+}

@@ -1,0 +1,342 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section. Select what to reproduce with -fig:
+//
+//	experiments -fig 5                 # the application table
+//	experiments -fig 6a [-nodes 1,2]   # Circuit panels (6b Stencil, 6c Pennant, 6d HTR)
+//	experiments -fig 7                 # Maestro strategies
+//	experiments -fig 8 [-cluster lassen]
+//	experiments -fig 9                 # search algorithm comparison
+//	experiments -fig counts            # Section 5.3 suggested/evaluated accounting
+//	experiments -fig 3                 # best-mapping visualization (qualitative)
+//
+// -quick runs a reduced protocol (fewer measurement repeats, bounded
+// search) so every figure regenerates in minutes; the default runs the
+// paper's full protocol (7-run averages, top-5×31 finals, unbounded CCD).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"automap/internal/apps"
+	"automap/internal/cluster"
+	"automap/internal/driver"
+	"automap/internal/experiments"
+	"automap/internal/search"
+	"automap/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+	fig := flag.String("fig", "", "figure to reproduce: 1, 2, 3, 4, 5, 6a, 6b, 6c, 6d, 7, 8, 9, counts, ablations, portability, realruntime, all")
+	nodesFlag := flag.String("nodes", "", "comma-separated node counts (default: figure's own)")
+	clusterName := flag.String("cluster", "shepard", "cluster for -fig 8: shepard or lassen")
+	quick := flag.Bool("quick", false, "reduced protocol (smoke-test scale)")
+	inputs := flag.Int("inputs", 0, "limit inputs per panel (0 = all)")
+	csvOut := flag.String("csv", "", "also write CSV files of each figure's rows to this directory")
+	flag.Parse()
+	csvDir = *csvOut
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	var nodeCounts []int
+	if *nodesFlag != "" {
+		for _, s := range strings.Split(*nodesFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				log.Fatalf("bad -nodes: %v", err)
+			}
+			nodeCounts = append(nodeCounts, n)
+		}
+	}
+
+	switch *fig {
+	case "5":
+		runFig5()
+	case "6a", "6b", "6c", "6d":
+		app := map[string]string{"6a": "circuit", "6b": "stencil", "6c": "pennant", "6d": "htr"}[*fig]
+		if nodeCounts == nil {
+			nodeCounts = []int{1, 2, 4, 8}
+		}
+		runFig6(app, nodeCounts, *inputs, cfg)
+	case "7":
+		if nodeCounts == nil {
+			nodeCounts = []int{1, 2}
+		}
+		runFig7(nodeCounts, cfg)
+	case "8":
+		if nodeCounts == nil {
+			nodeCounts = []int{1, 4}
+		}
+		runFig8(*clusterName, nodeCounts, cfg)
+	case "9":
+		runFig9(cfg)
+	case "counts":
+		runCounts(cfg)
+	case "3":
+		runFig3(cfg)
+	case "1":
+		runFig1()
+	case "2":
+		runFig2(cfg)
+	case "4":
+		runFig4()
+	case "ablations":
+		runAblations(cfg)
+	case "portability":
+		runPortability(cfg)
+	case "realruntime":
+		runRealRuntime()
+	case "all":
+		runFig5()
+		for _, f := range []string{"circuit", "stencil", "pennant", "htr"} {
+			nc := nodeCounts
+			if nc == nil {
+				nc = []int{1, 2, 4, 8}
+			}
+			runFig6(f, nc, *inputs, cfg)
+		}
+		runFig7([]int{1, 2}, cfg)
+		runFig8("shepard", []int{1, 4}, cfg)
+		runFig8("lassen", []int{1, 4}, cfg)
+		runFig9(cfg)
+		runCounts(cfg)
+	default:
+		flag.Usage()
+		log.Fatalf("unknown figure %q", *fig)
+	}
+}
+
+func runFig5() {
+	rows, err := experiments.Fig5()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Figure 5: benchmark applications")
+	fmt.Printf("%-10s %-42s %6s %6s %12s %12s %14s\n",
+		"App", "Description", "Tasks", "Args", "Space (ours)", "Space(paper)", "Search(paper)")
+	for _, r := range rows {
+		fmt.Printf("%-10s %-42s %6d %6d %12s %12s %14s\n",
+			r.Application, r.Description, r.Tasks, r.CollectionArgs,
+			fmt.Sprintf("~2^%.0f", r.SpaceLog2),
+			fmt.Sprintf("~2^%d", r.PaperSpaceLog2),
+			r.PaperSearchHours+"h")
+	}
+	fmt.Println()
+}
+
+func runFig6(app string, nodeCounts []int, inputsPerPanel int, cfg experiments.Config) {
+	rows, err := experiments.Fig6(app, nodeCounts, inputsPerPanel, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Figure 6 (%s): speedup over the default mapper on Shepard\n", app)
+	fmt.Printf("%5s %-16s %12s %12s %12s %8s %8s\n",
+		"nodes", "input", "default(s)", "custom(s)", "automap(s)", "custom", "AM-CCD")
+	for _, r := range rows {
+		fmt.Printf("%5d %-16s %12.4f %12.4f %12.4f %8.2f %8.2f\n",
+			r.Nodes, r.Input, r.DefaultSec, r.CustomSec, r.AutoMapSec, r.CustomSpeedup, r.AutoSpeedup)
+	}
+	csvFig6(app, rows)
+	fmt.Println()
+}
+
+func runFig7(nodeCounts []int, cfg experiments.Config) {
+	rows, err := experiments.Fig7(nodeCounts, []int{16, 32}, []int{8, 16, 32, 64}, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Figure 7: Maestro HF degradation (1.0 = LF ensemble is free)")
+	fmt.Printf("%5s %4s %4s %10s %10s %10s %10s  %s\n",
+		"nodes", "res", "LFs", "HF-only(s)", "CPU+Sys", "GPU+ZC", "AutoMap", "AutoMap placement")
+	for _, r := range rows {
+		fmt.Printf("%5d %4d %4d %10.3f %10.2f %10.2f %10.2f  %s\n",
+			r.Nodes, r.Resolution, r.Samples, r.HFOnlySec, r.DegCPUSys, r.DegGPUZC, r.DegAutoMap, r.AutoMapBest)
+	}
+	csvFig7(rows)
+	fmt.Println()
+}
+
+func runFig8(clusterName string, nodeCounts []int, cfg experiments.Config) {
+	rows, err := experiments.Fig8(clusterName, nodeCounts, []float64{1.3, 7.1, 14.3}, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Figure 8: Pennant memory-constrained on %s\n", clusterName)
+	fmt.Printf("%5s %8s %12s %12s %8s %9s %12s\n",
+		"nodes", "over(%)", "GPU+ZC(s)", "AutoMap(s)", "speedup", "demoted", "default-OOM")
+	for _, r := range rows {
+		fmt.Printf("%5d %8.1f %12.2f %12.2f %8.1f %9d %12v\n",
+			r.Nodes, r.OverPct, r.GPUZCSec, r.AutoMapSec, r.Speedup, r.DemotedArgs, r.DefaultOOM)
+	}
+	csvFig8(clusterName, rows)
+	fmt.Println()
+}
+
+func runFig9(cfg experiments.Config) {
+	for _, panel := range experiments.Fig9Panels() {
+		traces, err := experiments.Fig9(panel[0], panel[1], cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Figure 9: %s %s — execution time per iteration vs search time\n", panel[0], panel[1])
+		var series []viz.Series
+		for _, tr := range traces {
+			s := viz.Series{Name: tr.Algorithm}
+			for _, pt := range tr.Points {
+				s.X = append(s.X, pt.SearchSec)
+				s.Y = append(s.Y, pt.BestSec)
+			}
+			series = append(series, s)
+		}
+		fmt.Print(viz.Plot(series, 64, 16, "search time (s)", "exec time (ms/iter)"))
+		for _, tr := range traces {
+			fmt.Printf("  %-7s best=%.1f ms/iter  search=%.0fs  suggested=%d evaluated=%d eval-time=%.0f%%\n",
+				tr.Algorithm, tr.FinalMsPerIter, tr.SearchSec, tr.Suggested, tr.Evaluated, 100*tr.EvalFraction)
+		}
+		csvFig9(panel[0], panel[1], traces)
+		fmt.Println()
+	}
+}
+
+func runCounts(cfg experiments.Config) {
+	rows, err := experiments.SearchCountsAll("320x90", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Section 5.3: mappings suggested vs evaluated (Pennant 320x90;")
+	fmt.Println("AM-Random and AM-Anneal are this repository's extra baselines)")
+	fmt.Printf("%-8s %10s %10s %12s\n", "algo", "suggested", "evaluated", "eval-time(%)")
+	for _, r := range rows {
+		fmt.Printf("%-8s %10d %10d %12.0f\n", r.Algorithm, r.Suggested, r.Evaluated, 100*r.EvalFraction)
+	}
+	fmt.Println()
+}
+
+func runFig1() {
+	// Figure 1: "sample two-node heterogeneous machine, with 2 kinds of
+	// processors and 3 kinds of memories" — a two-node Shepard model.
+	fmt.Println("Figure 1 (qualitative): two-node heterogeneous machine")
+	fmt.Print(viz.RenderMachine(cluster.Shepard(2)))
+	fmt.Println()
+}
+
+func runFig4() {
+	// Figure 4: the architecture of AutoMap.
+	fmt.Println(`Figure 4 (qualitative): architecture of AutoMap
+
+    ┌────────────────────── driver (internal/driver) ─────────────────────┐
+    │  search algorithms (internal/search: CCD · CD · OpenTuner · extras) │
+    │  profiles database (internal/profile.DB)                            │
+    └───────┬──────────────────────────────────────────────────▲──────────┘
+            │ next mapping to evaluate                          │ performance
+            ▼                                                   │ profiles
+    ┌──────────────────── mapper (internal/mapper, mapping) ───┴──────────┐
+    │  applies the candidate mapping through the runtime's interface      │
+    └───────┬──────────────────────────────────────────────────▲──────────┘
+            ▼                                                   │
+    ┌───────────────────── runtime (internal/sim or rt) ───────┴──────────┐
+    │  executes the application's task graph on the machine model         │
+    └──────────────────────────────────────────────────────────────────────┘`)
+	fmt.Println()
+}
+
+func runAblations(cfg experiments.Config) {
+	rows, err := experiments.Ablations(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Ablations (HTR 8x8y9z, 1-node Shepard; lower best(s) is better)")
+	fmt.Printf("%-12s %-26s %10s %12s %10s\n", "ablation", "variant", "best(s)", "search(s)", "suggested")
+	prev := ""
+	for _, r := range rows {
+		if r.Ablation != prev && prev != "" {
+			fmt.Println()
+		}
+		prev = r.Ablation
+		fmt.Printf("%-12s %-26s %10.4f %12.0f %10d\n", r.Ablation, r.Variant, r.BestSec, r.SearchSec, r.Suggested)
+	}
+	fmt.Println()
+}
+
+func runRealRuntime() {
+	rows, err := experiments.RealRuntime(80, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Real-runtime validation: CCD tuning wall-clock measurements on the host mini-runtime")
+	fmt.Printf("%-16s %12s %12s %9s %10s %12s\n", "workload", "default(ms)", "tuned(ms)", "speedup", "evaluated", "measure(s)")
+	for _, r := range rows {
+		fmt.Printf("%-16s %12.2f %12.2f %8.2fx %10d %12.1f\n",
+			r.Workload, r.DefaultMs, r.TunedMs, r.Speedup, r.Evaluated, r.MeasureSec)
+	}
+	fmt.Println()
+}
+
+func runPortability(cfg experiments.Config) {
+	rows, err := experiments.Portability("stencil", "2500x2500", []string{"shepard", "lassen", "perlmutter"}, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Machine sensitivity: Stencil 2500x2500 tuned on one machine, run on another")
+	fmt.Printf("%-12s %-12s %12s %16s\n", "tuned on", "run on", "time(s)", "penalty vs native")
+	for _, r := range rows {
+		if !r.Executes {
+			fmt.Printf("%-12s %-12s %12s %16s\n", r.TunedOn, r.RunOn, "OOM", "-")
+			continue
+		}
+		fmt.Printf("%-12s %-12s %12.4f %15.2fx\n", r.TunedOn, r.RunOn, r.Sec, r.PenaltyVsNative)
+	}
+	fmt.Println()
+}
+
+func runFig2(cfg experiments.Config) {
+	// Qualitative reproduction of Figure 2: the dependence graph of the
+	// multi-physics application (HTR) with a discovered mapping.
+	app, err := apps.Get("htr")
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := app.Build("8x8y9z", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := cluster.Shepard(1)
+	rep, err := driver.Search(m, g, search.NewCCD(), cfg.Driver, cfg.Budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Figure 2 (qualitative): HTR dependence graph with a discovered mapping")
+	fmt.Print(viz.RenderDeps(g, rep.Best))
+	fmt.Println()
+}
+
+func runFig3(cfg experiments.Config) {
+	// Qualitative reproduction of Figure 3: render the best mappings
+	// found for HTR on 1, 2 and 4 nodes.
+	for _, nodes := range []int{1, 2, 4} {
+		app, err := apps.Get("htr")
+		if err != nil {
+			log.Fatal(err)
+		}
+		input := app.Inputs[nodes][1]
+		g, err := app.Build(input, nodes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := cluster.Shepard(nodes)
+		opts := cfg.Driver
+		rep, err := driver.Search(m, g, search.NewCCD(), opts, cfg.Budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Figure 3 (qualitative): best HTR mapping, %d node(s), input %s\n", nodes, input)
+		fmt.Print(viz.RenderMapping(g, rep.Best))
+		fmt.Println()
+	}
+}

@@ -1,0 +1,95 @@
+package automap_test
+
+import (
+	"fmt"
+
+	"automap"
+)
+
+// pipelineGraph builds the two-task program used by the examples.
+func pipelineGraph() *automap.Graph {
+	g := automap.NewGraph("example")
+	g.Iterations = 10
+	data := g.AddCollection(automap.Collection{
+		Name: "data", Space: "ex.data", Lo: 0, Hi: 64 << 20, Partitioned: true,
+	})
+	g.AddTask(automap.GroupTask{
+		Name: "compute", Points: 4,
+		Args: []automap.Arg{{Collection: data.ID, Privilege: automap.ReadWrite, BytesPerPoint: 16 << 20}},
+		Variants: map[automap.ProcKind]automap.Variant{
+			automap.CPU: {WorkPerPoint: 1e9, Efficiency: 0.8},
+			automap.GPU: {WorkPerPoint: 1e9, Efficiency: 0.7},
+		},
+	})
+	return g
+}
+
+// ExampleSimulate runs a program under the default mapping on a modeled
+// Shepard node and prints where the data landed.
+func ExampleSimulate() {
+	g := pipelineGraph()
+	m := automap.Shepard(1)
+	mp := automap.DefaultMapping(g, m.Model())
+	res, err := automap.Simulate(m, g, mp, automap.SimConfig{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("executed:", res.MakespanSec > 0)
+	fmt.Println("Frame-Buffer bytes:", res.PeakMemBytes[automap.FrameBuffer])
+	// Output:
+	// executed: true
+	// Frame-Buffer bytes: 67108864
+}
+
+// ExampleSearch tunes the program with CCD and reports whether the found
+// mapping is at least as fast as the default heuristic.
+func ExampleSearch() {
+	g := pipelineGraph()
+	m := automap.Shepard(1)
+	opts := automap.DefaultOptions()
+	opts.Repeats = 3
+	opts.FinalRepeats = 5
+	rep, err := automap.Search(m, g, automap.NewCCD(), opts, automap.Budget{})
+	if err != nil {
+		panic(err)
+	}
+	def, err := automap.MeasureMapping(m, g, automap.DefaultMapping(g, m.Model()), 5, opts.NoiseSigma, 7)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("found a mapping:", rep.Best != nil)
+	fmt.Println("no worse than default:", rep.FinalSec <= def*1.05)
+	// Output:
+	// found a mapping: true
+	// no worse than default: true
+}
+
+// ExampleMapping_Validate shows the correctness constraint: a CPU task
+// cannot keep an argument in Frame-Buffer memory.
+func ExampleMapping_Validate() {
+	g := pipelineGraph()
+	md := automap.Shepard(1).Model()
+	mp := automap.DefaultMapping(g, md)
+	fmt.Println("default valid:", mp.Validate(g, md) == nil)
+
+	mp.SetProc(0, automap.CPU) // Frame-Buffer args are now unaddressable
+	fmt.Println("after raw move:", mp.Validate(g, md) == nil)
+
+	mp.RebuildPriorityLists(md, 0) // re-homes the argument
+	fmt.Println("after rebuild:", mp.Validate(g, md) == nil)
+	// Output:
+	// default valid: true
+	// after raw move: false
+	// after rebuild: true
+}
+
+// ExampleBuildCluster models a custom machine from a node specification.
+func ExampleBuildCluster() {
+	spec := automap.ShepardNode()
+	spec.Name = "custom"
+	spec.GPUsPerNode = 2
+	m := automap.BuildCluster(spec, 4)
+	fmt.Println(m)
+	// Output:
+	// custom: 4 node(s), 16 processors, 20 memories
+}

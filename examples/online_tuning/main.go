@@ -1,0 +1,74 @@
+// Online (inspector-executor) tuning and alternative objectives — the two
+// extensions the paper sketches but does not evaluate:
+//
+//   - Section 6: "in principle AutoMap could be used in an
+//     inspector-executor style, where AutoMap is run on-line during an
+//     initial portion of a production run to select a fast mapping for the
+//     remainder of that execution";
+//   - Section 3.3: "AutoMap is suitable for minimizing other metrics
+//     (e.g., power consumption)".
+//
+// The example inspects an HTR run with a small time budget, reports the
+// break-even production length, and then re-runs the search minimizing
+// estimated energy instead of time.
+//
+//	go run ./examples/online_tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"automap"
+	"automap/internal/apps"
+)
+
+func main() {
+	log.SetFlags(0)
+	app, err := apps.Get("htr")
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := app.Build("8x8y9z", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := automap.Shepard(1)
+	opts := automap.DefaultOptions()
+
+	// --- Inspector-executor: tune during the first part of a long run.
+	const productionIters = 200_000
+	rep, err := automap.OnlineSearch(m, g, automap.NewCCD(), opts, 600, productionIters)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inspector-executor on HTR (%d production iterations):\n", productionIters)
+	fmt.Printf("  default:   %.3f ms/iteration\n", rep.PerIterDefaultSec*1000)
+	fmt.Printf("  after tuning: %.3f ms/iteration (inspection cost %.0fs)\n",
+		rep.PerIterBestSec*1000, rep.InspectionSec)
+	fmt.Printf("  break-even at %.0f iterations; end-to-end speedup %.2fx\n\n",
+		rep.BreakEvenIterations, rep.Speedup())
+
+	// --- Energy objective: same search machinery, different metric.
+	g2, err := app.Build("8x8y9z", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eopts := automap.DefaultOptions()
+	eopts.Objective = automap.EnergyObjective
+	erep, err := automap.Search(m, g2, automap.NewCCD(), eopts, automap.Budget{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	timeRes, err := automap.Simulate(m, g2, rep.Inner.Best, automap.SimConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	energyRes, err := automap.Simulate(m, g2, erep.Best, automap.SimConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("objective comparison (one noiseless run each):")
+	fmt.Printf("  time-optimized mapping:   %.4fs, %.1f J\n", timeRes.MakespanSec, timeRes.EnergyJoules)
+	fmt.Printf("  energy-optimized mapping: %.4fs, %.1f J\n", energyRes.MakespanSec, energyRes.EnergyJoules)
+}

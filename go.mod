@@ -1,0 +1,3 @@
+module automap
+
+go 1.22

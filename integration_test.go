@@ -1,0 +1,236 @@
+// Integration and property-based tests against the public automap API:
+// random programs and mappings through the full simulator, end-to-end
+// searches on every benchmark application, and serialization round-trips.
+package automap_test
+
+import (
+	"fmt"
+	"testing"
+
+	"automap"
+	"automap/internal/apps"
+	"automap/internal/mapper"
+	"automap/internal/xrand"
+)
+
+// randomGraph synthesizes a valid random program from a seed: 2–10 tasks,
+// 1–8 collections (some shared, some partitioned, occasional aliases),
+// random privileges and costs.
+func randomGraph(seed uint64) *automap.Graph {
+	rng := xrand.New(seed)
+	g := automap.NewGraph(fmt.Sprintf("rand-%d", seed))
+	g.Iterations = 1 + rng.Intn(5)
+
+	ncols := 1 + rng.Intn(8)
+	var cols []*automap.Collection
+	for i := 0; i < ncols; i++ {
+		size := int64(1+rng.Intn(1<<16)) * 64
+		lo := int64(0)
+		space := fmt.Sprintf("space%d", rng.Intn(4))
+		if rng.Intn(4) == 0 && len(cols) > 0 {
+			// Occasional alias of an earlier collection.
+			prev := cols[rng.Intn(len(cols))]
+			space, lo, size = prev.Space, prev.Lo, prev.SizeBytes()
+		}
+		cols = append(cols, g.AddCollection(automap.Collection{
+			Name: fmt.Sprintf("c%d", i), Space: space,
+			Lo: lo, Hi: lo + size,
+			Partitioned: rng.Intn(2) == 0,
+		}))
+	}
+
+	ntasks := 2 + rng.Intn(9)
+	for i := 0; i < ntasks; i++ {
+		points := 1 << rng.Intn(5)
+		nargs := 1 + rng.Intn(3)
+		var args []automap.Arg
+		for a := 0; a < nargs; a++ {
+			c := cols[rng.Intn(len(cols))]
+			args = append(args, automap.Arg{
+				Collection:    c.ID,
+				Privilege:     automap.Privilege(rng.Intn(3)),
+				BytesPerPoint: c.SizeBytes() / int64(points),
+			})
+		}
+		variants := map[automap.ProcKind]automap.Variant{
+			automap.CPU: {WorkPerPoint: float64(rng.Intn(1e6)), Efficiency: 0.5 + 0.5*rng.Float64()},
+		}
+		if rng.Intn(4) != 0 {
+			variants[automap.GPU] = automap.Variant{
+				WorkPerPoint: float64(rng.Intn(1e6)), Efficiency: 0.5 + 0.5*rng.Float64(),
+			}
+		}
+		g.AddTask(automap.GroupTask{
+			Name: fmt.Sprintf("t%d", i), Points: points,
+			Args: args, Variants: variants,
+		})
+	}
+	return g
+}
+
+// randomValidMapping perturbs the default mapping with random valid moves.
+func randomValidMapping(g *automap.Graph, md *automap.Model, rng *xrand.RNG) *automap.Mapping {
+	mp := automap.DefaultMapping(g, md)
+	for _, t := range g.Tasks {
+		if rng.Intn(2) == 0 {
+			kinds := t.VariantKinds()
+			mp.SetProc(t.ID, kinds[rng.Intn(len(kinds))])
+			mp.RebuildPriorityLists(md, t.ID)
+		}
+		mp.SetDistribute(t.ID, rng.Intn(2) == 0)
+		d := mp.Decision(t.ID)
+		for a := range t.Args {
+			acc := md.Accessible(d.Proc)
+			mp.SetArgMem(md, t.ID, a, acc[rng.Intn(len(acc))])
+		}
+	}
+	return mp
+}
+
+// TestSimulatorInvariantsOnRandomPrograms drives 150 random (program,
+// mapping) pairs through the simulator and checks structural invariants.
+func TestSimulatorInvariantsOnRandomPrograms(t *testing.T) {
+	for _, nodes := range []int{1, 3} {
+		m := automap.Shepard(nodes)
+		md := m.Model()
+		for seed := uint64(0); seed < 150; seed++ {
+			g := randomGraph(seed)
+			if err := g.Validate(); err != nil {
+				t.Fatalf("seed %d: invalid generated graph: %v", seed, err)
+			}
+			rng := xrand.New(seed ^ 0xabc)
+			mp := randomValidMapping(g, md, rng)
+			if err := mp.Validate(g, md); err != nil {
+				t.Fatalf("seed %d: invalid generated mapping: %v", seed, err)
+			}
+			res, err := automap.Simulate(m, g, mp, automap.SimConfig{})
+			if err != nil {
+				if _, ok := err.(*automap.OOMError); ok {
+					continue // legitimate capacity failure
+				}
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if res.MakespanSec <= 0 {
+				t.Errorf("seed %d: non-positive makespan", seed)
+			}
+			if res.BytesOnNetwork > res.BytesCopied {
+				t.Errorf("seed %d: network bytes exceed total copied", seed)
+			}
+			if res.EnergyJoules < 0 {
+				t.Errorf("seed %d: negative energy", seed)
+			}
+			for _, tk := range g.Tasks {
+				if res.TaskWallSec[tk.ID] <= 0 {
+					t.Errorf("seed %d: task %s has no wall time", seed, tk.Name)
+				}
+			}
+			// Determinism.
+			res2, err := automap.Simulate(m, g, mp, automap.SimConfig{})
+			if err != nil || res2.MakespanSec != res.MakespanSec {
+				t.Errorf("seed %d: non-deterministic simulation", seed)
+			}
+		}
+	}
+}
+
+// TestSearchNeverWorseThanDefault runs a bounded CCD search on one input of
+// every benchmark application and checks the paper's headline guarantee.
+func TestSearchNeverWorseThanDefault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search test")
+	}
+	inputs := map[string][2]string{
+		"circuit": {"n200w800", "shepard"},
+		"stencil": {"1500x1500", "shepard"},
+		"pennant": {"320x180", "shepard"},
+		"htr":     {"8x8y9z", "shepard"},
+		"maestro": {"r16k16", "lassen"},
+	}
+	for name, in := range inputs {
+		app, err := apps.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := app.Build(in[0], 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m *automap.Machine
+		if in[1] == "lassen" {
+			m = automap.Lassen(1)
+		} else {
+			m = automap.Shepard(1)
+		}
+		opts := automap.DefaultOptions()
+		opts.Repeats = 3
+		opts.FinalRepeats = 7
+		if name == "maestro" {
+			opts.Tunable = apps.MaestroTunable(g)
+		}
+		rep, err := automap.Search(m, g, automap.NewCCD(), opts, automap.Budget{MaxSuggestions: 400})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		defSec, err := automap.MeasureMapping(m, g, mapper.Default(g, m.Model()), 7, opts.NoiseSigma, 99)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.FinalSec > defSec*1.03 {
+			t.Errorf("%s: AutoMap %.4fs worse than default %.4fs", name, rep.FinalSec, defSec)
+		}
+	}
+}
+
+// TestSpaceFileRoundtripViaAPI exercises profile-extract + save/load
+// through the façade.
+func TestSpaceFileRoundtripViaAPI(t *testing.T) {
+	g := randomGraph(7)
+	m := automap.Shepard(1)
+	sp, err := automap.ExtractSpace(m, g, automap.DefaultMapping(g, m.Model()), automap.SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/space.json"
+	if err := sp.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	order := sp.TasksByRuntime()
+	if len(order) != len(g.Tasks) {
+		t.Fatalf("order covers %d of %d tasks", len(order), len(g.Tasks))
+	}
+}
+
+// TestMappingFileRoundtrip saves and reloads a searched mapping and checks
+// it reproduces identical simulated performance.
+func TestMappingFileRoundtrip(t *testing.T) {
+	app, _ := apps.Get("circuit")
+	g, err := app.Build("n100w400", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := automap.Shepard(1)
+	md := m.Model()
+	mp := randomValidMapping(g, md, xrand.New(3))
+	path := t.TempDir() + "/mapping.json"
+	if err := mp.Save(path, g); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := automap.LoadMapping(path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mp.Equal(loaded) {
+		t.Fatal("round-tripped mapping differs")
+	}
+	a, err := automap.Simulate(m, g, mp, automap.SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := automap.Simulate(m, g, loaded, automap.SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MakespanSec != b.MakespanSec {
+		t.Fatal("round-tripped mapping performs differently")
+	}
+}

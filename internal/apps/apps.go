@@ -1,0 +1,128 @@
+// Package apps synthesizes the five benchmark applications of the paper's
+// evaluation (Figure 5) as task graphs:
+//
+//	Circuit — electrical circuit simulation: 3 tasks, 15 collection args
+//	Stencil — 2D structured stencil (PRK): 2 tasks, 12 collection args
+//	Pennant — Lagrangian hydrodynamics: 31 tasks, 97 collection args
+//	HTR     — multi-physics solver: 28 tasks, 72 collection args
+//	Maestro — multi-fidelity ensemble CFD: 13 LF tasks, 30 collection args
+//
+// The real applications are Legion codes; what AutoMap's search observes of
+// them is exactly their task/collection structure, argument sizes and
+// privileges, data-flow dependences, collection overlaps, and per-task
+// costs. The generators reproduce those observables — task and argument
+// counts match Figure 5 exactly (asserted by tests), input-size strings
+// match the x-axes of Figures 6–9, compute/traffic footprints scale with
+// the input the way the underlying numerical methods do, and the shared /
+// halo structures that drive the paper's mapping insights (Zero-Copy
+// placement of shared collections, halo co-location) are present.
+//
+// Generators take the machine node count because Legion applications are
+// configured with a piece count proportional to the machine partition
+// ("each application was weak-scaled when moving to multiple nodes",
+// Section 5).
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"automap/internal/taskir"
+)
+
+// BuildFunc constructs an application task graph for an input-size string
+// and a machine node count.
+type BuildFunc func(input string, nodes int) (*taskir.Graph, error)
+
+// App describes one registered benchmark application.
+type App struct {
+	Name        string
+	Description string
+	Build       BuildFunc
+	// Inputs1Node lists the Figure 6 input strings for the 1-node
+	// column; InputsForNodes derives the weak-scaled lists for other
+	// node counts where applicable.
+	Inputs map[int][]string
+}
+
+// registry of the five benchmark applications.
+var registry = map[string]*App{}
+
+func register(a *App) *App {
+	registry[a.Name] = a
+	return a
+}
+
+// Get returns the registered application by name.
+func Get(name string) (*App, error) {
+	a, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown application %q (have %v)", name, Names())
+	}
+	return a, nil
+}
+
+// Names returns the registered application names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns all registered applications in name order.
+func All() []*App {
+	var out []*App
+	for _, n := range Names() {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// pieces returns the group-task point count used by an application run on
+// `nodes` machine nodes: Legion runs are configured with a few pieces per
+// node (enough to cover every GPU and socket).
+func pieces(nodes int) int {
+	return 4 * nodes
+}
+
+// maxInputDim bounds any single input dimension and the product of all
+// dimensions: large enough for every workload in the paper's figures with
+// orders of magnitude to spare, small enough that derived byte sizes
+// (dimension product × element width × pieces) can never overflow int64.
+const maxInputDim = int64(1) << 40
+
+// checkDims validates parsed input dimensions, including their product.
+func checkDims(input string, vals ...int64) error {
+	product := int64(1)
+	for _, v := range vals {
+		if v <= 0 {
+			return fmt.Errorf("bad input %q: sizes must be positive", input)
+		}
+		if v > maxInputDim {
+			return fmt.Errorf("bad input %q: size %d exceeds the supported maximum %d", input, v, maxInputDim)
+		}
+		if product > maxInputDim/v {
+			return fmt.Errorf("bad input %q: total size exceeds the supported maximum", input)
+		}
+		product *= v
+	}
+	return nil
+}
+
+// parse2 parses "<a>S<b>" (e.g. "n100w400" with S="w" and prefix "n", or
+// "5000x2500" with S="x" and no prefix).
+func parse2(input, prefix, sep string) (int64, int64, error) {
+	var a, b int64
+	pat := prefix + "%d" + sep + "%d"
+	n, err := fmt.Sscanf(input, pat, &a, &b)
+	if err != nil || n != 2 {
+		return 0, 0, fmt.Errorf("bad input %q (want %s<int>%s<int>)", input, prefix, sep)
+	}
+	if err := checkDims(input, a, b); err != nil {
+		return 0, 0, err
+	}
+	return a, b, nil
+}

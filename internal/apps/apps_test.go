@@ -1,0 +1,297 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	"automap/internal/cluster"
+	"automap/internal/machine"
+	"automap/internal/mapping"
+	"automap/internal/sim"
+	"automap/internal/taskir"
+)
+
+// TestFigure5Counts asserts the task and collection-argument counts of
+// every application match the paper's Figure 5 exactly.
+func TestFigure5Counts(t *testing.T) {
+	cases := []struct {
+		app   string
+		input string
+		tasks int
+		args  int
+	}{
+		{"circuit", "n400w1600", 3, 15},
+		{"stencil", "2000x2000", 2, 12},
+		{"pennant", "320x720", 31, 97},
+		{"htr", "16x16y18z", 28, 72},
+	}
+	for _, c := range cases {
+		app, err := Get(c.app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := app.Build(c.input, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", c.app, err)
+		}
+		if len(g.Tasks) != c.tasks {
+			t.Errorf("%s tasks = %d, want %d", c.app, len(g.Tasks), c.tasks)
+		}
+		if got := g.NumCollectionArgs(); got != c.args {
+			t.Errorf("%s args = %d, want %d", c.app, got, c.args)
+		}
+	}
+	// Maestro counts only its LF tasks (the paper's "13 (only LFs)").
+	g, err := Maestro.Build("r16k32", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lf := MaestroTunable(g)
+	if len(lf) != 13 {
+		t.Errorf("maestro LF tasks = %d, want 13", len(lf))
+	}
+	nargs := 0
+	for _, id := range lf {
+		nargs += len(g.Task(id).Args)
+	}
+	if nargs != 30 {
+		t.Errorf("maestro LF args = %d, want 30", nargs)
+	}
+}
+
+// TestAllInputsValidate builds every registered input at every node count
+// and validates the resulting graph.
+func TestAllInputsValidate(t *testing.T) {
+	for _, app := range All() {
+		for nodes, inputs := range app.Inputs {
+			for _, in := range inputs {
+				g, err := app.Build(in, nodes)
+				if err != nil {
+					t.Errorf("%s %s @%d: %v", app.Name, in, nodes, err)
+					continue
+				}
+				if err := g.Validate(); err != nil {
+					t.Errorf("%s %s @%d invalid: %v", app.Name, in, nodes, err)
+				}
+			}
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	want := []string{"circuit", "htr", "maestro", "pennant", "stencil"}
+	if len(names) != len(want) {
+		t.Fatalf("Names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", names, want)
+		}
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("Get of unknown app should fail")
+	}
+	if len(All()) != 5 {
+		t.Fatal("All() wrong")
+	}
+}
+
+func TestBadInputsRejected(t *testing.T) {
+	cases := map[string][]string{
+		"circuit": {"", "n5", "w200n50", "n0w10", "n-5w10"},
+		"stencil": {"500", "x500", "0x10"},
+		"pennant": {"320", "mem+x"},
+		"htr":     {"8x8", "8x8y0z"},
+		"maestro": {"16", "r0k4"},
+	}
+	for name, inputs := range cases {
+		app, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, in := range inputs {
+			if _, err := app.Build(in, 1); err == nil {
+				t.Errorf("%s accepted bad input %q", name, in)
+			}
+		}
+	}
+}
+
+func TestWorkScalesWithInput(t *testing.T) {
+	small, err := Circuit.Build("n50w200", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Circuit.Build("n12800w51200", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := small.Task(0).Variants[machine.GPU].WorkPerPoint
+	wb := big.Task(0).Variants[machine.GPU].WorkPerPoint
+	if wb <= ws {
+		t.Fatalf("work does not scale: %v vs %v", ws, wb)
+	}
+	if small.TotalFootprintBytes() >= big.TotalFootprintBytes() {
+		t.Fatal("footprint does not scale")
+	}
+}
+
+func TestPiecesScaleWithNodes(t *testing.T) {
+	g1, _ := Stencil.Build("2000x2000", 1)
+	g4, _ := Stencil.Build("2000x2000", 4)
+	if g4.Task(0).Points <= g1.Task(0).Points {
+		t.Fatalf("points: %d @1 node vs %d @4 nodes", g1.Task(0).Points, g4.Task(0).Points)
+	}
+}
+
+func TestCircuitGhostAliasesShared(t *testing.T) {
+	g, _ := Circuit.Build("n400w1600", 1)
+	var shr, ghost *taskir.Collection
+	for _, c := range g.Collections {
+		switch c.Name {
+		case "node_shr":
+			shr = c
+		case "node_ghost":
+			ghost = c
+		}
+	}
+	if shr == nil || ghost == nil {
+		t.Fatal("missing shared/ghost collections")
+	}
+	if g.AliasID(ghost.ID) != g.AliasID(shr.ID) {
+		t.Fatal("ghost view must alias the shared nodes")
+	}
+	if shr.OverlapBytes(ghost) != shr.SizeBytes() {
+		t.Fatal("ghost/shared overlap must be full-weight")
+	}
+}
+
+func TestHTRSharedStatisticsPairs(t *testing.T) {
+	g, _ := HTR.Build("16x16y18z", 1)
+	byName := map[string]*taskir.Collection{}
+	for _, c := range g.Collections {
+		byName[c.Name] = c
+	}
+	for _, pair := range [][2]string{{"avg_flow_w", "avg_flow_r"}, {"avg_spec_w", "avg_spec_r"}} {
+		w, r := byName[pair[0]], byName[pair[1]]
+		if w == nil || r == nil {
+			t.Fatalf("missing statistics pair %v", pair)
+		}
+		if g.AliasID(r.ID) != g.AliasID(w.ID) {
+			t.Errorf("%v not aliased", pair)
+		}
+		if w.Partitioned {
+			t.Errorf("%s must be shared", pair[0])
+		}
+	}
+}
+
+func TestPennantMemoryConstrainedSizing(t *testing.T) {
+	g, err := Pennant.Build("mem+7.1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := g.TotalFootprintBytes()
+	fb := int64(16) << 30
+	if fp <= fb {
+		t.Fatalf("footprint %d must exceed the 16 GiB Frame-Buffer", fp)
+	}
+	if fp > fb*13/10 {
+		t.Fatalf("footprint %d too large for a +7.1%% input", fp)
+	}
+	// Scales with node count (per-GPU sizing).
+	g4, _ := Pennant.Build("mem+7.1", 4)
+	if g4.TotalFootprintBytes() < 3*fp {
+		t.Fatal("memory-constrained input must weak-scale with nodes")
+	}
+}
+
+func TestMaestroHFOnlyBaseline(t *testing.T) {
+	g, err := Maestro.Build("r16k0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range g.Tasks {
+		if strings.HasPrefix(tk.Name, "lf_") {
+			t.Fatal("HF-only baseline contains LF tasks")
+		}
+		if tk.HasVariant(machine.CPU) {
+			t.Errorf("HF task %s must be GPU-only", tk.Name)
+		}
+	}
+	if len(MaestroTunable(g)) != 0 {
+		t.Fatal("HF-only baseline has tunable tasks")
+	}
+}
+
+func TestMaestroHFFillsFrameBuffer(t *testing.T) {
+	m := cluster.Lassen(1)
+	g, err := Maestro.Build("r16k0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Simulate(m, g, mapping.Default(g, m.Model()), sim.Config{})
+	if err != nil {
+		t.Fatalf("HF-only simulation: %v", err)
+	}
+	var fbCap int64
+	for _, id := range m.MemsOfKindOnNode(machine.FrameBuffer, 0) {
+		fbCap += m.Mem(id).Capacity
+	}
+	if got := res.PeakMemBytes[machine.FrameBuffer]; float64(got) < 0.85*float64(fbCap) {
+		t.Fatalf("HF occupies %d of %d FB bytes; should fill the Frame-Buffer", got, fbCap)
+	}
+}
+
+// TestAppsRunUnderDefaultMapping simulates the default mapping of one
+// representative input per app and checks a sane positive makespan.
+func TestAppsRunUnderDefaultMapping(t *testing.T) {
+	inputs := map[string]string{
+		"circuit": "n400w1600",
+		"stencil": "2000x2000",
+		"pennant": "320x360",
+		"htr":     "16x16y18z",
+	}
+	m := cluster.Shepard(1)
+	for name, in := range inputs {
+		app, _ := Get(name)
+		g, err := app.Build(in, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Simulate(m, g, mapping.Default(g, m.Model()), sim.Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.MakespanSec <= 0 || res.MakespanSec > 3600 {
+			t.Errorf("%s makespan = %v", name, res.MakespanSec)
+		}
+	}
+	// Maestro runs on Lassen.
+	g, _ := Maestro.Build("r16k16", 1)
+	ml := cluster.Lassen(1)
+	if _, err := sim.Simulate(ml, g, mapping.Default(g, ml.Model()), sim.Config{}); err != nil {
+		t.Fatalf("maestro: %v", err)
+	}
+}
+
+func TestOverflowInputsRejected(t *testing.T) {
+	huge := []struct{ app, input string }{
+		{"circuit", "n9223372036854775807w1"},
+		{"circuit", "n1099511627776w1099511627776"},
+		{"stencil", "1099511627776x1099511627776"},
+		{"htr", "1048576x1048576y1048576z"},
+		{"pennant", "1099511627776x2"},
+		{"maestro", "r2097152k8"},
+	}
+	for _, c := range huge {
+		app, err := Get(c.app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := app.Build(c.input, 1); err == nil {
+			t.Errorf("%s accepted overflowing input %q", c.app, c.input)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Circuit: electrical circuit simulation [Bauer et al., SC '12], the
+// original Legion demonstration application. An unstructured graph of
+// circuit nodes and wires is partitioned into pieces; each time step runs
+// three group tasks:
+//
+//	calc_new_currents (CNC) — an iterative solve over each piece's wires;
+//	                          compute-heavy, reads node voltages;
+//	distribute_charge (DC)  — scatters wire currents into node charges,
+//	                          including ghost copies of shared nodes;
+//	update_voltages (UV)    — updates node voltages from charges.
+//
+// Node data is split into private nodes (only touched by one piece),
+// shared nodes (on piece boundaries), and ghost views of the shared nodes
+// used by neighboring pieces — the ghost view aliases the shared interval,
+// which is what gives AutoMap's overlap graph its Circuit edges.
+//
+// Figure 5: 3 tasks, 15 collection arguments, search space ~2^18.
+// Figure 6a inputs: "n<nodes>w<wires>", e.g. n50w200 … n102400w409600.
+package apps
+
+import (
+	"automap/internal/machine"
+	"automap/internal/taskir"
+)
+
+// Circuit is the registered circuit-simulation application.
+var Circuit = register(&App{
+	Name:        "circuit",
+	Description: "Electrical circuit simulation [6]",
+	Build:       buildCircuit,
+	Inputs: map[int][]string{
+		1: {"n50w200", "n100w400", "n200w800", "n400w1600", "n800w3200", "n1600w6400", "n6400w25600", "n12800w51200"},
+		2: {"n100w400", "n200w800", "n400w1600", "n800w3200", "n1600w6400", "n3200w12800", "n12800w51200", "n25600w102400"},
+		4: {"n200w800", "n400w1600", "n800w3200", "n1600w6400", "n3200w12800", "n6400w25600", "n25600w102400", "n51200w204800"},
+		8: {"n400w1600", "n800w3200", "n1600w6400", "n3200w12800", "n6400w25600", "n12800w51200", "n51200w204800", "n102400w409600"},
+	},
+})
+
+func buildCircuit(input string, nodes int) (*taskir.Graph, error) {
+	n, w, err := parse2(input, "n", "w")
+	if err != nil {
+		return nil, err
+	}
+	const (
+		nodeBytes = 48 // voltage, charge, capacitance, leakage, ...
+		wireBytes = 96 // current (10 segments), inductance, resistance, ...
+		attrBytes = 16
+	)
+	p := pieces(nodes)
+	g := taskir.NewGraph("circuit-" + input)
+	g.Iterations = 40
+	// Legion's dynamic dependence analysis costs a fixed amount per task
+	// launch on the critical path.
+	g.SerialOverheadSec = 190e-6 + 3e-6*float64(p) + 260e-6*float64(nodes-1)
+
+	// 10% of circuit nodes sit on piece boundaries (shared).
+	sharedFrac := int64(10)
+	sharedBytes := n * nodeBytes / sharedFrac
+	pvtBytes := n*nodeBytes - sharedBytes
+
+	wires := g.AddCollection(taskir.Collection{
+		Name: "wires", Space: "circuit.wires", Lo: 0, Hi: w * wireBytes, Partitioned: true,
+	})
+	nodePvt := g.AddCollection(taskir.Collection{
+		Name: "node_pvt", Space: "circuit.nodes", Lo: 0, Hi: pvtBytes, Partitioned: true,
+	})
+	nodeShr := g.AddCollection(taskir.Collection{
+		Name: "node_shr", Space: "circuit.nodes", Lo: pvtBytes, Hi: pvtBytes + sharedBytes,
+	})
+	// Ghost view of the shared nodes: same interval, distinct collection
+	// argument (full-weight overlap edge with node_shr).
+	nodeGhost := g.AddCollection(taskir.Collection{
+		Name: "node_ghost", Space: "circuit.nodes", Lo: pvtBytes, Hi: pvtBytes + sharedBytes,
+	})
+	nodeAttrs := g.AddCollection(taskir.Collection{
+		Name: "node_attrs", Space: "circuit.attrs", Lo: 0, Hi: n * attrBytes,
+	})
+	nodeRes := g.AddCollection(taskir.Collection{
+		Name: "node_res", Space: "circuit.res", Lo: 0, Hi: n * 8, Partitioned: true,
+	})
+
+	wpp := w / int64(p) // wires per piece
+	npp := n / int64(p) // nodes per piece
+	if wpp < 1 {
+		wpp = 1
+	}
+	if npp < 1 {
+		npp = 1
+	}
+
+	// calc_new_currents: an iterative per-wire solve (several Newton
+	// steps over the RLC equations) — the compute-heavy task.
+	g.AddTask(taskir.GroupTask{
+		Name: "calc_new_currents", Points: p,
+		Args: []taskir.Arg{
+			{Collection: wires.ID, Privilege: taskir.ReadWrite, BytesPerPoint: wpp * wireBytes * 3},
+			{Collection: nodePvt.ID, Privilege: taskir.ReadOnly, BytesPerPoint: pvtBytes / int64(p)},
+			{Collection: nodeShr.ID, Privilege: taskir.ReadOnly, BytesPerPoint: sharedBytes / int64(p)},
+			{Collection: nodeGhost.ID, Privilege: taskir.ReadOnly, BytesPerPoint: sharedBytes / int64(p)},
+			{Collection: nodeAttrs.ID, Privilege: taskir.ReadOnly, BytesPerPoint: npp * attrBytes},
+		},
+		Variants: map[machine.ProcKind]taskir.Variant{
+			machine.CPU: {Kind: machine.CPU, WorkPerPoint: float64(wpp) * 500000, Efficiency: 0.85},
+			machine.GPU: {Kind: machine.GPU, WorkPerPoint: float64(wpp) * 500000, Efficiency: 0.70},
+		},
+	})
+
+	// distribute_charge: scatter wire currents into node charges.
+	g.AddTask(taskir.GroupTask{
+		Name: "distribute_charge", Points: p,
+		Args: []taskir.Arg{
+			{Collection: wires.ID, Privilege: taskir.ReadOnly, BytesPerPoint: wpp * wireBytes},
+			{Collection: nodePvt.ID, Privilege: taskir.ReadWrite, BytesPerPoint: pvtBytes / int64(p)},
+			{Collection: nodeShr.ID, Privilege: taskir.ReadWrite, BytesPerPoint: sharedBytes / int64(p)},
+			{Collection: nodeGhost.ID, Privilege: taskir.ReadWrite, BytesPerPoint: sharedBytes / int64(p)},
+			{Collection: nodeAttrs.ID, Privilege: taskir.ReadOnly, BytesPerPoint: npp * attrBytes},
+		},
+		Variants: map[machine.ProcKind]taskir.Variant{
+			machine.CPU: {Kind: machine.CPU, WorkPerPoint: float64(wpp) * 30000, Efficiency: 0.80},
+			machine.GPU: {Kind: machine.GPU, WorkPerPoint: float64(wpp) * 30000, Efficiency: 0.45},
+		},
+	})
+
+	// update_voltages: per-node voltage update from accumulated charge.
+	g.AddTask(taskir.GroupTask{
+		Name: "update_voltages", Points: p,
+		Args: []taskir.Arg{
+			{Collection: nodePvt.ID, Privilege: taskir.ReadWrite, BytesPerPoint: pvtBytes / int64(p)},
+			{Collection: nodeShr.ID, Privilege: taskir.ReadWrite, BytesPerPoint: sharedBytes / int64(p)},
+			{Collection: nodeGhost.ID, Privilege: taskir.ReadOnly, BytesPerPoint: sharedBytes / int64(p)},
+			{Collection: nodeAttrs.ID, Privilege: taskir.ReadOnly, BytesPerPoint: npp * attrBytes},
+			{Collection: nodeRes.ID, Privilege: taskir.WriteOnly, BytesPerPoint: npp * 8},
+		},
+		Variants: map[machine.ProcKind]taskir.Variant{
+			machine.CPU: {Kind: machine.CPU, WorkPerPoint: float64(npp) * 15000, Efficiency: 0.85},
+			machine.GPU: {Kind: machine.GPU, WorkPerPoint: float64(npp) * 15000, Efficiency: 0.55},
+		},
+	})
+
+	return g, nil
+}

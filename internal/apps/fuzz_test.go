@@ -1,0 +1,36 @@
+package apps
+
+import (
+	"testing"
+)
+
+// FuzzInputParsers drives every application's input parser with arbitrary
+// strings: builders must either return an error or a graph that validates —
+// never panic, never a malformed graph.
+func FuzzInputParsers(f *testing.F) {
+	seeds := []string{
+		"n50w200", "n0w0", "n-1w5", "nXwY", "w200n50", "",
+		"500x500", "0x0", "99999999x99999999", "x", "5x", "x5",
+		"320x90", "mem+1.3", "mem+", "mem+abc", "mem+1.3@4", "mem+1.3@0", "mem+1.3@x",
+		"8x8y9z", "8x8y", "8x8y9", "0x8y9z", "ax8y9z",
+		"r16k32", "r16k0", "r0k8", "rk", "r16k-2",
+		"\x00", "n9223372036854775807w1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		for _, app := range All() {
+			g, err := app.Build(input, 1)
+			if err != nil {
+				continue
+			}
+			if g == nil {
+				t.Fatalf("%s(%q): nil graph without error", app.Name, input)
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatalf("%s(%q): built an invalid graph: %v", app.Name, input, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,208 @@
+// HTR: the Hypersonic Task-based Research solver [Di Renzo, Fu & Urzay,
+// CPC '20], an exascale-oriented multi-physics (hypersonic
+// aerothermodynamics) code and the paper's largest production application.
+// Each time step computes primitives, gradients and transport properties,
+// evaluates fluxes in three directions plus stiff chemistry source terms,
+// advances a three-stage Runge–Kutta integrator, applies boundary
+// conditions, and maintains time-averaged flow/species statistics.
+//
+// The averaging statistics are the paper's motivating example for CCD
+// (Section 4.2): two group tasks operate on two large shared collections
+// (written by the averaging tasks, read by the coupling tasks through
+// aliased views). The fastest known strategy for some inputs places both
+// collections in Zero-Copy memory — a coordinated move that single-decision
+// searches cannot reach through strictly improving steps.
+//
+// Figure 5: 28 tasks, 72 collection arguments, search space ~2^100.
+// Figure 6d inputs: "<X>x<Y>y<Z>z" tile grids, e.g. 8x8y9z … 128x1024y144z.
+package apps
+
+import (
+	"fmt"
+	"strings"
+
+	"automap/internal/machine"
+	"automap/internal/taskir"
+)
+
+// HTR is the registered multi-physics application.
+var HTR = register(&App{
+	Name:        "htr",
+	Description: "Multi-physics solver [12]",
+	Build:       buildHTR,
+	Inputs: map[int][]string{
+		1: {"8x8y9z", "16x16y18z", "32x32y36z", "64x64y72z", "128x128y144z"},
+		2: {"8x16y9z", "16x32y18z", "32x64y36z", "64x128y72z", "128x256y144z"},
+		4: {"8x32y9z", "16x64y18z", "32x128y36z", "64x256y72z", "128x512y144z"},
+		8: {"8x64y9z", "16x128y18z", "32x256y36z", "64x512y72z", "128x1024y144z"},
+	},
+})
+
+// htrCol declares one collection: width in bytes per cell (or absolute size
+// for shared statistics), and aliasing for the shared statistics views.
+type htrCol struct {
+	name   string
+	width  int64
+	shared bool
+	alias  string // alias of another collection's interval
+	frac   int64  // shared statistics size = cells*8/frac
+}
+
+var htrCols = []htrCol{
+	{name: "cons", width: 40},
+	{name: "cons_old", width: 40},
+	{name: "prim", width: 72},
+	{name: "grad", width: 72},
+	{name: "metric", width: 48},
+	{name: "rhs", width: 40},
+	{name: "flux_x", width: 40},
+	{name: "flux_y", width: 40},
+	{name: "flux_z", width: 40},
+	{name: "temp", width: 8},
+	{name: "visc", width: 8},
+	{name: "chem_src", width: 40},
+	{name: "shock", width: 8},
+	{name: "grad_g", width: 0, shared: true, alias: "grad"}, // ghost plane view
+	{name: "bc_x", width: 0, shared: true, frac: 64},
+	{name: "bc_y", width: 0, shared: true, frac: 64},
+	{name: "bc_z", width: 0, shared: true, frac: 64},
+	// The two large shared statistics collections, each with a writer
+	// view and an aliased reader view (the CCD motivating pair).
+	{name: "avg_flow_w", width: 0, shared: true, frac: 4},
+	{name: "avg_flow_r", width: 0, shared: true, alias: "avg_flow_w"},
+	{name: "avg_spec_w", width: 0, shared: true, frac: 4},
+	{name: "avg_spec_r", width: 0, shared: true, alias: "avg_spec_w"},
+	{name: "dt_red", width: 0, shared: true, frac: -1}, // tiny global
+}
+
+// htrTask declares one group task (work in flops per cell).
+type htrTask struct {
+	name   string
+	work   float64
+	gpuEff float64
+	args   []string
+}
+
+// The HTR time step: 28 group tasks, 72 collection arguments (Figure 5
+// counts asserted by tests).
+var htrTasks = []htrTask{
+	{"calc_primitives", 800, 0.65, []string{"cons:RO", "prim:WO"}},
+	{"calc_temperature", 300, 0.60, []string{"prim:RO", "temp:WO"}},
+	{"calc_viscosity", 250, 0.60, []string{"temp:RO", "visc:WO"}},
+	{"calc_gradients", 1500, 0.60, []string{"prim:RO", "metric:RO", "grad:WO"}},
+	{"exchange_ghost_grad", 100, 0.40, []string{"grad:RO", "grad_g:RW"}},
+	{"shock_sensor", 400, 0.55, []string{"prim:RO", "grad:RO", "shock:WO"}},
+	{"flux_x", 3000, 0.65, []string{"prim:RO", "grad:RO", "metric:RO", "visc:RO", "flux_x:WO"}},
+	{"flux_y", 3000, 0.65, []string{"prim:RO", "grad:RO", "metric:RO", "flux_y:WO"}},
+	{"flux_z", 3000, 0.65, []string{"prim:RO", "grad:RO", "metric:RO", "flux_z:WO"}},
+	{"chem_source", 8000, 0.75, []string{"prim:RO", "temp:RO", "chem_src:WO"}},
+	{"update_rhs", 600, 0.55, []string{"flux_x:RO", "flux_y:RO", "flux_z:RO", "chem_src:RO", "rhs:WO"}},
+	{"apply_bc_x", 80, 0.35, []string{"prim:RW", "bc_x:RO"}},
+	{"apply_bc_y", 80, 0.35, []string{"prim:RW", "bc_y:RO"}},
+	{"apply_bc_z", 80, 0.35, []string{"prim:RW", "bc_z:RO"}},
+	{"save_cons_old", 50, 0.50, []string{"cons:RO", "cons_old:WO"}},
+	{"rk_stage1", 300, 0.60, []string{"cons:RW", "cons_old:RO", "rhs:RO"}},
+	{"rk_stage2", 300, 0.60, []string{"cons:RW", "cons_old:RO", "rhs:RO"}},
+	{"rk_stage3", 300, 0.60, []string{"cons:RW", "cons_old:RW", "rhs:RO"}},
+	{"calc_avg_flow", 200, 0.45, []string{"prim:RO", "avg_flow_w:RW"}},
+	{"calc_avg_species", 200, 0.45, []string{"prim:RO", "avg_spec_w:RW"}},
+	{"consume_avg_flow", 150, 0.40, []string{"avg_flow_r:RO", "cons:RO"}},
+	{"consume_avg_species", 150, 0.40, []string{"avg_spec_r:RO", "temp:RO"}},
+	{"calc_dt_local", 250, 0.50, []string{"prim:RO", "dt_red:WO"}},
+	{"reduce_dt", 10, 0.30, []string{"dt_red:RW"}},
+	{"integrate_radiation", 1200, 0.60, []string{"temp:RO", "chem_src:RO", "rhs:RW"}},
+	{"probe_output", 60, 0.35, []string{"prim:RO", "temp:RO"}},
+	{"stats_rescale", 120, 0.40, []string{"avg_flow_w:RW", "avg_spec_w:RW"}},
+	{"filter_solution", 500, 0.55, []string{"cons:RW", "metric:RO"}},
+}
+
+func buildHTR(input string, nodes int) (*taskir.Graph, error) {
+	var x, y, z int64
+	if n, err := fmt.Sscanf(input, "%dx%dy%dz", &x, &y, &z); err != nil || n != 3 {
+		return nil, fmt.Errorf("bad HTR input %q (want <X>x<Y>y<Z>z)", input)
+	}
+	if err := checkDims(input, x, y, z); err != nil {
+		return nil, err
+	}
+	// Each tile holds 12 grid cells in the modeled discretization,
+	// sized so the largest 1-node input of Figure 6d (128x128y144z)
+	// fits in one GPU's Frame-Buffer, as it did in the paper.
+	cells := x * y * z * 12
+
+	p := pieces(nodes)
+	pi := int64(p)
+	g := taskir.NewGraph("htr-" + input)
+	g.Iterations = 30
+	g.SerialOverheadSec = 10e-3 + 20e-6*float64(p) + 2e-3*float64(nodes-1)
+
+	cols := make(map[string]*taskir.Collection, len(htrCols))
+	for _, hc := range htrCols {
+		switch {
+		case hc.alias != "":
+			base := cols[hc.alias]
+			hi := base.Hi
+			if hc.name == "grad_g" {
+				// Ghost view: boundary planes only (~1/8 of grad).
+				hi = base.Lo + base.SizeBytes()/8
+			}
+			cols[hc.name] = g.AddCollection(taskir.Collection{
+				Name: hc.name, Space: base.Space, Lo: base.Lo, Hi: hi,
+			})
+		case hc.shared:
+			var size int64
+			if hc.frac < 0 {
+				size = 64 // tiny global reduction buffer
+			} else {
+				size = cells * 8 / hc.frac
+			}
+			cols[hc.name] = g.AddCollection(taskir.Collection{
+				Name: hc.name, Space: "htr." + hc.name, Lo: 0, Hi: size,
+			})
+		default:
+			cols[hc.name] = g.AddCollection(taskir.Collection{
+				Name: hc.name, Space: "htr." + hc.name, Lo: 0, Hi: cells * hc.width, Partitioned: true,
+			})
+		}
+	}
+
+	for _, ht := range htrTasks {
+		args := make([]taskir.Arg, 0, len(ht.args))
+		for _, as := range ht.args {
+			parts := strings.SplitN(as, ":", 2)
+			col, ok := cols[parts[0]]
+			if !ok {
+				return nil, fmt.Errorf("htr task %s: unknown collection %q", ht.name, parts[0])
+			}
+			var priv taskir.Privilege
+			switch parts[1] {
+			case "RO":
+				priv = taskir.ReadOnly
+			case "WO":
+				priv = taskir.WriteOnly
+			case "RW":
+				priv = taskir.ReadWrite
+			default:
+				return nil, fmt.Errorf("htr task %s: bad privilege %q", ht.name, parts[1])
+			}
+			bpp := col.SizeBytes() / pi
+			if bpp < 1 {
+				bpp = col.SizeBytes()
+			}
+			args = append(args, taskir.Arg{Collection: col.ID, Privilege: priv, BytesPerPoint: bpp})
+		}
+		points := p
+		if ht.name == "reduce_dt" {
+			points = 1
+		}
+		g.AddTask(taskir.GroupTask{
+			Name: ht.name, Points: points,
+			Args: args,
+			Variants: map[machine.ProcKind]taskir.Variant{
+				machine.CPU: {Kind: machine.CPU, WorkPerPoint: ht.work * float64(cells) / float64(pi), Efficiency: 0.80},
+				machine.GPU: {Kind: machine.GPU, WorkPerPoint: ht.work * float64(cells) / float64(pi), Efficiency: ht.gpuEff},
+			},
+		})
+	}
+
+	return g, nil
+}

@@ -1,0 +1,183 @@
+// Maestro: a multi-fidelity ensemble computational fluid dynamics solver
+// (Section 5.1 of the paper). Maestro resolves the single-component
+// compressible Navier–Stokes equations with explicit finite differences in
+// a bi-fidelity ensemble: one expensive high-fidelity (HF) sample plus many
+// cheap low-fidelity (LF) samples on a 3D volume.
+//
+// The HF simulation is pinned to the GPUs and its collections fill the
+// entire Frame-Buffer; the design question — the one AutoMap answers — is
+// where to run the LF ensemble so that it degrades the HF simulation as
+// little as possible: CPUs + System memory, GPUs + Zero-Copy memory, or a
+// mix. Only the 13 LF tasks (30 collection arguments, Figure 5) are in the
+// search space.
+//
+// Inputs are "r<R>k<K>": LF resolution R³ (paper: 16³ and 32³) and LF
+// sample count K. "r<R>k0" builds the HF-only baseline used as the
+// denominator of Figure 7's degradation metric.
+package apps
+
+import (
+	"fmt"
+	"strings"
+
+	"automap/internal/machine"
+	"automap/internal/taskir"
+)
+
+// Maestro is the registered multi-fidelity ensemble CFD application.
+var Maestro = register(&App{
+	Name:        "maestro",
+	Description: "Multi-fidelity Ensemble CFD",
+	Build:       buildMaestro,
+	Inputs: map[int][]string{
+		1: {"r16k8", "r16k16", "r16k32", "r16k64", "r32k8", "r32k16", "r32k32", "r32k64"},
+		2: {"r16k8", "r16k16", "r16k32", "r16k64", "r32k8", "r32k16", "r32k32", "r32k64"},
+		4: {"r16k8", "r16k16", "r16k32", "r16k64", "r32k8", "r32k16", "r32k32", "r32k64"},
+	},
+})
+
+// maestroLFTask declares one low-fidelity group task.
+type maestroLFTask struct {
+	name   string
+	work   float64 // flops per LF cell
+	gpuEff float64
+	args   []string
+}
+
+// The 13 LF tasks with 30 collection arguments (Figure 5 counts asserted
+// by tests).
+var maestroLFTasks = []maestroLFTask{
+	{"lf_prim", 5400, 0.55, []string{"lf_cons:RO", "lf_prim:WO"}},
+	{"lf_temp", 1800, 0.50, []string{"lf_prim:RO", "lf_temp:WO"}},
+	{"lf_grad", 9000, 0.55, []string{"lf_prim:RO", "lf_grad:WO"}},
+	{"lf_flux_x", 15600, 0.60, []string{"lf_prim:RO", "lf_grad:RO", "lf_flux:WO"}},
+	{"lf_flux_y", 15600, 0.60, []string{"lf_prim:RO", "lf_grad:RO", "lf_flux:RW"}},
+	{"lf_flux_z", 15600, 0.60, []string{"lf_prim:RO", "lf_grad:RO", "lf_flux:RW"}},
+	{"lf_rhs", 4200, 0.50, []string{"lf_flux:RO", "lf_rhs:WO"}},
+	{"lf_rk1", 2400, 0.55, []string{"lf_cons:RW", "lf_rhs:RO"}},
+	{"lf_rk2", 2400, 0.55, []string{"lf_cons:RW", "lf_rhs:RO"}},
+	{"lf_bc", 900, 0.35, []string{"lf_cons:RW", "lf_bcval:RO"}},
+	{"lf_dt_local", 1500, 0.45, []string{"lf_prim:RO", "lf_dtred:WO"}},
+	{"lf_stats", 2100, 0.40, []string{"lf_prim:RO", "lf_stats:RW"}},
+	{"lf_sync", 600, 0.30, []string{"lf_stats:RO", "lf_dtred:RO", "lf_out:WO"}},
+}
+
+// MaestroTunable returns the task IDs of the low-fidelity tasks of a graph
+// built by this generator — the subset AutoMap is allowed to remap.
+func MaestroTunable(g *taskir.Graph) []taskir.TaskID {
+	var out []taskir.TaskID
+	for _, t := range g.Tasks {
+		if strings.HasPrefix(t.Name, "lf_") {
+			out = append(out, t.ID)
+		}
+	}
+	return out
+}
+
+func buildMaestro(input string, nodes int) (*taskir.Graph, error) {
+	var r, k int64
+	if n, err := fmt.Sscanf(input, "r%dk%d", &r, &k); err != nil || n != 2 {
+		return nil, fmt.Errorf("bad Maestro input %q (want r<R>k<K>)", input)
+	}
+	if err := checkDims(input, r, r, r); err != nil { // lfCells = r³
+		return nil, err
+	}
+	if k < 0 || k > int64(maxInputDim) {
+		return nil, fmt.Errorf("bad Maestro input %q: sample count out of range", input)
+	}
+
+	g := taskir.NewGraph("maestro-" + input)
+	g.Iterations = 10
+	g.SerialOverheadSec = 3e-3 + 15e-6*float64(k) + 1e-3*float64(nodes-1)
+
+	// --- High-fidelity sample: pinned to the GPUs, fills the
+	// Frame-Buffer (15 of each GPU's 16 GB; Maestro deploys on Lassen's
+	// 4-GPU nodes).
+	const hfBytesPerCell = 500
+	hfCells := int64(nodes) * 4 * 15 * (int64(1) << 30) / hfBytesPerCell
+	hfPieces := 4 * nodes
+	hfCols := make(map[string]*taskir.Collection)
+	for _, spec := range []struct {
+		name  string
+		width int64
+	}{
+		{"hf_cons", 160}, {"hf_prim", 180}, {"hf_flux", 120}, {"hf_rhs", 40},
+	} {
+		hfCols[spec.name] = g.AddCollection(taskir.Collection{
+			Name: spec.name, Space: "mst." + spec.name, Lo: 0, Hi: hfCells * spec.width, Partitioned: true,
+		})
+	}
+	hfArg := func(name string, priv taskir.Privilege) taskir.Arg {
+		c := hfCols[name]
+		return taskir.Arg{Collection: c.ID, Privilege: priv, BytesPerPoint: c.SizeBytes() / int64(hfPieces)}
+	}
+	hfWork := func(w float64) map[machine.ProcKind]taskir.Variant {
+		// HF tasks are GPU-only: there is no CPU variant, so no
+		// mapping can move them (matching Maestro's deployment).
+		return map[machine.ProcKind]taskir.Variant{
+			machine.GPU: {Kind: machine.GPU, WorkPerPoint: w * float64(hfCells) / float64(hfPieces), Efficiency: 0.65},
+		}
+	}
+	g.AddTask(taskir.GroupTask{Name: "hf_prim_calc", Points: hfPieces, Variants: hfWork(700),
+		Args: []taskir.Arg{hfArg("hf_cons", taskir.ReadOnly), hfArg("hf_prim", taskir.WriteOnly)}})
+	g.AddTask(taskir.GroupTask{Name: "hf_flux", Points: hfPieces, Variants: hfWork(2500),
+		Args: []taskir.Arg{hfArg("hf_prim", taskir.ReadOnly), hfArg("hf_flux", taskir.WriteOnly)}})
+	g.AddTask(taskir.GroupTask{Name: "hf_rhs", Points: hfPieces, Variants: hfWork(600),
+		Args: []taskir.Arg{hfArg("hf_flux", taskir.ReadOnly), hfArg("hf_rhs", taskir.WriteOnly)}})
+	g.AddTask(taskir.GroupTask{Name: "hf_rk", Points: hfPieces, Variants: hfWork(500),
+		Args: []taskir.Arg{hfArg("hf_cons", taskir.ReadWrite), hfArg("hf_rhs", taskir.ReadOnly)}})
+	g.AddTask(taskir.GroupTask{Name: "hf_stats", Points: hfPieces, Variants: hfWork(200),
+		Args: []taskir.Arg{hfArg("hf_prim", taskir.ReadOnly)}})
+
+	if k == 0 {
+		return g, nil // HF-only baseline
+	}
+
+	// --- Low-fidelity ensemble: K independent samples of R³ cells; one
+	// group-task point per sample.
+	lfCells := r * r * r // per sample
+	lfColSpecs := []struct {
+		name  string
+		width int64 // bytes per cell per sample
+	}{
+		{"lf_cons", 40}, {"lf_prim", 72}, {"lf_grad", 72}, {"lf_flux", 40},
+		{"lf_rhs", 40}, {"lf_temp", 8}, {"lf_stats", 16}, {"lf_out", 8},
+		{"lf_bcval", 8}, {"lf_dtred", 8},
+	}
+	lfCols := make(map[string]*taskir.Collection)
+	for _, spec := range lfColSpecs {
+		lfCols[spec.name] = g.AddCollection(taskir.Collection{
+			Name: spec.name, Space: "mst." + spec.name,
+			Lo: 0, Hi: k * lfCells * spec.width, Partitioned: true,
+		})
+	}
+	for _, lt := range maestroLFTasks {
+		args := make([]taskir.Arg, 0, len(lt.args))
+		for _, as := range lt.args {
+			parts := strings.SplitN(as, ":", 2)
+			col := lfCols[parts[0]]
+			var priv taskir.Privilege
+			switch parts[1] {
+			case "RO":
+				priv = taskir.ReadOnly
+			case "WO":
+				priv = taskir.WriteOnly
+			case "RW":
+				priv = taskir.ReadWrite
+			}
+			args = append(args, taskir.Arg{
+				Collection: col.ID, Privilege: priv,
+				BytesPerPoint: col.SizeBytes() / k,
+			})
+		}
+		g.AddTask(taskir.GroupTask{
+			Name: lt.name, Points: int(k),
+			Args: args,
+			Variants: map[machine.ProcKind]taskir.Variant{
+				machine.CPU: {Kind: machine.CPU, WorkPerPoint: lt.work * float64(lfCells), Efficiency: 0.80},
+				machine.GPU: {Kind: machine.GPU, WorkPerPoint: lt.work * float64(lfCells), Efficiency: lt.gpuEff},
+			},
+		})
+	}
+	return g, nil
+}

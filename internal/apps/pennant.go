@@ -1,0 +1,261 @@
+// Pennant: the Lagrangian staggered-grid hydrodynamics mini-app
+// [Ferenbaugh, CCPE '14] in its Legion implementation. Each cycle runs a
+// long chain of group tasks over three families of collections — point
+// arrays, zone arrays, and side/corner arrays — with two ghost views
+// (point mass and point force) that alias their base arrays and are
+// exchanged between pieces, plus tiny globally-reduced dt collections.
+//
+// Figure 5: 31 tasks, 97 collection arguments, search space ~2^128 — the
+// largest search space of the suite. Figure 6c inputs: "320x<Z>"
+// (zones-x × zones-y), e.g. 320x90 … 320x46080. Figure 8 uses inputs
+// "mem+1.3" / "mem+7.1" / "mem+14.3": meshes sized to exceed the
+// Frame-Buffer capacity of one GPU by that percentage.
+package apps
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"automap/internal/machine"
+	"automap/internal/taskir"
+)
+
+// Pennant is the registered hydrodynamics application.
+var Pennant = register(&App{
+	Name:        "pennant",
+	Description: "Lagrangian hydrodynamics calculation [16]",
+	Build:       buildPennant,
+	Inputs: map[int][]string{
+		1: {"320x90", "320x180", "320x360", "320x720", "320x1440", "320x2880", "320x5760"},
+		2: {"320x180", "320x360", "320x720", "320x1440", "320x2880", "320x5760", "320x11520"},
+		4: {"320x360", "320x720", "320x1440", "320x2880", "320x5760", "320x11520", "320x23040"},
+		8: {"320x720", "320x1440", "320x2880", "320x5760", "320x11520", "320x23040", "320x46080"},
+	},
+})
+
+// pennantCol declares one collection: its element family and field width.
+type pennantCol struct {
+	name   string
+	family byte  // 'p' points, 'z' zones, 's' sides/corners, 'g' global
+	width  int64 // bytes per element (16 = 2D vector, 8 = scalar)
+	ghost  bool  // shared ghost view aliasing the base array's interval
+	of     string
+}
+
+var pennantCols = []pennantCol{
+	{name: "px", family: 'p', width: 16},
+	{name: "pxp", family: 'p', width: 16},
+	{name: "pu", family: 'p', width: 16},
+	{name: "pf", family: 'p', width: 16},
+	{name: "pap", family: 'p', width: 16},
+	{name: "pmaswt", family: 'p', width: 8},
+	{name: "pf_g", family: 'p', width: 16, ghost: true, of: "pf"},
+	{name: "pmaswt_g", family: 'p', width: 8, ghost: true, of: "pmaswt"},
+	{name: "znump", family: 'z', width: 8},
+	{name: "zx", family: 'z', width: 16},
+	{name: "zarea", family: 'z', width: 8},
+	{name: "zvol", family: 'z', width: 8},
+	{name: "zr", family: 'z', width: 8},
+	{name: "zm", family: 'z', width: 8},
+	{name: "ze", family: 'z', width: 8},
+	{name: "zetot", family: 'z', width: 8},
+	{name: "zw", family: 'z', width: 8},
+	{name: "zwrate", family: 'z', width: 8},
+	{name: "zp", family: 'z', width: 8},
+	{name: "zss", family: 'z', width: 8},
+	{name: "zdl", family: 'z', width: 8},
+	{name: "zdu", family: 'z', width: 8},
+	{name: "zuc", family: 'z', width: 16},
+	{name: "ssurf", family: 's', width: 16},
+	{name: "selen", family: 's', width: 8},
+	{name: "smf", family: 's', width: 8},
+	{name: "sfp", family: 's', width: 16},
+	{name: "sfq", family: 's', width: 16},
+	{name: "sft", family: 's', width: 16},
+	{name: "cdiv", family: 's', width: 8},
+	{name: "cqe", family: 's', width: 16},
+	{name: "cftot", family: 's', width: 16},
+	{name: "cmaswt", family: 's', width: 8},
+	{name: "dtrec", family: 'g', width: 8},
+	{name: "dt", family: 'g', width: 8},
+}
+
+// pennantTask declares one group task: name, work in flops per zone, GPU
+// efficiency, and arguments as "name:RO|WO|RW".
+type pennantTask struct {
+	name   string
+	work   float64 // flops per zone per iteration
+	gpuEff float64
+	args   []string
+}
+
+// The Pennant cycle (simplified from the reference implementation), 31
+// group tasks and 97 collection arguments — the Figure 5 counts are
+// asserted by tests.
+var pennantTasks = []pennantTask{
+	{"adv_pos_half", 800, 0.60, []string{"px:RO", "pu:RO", "pxp:WO"}},
+	{"calc_ctrs", 1200, 0.55, []string{"pxp:RO", "znump:RO", "zx:WO"}},
+	{"calc_vols", 2400, 0.60, []string{"pxp:RO", "zx:RO", "zvol:WO", "zarea:WO"}},
+	{"calc_surf_vecs", 1600, 0.55, []string{"zx:RO", "pxp:RO", "ssurf:WO"}},
+	{"calc_edge_len", 1000, 0.55, []string{"pxp:RO", "selen:WO"}},
+	{"calc_char_len", 1200, 0.50, []string{"zarea:RO", "selen:RO", "zdl:WO"}},
+	{"calc_rho", 600, 0.60, []string{"zm:RO", "zvol:RO", "zr:WO"}},
+	{"calc_crnr_mass", 1400, 0.50, []string{"zr:RO", "zarea:RO", "smf:RO", "cmaswt:WO"}},
+	{"sum_point_mass", 1200, 0.40, []string{"cmaswt:RO", "pmaswt_g:RW", "pmaswt:WO"}},
+	{"calc_state_at_half", 5200, 0.70, []string{"zr:RO", "zvol:RO", "zp:WO", "zss:WO"}},
+	{"calc_force_pgas", 1800, 0.60, []string{"zp:RO", "ssurf:RO", "sfp:WO"}},
+	{"calc_force_tts", 2200, 0.55, []string{"zss:RO", "zarea:RO", "sft:WO"}},
+	{"qcs_zone_center_vel", 1000, 0.55, []string{"pu:RO", "zuc:WO"}},
+	{"qcs_corner_div", 5600, 0.65, []string{"zuc:RO", "pu:RO", "pxp:RO", "cdiv:WO"}},
+	{"qcs_qcn_force", 3600, 0.60, []string{"cdiv:RO", "zss:RO", "zr:RO", "cqe:WO"}},
+	{"qcs_force", 2400, 0.55, []string{"cqe:RO", "selen:RO", "sfq:WO"}},
+	{"qcs_vel_diff", 1800, 0.55, []string{"pu:RO", "zss:RO", "zdu:WO"}},
+	{"sum_crnr_force", 2000, 0.50, []string{"sfp:RO", "sfq:RO", "sft:RO", "cftot:WO"}},
+	{"sum_point_force", 1400, 0.40, []string{"cftot:RO", "pf_g:RW", "pf:WO"}},
+	{"apply_boundary", 400, 0.35, []string{"pf:RW", "pu:RO"}},
+	{"calc_accel", 600, 0.55, []string{"pf:RO", "pmaswt:RO", "pap:WO"}},
+	{"adv_pos_full", 1200, 0.60, []string{"px:RW", "pu:RW", "pap:RO"}},
+	{"calc_ctrs_full", 1200, 0.55, []string{"px:RO", "znump:RO", "zx:WO"}},
+	{"calc_vols_full", 2400, 0.60, []string{"px:RO", "zx:RO", "zvol:RW", "zarea:RW"}},
+	{"calc_work", 3200, 0.55, []string{"sfp:RO", "sfq:RO", "pu:RO", "zw:WO"}},
+	{"calc_work_rate", 1000, 0.55, []string{"zvol:RO", "zw:RO", "zwrate:WO"}},
+	{"calc_energy", 800, 0.55, []string{"zetot:RW", "zw:RO", "ze:WO"}},
+	{"calc_rho_full", 600, 0.60, []string{"zm:RO", "zvol:RO", "zr:WO"}},
+	{"calc_dt_courant", 1200, 0.45, []string{"zdl:RO", "zss:RO", "dtrec:WO"}},
+	{"calc_dt_volume", 800, 0.45, []string{"zvol:RO", "zdl:RO", "dtrec:RW"}},
+	{"calc_dt_hydro", 200, 0.30, []string{"dtrec:RO", "dt:WO"}},
+}
+
+func buildPennant(input string, nodes int) (*taskir.Graph, error) {
+	zones, err := pennantZones(input, nodes)
+	if err != nil {
+		return nil, err
+	}
+	return buildPennantZones(input, nodes, zones)
+}
+
+// pennantZones parses either a "320x<Z>" mesh or a "mem+<pct>[@<gpus>]"
+// memory-constrained size (Figure 8): a mesh whose footprint exceeds the
+// per-node Frame-Buffer capacity by <pct> percent. The paper sizes these
+// inputs per GPU ("320×40320 zones per GPU"); the optional "@<gpus>"
+// suffix scales for nodes with several GPUs (Lassen: mem+1.3@4).
+func pennantZones(input string, nodes int) (int64, error) {
+	if strings.HasPrefix(input, "mem+") {
+		rest := strings.TrimPrefix(input, "mem+")
+		gpus := 1.0
+		if at := strings.IndexByte(rest, '@'); at >= 0 {
+			g, err := strconv.ParseFloat(rest[at+1:], 64)
+			if err != nil || g < 1 || g > 1024 {
+				return 0, fmt.Errorf("bad memory-constrained input %q", input)
+			}
+			gpus = g
+			rest = rest[:at]
+		}
+		pct, err := strconv.ParseFloat(rest, 64)
+		if err != nil || pct < 0 || pct > 1e6 {
+			return 0, fmt.Errorf("bad memory-constrained input %q", input)
+		}
+		const fbBytes = 16 << 30
+		perZone := pennantBytesPerZone()
+		zonesPerNode := (1 + pct/100) * gpus * float64(fbBytes) / float64(perZone)
+		return int64(zonesPerNode) * int64(nodes), nil
+	}
+	w, h, err := parse2(input, "", "x")
+	if err != nil {
+		return 0, err
+	}
+	return w * h, nil
+}
+
+// pennantBytesPerZone returns the total collection bytes per mesh zone.
+func pennantBytesPerZone() int64 {
+	var total int64
+	for _, c := range pennantCols {
+		if c.ghost {
+			continue
+		}
+		switch c.family {
+		case 'p':
+			total += c.width
+		case 'z':
+			total += c.width
+		case 's':
+			total += 4 * c.width
+		}
+	}
+	return total
+}
+
+func buildPennantZones(input string, nodes int, zones int64) (*taskir.Graph, error) {
+	p := pieces(nodes)
+	pi := int64(p)
+	g := taskir.NewGraph("pennant-" + input)
+	g.Iterations = 30
+	g.SerialOverheadSec = 7e-3 + 20e-6*float64(p) + 1.5e-3*float64(nodes-1)
+
+	counts := map[byte]int64{'p': zones, 'z': zones, 's': 4 * zones, 'g': 1}
+	cols := make(map[string]*taskir.Collection, len(pennantCols))
+	for _, pc := range pennantCols {
+		n := counts[pc.family]
+		size := n * pc.width
+		if pc.ghost {
+			// Ghost views alias the boundary fraction of the base
+			// array (points on piece boundaries, ~12%).
+			base := cols[pc.of]
+			gb := base.SizeBytes() / 8
+			if gb < pc.width {
+				gb = pc.width
+			}
+			cols[pc.name] = g.AddCollection(taskir.Collection{
+				Name: pc.name, Space: base.Space, Lo: base.Lo, Hi: base.Lo + gb,
+			})
+			continue
+		}
+		part := pc.family != 'g'
+		cols[pc.name] = g.AddCollection(taskir.Collection{
+			Name: pc.name, Space: "pn." + pc.name, Lo: 0, Hi: size, Partitioned: part,
+		})
+	}
+
+	for _, pt := range pennantTasks {
+		args := make([]taskir.Arg, 0, len(pt.args))
+		for _, as := range pt.args {
+			parts := strings.SplitN(as, ":", 2)
+			col, ok := cols[parts[0]]
+			if !ok {
+				return nil, fmt.Errorf("pennant task %s: unknown collection %q", pt.name, parts[0])
+			}
+			var priv taskir.Privilege
+			switch parts[1] {
+			case "RO":
+				priv = taskir.ReadOnly
+			case "WO":
+				priv = taskir.WriteOnly
+			case "RW":
+				priv = taskir.ReadWrite
+			default:
+				return nil, fmt.Errorf("pennant task %s: bad privilege %q", pt.name, parts[1])
+			}
+			bpp := col.SizeBytes() / pi
+			if bpp < 1 {
+				bpp = col.SizeBytes()
+			}
+			args = append(args, taskir.Arg{Collection: col.ID, Privilege: priv, BytesPerPoint: bpp})
+		}
+		points := p
+		if pt.name == "calc_dt_hydro" {
+			points = 1 // global reduction on the leader
+		}
+		g.AddTask(taskir.GroupTask{
+			Name: pt.name, Points: points,
+			Args: args,
+			Variants: map[machine.ProcKind]taskir.Variant{
+				machine.CPU: {Kind: machine.CPU, WorkPerPoint: pt.work * float64(zones) / float64(pi), Efficiency: 0.80},
+				machine.GPU: {Kind: machine.GPU, WorkPerPoint: pt.work * float64(zones) / float64(pi), Efficiency: pt.gpuEff},
+			},
+		})
+	}
+
+	return g, nil
+}

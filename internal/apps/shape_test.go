@@ -1,0 +1,188 @@
+package apps
+
+import (
+	"testing"
+
+	"automap/internal/cluster"
+	"automap/internal/machine"
+	"automap/internal/mapping"
+	"automap/internal/sim"
+	"automap/internal/taskir"
+)
+
+// allCPU maps every task with a CPU variant to CPU + System memory.
+func allCPU(g *taskir.Graph, md *machine.Model) *mapping.Mapping {
+	mp := mapping.Default(g, md)
+	for _, t := range g.Tasks {
+		if !t.HasVariant(machine.CPU) {
+			continue
+		}
+		mp.SetProc(t.ID, machine.CPU)
+		mp.RebuildPriorityLists(md, t.ID)
+	}
+	return mp
+}
+
+func runPair(t *testing.T, app *App, input string) (gpuSec, cpuSec float64) {
+	t.Helper()
+	m := cluster.Shepard(1)
+	md := m.Model()
+	g, err := app.Build(input, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resGPU, err := sim.Simulate(m, g, mapping.Default(g, md), sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resCPU, err := sim.Simulate(m, g, allCPU(g, md), sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resGPU.MakespanSec, resCPU.MakespanSec
+}
+
+// TestCrossoverShapes encodes the qualitative Figure 6 shape for every
+// application: at the smallest input the all-CPU mapping beats the default
+// all-GPU mapping (launch-overhead-dominated), and at the largest input the
+// ordering flips (throughput-dominated). This is the structural property
+// that makes the mapping input-dependent and the search worthwhile.
+func TestCrossoverShapes(t *testing.T) {
+	cases := []struct {
+		app          string
+		small, large string
+	}{
+		{"circuit", "n50w200", "n12800w51200"},
+		{"stencil", "1000x1000", "5500x5500"},
+		{"pennant", "320x90", "320x5760"},
+		{"htr", "8x8y9z", "128x128y144z"},
+	}
+	for _, c := range cases {
+		app, err := Get(c.app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gpuS, cpuS := runPair(t, app, c.small)
+		if cpuS >= gpuS {
+			t.Errorf("%s %s: CPU (%v) should beat the default GPU mapping (%v) at small inputs",
+				c.app, c.small, cpuS, gpuS)
+		}
+		gpuL, cpuL := runPair(t, app, c.large)
+		if gpuL >= cpuL {
+			t.Errorf("%s %s: GPU (%v) should beat the all-CPU mapping (%v) at large inputs",
+				c.app, c.large, gpuL, cpuL)
+		}
+	}
+}
+
+// TestWeakScalingKeepsPerNodeTimesComparable: the Figure 6 panels
+// weak-scale the input with the node count, so the default mapping's time
+// should grow only mildly between the 1-node and 8-node smallest inputs.
+func TestWeakScalingKeepsPerNodeTimesComparable(t *testing.T) {
+	app, _ := Get("circuit")
+	g1, err := app.Build(app.Inputs[1][0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g8, err := app.Build(app.Inputs[8][0], 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, m8 := cluster.Shepard(1), cluster.Shepard(8)
+	r1, err := sim.Simulate(m1, g1, mapping.Default(g1, m1.Model()), sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := sim.Simulate(m8, g8, mapping.Default(g8, m8.Model()), sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r8.MakespanSec > 8*r1.MakespanSec {
+		t.Fatalf("weak scaling broken: 8-node %v vs 1-node %v", r8.MakespanSec, r1.MakespanSec)
+	}
+}
+
+// TestHTRSharedPairZeroCopyTradeoff reproduces the CCD motivating scenario
+// at the simulator level (Section 4.2): at large inputs, placing both
+// views of the shared statistics collections in Zero-Copy beats both the
+// all-Frame-Buffer placement and the *split* placement (one view per
+// kind), and the split placement pays per-version copies between kinds.
+// At small inputs Frame-Buffer wins instead — the input-dependence that
+// motivates automated search.
+func TestHTRSharedPairZeroCopyTradeoff(t *testing.T) {
+	m := cluster.Shepard(2)
+	md := m.Model()
+	g, err := HTR.Build("64x128y72z", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setMem := func(mp *mapping.Mapping, colName string, mk machine.MemKind) {
+		for _, tk := range g.Tasks {
+			for a, arg := range tk.Args {
+				if g.Collection(arg.Collection).Name == colName &&
+					md.CanAccess(mp.Decision(tk.ID).Proc, mk) {
+					mp.SetArgMem(md, tk.ID, a, mk)
+				}
+			}
+		}
+	}
+	bothZC := mapping.Default(g, md)
+	for _, n := range []string{"avg_flow_w", "avg_flow_r", "avg_spec_w", "avg_spec_r"} {
+		setMem(bothZC, n, machine.ZeroCopy)
+	}
+	split := mapping.Default(g, md)
+	setMem(split, "avg_flow_w", machine.ZeroCopy) // reader view stays in FB
+
+	resZC, err := sim.Simulate(m, g, bothZC, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resSplit, err := sim.Simulate(m, g, split, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resFB, err := sim.Simulate(m, g, mapping.Default(g, md), sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resZC.MakespanSec > resSplit.MakespanSec {
+		t.Fatalf("co-located ZC pair (%v) should beat the split placement (%v)",
+			resZC.MakespanSec, resSplit.MakespanSec)
+	}
+	if resZC.MakespanSec > resFB.MakespanSec {
+		t.Fatalf("co-located ZC pair (%v) should beat all-Frame-Buffer (%v) at this size",
+			resZC.MakespanSec, resFB.MakespanSec)
+	}
+	if resSplit.BytesCopied <= resZC.BytesCopied {
+		t.Fatalf("split placement should copy more: %d vs %d",
+			resSplit.BytesCopied, resZC.BytesCopied)
+	}
+
+	// At a small input the preference flips to Frame-Buffer.
+	gSmall, err := HTR.Build("16x32y18z", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zcSmall := mapping.Default(gSmall, md)
+	for _, tk := range gSmall.Tasks {
+		for a, arg := range tk.Args {
+			name := gSmall.Collection(arg.Collection).Name
+			if (name == "avg_flow_w" || name == "avg_flow_r" || name == "avg_spec_w" || name == "avg_spec_r") &&
+				md.CanAccess(zcSmall.Decision(tk.ID).Proc, machine.ZeroCopy) {
+				zcSmall.SetArgMem(md, tk.ID, a, machine.ZeroCopy)
+			}
+		}
+	}
+	rZCs, err := sim.Simulate(m, gSmall, zcSmall, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rFBs, err := sim.Simulate(m, gSmall, mapping.Default(gSmall, md), sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rFBs.MakespanSec > rZCs.MakespanSec {
+		t.Fatalf("at small inputs Frame-Buffer (%v) should beat Zero-Copy (%v)",
+			rFBs.MakespanSec, rZCs.MakespanSec)
+	}
+}

@@ -1,0 +1,122 @@
+// Stencil: the 2D structured star-stencil kernel of the Parallel Research
+// Kernels [Wijngaart & Mattson, HPEC '14], as implemented in Legion. Each
+// time step applies a radius-2 star stencil to the input grid and then an
+// increment pass bumps the input. The grid is block-partitioned into
+// pieces; rows at piece boundaries are exposed as four halo collections
+// that alias slices of the input grid — the source of the overlap-graph
+// edges that let CCD co-locate the halos with the interior.
+//
+// The paper's Stencil insight (Section 5): "placing data in System and
+// Zero-Copy is not the same on multi-socket systems" — System memory is one
+// allocation per socket, so shared data accessed from both sockets incurs
+// cross-allocation transfers, while Zero-Copy is a single node-wide
+// allocation. The simulator models exactly this (instance mirroring per
+// socket for shared collections in System memory).
+//
+// Figure 5: 2 tasks, 12 collection arguments, search space ~2^14.
+// Figure 6b inputs: "<W>x<H>", e.g. 500x500 … 22000x11000.
+package apps
+
+import (
+	"automap/internal/machine"
+	"automap/internal/taskir"
+)
+
+// Stencil is the registered PRK stencil application.
+var Stencil = register(&App{
+	Name:        "stencil",
+	Description: "2D structured stencil [40]",
+	Build:       buildStencil,
+	Inputs: map[int][]string{
+		1: {"500x500", "1000x1000", "1500x1500", "2000x2000", "2500x2500", "3000x3000", "3500x3500", "4000x4000", "4500x4500", "5000x5000", "5500x5500"},
+		2: {"1000x500", "2000x1000", "3000x1500", "4000x2000", "5000x2500", "6000x3000", "7000x3500", "8000x4000", "9000x4500", "10000x5000", "11000x5500"},
+		4: {"1000x1000", "2000x2000", "3000x3000", "4000x4000", "5000x5000", "6000x6000", "7000x7000", "8000x8000", "9000x9000", "10000x10000", "11000x11000"},
+		8: {"2000x1000", "4000x2000", "6000x3000", "10000x5000", "12000x6000", "14000x7000", "16000x8000", "18000x9000", "20000x10000", "22000x11000"},
+	},
+})
+
+func buildStencil(input string, nodes int) (*taskir.Graph, error) {
+	w, h, err := parse2(input, "", "x")
+	if err != nil {
+		return nil, err
+	}
+	const elem = 8 // float64 cells
+	cells := w * h
+	p := pieces(nodes)
+	pi := int64(p)
+
+	g := taskir.NewGraph("stencil-" + input)
+	g.Iterations = 50
+	g.SerialOverheadSec = 700e-6 + 2e-6*float64(p) + 150e-6*float64(nodes-1)
+
+	in := g.AddCollection(taskir.Collection{
+		Name: "grid_in", Space: "st.in", Lo: 0, Hi: cells * elem, Partitioned: true,
+	})
+	out := g.AddCollection(taskir.Collection{
+		Name: "grid_out", Space: "st.out", Lo: 0, Hi: cells * elem, Partitioned: true,
+	})
+	// Halo collections alias boundary slices of the input grid: radius-2
+	// rows/columns at each of the p-1 internal block boundaries.
+	haloBytes := 2 * 2 * w * elem * (pi - 1) / 4 // per direction
+	if haloBytes < elem {
+		haloBytes = elem
+	}
+	halos := make([]*taskir.Collection, 4)
+	for i, name := range []string{"halo_n", "halo_s", "halo_e", "halo_w"} {
+		halos[i] = g.AddCollection(taskir.Collection{
+			Name: name, Space: "st.in",
+			Lo: int64(i) * haloBytes, Hi: int64(i+1) * haloBytes,
+		})
+	}
+
+	weights := g.AddCollection(taskir.Collection{
+		Name: "weights", Space: "st.w", Lo: 0, Hi: 9 * elem,
+	})
+
+	cpp := cells / pi // cells per piece
+	if cpp < 1 {
+		cpp = 1
+	}
+
+	stencilArgs := []taskir.Arg{
+		{Collection: weights.ID, Privilege: taskir.ReadOnly, BytesPerPoint: 9 * elem},
+		{Collection: out.ID, Privilege: taskir.WriteOnly, BytesPerPoint: cpp * elem},
+		{Collection: in.ID, Privilege: taskir.ReadOnly, BytesPerPoint: cpp * elem},
+	}
+	for _, hc := range halos {
+		stencilArgs = append(stencilArgs, taskir.Arg{
+			Collection: hc.ID, Privilege: taskir.ReadOnly, BytesPerPoint: haloBytes / pi,
+		})
+	}
+	// stencil: 9-point radius-2 star, ~18 flops/cell. The GPU variant
+	// re-reads neighbor cells from memory (traffic ×3); the tiled CPU
+	// variant streams each cell roughly once.
+	g.AddTask(taskir.GroupTask{
+		Name: "stencil", Points: p,
+		Args: stencilArgs,
+		Variants: map[machine.ProcKind]taskir.Variant{
+			machine.CPU: {Kind: machine.CPU, WorkPerPoint: float64(cpp) * 18, Efficiency: 0.70, TrafficFactor: 1.0},
+			machine.GPU: {Kind: machine.GPU, WorkPerPoint: float64(cpp) * 18, Efficiency: 0.55, TrafficFactor: 3.0},
+		},
+	})
+
+	incArgs := []taskir.Arg{
+		{Collection: in.ID, Privilege: taskir.ReadWrite, BytesPerPoint: cpp * elem * 2},
+	}
+	for _, hc := range halos {
+		incArgs = append(incArgs, taskir.Arg{
+			Collection: hc.ID, Privilege: taskir.WriteOnly, BytesPerPoint: haloBytes / pi,
+		})
+	}
+	// increment: in += 1 plus refresh of the halo slices.
+	g.AddTask(taskir.GroupTask{
+		Name: "increment", Points: p,
+		Args: incArgs,
+		Variants: map[machine.ProcKind]taskir.Variant{
+			machine.CPU: {Kind: machine.CPU, WorkPerPoint: float64(cpp) * 2, Efficiency: 0.80},
+			machine.GPU: {Kind: machine.GPU, WorkPerPoint: float64(cpp) * 2, Efficiency: 0.60, TrafficFactor: 1.5},
+		},
+	})
+
+	return g, nil
+}

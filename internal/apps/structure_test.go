@@ -1,0 +1,140 @@
+package apps
+
+import (
+	"testing"
+
+	"automap/internal/overlap"
+)
+
+// TestEveryCollectionReferenced: generators must not declare dead
+// collections — every collection is an argument of at least one task.
+func TestEveryCollectionReferenced(t *testing.T) {
+	inputs := map[string]string{
+		"circuit": "n400w1600",
+		"stencil": "2000x2000",
+		"pennant": "320x360",
+		"htr":     "16x16y18z",
+		"maestro": "r16k16",
+	}
+	for name, in := range inputs {
+		app, _ := Get(name)
+		g, err := app.Build(in, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		used := make(map[int]bool)
+		for _, tk := range g.Tasks {
+			for _, a := range tk.Args {
+				used[int(a.Collection)] = true
+			}
+		}
+		for _, c := range g.Collections {
+			if !used[int(c.ID)] {
+				t.Errorf("%s: collection %q is never referenced", name, c.Name)
+			}
+		}
+	}
+}
+
+// TestEveryAppHasOverlapEdges: CCD's constraints are only meaningful when
+// the overlap graph has edges; every benchmark is designed to have some.
+func TestEveryAppHasOverlapEdges(t *testing.T) {
+	inputs := map[string]string{
+		"circuit": "n400w1600",
+		"stencil": "2000x2000",
+		"pennant": "320x360",
+		"htr":     "16x16y18z",
+	}
+	for name, in := range inputs {
+		app, _ := Get(name)
+		g, err := app.Build(in, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if og := overlap.Build(g); og.NumEdges() == 0 {
+			t.Errorf("%s has no overlap edges", name)
+		}
+	}
+}
+
+// TestEveryAppHasDataFlow: the dependence graph must chain the tasks (a
+// program whose tasks are all independent would make mapping trivial).
+func TestEveryAppHasDataFlow(t *testing.T) {
+	inputs := map[string]string{
+		"circuit": "n400w1600",
+		"stencil": "2000x2000",
+		"pennant": "320x360",
+		"htr":     "16x16y18z",
+		"maestro": "r16k16",
+	}
+	for name, in := range inputs {
+		app, _ := Get(name)
+		g, err := app.Build(in, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deps := g.Deps()
+		if len(deps) < len(g.Tasks)/2 {
+			t.Errorf("%s: only %d deps for %d tasks", name, len(deps), len(g.Tasks))
+		}
+		// Every non-source task should have at least one incoming edge.
+		hasIn := make(map[int]bool)
+		for _, d := range deps {
+			hasIn[int(d.To)] = true
+		}
+		sources := 0
+		for _, tk := range g.Tasks {
+			if !hasIn[int(tk.ID)] {
+				sources++
+			}
+		}
+		if sources > len(g.Tasks)/2 {
+			t.Errorf("%s: %d of %d tasks have no dependences", name, sources, len(g.Tasks))
+		}
+	}
+}
+
+// TestPennantTablesConsistent cross-checks the declarative task table
+// against the declared collections.
+func TestPennantTablesConsistent(t *testing.T) {
+	declared := make(map[string]bool)
+	for _, c := range pennantCols {
+		if declared[c.name] {
+			t.Errorf("duplicate collection %q", c.name)
+		}
+		declared[c.name] = true
+		if c.ghost && !declared[c.of] {
+			t.Errorf("ghost %q declared before its base %q", c.name, c.of)
+		}
+	}
+	for _, pt := range pennantTasks {
+		if len(pt.args) == 0 {
+			t.Errorf("task %q has no args", pt.name)
+		}
+		if pt.gpuEff <= 0 || pt.gpuEff > 1 {
+			t.Errorf("task %q gpuEff = %v", pt.name, pt.gpuEff)
+		}
+		if pt.work <= 0 {
+			t.Errorf("task %q has no work", pt.name)
+		}
+	}
+}
+
+// TestHTRTablesConsistent does the same for HTR.
+func TestHTRTablesConsistent(t *testing.T) {
+	declared := make(map[string]bool)
+	for _, c := range htrCols {
+		if declared[c.name] {
+			t.Errorf("duplicate collection %q", c.name)
+		}
+		declared[c.name] = true
+		if c.alias != "" && !declared[c.alias] {
+			t.Errorf("alias %q declared before its base %q", c.name, c.alias)
+		}
+	}
+	for _, ht := range htrTasks {
+		if ht.gpuEff <= 0 || ht.gpuEff > 1 {
+			t.Errorf("task %q gpuEff = %v", ht.name, ht.gpuEff)
+		}
+	}
+}

@@ -1,0 +1,415 @@
+// Package driver implements AutoMap's driver component (Figure 4 of the
+// paper): it owns the profiles database, invokes a pluggable search
+// algorithm to propose candidate mappings, coordinates with the runtime
+// (here: the simulator) to execute and time them, and applies the paper's
+// measurement protocol:
+//
+//   - during the search, each candidate mapping is executed 7 times and the
+//     average selects the incumbent;
+//   - as a final step, the top 5 mappings are executed 31 times each and
+//     the mapping with the fastest average is reported (Section 5).
+//
+// Search time is accounted in simulated application-seconds — in the real
+// system, CD and CCD spend 99% of search time executing candidates, so the
+// cumulative execution time of measurements is the search clock. Algorithm
+// bookkeeping (significant only for OpenTuner) is charged explicitly.
+package driver
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"automap/internal/machine"
+	"automap/internal/mapping"
+	"automap/internal/overlap"
+	"automap/internal/profile"
+	"automap/internal/search"
+	"automap/internal/sim"
+	"automap/internal/stats"
+	"automap/internal/taskir"
+)
+
+// Options configures the driver.
+type Options struct {
+	// Repeats is the number of runs averaged per candidate during the
+	// search (paper: 7).
+	Repeats int
+	// FinalCandidates is how many of the best mappings are re-measured
+	// at the end (paper: 5).
+	FinalCandidates int
+	// FinalRepeats is the number of runs for each finalist (paper: 31).
+	FinalRepeats int
+	// NoiseSigma is the run-to-run noise level of the simulated runtime.
+	NoiseSigma float64
+	// Seed drives all randomness (noise streams and algorithm
+	// tie-breaking).
+	Seed uint64
+	// Tunable optionally restricts the search to a subset of tasks
+	// (e.g. only the low-fidelity tasks of Maestro, Figure 5); nil means
+	// all tasks.
+	Tunable []taskir.TaskID
+	// Objective maps an execution result to the scalar the search
+	// minimizes; nil minimizes execution time. Section 3.3: "while in
+	// this work we optimize execution time, AutoMap is suitable for
+	// minimizing other metrics (e.g., power consumption)".
+	Objective func(*sim.Result) float64
+	// WarmDB optionally seeds the evaluator with a profiles database
+	// from a previous search of the same program and machine (see
+	// profile.DB.Save/LoadDB): previously measured mappings are
+	// recognized without re-execution.
+	WarmDB *profile.DB
+}
+
+// TimeObjective minimizes end-to-end execution time (the default).
+func TimeObjective(r *sim.Result) float64 { return r.MakespanSec }
+
+// EnergyObjective minimizes the estimated dynamic energy of the run.
+func EnergyObjective(r *sim.Result) float64 { return r.EnergyJoules }
+
+// objective returns the configured objective or the default.
+func (o Options) objective() func(*sim.Result) float64 {
+	if o.Objective != nil {
+		return o.Objective
+	}
+	return TimeObjective
+}
+
+// DefaultOptions returns the paper's protocol parameters.
+func DefaultOptions() Options {
+	return Options{
+		Repeats:         7,
+		FinalCandidates: 5,
+		FinalRepeats:    31,
+		NoiseSigma:      0.04,
+		Seed:            1,
+	}
+}
+
+// Evaluator executes candidate mappings on the simulated runtime. It
+// implements search.Evaluator.
+type Evaluator struct {
+	M    *machine.Machine
+	G    *taskir.Graph
+	Opts Options
+
+	DB *profile.DB
+	// byKey retains the mapping object per canonical key so finalists
+	// can be re-measured.
+	byKey map[string]*mapping.Mapping
+
+	model     *machine.Model
+	searchSec float64
+	evalSec   float64
+	runSeed   uint64
+
+	// Suggested counts Evaluate calls; Evaluated counts distinct
+	// mappings actually measured (Section 5.3's accounting).
+	Suggested int
+	Evaluated int
+}
+
+// NewEvaluator returns an evaluator over (m, g).
+func NewEvaluator(m *machine.Machine, g *taskir.Graph, opts Options) *Evaluator {
+	db := opts.WarmDB
+	if db == nil {
+		db = profile.NewDB()
+	}
+	return &Evaluator{
+		M: m, G: g, Opts: opts,
+		DB:      db,
+		byKey:   make(map[string]*mapping.Mapping),
+		model:   m.Model(),
+		runSeed: opts.Seed,
+	}
+}
+
+// Evaluate measures mp with Opts.Repeats noisy runs (or returns the cached
+// mean for repeated suggestions) and advances the search clock by the
+// execution time spent.
+func (e *Evaluator) Evaluate(mp *mapping.Mapping) search.Evaluation {
+	e.Suggested++
+	key := mp.Key()
+	if s, ok := e.DB.Lookup(key); ok {
+		return search.Evaluation{MeanSec: s.Mean(), Cached: true, Failed: s.Failed}
+	}
+	if err := mp.Validate(e.G, e.model); err != nil {
+		// Invalid mappings are rejected without execution; a high
+		// value is returned to the search.
+		e.DB.RecordFailure(key)
+		e.byKey[key] = mp.Clone()
+		return search.Evaluation{MeanSec: inf(), Failed: true}
+	}
+	obj := e.Opts.objective()
+	// The repeated measurements are independent runs with pre-assigned
+	// seeds, so they can execute concurrently without affecting
+	// determinism.
+	repeats := e.Opts.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	seeds := make([]uint64, repeats)
+	for i := range seeds {
+		e.runSeed++
+		seeds[i] = e.runSeed
+	}
+	results := make([]*sim.Result, repeats)
+	errs := make([]error, repeats)
+	var wg sync.WaitGroup
+	for i := 0; i < repeats; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = sim.Simulate(e.M, e.G, mp, sim.Config{NoiseSigma: e.Opts.NoiseSigma, Seed: seeds[i]})
+		}(i)
+	}
+	wg.Wait()
+	times := make([]float64, 0, repeats)
+	for i := 0; i < repeats; i++ {
+		if errs[i] != nil {
+			// Out-of-memory mappings fail at startup; charge a
+			// token amount of search time for the failed launch.
+			e.searchSec += 1.0
+			e.evalSec += 1.0
+			e.DB.RecordFailure(key)
+			e.byKey[key] = mp.Clone()
+			return search.Evaluation{MeanSec: inf(), Failed: true}
+		}
+		times = append(times, obj(results[i]))
+		// The search clock always advances by application wall time:
+		// the search executes the application regardless of the
+		// objective.
+		e.searchSec += results[i].MakespanSec
+		e.evalSec += results[i].MakespanSec
+	}
+	e.DB.Record(key, times)
+	e.byKey[key] = mp.Clone()
+	e.Evaluated++
+	s, _ := e.DB.Lookup(key)
+	return search.Evaluation{MeanSec: s.Mean()}
+}
+
+// SearchTimeSec returns the simulated search time consumed so far.
+func (e *Evaluator) SearchTimeSec() float64 { return e.searchSec }
+
+// EvalTimeSec returns the portion of search time spent executing candidate
+// mappings (as opposed to algorithm bookkeeping).
+func (e *Evaluator) EvalTimeSec() float64 { return e.evalSec }
+
+// ChargeOverhead adds algorithm bookkeeping time to the search clock.
+func (e *Evaluator) ChargeOverhead(sec float64) { e.searchSec += sec }
+
+// Mapping returns the retained mapping for a database key.
+func (e *Evaluator) Mapping(key string) (*mapping.Mapping, bool) {
+	mp, ok := e.byKey[key]
+	return mp, ok
+}
+
+func inf() float64 { return math.Inf(1) }
+
+// Report is the outcome of a full driver search.
+type Report struct {
+	Algorithm string
+	// Best is the winning mapping after final re-measurement.
+	Best *mapping.Mapping
+	// FinalSec is the winning mapping's average over FinalRepeats runs.
+	FinalSec float64
+	// SearchBestSec is the best mean observed during the search phase.
+	SearchBestSec float64
+	// SearchSec is the total simulated search time.
+	SearchSec float64
+	// EvalSec is the portion of SearchSec spent executing candidates.
+	EvalSec float64
+	// Suggested/Evaluated are the Section 5.3 counters.
+	Suggested int
+	Evaluated int
+	// Trace is the best-so-far trajectory (Figure 9).
+	Trace []search.TracePoint
+	// StartSec is the starting mapping's objective over the final
+	// measurement protocol (when it executes), and Significance the
+	// Welch's t-test verdict of Best against it — the statistically
+	// honest version of "AutoMap is X times faster".
+	StartSec     float64
+	Significance stats.Comparison
+}
+
+// Search profiles the program, runs the given algorithm within budget, then
+// re-measures the top FinalCandidates mappings FinalRepeats times each and
+// returns the overall report.
+func Search(m *machine.Machine, g *taskir.Graph, alg search.Algorithm, opts Options, budget search.Budget) (*Report, error) {
+	return SearchFromSpace(m, g, nil, alg, opts, budget)
+}
+
+// SearchFromSpace is Search with a pre-computed search-space file (the
+// paper's usage model, Section 3.3: "the input is a file containing the
+// search space ... generated automatically by running and profiling the
+// application once"). Passing a nil space profiles the application first.
+func SearchFromSpace(m *machine.Machine, g *taskir.Graph, sp *profile.Space, alg search.Algorithm, opts Options, budget search.Budget) (*Report, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("invalid program: %w", err)
+	}
+	md := m.Model()
+	start := mapping.Default(g, md)
+
+	// Profiling run (Section 3.3): generates the search-space
+	// representation from one execution of the application.
+	opts.Seed ^= 0x9e37
+	if sp == nil {
+		var err error
+		sp, err = profile.Extract(m, g, start, sim.Config{NoiseSigma: opts.NoiseSigma, Seed: opts.Seed})
+		if err != nil {
+			// The starting mapping may not fit (memory-constrained
+			// experiments); profile with an all-fallback start.
+			start = safestStart(g, md)
+			sp, err = profile.Extract(m, g, start, sim.Config{NoiseSigma: opts.NoiseSigma, Seed: opts.Seed})
+			if err != nil {
+				return nil, fmt.Errorf("no executable starting mapping: %w", err)
+			}
+		}
+	} else {
+		if len(sp.Tasks) != len(g.Tasks) {
+			return nil, fmt.Errorf("space file describes %d tasks, program has %d", len(sp.Tasks), len(g.Tasks))
+		}
+		// A provided space says nothing about whether the default
+		// start executes; check and fall back like the profiler does.
+		if _, err := sim.Simulate(m, g, start, sim.Config{}); err != nil {
+			start = safestStart(g, md)
+		}
+	}
+
+	ev := NewEvaluator(m, g, opts)
+	prob := &search.Problem{
+		Graph:   g,
+		Model:   md,
+		Space:   sp,
+		Overlap: overlap.Build(g),
+		Start:   start,
+		Tunable: opts.Tunable,
+		Seed:    opts.Seed,
+	}
+	out := alg.Search(prob, ev, budget)
+
+	rep := &Report{
+		Algorithm:     alg.Name(),
+		SearchBestSec: out.BestSec,
+		SearchSec:     ev.SearchTimeSec(),
+		EvalSec:       ev.EvalTimeSec(),
+		Suggested:     ev.Suggested,
+		Evaluated:     ev.Evaluated,
+		Trace:         out.Trace,
+	}
+
+	// Final step: re-measure the top candidates.
+	type cand struct {
+		key  string
+		mean float64
+	}
+	var cands []cand
+	for _, key := range ev.DB.Keys() {
+		s, _ := ev.DB.Lookup(key)
+		if s.Failed {
+			continue
+		}
+		cands = append(cands, cand{key: key, mean: s.Mean()})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].mean != cands[j].mean {
+			return cands[i].mean < cands[j].mean
+		}
+		return cands[i].key < cands[j].key
+	})
+	n := opts.FinalCandidates
+	if n > len(cands) {
+		n = len(cands)
+	}
+	bestFinal := inf()
+	var bestMap *mapping.Mapping
+	var bestTimes []float64
+	obj := opts.objective()
+	seed := opts.Seed ^ 0xf17a
+	finalMeasure := func(mp *mapping.Mapping) ([]float64, bool) {
+		times := make([]float64, 0, opts.FinalRepeats)
+		for i := 0; i < opts.FinalRepeats; i++ {
+			seed++
+			res, err := sim.Simulate(m, g, mp, sim.Config{NoiseSigma: opts.NoiseSigma, Seed: seed})
+			if err != nil {
+				return nil, false
+			}
+			times = append(times, obj(res))
+		}
+		return times, true
+	}
+	for _, c := range cands[:n] {
+		mp, have := ev.Mapping(c.key)
+		if !have {
+			// Known only from a warm-started database; the mapping
+			// object was never materialized this run.
+			continue
+		}
+		times, ok := finalMeasure(mp)
+		if !ok {
+			continue
+		}
+		mean := stats.Mean(times)
+		if mean < bestFinal {
+			bestFinal = mean
+			bestMap = mp
+			bestTimes = times
+		}
+	}
+	if bestMap == nil {
+		return nil, fmt.Errorf("search found no executable mapping for %s on %s", g.Name, m.Name)
+	}
+	rep.Best = bestMap
+	rep.FinalSec = bestFinal
+	// Statistical verdict of the winner against the starting mapping.
+	if startTimes, ok := finalMeasure(start); ok && len(startTimes) >= 2 && len(bestTimes) >= 2 {
+		rep.StartSec = stats.Mean(startTimes)
+		rep.Significance = stats.Compare(startTimes, bestTimes)
+	}
+	return rep, nil
+}
+
+// MeasureMapping runs mp `repeats` times with distinct seeds and returns
+// the average execution time. It is the protocol used for baseline mappers
+// when comparing against AutoMap.
+func MeasureMapping(m *machine.Machine, g *taskir.Graph, mp *mapping.Mapping, repeats int, noise float64, seed uint64) (float64, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	var sum float64
+	for i := 0; i < repeats; i++ {
+		seed++
+		res, err := sim.Simulate(m, g, mp, sim.Config{NoiseSigma: noise, Seed: seed})
+		if err != nil {
+			return 0, err
+		}
+		sum += res.MakespanSec
+	}
+	return sum / float64(repeats), nil
+}
+
+// safestStart builds a starting mapping that avoids capacity-limited
+// memories: every task runs on CPU (when it has a CPU variant) with
+// collections in System memory, falling back per the priority lists.
+func safestStart(g *taskir.Graph, md *machine.Model) *mapping.Mapping {
+	mp := mapping.Default(g, md)
+	for _, t := range g.Tasks {
+		if t.HasVariant(machine.CPU) && md.HasProcKind(machine.CPU) {
+			mp.SetProc(t.ID, machine.CPU)
+		}
+		mp.RebuildPriorityLists(md, t.ID)
+		for a := range t.Args {
+			d := mp.Decision(t.ID)
+			pref := machine.SysMem
+			if !md.CanAccess(d.Proc, pref) {
+				pref = machine.ZeroCopy
+			}
+			if md.CanAccess(d.Proc, pref) {
+				mp.SetArgMem(md, t.ID, a, pref)
+			}
+		}
+	}
+	return mp
+}

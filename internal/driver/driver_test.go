@@ -1,0 +1,255 @@
+package driver
+
+import (
+	"math"
+	"testing"
+
+	"automap/internal/cluster"
+	"automap/internal/machine"
+	"automap/internal/mapping"
+	"automap/internal/search"
+	"automap/internal/taskir"
+)
+
+func driverGraph(t testing.TB) *taskir.Graph {
+	g := taskir.NewGraph("drv")
+	both := map[machine.ProcKind]taskir.Variant{
+		machine.CPU: {Efficiency: 1, WorkPerPoint: 1e5},
+		machine.GPU: {Efficiency: 1, WorkPerPoint: 1e5},
+	}
+	heavy := map[machine.ProcKind]taskir.Variant{
+		machine.CPU: {Efficiency: 1, WorkPerPoint: 1e9},
+		machine.GPU: {Efficiency: 1, WorkPerPoint: 1e9},
+	}
+	c1 := g.AddCollection(taskir.Collection{Name: "c1", Space: "s1", Lo: 0, Hi: 1 << 20, Partitioned: true})
+	c2 := g.AddCollection(taskir.Collection{Name: "c2", Space: "s2", Lo: 0, Hi: 1 << 18})
+	g.AddTask(taskir.GroupTask{Name: "small", Points: 8, Variants: both, Args: []taskir.Arg{
+		{Collection: c1.ID, Privilege: taskir.ReadWrite, BytesPerPoint: 1 << 17},
+	}})
+	g.AddTask(taskir.GroupTask{Name: "big", Points: 8, Variants: heavy, Args: []taskir.Arg{
+		{Collection: c1.ID, Privilege: taskir.ReadOnly, BytesPerPoint: 1 << 17},
+		{Collection: c2.ID, Privilege: taskir.ReadWrite, BytesPerPoint: 1 << 18},
+	}})
+	g.Iterations = 4
+	return g
+}
+
+func quickOpts() Options {
+	o := DefaultOptions()
+	o.Repeats = 3
+	o.FinalRepeats = 3
+	return o
+}
+
+func TestEvaluatorCachesRepeats(t *testing.T) {
+	m := cluster.Shepard(1)
+	g := driverGraph(t)
+	ev := NewEvaluator(m, g, quickOpts())
+	mp := mapping.Default(g, m.Model())
+
+	r1 := ev.Evaluate(mp)
+	if r1.Cached || r1.Failed {
+		t.Fatalf("first evaluation = %+v", r1)
+	}
+	t1 := ev.SearchTimeSec()
+	r2 := ev.Evaluate(mp.Clone())
+	if !r2.Cached {
+		t.Fatal("identical mapping not recognized as repeat")
+	}
+	if ev.SearchTimeSec() != t1 {
+		t.Fatal("cached evaluation consumed search time")
+	}
+	if r2.MeanSec != r1.MeanSec {
+		t.Fatal("cached mean differs")
+	}
+	if ev.Suggested != 2 || ev.Evaluated != 1 {
+		t.Fatalf("counters = %d/%d, want 2/1", ev.Suggested, ev.Evaluated)
+	}
+}
+
+func TestEvaluatorRejectsInvalid(t *testing.T) {
+	m := cluster.Shepard(1)
+	g := driverGraph(t)
+	ev := NewEvaluator(m, g, quickOpts())
+	mp := mapping.Default(g, m.Model())
+	mp.SetArgMemRaw(0, 0, machine.SysMem) // GPU task + System memory
+	res := ev.Evaluate(mp)
+	if !res.Failed || !math.IsInf(res.MeanSec, 1) {
+		t.Fatalf("invalid mapping evaluation = %+v", res)
+	}
+	if ev.Evaluated != 0 {
+		t.Fatal("invalid mapping counted as evaluated")
+	}
+}
+
+func TestEvaluatorMeasuresRepeatsTimes(t *testing.T) {
+	m := cluster.Shepard(1)
+	g := driverGraph(t)
+	opts := quickOpts()
+	ev := NewEvaluator(m, g, opts)
+	mp := mapping.Default(g, m.Model())
+	res := ev.Evaluate(mp)
+	s, ok := ev.DB.Lookup(mp.Key())
+	if !ok || len(s.Times) != opts.Repeats {
+		t.Fatalf("recorded %d times, want %d", len(s.Times), opts.Repeats)
+	}
+	// Search clock advanced by roughly repeats × mean.
+	want := res.MeanSec * float64(opts.Repeats)
+	if math.Abs(ev.SearchTimeSec()-want)/want > 0.2 {
+		t.Fatalf("search time %v vs %v", ev.SearchTimeSec(), want)
+	}
+}
+
+func TestSearchEndToEnd(t *testing.T) {
+	m := cluster.Shepard(1)
+	g := driverGraph(t)
+	rep, err := Search(m, g, search.NewCCD(), quickOpts(), search.Budget{})
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	if rep.Best == nil || rep.FinalSec <= 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if err := rep.Best.Validate(g, m.Model()); err != nil {
+		t.Fatalf("best mapping invalid: %v", err)
+	}
+	if rep.Suggested < rep.Evaluated {
+		t.Fatalf("suggested %d < evaluated %d", rep.Suggested, rep.Evaluated)
+	}
+	if len(rep.Trace) == 0 {
+		t.Fatal("no trace")
+	}
+	if rep.SearchSec <= 0 || rep.EvalSec <= 0 || rep.EvalSec > rep.SearchSec {
+		t.Fatalf("time accounting: search=%v eval=%v", rep.SearchSec, rep.EvalSec)
+	}
+	// AutoMap never loses to the starting point.
+	defSec, err := MeasureMapping(m, g, mapping.Default(g, m.Model()), 11, quickOpts().NoiseSigma, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FinalSec > defSec*1.05 {
+		t.Fatalf("search result %v worse than default %v", rep.FinalSec, defSec)
+	}
+}
+
+func TestSearchDeterministicGivenSeed(t *testing.T) {
+	run := func() *Report {
+		m := cluster.Shepard(1)
+		g := driverGraph(t)
+		rep, err := Search(m, g, search.NewCCD(), quickOpts(), search.Budget{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.FinalSec != b.FinalSec || a.Suggested != b.Suggested || !a.Best.Equal(b.Best) {
+		t.Fatalf("non-deterministic search: %v/%d vs %v/%d", a.FinalSec, a.Suggested, b.FinalSec, b.Suggested)
+	}
+}
+
+func TestSearchFallsBackWhenDefaultOOMs(t *testing.T) {
+	// Footprint larger than FB+ZC on GPU but fine in System memory:
+	// the driver must fall back to a safe starting point.
+	m := cluster.Shepard(1)
+	g := taskir.NewGraph("oomstart")
+	c := g.AddCollection(taskir.Collection{Name: "huge", Space: "s", Lo: 0, Hi: 100 << 30, Partitioned: true})
+	g.AddTask(taskir.GroupTask{Name: "t", Points: 4,
+		Variants: map[machine.ProcKind]taskir.Variant{
+			machine.CPU: {Efficiency: 1, WorkPerPoint: 1e6},
+			machine.GPU: {Efficiency: 1, WorkPerPoint: 1e6},
+		},
+		Args: []taskir.Arg{{Collection: c.ID, Privilege: taskir.ReadWrite, BytesPerPoint: 1 << 20}}})
+	g.Iterations = 2
+	rep, err := Search(m, g, search.NewCD(), quickOpts(), search.Budget{MaxSuggestions: 50})
+	if err != nil {
+		t.Fatalf("Search with OOMing default: %v", err)
+	}
+	if rep.Best.Decision(0).Proc != machine.CPU {
+		t.Fatal("only the CPU mapping fits; search picked something else")
+	}
+}
+
+func TestMeasureMapping(t *testing.T) {
+	m := cluster.Shepard(1)
+	g := driverGraph(t)
+	mp := mapping.Default(g, m.Model())
+	sec, err := MeasureMapping(m, g, mp, 5, 0.02, 1)
+	if err != nil || sec <= 0 {
+		t.Fatalf("MeasureMapping = %v, %v", sec, err)
+	}
+	// repeats < 1 coerces to 1.
+	if _, err := MeasureMapping(m, g, mp, 0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSafestStartIsValidAndCPU(t *testing.T) {
+	m := cluster.Shepard(1)
+	g := driverGraph(t)
+	md := m.Model()
+	mp := safestStart(g, md)
+	if err := mp.Validate(g, md); err != nil {
+		t.Fatalf("safest start invalid: %v", err)
+	}
+	for i := range g.Tasks {
+		if mp.Decision(taskir.TaskID(i)).Proc != machine.CPU {
+			t.Fatalf("task %d not on CPU", i)
+		}
+	}
+}
+
+func TestWarmDBSkipsReEvaluation(t *testing.T) {
+	m := cluster.Shepard(1)
+	g := driverGraph(t)
+	opts := quickOpts()
+
+	// First search populates the database.
+	ev1 := NewEvaluator(m, g, opts)
+	mp := mapping.Default(g, m.Model())
+	ev1.Evaluate(mp)
+	if ev1.Evaluated != 1 {
+		t.Fatalf("first evaluator evaluated %d", ev1.Evaluated)
+	}
+
+	// A second evaluator warm-started from the same DB recognizes the
+	// mapping without re-execution.
+	opts2 := opts
+	opts2.WarmDB = ev1.DB
+	ev2 := NewEvaluator(m, g, opts2)
+	res := ev2.Evaluate(mp.Clone())
+	if !res.Cached {
+		t.Fatal("warm-started evaluator re-evaluated a known mapping")
+	}
+	if ev2.Evaluated != 0 || ev2.SearchTimeSec() != 0 {
+		t.Fatalf("warm start consumed budget: evaluated=%d time=%v", ev2.Evaluated, ev2.SearchTimeSec())
+	}
+}
+
+func TestReportSignificance(t *testing.T) {
+	m := cluster.Shepard(1)
+	g := driverGraph(t)
+	opts := quickOpts()
+	opts.FinalRepeats = 9
+	rep, err := Search(m, g, search.NewCCD(), opts, search.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StartSec <= 0 {
+		t.Fatal("no starting-mapping measurement")
+	}
+	c := rep.Significance
+	if c.MeanA <= 0 || c.MeanB <= 0 {
+		t.Fatalf("comparison unpopulated: %+v", c)
+	}
+	// The winner came from the same final protocol, so its mean must
+	// not exceed the start's by more than noise.
+	if rep.FinalSec > rep.StartSec*1.05 {
+		t.Fatalf("winner (%v) worse than start (%v)", rep.FinalSec, rep.StartSec)
+	}
+	// If the search actually improved things by a real margin, the
+	// verdict should be significant.
+	if rep.StartSec/rep.FinalSec > 1.2 && !c.Faster(0.05) {
+		t.Fatalf("large improvement not significant: %v", c)
+	}
+}

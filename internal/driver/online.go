@@ -1,0 +1,95 @@
+// Inspector-executor style online search (Section 6 of the paper):
+//
+//	"While we do not consider it in this paper, in principle AutoMap
+//	could be used in an inspector-executor style, where AutoMap is run
+//	on-line during an initial portion of a production run to select a
+//	fast mapping for the remainder of that execution."
+//
+// OnlineSearch models exactly that: a production run of N iterations pays
+// for a bounded inspection phase (candidate mappings executed and timed on
+// windows of the application) and then executes the remaining iterations
+// under the best mapping found. The report includes the break-even point —
+// the production length above which inspecting pays for itself.
+
+package driver
+
+import (
+	"fmt"
+	"math"
+
+	"automap/internal/machine"
+	"automap/internal/mapping"
+	"automap/internal/search"
+	"automap/internal/taskir"
+)
+
+// OnlineReport is the outcome of an inspector-executor run.
+type OnlineReport struct {
+	// Inner is the underlying search report.
+	Inner *Report
+	// PerIterDefaultSec and PerIterBestSec are the per-iteration times
+	// of the starting (default) and discovered mappings.
+	PerIterDefaultSec float64
+	PerIterBestSec    float64
+	// InspectionSec is the time spent searching (executing candidates).
+	InspectionSec float64
+	// TotalSec is the modeled production time: inspection plus the
+	// remaining iterations under the best mapping.
+	TotalSec float64
+	// BaselineSec is the production time under the default mapping.
+	BaselineSec float64
+	// BreakEvenIterations is the production length at which inspection
+	// pays for itself; +Inf if the search found no improvement.
+	BreakEvenIterations float64
+	// ProductionIterations echoes the requested production length.
+	ProductionIterations int
+}
+
+// Speedup returns the end-to-end production speedup of the online approach
+// over running everything with the default mapping.
+func (r *OnlineReport) Speedup() float64 { return r.BaselineSec / r.TotalSec }
+
+// OnlineSearch runs alg with a search budget of inspectSec simulated
+// seconds, then models a production run of productionIters iterations:
+// inspection first, the remainder under the discovered mapping. The
+// default mapping is the baseline the remainder would otherwise use.
+func OnlineSearch(m *machine.Machine, g *taskir.Graph, alg search.Algorithm, opts Options, inspectSec float64, productionIters int) (*OnlineReport, error) {
+	if inspectSec <= 0 {
+		return nil, fmt.Errorf("inspection budget must be positive")
+	}
+	if productionIters < g.Iterations {
+		return nil, fmt.Errorf("production length %d shorter than the measurement window %d", productionIters, g.Iterations)
+	}
+	rep, err := Search(m, g, alg, opts, search.Budget{MaxSearchSec: inspectSec})
+	if err != nil {
+		return nil, err
+	}
+	defSec, err := MeasureMapping(m, g, mapping.Default(g, m.Model()), opts.FinalRepeats, opts.NoiseSigma, opts.Seed^0x0911e)
+	if err != nil {
+		// The default may not even execute (memory-constrained runs):
+		// fall back to the search's starting point performance.
+		defSec = rep.SearchBestSec
+	}
+
+	iters := float64(g.Iterations)
+	perDef := defSec / iters
+	perBest := rep.FinalSec / iters
+
+	total := rep.SearchSec + float64(productionIters)*perBest
+	baseline := float64(productionIters) * perDef
+
+	breakEven := math.Inf(1)
+	if perBest < perDef {
+		breakEven = rep.SearchSec / (perDef - perBest)
+	}
+	return &OnlineReport{
+		Inner:                rep,
+		PerIterDefaultSec:    perDef,
+		PerIterBestSec:       perBest,
+		InspectionSec:        rep.SearchSec,
+		TotalSec:             total,
+		BaselineSec:          baseline,
+		BreakEvenIterations:  breakEven,
+		ProductionIterations: productionIters,
+	}, nil
+}

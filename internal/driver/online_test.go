@@ -1,0 +1,82 @@
+package driver
+
+import (
+	"math"
+	"testing"
+
+	"automap/internal/cluster"
+	"automap/internal/search"
+	"automap/internal/sim"
+)
+
+func TestOnlineSearchPaysOffForLongRuns(t *testing.T) {
+	m := cluster.Shepard(1)
+	g := driverGraph(t)
+	opts := quickOpts()
+	rep, err := OnlineSearch(m, g, search.NewCCD(), opts, 50, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PerIterBestSec > rep.PerIterDefaultSec {
+		t.Fatalf("search made things worse: %v vs %v", rep.PerIterBestSec, rep.PerIterDefaultSec)
+	}
+	if rep.PerIterBestSec < rep.PerIterDefaultSec {
+		if math.IsInf(rep.BreakEvenIterations, 1) {
+			t.Fatal("improvement found but no break-even point")
+		}
+		if rep.Speedup() <= 1 {
+			t.Fatalf("long production run should benefit: speedup %v", rep.Speedup())
+		}
+		// The modeled total must account for inspection.
+		want := rep.InspectionSec + 1_000_000*rep.PerIterBestSec
+		if math.Abs(rep.TotalSec-want) > 1e-9 {
+			t.Fatalf("TotalSec = %v, want %v", rep.TotalSec, want)
+		}
+	}
+}
+
+func TestOnlineSearchValidatesInputs(t *testing.T) {
+	m := cluster.Shepard(1)
+	g := driverGraph(t)
+	if _, err := OnlineSearch(m, g, search.NewCCD(), quickOpts(), 0, 1000); err == nil {
+		t.Fatal("zero inspection budget accepted")
+	}
+	if _, err := OnlineSearch(m, g, search.NewCCD(), quickOpts(), 10, 1); err == nil {
+		t.Fatal("production shorter than measurement window accepted")
+	}
+}
+
+func TestEnergyObjectiveSearch(t *testing.T) {
+	m := cluster.Shepard(1)
+	g := driverGraph(t)
+	optsT := quickOpts()
+	optsE := quickOpts()
+	optsE.Objective = EnergyObjective
+
+	timeRep, err := Search(m, g, search.NewCCD(), optsT, search.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	energyRep, err := Search(m, g, search.NewCCD(), optsE, search.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The energy search's winner must be at least as energy-efficient as
+	// the time search's winner (averaged over noiseless runs).
+	energyOf := func(rep *Report) float64 {
+		res, err := sim.Simulate(m, g, rep.Best, sim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.EnergyJoules
+	}
+	eOfTime := energyOf(timeRep)
+	eOfEnergy := energyOf(energyRep)
+	if eOfEnergy > eOfTime*1.02 {
+		t.Fatalf("energy-optimized mapping uses more energy (%v J) than time-optimized (%v J)",
+			eOfEnergy, eOfTime)
+	}
+	if energyRep.FinalSec <= 0 {
+		t.Fatal("energy objective value missing")
+	}
+}

@@ -1,0 +1,102 @@
+// Ablations of the design choices DESIGN.md calls out: the co-location
+// constraints, the rotation count and pruning schedule, the profiled visit
+// order, and the measurement repetition count. Each ablation runs CCD
+// variants on HTR's smallest input (the co-location showcase) under a
+// shared budget and reports the quality of the mapping found.
+
+package experiments
+
+import (
+	"fmt"
+
+	"automap/internal/apps"
+	"automap/internal/cluster"
+	"automap/internal/driver"
+	"automap/internal/search"
+)
+
+// AblationRow is one configuration of one ablation.
+type AblationRow struct {
+	Ablation string
+	Variant  string
+	// BestSec is the final mapping's measured time; SearchSec the
+	// search time spent; Suggested the proposal count.
+	BestSec   float64
+	SearchSec float64
+	Suggested int
+}
+
+// Ablations runs the four ablations on HTR 8x8y9z (1-node Shepard).
+func Ablations(cfg Config) ([]AblationRow, error) {
+	app, err := apps.Get("htr")
+	if err != nil {
+		return nil, err
+	}
+	m := cluster.Shepard(1)
+	budget := cfg.Budget
+	if budget.MaxSearchSec == 0 && budget.MaxSuggestions == 0 {
+		budget.MaxSuggestions = 2000
+	}
+
+	run := func(ablation, variant string, alg search.Algorithm, opts driver.Options) (AblationRow, error) {
+		g, err := app.Build("8x8y9z", 1)
+		if err != nil {
+			return AblationRow{}, err
+		}
+		rep, err := driver.Search(m, g, alg, opts, budget)
+		if err != nil {
+			return AblationRow{}, fmt.Errorf("%s/%s: %w", ablation, variant, err)
+		}
+		return AblationRow{
+			Ablation: ablation, Variant: variant,
+			BestSec: rep.FinalSec, SearchSec: rep.SearchSec, Suggested: rep.Suggested,
+		}, nil
+	}
+
+	var rows []AblationRow
+	add := func(r AblationRow, err error) error {
+		if err != nil {
+			return err
+		}
+		rows = append(rows, r)
+		return nil
+	}
+
+	// 1. Co-location constraints (CCD vs CD at equal rotations).
+	if err := add(run("colocation", "constrained (CCD)", search.NewCCD(), cfg.Driver)); err != nil {
+		return nil, err
+	}
+	if err := add(run("colocation", "unconstrained 5-rotation", &search.CCD{Rotations: 5}, cfg.Driver)); err != nil {
+		return nil, err
+	}
+	if err := add(run("colocation", "plain CD", search.NewCD(), cfg.Driver)); err != nil {
+		return nil, err
+	}
+
+	// 2. Rotation count (the paper settled on 5).
+	for _, rot := range []int{1, 3, 5, 7} {
+		alg := &search.CCD{Rotations: rot, Constrained: true}
+		if err := add(run("rotations", fmt.Sprintf("%d", rot), alg, cfg.Driver)); err != nil {
+			return nil, err
+		}
+	}
+
+	// 3. Visit order (profiled longest-first vs program order).
+	if err := add(run("ordering", "profiled order", search.NewCCD(), cfg.Driver)); err != nil {
+		return nil, err
+	}
+	ig := &search.CCD{Rotations: 5, Constrained: true, IgnoreProfiledOrder: true}
+	if err := add(run("ordering", "program order", ig, cfg.Driver)); err != nil {
+		return nil, err
+	}
+
+	// 4. Measurement repetitions under noise (the paper uses 7).
+	for _, reps := range []int{1, 3, 7} {
+		opts := cfg.Driver
+		opts.Repeats = reps
+		if err := add(run("repeats", fmt.Sprintf("%d", reps), search.NewCCD(), opts)); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,84 @@
+// Figure 5: the benchmark-application table.
+
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"automap/internal/apps"
+	"automap/internal/cluster"
+	"automap/internal/search"
+)
+
+// Fig5Row is one row of the Figure 5 application table.
+type Fig5Row struct {
+	Application    string
+	Description    string
+	Tasks          int
+	CollectionArgs int
+	// SpaceLog2 is the base-2 log of the search-space size (the paper
+	// reports ~2^18 … ~2^128).
+	SpaceLog2 float64
+	// PaperSpaceLog2 is the exponent reported in the paper.
+	PaperSpaceLog2 int
+	// PaperSearchHours is the CCD search time range reported.
+	PaperSearchHours string
+}
+
+// paperFig5 records the published values for comparison.
+var paperFig5 = map[string]struct {
+	log2  int
+	hours string
+}{
+	"circuit": {18, "1-2"},
+	"stencil": {14, "1-2"},
+	"pennant": {128, "1-4"},
+	"htr":     {100, "4-7"},
+	"maestro": {43, "1-2"},
+}
+
+// Fig5 builds the application table from the live generators on a 1-node
+// Shepard machine model. For Maestro only the LF tasks count (the paper's
+// "13 (only LFs)").
+func Fig5() ([]Fig5Row, error) {
+	md := cluster.Shepard(1).Model()
+	inputs := map[string]string{
+		"circuit": "n400w1600",
+		"stencil": "2000x2000",
+		"pennant": "320x720",
+		"htr":     "16x16y18z",
+		"maestro": "r16k32",
+	}
+	var rows []Fig5Row
+	for _, app := range apps.All() {
+		g, err := app.Build(inputs[app.Name], 1)
+		if err != nil {
+			return nil, fmt.Errorf("building %s: %w", app.Name, err)
+		}
+		row := Fig5Row{
+			Application:      app.Name,
+			Description:      app.Description,
+			Tasks:            len(g.Tasks),
+			CollectionArgs:   g.NumCollectionArgs(),
+			SpaceLog2:        search.SizeLog2(g, md),
+			PaperSpaceLog2:   paperFig5[app.Name].log2,
+			PaperSearchHours: paperFig5[app.Name].hours,
+		}
+		if app.Name == "maestro" {
+			tun := apps.MaestroTunable(g)
+			row.Tasks = len(tun)
+			nargs := 0
+			var bits float64
+			for _, id := range tun {
+				t := g.Task(id)
+				nargs += len(t.Args)
+				bits += math.Log2(float64(len(t.VariantKinds()))) + float64(len(t.Args))
+			}
+			row.CollectionArgs = nargs
+			row.SpaceLog2 = bits
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,73 @@
+// Figure 6: speedup of the custom mapper and AutoMap-CCD over the default
+// mapper on the Shepard cluster, weak-scaled over 1, 2, 4 and 8 nodes.
+
+package experiments
+
+import (
+	"fmt"
+
+	"automap/internal/apps"
+	"automap/internal/cluster"
+	"automap/internal/driver"
+	"automap/internal/mapper"
+	"automap/internal/search"
+)
+
+// Fig6Row is one bar pair of one panel of Figure 6.
+type Fig6Row struct {
+	App           string
+	Nodes         int
+	Input         string
+	DefaultSec    float64
+	CustomSec     float64
+	AutoMapSec    float64
+	CustomSpeedup float64 // over default
+	AutoSpeedup   float64 // over default
+}
+
+// Fig6 reproduces one application's panels. nodeCounts selects the panels
+// (the paper uses 1, 2, 4, 8); inputsPerPanel truncates each panel's input
+// list (0 = all of them).
+func Fig6(appName string, nodeCounts []int, inputsPerPanel int, cfg Config) ([]Fig6Row, error) {
+	app, err := apps.Get(appName)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig6Row
+	for _, nodes := range nodeCounts {
+		inputs := app.Inputs[nodes]
+		if len(inputs) == 0 {
+			return nil, fmt.Errorf("%s has no inputs for %d nodes", appName, nodes)
+		}
+		if inputsPerPanel > 0 && len(inputs) > inputsPerPanel {
+			inputs = inputs[:inputsPerPanel]
+		}
+		m := cluster.Shepard(nodes)
+		md := m.Model()
+		for _, in := range inputs {
+			g, err := app.Build(in, nodes)
+			if err != nil {
+				return nil, err
+			}
+			defSec, err := measure(cfg, m, g, mapper.Default(g, md))
+			if err != nil {
+				return nil, fmt.Errorf("%s %s default: %w", appName, in, err)
+			}
+			custSec, err := measure(cfg, m, g, mapper.Custom(appName, g, md))
+			if err != nil {
+				return nil, fmt.Errorf("%s %s custom: %w", appName, in, err)
+			}
+			rep, err := driver.Search(m, g, search.NewCCD(), cfg.Driver, cfg.Budget)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s ccd: %w", appName, in, err)
+			}
+			rows = append(rows, Fig6Row{
+				App: appName, Nodes: nodes, Input: in,
+				DefaultSec: defSec, CustomSec: custSec, AutoMapSec: rep.FinalSec,
+				CustomSpeedup: defSec / custSec,
+				AutoSpeedup:   defSec / rep.FinalSec,
+			})
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,102 @@
+// Figure 7: multi-fidelity ensemble CFD — degradation of the high-fidelity
+// simulation when the low-fidelity ensemble is mapped with the two standard
+// strategies vs with AutoMap. Values near 1.0 mean the LF ensemble does not
+// disturb the HF simulation.
+
+package experiments
+
+import (
+	"fmt"
+
+	"automap/internal/apps"
+	"automap/internal/cluster"
+	"automap/internal/driver"
+	"automap/internal/machine"
+	"automap/internal/mapper"
+	"automap/internal/search"
+	"automap/internal/taskir"
+)
+
+// Fig7Row is one group of bars of Figure 7.
+type Fig7Row struct {
+	Nodes      int
+	Resolution int // LF resolution R (R³ cells per sample)
+	Samples    int // LF sample count
+	HFOnlySec  float64
+	// Degradation factors relative to HF running alone (≥ 1.0).
+	DegCPUSys   float64
+	DegGPUZC    float64
+	DegAutoMap  float64
+	AutoMapBest string // short description of AutoMap's LF placement
+}
+
+// Fig7 reproduces the Maestro experiment for the given node counts,
+// resolutions and sample counts.
+func Fig7(nodeCounts, resolutions, sampleCounts []int, cfg Config) ([]Fig7Row, error) {
+	app, err := apps.Get("maestro")
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig7Row
+	for _, nodes := range nodeCounts {
+		// Maestro deploys on Lassen (the LF-on-GPU strategy relies on
+		// NVLink-attached Zero-Copy memory).
+		m := cluster.Lassen(nodes)
+		md := m.Model()
+		for _, r := range resolutions {
+			// HF-only baseline.
+			gBase, err := app.Build(fmt.Sprintf("r%dk0", r), nodes)
+			if err != nil {
+				return nil, err
+			}
+			hfSec, err := measure(cfg, m, gBase, mapper.Default(gBase, md))
+			if err != nil {
+				return nil, fmt.Errorf("maestro HF-only: %w", err)
+			}
+			for _, k := range sampleCounts {
+				in := fmt.Sprintf("r%dk%d", r, k)
+				g, err := app.Build(in, nodes)
+				if err != nil {
+					return nil, err
+				}
+				cpuSec, err := measure(cfg, m, g, mapper.MaestroAllCPU(g, md))
+				if err != nil {
+					return nil, fmt.Errorf("maestro %s cpu strategy: %w", in, err)
+				}
+				zcSec, err := measure(cfg, m, g, mapper.MaestroGPUZeroCopy(g, md))
+				if err != nil {
+					return nil, fmt.Errorf("maestro %s gpu+zc strategy: %w", in, err)
+				}
+				opts := cfg.Driver
+				opts.Tunable = apps.MaestroTunable(g)
+				rep, err := driver.Search(m, g, search.NewCCD(), opts, cfg.Budget)
+				if err != nil {
+					return nil, fmt.Errorf("maestro %s automap: %w", in, err)
+				}
+				rows = append(rows, Fig7Row{
+					Nodes: nodes, Resolution: r, Samples: k,
+					HFOnlySec:   hfSec,
+					DegCPUSys:   cpuSec / hfSec,
+					DegGPUZC:    zcSec / hfSec,
+					DegAutoMap:  rep.FinalSec / hfSec,
+					AutoMapBest: describeLFPlacement(rep, g),
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// describeLFPlacement summarizes where AutoMap put the LF tasks, e.g.
+// "10/13 CPU, 3/13 GPU".
+func describeLFPlacement(rep *driver.Report, g *taskir.Graph) string {
+	cpu, gpu := 0, 0
+	for _, id := range apps.MaestroTunable(g) {
+		if rep.Best.Decision(id).Proc == machine.CPU {
+			cpu++
+		} else {
+			gpu++
+		}
+	}
+	return fmt.Sprintf("%d LF tasks on CPU, %d on GPU", cpu, gpu)
+}

@@ -1,0 +1,139 @@
+// Real-runtime validation: run the full AutoMap loop — profile, CCD
+// search, re-measure — against the actual concurrent mini-runtime
+// (internal/rt), where every number is wall-clock time with genuine OS
+// noise. This validates that the search machinery works outside the
+// deterministic simulator.
+
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"automap/internal/machine"
+	"automap/internal/mapping"
+	"automap/internal/overlap"
+	"automap/internal/rt"
+	"automap/internal/search"
+	"automap/internal/taskir"
+)
+
+// RealRuntimeRow is one workload's outcome on the real runtime.
+type RealRuntimeRow struct {
+	Workload   string
+	DefaultMs  float64
+	TunedMs    float64
+	Speedup    float64
+	Evaluated  int
+	MeasureSec float64 // wall time the search spent measuring
+}
+
+// rtWorkload declares one synthetic real-runtime workload.
+type rtWorkload struct {
+	name  string
+	build func() *taskir.Graph
+}
+
+// realWorkloads are three shapes with different best mappings: launch-bound
+// (CPU pool wins), compute-bound (GPU pool wins), and a mixed pipeline.
+func realWorkloads() []rtWorkload {
+	variants := func(work float64) map[machine.ProcKind]taskir.Variant {
+		return map[machine.ProcKind]taskir.Variant{
+			machine.CPU: {WorkPerPoint: work, Efficiency: 1},
+			machine.GPU: {WorkPerPoint: work, Efficiency: 1},
+		}
+	}
+	return []rtWorkload{
+		{name: "launch-bound", build: func() *taskir.Graph {
+			g := taskir.NewGraph("rt-launch")
+			g.Iterations = 3
+			c := g.AddCollection(taskir.Collection{Name: "c", Space: "a", Lo: 0, Hi: 1 << 18, Partitioned: true})
+			g.AddTask(taskir.GroupTask{Name: "many_tiny", Points: 24, Variants: variants(2e3),
+				Args: []taskir.Arg{{Collection: c.ID, Privilege: taskir.ReadWrite, BytesPerPoint: 1 << 13}}})
+			return g
+		}},
+		{name: "compute-bound", build: func() *taskir.Graph {
+			g := taskir.NewGraph("rt-compute")
+			g.Iterations = 3
+			c := g.AddCollection(taskir.Collection{Name: "c", Space: "b", Lo: 0, Hi: 4 << 20, Partitioned: true})
+			g.AddTask(taskir.GroupTask{Name: "heavy", Points: 2, Variants: variants(8e5),
+				Args: []taskir.Arg{{Collection: c.ID, Privilege: taskir.ReadWrite, BytesPerPoint: 2 << 20}}})
+			return g
+		}},
+		{name: "mixed-pipeline", build: func() *taskir.Graph {
+			g := taskir.NewGraph("rt-mixed")
+			g.Iterations = 3
+			st := g.AddCollection(taskir.Collection{Name: "state", Space: "c", Lo: 0, Hi: 16 << 20, Partitioned: true})
+			out := g.AddCollection(taskir.Collection{Name: "out", Space: "d", Lo: 0, Hi: 1 << 16})
+			g.AddTask(taskir.GroupTask{Name: "solve", Points: 4, Variants: variants(4e5),
+				Args: []taskir.Arg{
+					{Collection: st.ID, Privilege: taskir.ReadWrite, BytesPerPoint: 4 << 20},
+					{Collection: out.ID, Privilege: taskir.WriteOnly, BytesPerPoint: 1 << 16},
+				}})
+			g.AddTask(taskir.GroupTask{Name: "reduce", Points: 12, Variants: variants(2e3),
+				Args: []taskir.Arg{{Collection: out.ID, Privilege: taskir.ReadWrite, BytesPerPoint: 1 << 16}}})
+			return g
+		}},
+	}
+}
+
+// RealRuntime tunes each workload on the host mini-runtime with CCD and
+// reports measured speedups. maxSuggestions bounds each search (real
+// measurements are expensive); repeats is the per-candidate repetition
+// count.
+func RealRuntime(maxSuggestions, repeats int) ([]RealRuntimeRow, error) {
+	if maxSuggestions <= 0 {
+		maxSuggestions = 80
+	}
+	if repeats <= 0 {
+		repeats = 3
+	}
+	m := rt.DefaultMachine(1)
+	md := m.Model()
+	var rows []RealRuntimeRow
+	for _, w := range realWorkloads() {
+		g := w.build()
+		ex := rt.NewExecutor(m, g)
+		start := mapping.Default(g, md)
+		sp, err := rt.ExtractSpace(ex, start)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.name, err)
+		}
+		ev := rt.NewEvaluator(ex, repeats)
+		prob := &search.Problem{
+			Graph: g, Model: md, Space: sp,
+			Overlap: overlap.Build(g),
+			Start:   start, Seed: 1,
+		}
+		out := search.NewCCD().Search(prob, ev, search.Budget{MaxSuggestions: maxSuggestions})
+		if out.Best == nil {
+			return nil, fmt.Errorf("%s: no mapping found", w.name)
+		}
+		best := minWall(ex, out.Best, 5)
+		def := minWall(ex, start, 5)
+		rows = append(rows, RealRuntimeRow{
+			Workload:   w.name,
+			DefaultMs:  def.Seconds() * 1000,
+			TunedMs:    best.Seconds() * 1000,
+			Speedup:    float64(def) / float64(best),
+			Evaluated:  ev.Evaluated,
+			MeasureSec: ev.SearchTimeSec(),
+		})
+	}
+	return rows, nil
+}
+
+// minWall returns the minimum of n real executions (min damps OS noise).
+func minWall(ex *rt.Executor, mp *mapping.Mapping, n int) time.Duration {
+	best := time.Duration(1 << 62)
+	for i := 0; i < n; i++ {
+		d, err := ex.Execute(mp)
+		if err != nil {
+			return best
+		}
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}

@@ -1,0 +1,185 @@
+// Package mapper provides the runtime mapping-interface implementations
+// AutoMap is compared against in the paper's evaluation (Section 5):
+//
+//   - the Default mapper packaged with the runtime: fixed heuristics that
+//     place every task with a GPU variant on the GPUs and every collection
+//     in the highest-bandwidth memory (Frame-Buffer);
+//   - the hand-written Custom mappers, implemented per application by
+//     domain experts: they "generally follow a similar strategy as the
+//     default mapper but sometimes place large or shared data in Zero-Copy
+//     memory and move less important tasks to CPUs";
+//   - the two standard Maestro strategies of Figure 7 (all LF work on
+//     CPUs + System memory, or on GPUs + Zero-Copy memory);
+//   - the all-Zero-Copy mapping used as the baseline of the
+//     memory-constrained experiments (Figure 8).
+package mapper
+
+import (
+	"strings"
+
+	"automap/internal/machine"
+	"automap/internal/mapping"
+	"automap/internal/taskir"
+)
+
+// Default returns the runtime's default mapping: GPUs whenever a GPU
+// variant exists and Frame-Buffer for every collection (with fallbacks).
+func Default(g *taskir.Graph, md *machine.Model) *mapping.Mapping {
+	return mapping.Default(g, md)
+}
+
+// Custom returns the hand-written mapper for the named application, or the
+// default mapping if the application has no custom mapper.
+func Custom(app string, g *taskir.Graph, md *machine.Model) *mapping.Mapping {
+	switch app {
+	case "circuit":
+		return circuitCustom(g, md)
+	case "stencil":
+		return stencilCustom(g, md)
+	case "pennant":
+		return pennantCustom(g, md)
+	case "htr":
+		return htrCustom(g, md)
+	case "maestro":
+		// The Maestro developers' deployed strategy runs the LF
+		// ensemble on the GPUs with Zero-Copy data.
+		return MaestroGPUZeroCopy(g, md)
+	default:
+		return mapping.Default(g, md)
+	}
+}
+
+// setCollectionMem maps every argument of every task whose collection name
+// matches pred to memory kind mk (when addressable by the task's kind).
+func setCollectionMem(g *taskir.Graph, md *machine.Model, mp *mapping.Mapping, mk machine.MemKind, pred func(string) bool) {
+	for _, t := range g.Tasks {
+		d := mp.Decision(t.ID)
+		for a, arg := range t.Args {
+			if pred(g.Collection(arg.Collection).Name) && md.CanAccess(d.Proc, mk) {
+				mp.SetArgMem(md, t.ID, a, mk)
+			}
+		}
+	}
+}
+
+// moveTaskToCPU moves the named task to the CPU with collections in the
+// given memory kind.
+func moveTaskToCPU(g *taskir.Graph, md *machine.Model, mp *mapping.Mapping, name string, mk machine.MemKind) {
+	for _, t := range g.Tasks {
+		if t.Name != name || !t.HasVariant(machine.CPU) || !md.HasProcKind(machine.CPU) {
+			continue
+		}
+		mp.SetProc(t.ID, machine.CPU)
+		mp.RebuildPriorityLists(md, t.ID)
+		for a := range t.Args {
+			if md.CanAccess(machine.CPU, mk) {
+				mp.SetArgMem(md, t.ID, a, mk)
+			}
+		}
+	}
+}
+
+// circuitCustom places the ghost and shared node collections in Zero-Copy
+// memory — the classic hand-tuned Circuit strategy, which helps at small
+// scales but hurts once the GPU becomes bandwidth-bound on those
+// collections (the ≤1 speedups at large inputs in Figure 6a).
+func circuitCustom(g *taskir.Graph, md *machine.Model) *mapping.Mapping {
+	mp := mapping.Default(g, md)
+	setCollectionMem(g, md, mp, machine.ZeroCopy, func(name string) bool {
+		return name == "node_ghost" || name == "node_shr"
+	})
+	return mp
+}
+
+// stencilCustom is the default strategy; the Stencil authors' mapper only
+// adjusts instance layouts, which the model does not distinguish.
+func stencilCustom(g *taskir.Graph, md *machine.Model) *mapping.Mapping {
+	return mapping.Default(g, md)
+}
+
+// pennantCustom keeps the compute on GPUs but runs the tiny dt reduction
+// chain on the CPU with its scalars in Zero-Copy.
+func pennantCustom(g *taskir.Graph, md *machine.Model) *mapping.Mapping {
+	mp := mapping.Default(g, md)
+	for _, name := range []string{"calc_dt_courant", "calc_dt_volume", "calc_dt_hydro"} {
+		moveTaskToCPU(g, md, mp, name, machine.SysMem)
+	}
+	setCollectionMem(g, md, mp, machine.ZeroCopy, func(name string) bool {
+		return name == "dtrec" || name == "dt"
+	})
+	return mp
+}
+
+// htrCustom places the shared averaging statistics in Zero-Copy memory —
+// the known expert trick for HTR's coupling tasks.
+func htrCustom(g *taskir.Graph, md *machine.Model) *mapping.Mapping {
+	mp := mapping.Default(g, md)
+	setCollectionMem(g, md, mp, machine.ZeroCopy, func(name string) bool {
+		return strings.HasPrefix(name, "avg_")
+	})
+	return mp
+}
+
+// MaestroAllCPU is Figure 7's strategy (1): every LF task and collection on
+// CPUs + System memory.
+func MaestroAllCPU(g *taskir.Graph, md *machine.Model) *mapping.Mapping {
+	mp := mapping.Default(g, md)
+	for _, t := range g.Tasks {
+		if !strings.HasPrefix(t.Name, "lf_") {
+			continue
+		}
+		moveTaskToCPU(g, md, mp, t.Name, machine.SysMem)
+	}
+	return mp
+}
+
+// MaestroGPUZeroCopy is Figure 7's strategy (2): every LF task on the GPUs
+// with collections in Zero-Copy memory.
+func MaestroGPUZeroCopy(g *taskir.Graph, md *machine.Model) *mapping.Mapping {
+	mp := mapping.Default(g, md)
+	for _, t := range g.Tasks {
+		if !strings.HasPrefix(t.Name, "lf_") || !t.HasVariant(machine.GPU) {
+			continue
+		}
+		mp.SetProc(t.ID, machine.GPU)
+		mp.RebuildPriorityLists(md, t.ID)
+		for a := range t.Args {
+			mp.SetArgMem(md, t.ID, a, machine.ZeroCopy)
+		}
+	}
+	return mp
+}
+
+// AllFrameBufferStrict maps every task to the GPU with every collection in
+// Frame-Buffer memory only, with no fallback: the mapping fails with an
+// out-of-memory error when the input does not fit (the Figure 8 setup).
+func AllFrameBufferStrict(g *taskir.Graph, md *machine.Model) *mapping.Mapping {
+	mp := mapping.Default(g, md)
+	for _, t := range g.Tasks {
+		d := mp.Decision(t.ID)
+		if d.Proc != machine.GPU {
+			continue
+		}
+		for a := range t.Args {
+			d.Mems[a] = []machine.MemKind{machine.FrameBuffer}
+		}
+	}
+	return mp
+}
+
+// AllZeroCopy maps every task to the GPU (when possible) with every
+// collection in Zero-Copy memory — the "most straightforward approach" of
+// the memory-constrained experiments (Figure 8): all data in a bigger but
+// slower memory.
+func AllZeroCopy(g *taskir.Graph, md *machine.Model) *mapping.Mapping {
+	mp := mapping.Default(g, md)
+	for _, t := range g.Tasks {
+		d := mp.Decision(t.ID)
+		for a := range t.Args {
+			if md.CanAccess(d.Proc, machine.ZeroCopy) {
+				mp.SetArgMem(md, t.ID, a, machine.ZeroCopy)
+			}
+		}
+	}
+	return mp
+}

@@ -1,0 +1,163 @@
+package mapper
+
+import (
+	"testing"
+
+	"automap/internal/apps"
+	"automap/internal/cluster"
+	"automap/internal/machine"
+	"automap/internal/sim"
+	"automap/internal/taskir"
+)
+
+func buildApp(t *testing.T, name, input string, nodes int) *taskir.Graph {
+	t.Helper()
+	app, err := apps.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := app.Build(input, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestAllMappersValid checks every mapper produces a valid mapping for
+// every application.
+func TestAllMappersValid(t *testing.T) {
+	inputs := map[string]string{
+		"circuit": "n400w1600",
+		"stencil": "2000x2000",
+		"pennant": "320x360",
+		"htr":     "16x16y18z",
+		"maestro": "r16k16",
+	}
+	m := cluster.Lassen(2)
+	md := m.Model()
+	for name, in := range inputs {
+		g := buildApp(t, name, in, 2)
+		for label, mp := range map[string]interface {
+			Validate(*taskir.Graph, *machine.Model) error
+		}{
+			"default": Default(g, md),
+			"custom":  Custom(name, g, md),
+			"allzc":   AllZeroCopy(g, md),
+		} {
+			if err := mp.Validate(g, md); err != nil {
+				t.Errorf("%s/%s: %v", name, label, err)
+			}
+		}
+	}
+}
+
+func TestCustomFallsBackToDefault(t *testing.T) {
+	g := buildApp(t, "stencil", "1000x1000", 1)
+	md := cluster.Shepard(1).Model()
+	if !Custom("unknown-app", g, md).Equal(Default(g, md)) {
+		t.Fatal("unknown app custom mapper should be the default")
+	}
+}
+
+func TestCircuitCustomUsesZeroCopy(t *testing.T) {
+	g := buildApp(t, "circuit", "n400w1600", 1)
+	md := cluster.Shepard(1).Model()
+	mp := Custom("circuit", g, md)
+	found := false
+	for _, tk := range g.Tasks {
+		d := mp.Decision(tk.ID)
+		for a, arg := range tk.Args {
+			if g.Collection(arg.Collection).Name == "node_ghost" && d.PrimaryMem(a) == machine.ZeroCopy {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("circuit custom mapper should place ghost nodes in Zero-Copy")
+	}
+}
+
+func TestPennantCustomMovesDtChainToCPU(t *testing.T) {
+	g := buildApp(t, "pennant", "320x360", 1)
+	md := cluster.Shepard(1).Model()
+	mp := Custom("pennant", g, md)
+	moved := 0
+	for _, tk := range g.Tasks {
+		if mp.Decision(tk.ID).Proc == machine.CPU {
+			moved++
+		}
+	}
+	if moved != 3 {
+		t.Fatalf("pennant custom moved %d tasks to CPU, want the 3 dt tasks", moved)
+	}
+}
+
+func TestMaestroStrategies(t *testing.T) {
+	g := buildApp(t, "maestro", "r16k16", 1)
+	m := cluster.Lassen(1)
+	md := m.Model()
+
+	cpu := MaestroAllCPU(g, md)
+	zc := MaestroGPUZeroCopy(g, md)
+	for _, id := range apps.MaestroTunable(g) {
+		if cpu.Decision(id).Proc != machine.CPU {
+			t.Errorf("AllCPU left LF task %d on %v", id, cpu.Decision(id).Proc)
+		}
+		dz := zc.Decision(id)
+		if dz.Proc != machine.GPU {
+			t.Errorf("GPUZC put LF task %d on %v", id, dz.Proc)
+		}
+		for a := range g.Task(id).Args {
+			if dz.PrimaryMem(a) != machine.ZeroCopy {
+				t.Errorf("GPUZC arg not in Zero-Copy")
+			}
+		}
+	}
+	// HF tasks stay on GPU under both strategies.
+	for _, tk := range g.Tasks {
+		if len(apps.MaestroTunable(g)) > 0 && tk.HasVariant(machine.CPU) {
+			continue
+		}
+		if cpu.Decision(tk.ID).Proc != machine.GPU {
+			t.Errorf("HF task %s moved off GPU", tk.Name)
+		}
+	}
+	// Both strategies execute.
+	if _, err := sim.Simulate(m, g, cpu, sim.Config{}); err != nil {
+		t.Fatalf("AllCPU: %v", err)
+	}
+	if _, err := sim.Simulate(m, g, zc, sim.Config{}); err != nil {
+		t.Fatalf("GPUZC: %v", err)
+	}
+}
+
+func TestAllFrameBufferStrictOOMsOnConstrainedInput(t *testing.T) {
+	g := buildApp(t, "pennant", "mem+1.3", 1)
+	m := cluster.Shepard(1)
+	md := m.Model()
+	_, err := sim.Simulate(m, g, AllFrameBufferStrict(g, md), sim.Config{})
+	if _, ok := err.(*sim.OOMError); !ok {
+		t.Fatalf("want OOM, got %v", err)
+	}
+	// The all-Zero-Copy fallback executes.
+	if _, err := sim.Simulate(m, g, AllZeroCopy(g, md), sim.Config{}); err != nil {
+		t.Fatalf("AllZeroCopy: %v", err)
+	}
+}
+
+func TestAllZeroCopySlowerThanDefaultWhenFits(t *testing.T) {
+	g := buildApp(t, "pennant", "320x2880", 1)
+	m := cluster.Shepard(1)
+	md := m.Model()
+	d, err := sim.Simulate(m, g, Default(g, md), sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := sim.Simulate(m, g, AllZeroCopy(g, md), sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.MakespanSec <= d.MakespanSec {
+		t.Fatalf("all-ZC (%v) should be slower than default (%v)", z.MakespanSec, d.MakespanSec)
+	}
+}

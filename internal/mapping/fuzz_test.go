@@ -1,0 +1,61 @@
+package mapping
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"automap/internal/taskir"
+)
+
+// taskID converts for readability in the fuzz body.
+func taskID(i int) taskir.TaskID { return taskir.TaskID(i) }
+
+// FuzzLoad feeds arbitrary bytes to the mapping-file loader: it must error
+// or return a mapping consistent with the graph, never panic.
+func FuzzLoad(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"decisions":[{"task":"t0","proc":"GPU","mems":[[2],[1]]},{"task":"t1","proc":"CPU","mems":[[0]]}]}`))
+	f.Add([]byte(`{"decisions":[{"proc":"TPU","mems":[[9]]}]}`))
+	f.Add([]byte(`garbage`))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := testGraph(t)
+		path := filepath.Join(t.TempDir(), "m.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		mp, err := Load(path, g)
+		if err != nil {
+			return
+		}
+		if mp.NumTasks() != len(g.Tasks) {
+			t.Fatalf("loaded mapping covers %d tasks, graph has %d", mp.NumTasks(), len(g.Tasks))
+		}
+		// Key and String must work on any successfully loaded mapping.
+		_ = mp.Key()
+		_ = mp.String()
+	})
+}
+
+// FuzzCanonicalKey checks that arbitrary valid decision settings always
+// produce stable keys: mutate-then-clone must agree.
+func FuzzCanonicalKey(f *testing.F) {
+	f.Add(uint8(0), uint8(0), true)
+	f.Add(uint8(1), uint8(2), false)
+	f.Fuzz(func(t *testing.T, task, mem uint8, dist bool) {
+		g := testGraph(t)
+		md := testModel()
+		mp := Default(g, md)
+		id := int(task) % len(g.Tasks)
+		mp.SetDistribute(taskID(id), dist)
+		acc := md.Accessible(mp.Decision(taskID(id)).Proc)
+		mp.SetArgMem(md, taskID(id), 0, acc[int(mem)%len(acc)])
+		if mp.Key() != mp.Clone().Key() {
+			t.Fatal("clone key differs")
+		}
+		if err := mp.Validate(g, md); err != nil {
+			t.Fatalf("valid mutations produced invalid mapping: %v", err)
+		}
+	})
+}

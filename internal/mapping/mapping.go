@@ -1,0 +1,323 @@
+// Package mapping represents mapping functions for task-based programs.
+//
+// Following Section 3.2 of the paper, a (searched) mapping has the signature
+//
+//	tasks × collections → bool × processor kind × memory kind
+//
+// where the bool says whether the group task is distributed across the
+// machine's nodes, the processor kind is shared by all points of the group,
+// and a memory kind is selected per collection argument. Per Section 3.1,
+// the memory-kind component generalizes to a priority list of memory kinds,
+// all addressable by the chosen processor kind: the first memory with room
+// for the collection instance is used, which makes mappings resilient to
+// capacity overflow (exercised by the Figure 8 experiments).
+package mapping
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"automap/internal/machine"
+	"automap/internal/taskir"
+)
+
+// Decision is the mapping of one group task and its collection arguments.
+type Decision struct {
+	// Distribute selects whether the group's points are spread across
+	// all machine nodes in a blocked fashion (true) or all run on the
+	// initial leader node (false).
+	Distribute bool
+	// Proc is the processor kind for every point of the group.
+	Proc machine.ProcKind
+	// Mems holds, per collection argument (in taskir.GroupTask.Args
+	// order), the priority list of memory kinds. Mems[i][0] is the
+	// primary choice.
+	Mems [][]machine.MemKind
+}
+
+// clone returns a deep copy of the decision.
+func (d *Decision) clone() *Decision {
+	cp := &Decision{Distribute: d.Distribute, Proc: d.Proc, Mems: make([][]machine.MemKind, len(d.Mems))}
+	for i, ms := range d.Mems {
+		cp.Mems[i] = append([]machine.MemKind(nil), ms...)
+	}
+	return cp
+}
+
+// PrimaryMem returns the first memory kind in the priority list of argument
+// arg.
+func (d *Decision) PrimaryMem(arg int) machine.MemKind { return d.Mems[arg][0] }
+
+// Mapping is a full mapping for a program: one Decision per group task,
+// indexed by taskir.TaskID.
+type Mapping struct {
+	decisions []*Decision
+}
+
+// New returns a mapping with one zero-valued decision per task of g. All
+// decision fields must be populated before use; prefer Default.
+func New(g *taskir.Graph) *Mapping {
+	m := &Mapping{decisions: make([]*Decision, len(g.Tasks))}
+	for i, t := range g.Tasks {
+		m.decisions[i] = &Decision{Mems: make([][]machine.MemKind, len(t.Args))}
+	}
+	return m
+}
+
+// Default returns the paper's starting point (Section 4.1): group tasks are
+// distributed across all nodes, tasks with GPU variants run on GPUs, and
+// all collections go to the highest-bandwidth memory addressable by the
+// chosen kind (Frame-Buffer for GPUs, socket System memory for CPUs), with
+// the remaining addressable kinds appended as fallbacks in order.
+func Default(g *taskir.Graph, md *machine.Model) *Mapping {
+	m := New(g)
+	for i, t := range g.Tasks {
+		d := m.decisions[i]
+		d.Distribute = true
+		if t.HasVariant(machine.GPU) && md.HasProcKind(machine.GPU) {
+			d.Proc = machine.GPU
+		} else {
+			d.Proc = machine.CPU
+		}
+		prim := PreferredMem(d.Proc)
+		for a := range t.Args {
+			d.Mems[a] = PriorityList(md, d.Proc, prim)
+		}
+	}
+	return m
+}
+
+// PreferredMem returns the highest-bandwidth memory kind conventionally
+// addressable by processor kind k (the default-mapper heuristic).
+func PreferredMem(k machine.ProcKind) machine.MemKind {
+	if k == machine.GPU {
+		return machine.FrameBuffer
+	}
+	return machine.SysMem
+}
+
+// PriorityList builds a memory priority list for processor kind pk whose
+// primary choice is prim, followed by the other memory kinds addressable by
+// pk in the model's deterministic order. If prim is not addressable by pk,
+// the list is just the addressable kinds.
+func PriorityList(md *machine.Model, pk machine.ProcKind, prim machine.MemKind) []machine.MemKind {
+	acc := md.Accessible(pk)
+	out := make([]machine.MemKind, 0, len(acc))
+	if md.CanAccess(pk, prim) {
+		out = append(out, prim)
+	}
+	for _, mk := range acc {
+		if mk != prim || !md.CanAccess(pk, prim) {
+			if len(out) > 0 && out[0] == mk {
+				continue
+			}
+			out = append(out, mk)
+		}
+	}
+	return out
+}
+
+// Decision returns the decision for task id. The returned pointer aliases
+// the mapping's state; use Clone before mutating a shared mapping.
+func (m *Mapping) Decision(id taskir.TaskID) *Decision { return m.decisions[id] }
+
+// NumTasks returns the number of task decisions.
+func (m *Mapping) NumTasks() int { return len(m.decisions) }
+
+// Clone returns a deep copy of the mapping.
+func (m *Mapping) Clone() *Mapping {
+	cp := &Mapping{decisions: make([]*Decision, len(m.decisions))}
+	for i, d := range m.decisions {
+		cp.decisions[i] = d.clone()
+	}
+	return cp
+}
+
+// SetProc assigns task id to processor kind pk without touching memories.
+func (m *Mapping) SetProc(id taskir.TaskID, pk machine.ProcKind) {
+	m.decisions[id].Proc = pk
+}
+
+// SetDistribute sets the distribution bit of task id.
+func (m *Mapping) SetDistribute(id taskir.TaskID, d bool) {
+	m.decisions[id].Distribute = d
+}
+
+// SetArgMem sets the primary memory kind of argument arg of task id,
+// rebuilding the priority list against the model so fallbacks remain
+// addressable by the task's current processor kind.
+func (m *Mapping) SetArgMem(md *machine.Model, id taskir.TaskID, arg int, mk machine.MemKind) {
+	d := m.decisions[id]
+	d.Mems[arg] = PriorityList(md, d.Proc, mk)
+}
+
+// SetArgMemRaw sets the primary memory kind of argument arg of task id
+// without consulting the machine model. The mapping may be temporarily
+// invalid (primary not addressable by the task's processor kind); callers
+// must restore validity, e.g. via Sanitize, before evaluation. Used by the
+// co-location fixed point (Algorithm 2) and by unconstrained tuners.
+func (m *Mapping) SetArgMemRaw(id taskir.TaskID, arg int, mk machine.MemKind) {
+	d := m.decisions[id]
+	if len(d.Mems[arg]) == 0 {
+		d.Mems[arg] = []machine.MemKind{mk}
+		return
+	}
+	// Keep the old list as fallbacks, minus the new primary.
+	out := make([]machine.MemKind, 0, len(d.Mems[arg])+1)
+	out = append(out, mk)
+	for _, k := range d.Mems[arg] {
+		if k != mk {
+			out = append(out, k)
+		}
+	}
+	d.Mems[arg] = out
+}
+
+// Sanitize restores validity in place: tasks mapped to kinds they have no
+// variant for (or that the machine lacks) move to their first available
+// variant kind, and every argument's priority list is rebuilt so that the
+// primary is kept when addressable and replaced by the processor kind's
+// preferred memory otherwise.
+func (m *Mapping) Sanitize(g *taskir.Graph, md *machine.Model) {
+	for i, t := range g.Tasks {
+		d := m.decisions[i]
+		if !t.HasVariant(d.Proc) || !md.HasProcKind(d.Proc) {
+			for _, k := range t.VariantKinds() {
+				if md.HasProcKind(k) {
+					d.Proc = k
+					break
+				}
+			}
+		}
+		m.RebuildPriorityLists(md, t.ID)
+	}
+}
+
+// RebuildPriorityLists rebuilds every argument's priority list of task id,
+// keeping each primary choice if it is addressable by the (possibly new)
+// processor kind and otherwise replacing it with the kind's preferred
+// memory. This is used after moving a task between processor kinds.
+func (m *Mapping) RebuildPriorityLists(md *machine.Model, id taskir.TaskID) {
+	d := m.decisions[id]
+	for a := range d.Mems {
+		prim := PreferredMem(d.Proc)
+		if len(d.Mems[a]) > 0 && md.CanAccess(d.Proc, d.Mems[a][0]) {
+			prim = d.Mems[a][0]
+		}
+		d.Mems[a] = PriorityList(md, d.Proc, prim)
+	}
+}
+
+// Validate checks the mapping against the program and machine model: every
+// task must have a variant for its processor kind, every argument must have
+// a non-empty priority list, and every listed memory kind must be
+// addressable by the processor kind (the paper's correctness constraint).
+func (m *Mapping) Validate(g *taskir.Graph, md *machine.Model) error {
+	if len(m.decisions) != len(g.Tasks) {
+		return fmt.Errorf("mapping covers %d tasks, program has %d", len(m.decisions), len(g.Tasks))
+	}
+	for i, t := range g.Tasks {
+		d := m.decisions[i]
+		if !t.HasVariant(d.Proc) {
+			return fmt.Errorf("task %q mapped to %s but has no %s variant", t.Name, d.Proc, d.Proc)
+		}
+		if !md.HasProcKind(d.Proc) {
+			return fmt.Errorf("task %q mapped to %s, absent from machine %q", t.Name, d.Proc, md.Name)
+		}
+		if len(d.Mems) != len(t.Args) {
+			return fmt.Errorf("task %q has %d args but %d memory lists", t.Name, len(t.Args), len(d.Mems))
+		}
+		for a := range t.Args {
+			if len(d.Mems[a]) == 0 {
+				return fmt.Errorf("task %q arg %d has an empty memory priority list", t.Name, a)
+			}
+			for _, mk := range d.Mems[a] {
+				if !md.CanAccess(d.Proc, mk) {
+					return fmt.Errorf("task %q arg %d lists %s, not addressable by %s", t.Name, a, mk, d.Proc)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Key returns a canonical, collision-resistant key identifying the mapping.
+// Two mappings with identical decisions have equal keys. Used by the
+// profile database to recognize repeated suggestions (Section 5.3 reports
+// suggested vs. evaluated counts).
+func (m *Mapping) Key() string {
+	h := sha256.New()
+	fmt.Fprint(h, m.canonicalString())
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// canonicalString renders the mapping deterministically.
+func (m *Mapping) canonicalString() string {
+	var b strings.Builder
+	for i, d := range m.decisions {
+		fmt.Fprintf(&b, "t%d:%v:%d[", i, d.Distribute, d.Proc)
+		for a, ms := range d.Mems {
+			if a > 0 {
+				b.WriteByte(';')
+			}
+			for j, mk := range ms {
+				if j > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, "%d", mk)
+			}
+		}
+		b.WriteString("]\n")
+	}
+	return b.String()
+}
+
+// Equal reports whether two mappings make identical decisions.
+func (m *Mapping) Equal(o *Mapping) bool {
+	if len(m.decisions) != len(o.decisions) {
+		return false
+	}
+	return m.canonicalString() == o.canonicalString()
+}
+
+// String renders the mapping for human inspection: one line per task with
+// its distribution bit, processor kind, and primary memory kind per
+// argument.
+func (m *Mapping) String() string {
+	var b strings.Builder
+	for i, d := range m.decisions {
+		dist := "leader"
+		if d.Distribute {
+			dist = "distributed"
+		}
+		fmt.Fprintf(&b, "task %d -> %s (%s):", i, d.Proc, dist)
+		for a, ms := range d.Mems {
+			if len(ms) > 0 {
+				fmt.Fprintf(&b, " c%d=%s", a, ms[0].ShortString())
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Describe renders the mapping with task and collection names from g.
+func (m *Mapping) Describe(g *taskir.Graph) string {
+	var b strings.Builder
+	for i, d := range m.decisions {
+		t := g.Tasks[i]
+		dist := "leader"
+		if d.Distribute {
+			dist = "distributed"
+		}
+		fmt.Fprintf(&b, "%-24s -> %-3s (%s):", t.Name, d.Proc, dist)
+		for a, arg := range t.Args {
+			c := g.Collection(arg.Collection)
+			fmt.Fprintf(&b, " %s=%s", c.Name, d.Mems[a][0].ShortString())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

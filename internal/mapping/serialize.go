@@ -1,0 +1,97 @@
+// JSON serialization of mappings, so searched mappings can be saved by the
+// cmd/automap driver and replayed later (the AutoMap mapper replays a
+// stored mapping without any application modification).
+
+package mapping
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"automap/internal/machine"
+	"automap/internal/taskir"
+)
+
+// decisionJSON is the serialized form of one task's decision.
+type decisionJSON struct {
+	Task       string    `json:"task"`
+	Distribute bool      `json:"distribute"`
+	Proc       string    `json:"proc"`
+	Mems       [][]uint8 `json:"mems"`
+}
+
+// fileJSON is the serialized mapping file.
+type fileJSON struct {
+	Application string         `json:"application"`
+	Decisions   []decisionJSON `json:"decisions"`
+}
+
+// Save writes the mapping as JSON, annotated with task names from g.
+func (m *Mapping) Save(path string, g *taskir.Graph) error {
+	f := fileJSON{Application: g.Name}
+	for i, d := range m.decisions {
+		dj := decisionJSON{
+			Task:       g.Tasks[i].Name,
+			Distribute: d.Distribute,
+			Proc:       d.Proc.String(),
+			Mems:       make([][]uint8, len(d.Mems)),
+		}
+		for a, ms := range d.Mems {
+			for _, mk := range ms {
+				dj.Mems[a] = append(dj.Mems[a], uint8(mk))
+			}
+		}
+		f.Decisions = append(f.Decisions, dj)
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads a mapping file written by Save and binds it to g. Task count
+// and argument counts must match the graph.
+func Load(path string, g *taskir.Graph) (*Mapping, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f fileJSON
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("parsing mapping file %s: %w", path, err)
+	}
+	if len(f.Decisions) != len(g.Tasks) {
+		return nil, fmt.Errorf("mapping file has %d decisions, program has %d tasks", len(f.Decisions), len(g.Tasks))
+	}
+	m := New(g)
+	for i, dj := range f.Decisions {
+		d := m.decisions[i]
+		d.Distribute = dj.Distribute
+		switch dj.Proc {
+		case "CPU":
+			d.Proc = machine.CPU
+		case "GPU":
+			d.Proc = machine.GPU
+		default:
+			return nil, fmt.Errorf("unknown processor kind %q", dj.Proc)
+		}
+		if len(dj.Mems) != len(g.Tasks[i].Args) {
+			return nil, fmt.Errorf("task %q: %d memory lists for %d args", dj.Task, len(dj.Mems), len(g.Tasks[i].Args))
+		}
+		for a, ms := range dj.Mems {
+			if len(ms) == 0 {
+				return nil, fmt.Errorf("task %q arg %d: empty memory list", dj.Task, a)
+			}
+			d.Mems[a] = d.Mems[a][:0]
+			for _, mk := range ms {
+				if int(mk) >= machine.NumMemKinds {
+					return nil, fmt.Errorf("task %q arg %d: unknown memory kind %d", dj.Task, a, mk)
+				}
+				d.Mems[a] = append(d.Mems[a], machine.MemKind(mk))
+			}
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,71 @@
+package mapping
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"automap/internal/machine"
+)
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	g, md := testGraph(t), testModel()
+	mp := Default(g, md)
+	mp.SetDistribute(1, false)
+	mp.SetArgMem(md, 0, 1, machine.ZeroCopy)
+
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := mp.Save(path, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mp.Equal(got) {
+		t.Fatalf("roundtrip mismatch:\n%s\nvs\n%s", mp, got)
+	}
+	// The file names tasks for human inspection.
+	data, _ := os.ReadFile(path)
+	if !strings.Contains(string(data), `"t0"`) {
+		t.Error("task names missing from file")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	g := testGraph(t)
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := map[string]string{
+		"garbage.json":  `{nope`,
+		"missing.json":  ``, // wrong decision count (zero)
+		"badproc.json":  `{"decisions":[{"task":"t0","proc":"TPU","mems":[[2],[1]]},{"task":"t1","proc":"CPU","mems":[[0]]}]}`,
+		"badargs.json":  `{"decisions":[{"task":"t0","proc":"GPU","mems":[[2]]},{"task":"t1","proc":"CPU","mems":[[0]]}]}`,
+		"emptymem.json": `{"decisions":[{"task":"t0","proc":"GPU","mems":[[],[1]]},{"task":"t1","proc":"CPU","mems":[[0]]}]}`,
+		"badkind.json":  `{"decisions":[{"task":"t0","proc":"GPU","mems":[[9],[1]]},{"task":"t1","proc":"CPU","mems":[[0]]}]}`,
+	}
+	for name, content := range cases {
+		p := write(name, content)
+		if _, err := Load(p, g); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	if _, err := Load(filepath.Join(dir, "absent.json"), g); err == nil {
+		t.Error("absent file: expected error")
+	}
+}
+
+func TestSaveToUnwritablePath(t *testing.T) {
+	g, md := testGraph(t), testModel()
+	mp := Default(g, md)
+	if err := mp.Save(filepath.Join(t.TempDir(), "no", "such", "dir", "m.json"), g); err == nil {
+		t.Fatal("expected write error")
+	}
+}

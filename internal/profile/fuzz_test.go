@@ -1,0 +1,36 @@
+package profile
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzLoad feeds arbitrary bytes to the space-file and profiles-database
+// loaders: they must error or succeed, never panic.
+func FuzzLoad(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"application":"x","tasks":[{"id":0,"name":"t"}]}`))
+	f.Add([]byte(`{"samples":[{"key":"k","times":[1,2]}]}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte{})
+	f.Add([]byte(`{"tasks":[{"id":-99}],"args":[{"task":5,"arg":-1}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "f.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if sp, err := Load(path); err == nil && sp != nil {
+			// Loaded spaces must be safe to query.
+			_ = sp.TasksByRuntime()
+			for _, ti := range sp.Tasks {
+				_ = sp.ArgsBySize(ti.ID)
+			}
+		}
+		if db, err := LoadDB(path); err == nil && db != nil {
+			_ = db.Keys()
+			_ = db.Len()
+		}
+	})
+}

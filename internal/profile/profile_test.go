@@ -1,0 +1,237 @@
+package profile
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"automap/internal/cluster"
+	"automap/internal/machine"
+	"automap/internal/mapping"
+	"automap/internal/sim"
+	"automap/internal/taskir"
+)
+
+func profGraph(t testing.TB) *taskir.Graph {
+	g := taskir.NewGraph("prof")
+	both := map[machine.ProcKind]taskir.Variant{
+		machine.CPU: {Efficiency: 1, WorkPerPoint: 1e8},
+		machine.GPU: {Efficiency: 1, WorkPerPoint: 1e8},
+	}
+	light := map[machine.ProcKind]taskir.Variant{
+		machine.CPU: {Efficiency: 1, WorkPerPoint: 1e5},
+		machine.GPU: {Efficiency: 1, WorkPerPoint: 1e5},
+	}
+	big := g.AddCollection(taskir.Collection{Name: "big", Space: "s", Lo: 0, Hi: 1 << 24, Partitioned: true})
+	small := g.AddCollection(taskir.Collection{Name: "small", Space: "s", Lo: 0, Hi: 1 << 10})
+	g.AddTask(taskir.GroupTask{Name: "heavy", Points: 4, Variants: both, Args: []taskir.Arg{
+		{Collection: big.ID, Privilege: taskir.ReadWrite, BytesPerPoint: 1 << 22},
+		{Collection: small.ID, Privilege: taskir.ReadOnly, BytesPerPoint: 1 << 10},
+	}})
+	g.AddTask(taskir.GroupTask{Name: "light", Points: 4, Variants: light, Args: []taskir.Arg{
+		{Collection: big.ID, Privilege: taskir.ReadOnly, BytesPerPoint: 1 << 22},
+	}})
+	g.Iterations = 3
+	return g
+}
+
+func extract(t *testing.T) *Space {
+	t.Helper()
+	m := cluster.Shepard(1)
+	g := profGraph(t)
+	sp, err := Extract(m, g, mapping.Default(g, m.Model()), sim.Config{})
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	return sp
+}
+
+func TestExtractContents(t *testing.T) {
+	sp := extract(t)
+	if sp.Application != "prof" || sp.Machine != "shepard" {
+		t.Errorf("header = %q/%q", sp.Application, sp.Machine)
+	}
+	if len(sp.Tasks) != 2 || len(sp.Args) != 3 {
+		t.Fatalf("tasks=%d args=%d", len(sp.Tasks), len(sp.Args))
+	}
+	if sp.BaselineSec <= 0 {
+		t.Error("baseline missing")
+	}
+	if len(sp.Deps) == 0 {
+		t.Error("deps missing")
+	}
+	// big (1<<24) overlaps small (1<<10) on space "s".
+	if len(sp.Overlaps) != 1 || sp.Overlaps[0].WeightBytes != 1<<10 {
+		t.Errorf("overlaps = %+v", sp.Overlaps)
+	}
+	for _, ti := range sp.Tasks {
+		if ti.RuntimeSec <= 0 {
+			t.Errorf("task %s has no runtime", ti.Name)
+		}
+		if len(ti.Variants) != 2 {
+			t.Errorf("task %s variants = %v", ti.Name, ti.Variants)
+		}
+	}
+}
+
+func TestTasksByRuntimeLongestFirst(t *testing.T) {
+	sp := extract(t)
+	order := sp.TasksByRuntime()
+	if len(order) != 2 || order[0] != 0 {
+		t.Fatalf("order = %v (heavy task must come first)", order)
+	}
+}
+
+func TestArgsBySizeLargestFirst(t *testing.T) {
+	sp := extract(t)
+	args := sp.ArgsBySize(0)
+	if len(args) != 2 || args[0] != 0 {
+		t.Fatalf("args = %v (big collection first)", args)
+	}
+}
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	sp := extract(t)
+	path := filepath.Join(t.TempDir(), "space.json")
+	if err := sp.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Application != sp.Application || len(got.Tasks) != len(sp.Tasks) ||
+		len(got.Args) != len(sp.Args) || got.BaselineSec != sp.BaselineSec {
+		t.Fatalf("roundtrip mismatch: %+v", got)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := writeFile(path, "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("expected missing-file error")
+	}
+}
+
+func TestDBRecordLookup(t *testing.T) {
+	db := NewDB()
+	if _, ok := db.Lookup("k"); ok {
+		t.Fatal("empty DB lookup succeeded")
+	}
+	s := db.Record("k", []float64{1, 2, 3})
+	if s.Mean() != 2 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	db.Record("k", []float64{6})
+	s2, ok := db.Lookup("k")
+	if !ok || s2.Mean() != 3 {
+		t.Fatalf("appended mean = %v", s2.Mean())
+	}
+	if db.Len() != 1 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+}
+
+func TestDBFailure(t *testing.T) {
+	db := NewDB()
+	s := db.RecordFailure("bad")
+	if !s.Failed || !math.IsInf(s.Mean(), 1) {
+		t.Fatalf("failure sample = %+v", s)
+	}
+}
+
+func TestDBKeysInsertionOrder(t *testing.T) {
+	db := NewDB()
+	db.Record("a", []float64{1})
+	db.Record("b", []float64{1})
+	db.Record("a", []float64{1}) // no duplicate key entry
+	keys := db.Keys()
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestSampleSummary(t *testing.T) {
+	db := NewDB()
+	s := db.Record("k", []float64{2, 4})
+	sum := s.Summary()
+	if sum.N != 2 || sum.Mean != 3 {
+		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+func TestExtractFailsWhenStartUnexecutable(t *testing.T) {
+	m := cluster.Shepard(1)
+	g := profGraph(t)
+	mp := mapping.Default(g, m.Model())
+	// Strict FB-only with an impossible footprint.
+	huge := g.AddCollection(taskir.Collection{Name: "huge", Space: "x", Lo: 0, Hi: 64 << 30, Partitioned: true})
+	g.Tasks[0].Args = append(g.Tasks[0].Args, taskir.Arg{Collection: huge.ID, Privilege: taskir.ReadOnly})
+	mp2 := mapping.New(g)
+	for i, tk := range g.Tasks {
+		d := mp2.Decision(taskir.TaskID(i))
+		d.Proc = machine.GPU
+		d.Distribute = true
+		for a := range tk.Args {
+			d.Mems[a] = []machine.MemKind{machine.FrameBuffer}
+		}
+	}
+	_ = mp
+	if _, err := Extract(m, g, mp2, sim.Config{}); err == nil {
+		t.Fatal("expected OOM during profiling")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func TestDBSaveLoadRoundtrip(t *testing.T) {
+	db := NewDB()
+	db.Record("k1", []float64{1, 2})
+	db.RecordFailure("k2")
+	db.Record("k3", []float64{5})
+	path := filepath.Join(t.TempDir(), "db.json")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDB(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 {
+		t.Fatalf("Len = %d", got.Len())
+	}
+	s1, _ := got.Lookup("k1")
+	if s1.Mean() != 1.5 {
+		t.Fatalf("k1 mean = %v", s1.Mean())
+	}
+	s2, _ := got.Lookup("k2")
+	if !s2.Failed {
+		t.Fatal("k2 failure lost")
+	}
+	keys := got.Keys()
+	if keys[0] != "k1" || keys[2] != "k3" {
+		t.Fatalf("order lost: %v", keys)
+	}
+}
+
+func TestLoadDBRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDB(path); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadDB(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("absent file accepted")
+	}
+}

@@ -1,0 +1,99 @@
+// A search.Evaluator over the real runtime, so every search algorithm in
+// this repository (CCD, CD, OpenTuner, random, annealing) can tune real
+// wall-clock measurements end-to-end.
+
+package rt
+
+import (
+	"math"
+
+	"automap/internal/mapping"
+	"automap/internal/profile"
+	"automap/internal/search"
+)
+
+// Evaluator measures candidate mappings by really executing them.
+type Evaluator struct {
+	Ex *Executor
+	// Repeats is the number of runs averaged per candidate (the paper
+	// uses 7 — real measurements are noisy).
+	Repeats int
+
+	// DB caches measurements per canonical mapping key.
+	DB *profile.DB
+
+	searchSec float64
+	evalSec   float64
+	// Suggested/Evaluated mirror the driver's Section 5.3 accounting.
+	Suggested int
+	Evaluated int
+}
+
+// NewEvaluator returns a real-runtime evaluator with the given repetition
+// count.
+func NewEvaluator(ex *Executor, repeats int) *Evaluator {
+	if repeats < 1 {
+		repeats = 1
+	}
+	return &Evaluator{Ex: ex, Repeats: repeats, DB: profile.NewDB()}
+}
+
+// Evaluate really executes mp Repeats times and returns the mean wall time.
+func (e *Evaluator) Evaluate(mp *mapping.Mapping) search.Evaluation {
+	e.Suggested++
+	key := mp.Key()
+	if s, ok := e.DB.Lookup(key); ok {
+		return search.Evaluation{MeanSec: s.Mean(), Cached: true, Failed: s.Failed}
+	}
+	times := make([]float64, 0, e.Repeats)
+	for i := 0; i < e.Repeats; i++ {
+		d, err := e.Ex.Execute(mp)
+		if err != nil {
+			e.DB.RecordFailure(key)
+			return search.Evaluation{MeanSec: math.Inf(1), Failed: true}
+		}
+		sec := d.Seconds()
+		times = append(times, sec)
+		e.searchSec += sec
+		e.evalSec += sec
+	}
+	s := e.DB.Record(key, times)
+	e.Evaluated++
+	return search.Evaluation{MeanSec: s.Mean()}
+}
+
+// SearchTimeSec returns the wall time spent executing candidates.
+func (e *Evaluator) SearchTimeSec() float64 { return e.searchSec }
+
+// ChargeOverhead adds algorithm bookkeeping time.
+func (e *Evaluator) ChargeOverhead(sec float64) { e.searchSec += sec }
+
+// ExtractSpace runs the program once under start and returns the
+// search-space representation with wall-clock task runtimes approximated
+// from declared work (the real runtime does not instrument per-task times;
+// the search only needs a visit order).
+func ExtractSpace(ex *Executor, start *mapping.Mapping) (*profile.Space, error) {
+	if _, err := ex.Execute(start); err != nil {
+		return nil, err
+	}
+	sp := &profile.Space{Application: ex.G.Name, Machine: ex.M.Name}
+	for _, t := range ex.G.Tasks {
+		// Rank tasks by their declared work on the starting kind.
+		d := start.Decision(t.ID)
+		v := t.Variants[d.Proc]
+		sp.Tasks = append(sp.Tasks, profile.TaskInfo{
+			ID: t.ID, Name: t.Name, Points: t.Points,
+			RuntimeSec: v.WorkPerPoint * float64(t.Points),
+			Variants:   t.VariantKinds(),
+			NumArgs:    len(t.Args),
+		})
+		for a, arg := range t.Args {
+			sp.Args = append(sp.Args, profile.ArgInfo{
+				Task: t.ID, Arg: a, Collection: arg.Collection,
+				SizeBytes: ex.G.Collection(arg.Collection).SizeBytes(),
+				Privilege: arg.Privilege.String(),
+			})
+		}
+	}
+	return sp, nil
+}

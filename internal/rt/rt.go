@@ -1,0 +1,484 @@
+// Package rt is a real, concurrent mini-runtime for task-based programs: a
+// Legion-in-miniature executing on the host machine with goroutine worker
+// pools, real byte buffers, real copies, and wall-clock timing.
+//
+// The simulator (internal/sim) answers "what would this mapping cost on a
+// modeled GPU cluster"; this package answers "run it for real". Processor
+// kinds become worker pools of different widths and speeds, memory kinds
+// become arenas with capacity accounting and bandwidth-throttled copies,
+// and task variants become synthetic compute kernels that burn real CPU
+// proportional to their declared work. Measurements therefore carry real
+// operating-system noise — which is exactly what AutoMap's repeated-
+// measurement protocol (7-run averages, Section 5) exists to handle. The
+// package provides a search.Evaluator so every search algorithm in this
+// repository can drive the real runtime unchanged.
+//
+// Heterogeneity is emulated: the host has no GPU, so a "GPU" pool is a
+// narrow pool with a high per-worker speed factor and a launch delay, and
+// memory-kind bandwidths are enforced by pacing copies. The *structure* of
+// the mapping problem — waves, queues, copies, capacity, overlap — is real.
+package rt
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"automap/internal/machine"
+	"automap/internal/mapping"
+	"automap/internal/taskir"
+)
+
+// Pool models one processor kind as a pool of workers.
+type Pool struct {
+	Kind machine.ProcKind
+	// Workers is the pool width (concurrent points).
+	Workers int
+	// OpsPerSec converts a task variant's WorkPerPoint (abstract ops)
+	// into real kernel iterations: a point of work W runs
+	// W / OpsPerSec * KernelRate real operations.
+	OpsPerSec float64
+	// Launch is the per-point launch overhead, implemented as a real
+	// sleep (kernel-launch emulation).
+	Launch time.Duration
+}
+
+// Arena models one memory kind: a capacity-limited buffer space with a
+// copy bandwidth that is enforced by pacing.
+type Arena struct {
+	Kind machine.MemKind
+	// Capacity bounds the sum of live instance bytes.
+	Capacity int64
+	// CopyBytesPerSec paces copies into this arena.
+	CopyBytesPerSec float64
+	// AccessFactor scales kernel durations for data resident here
+	// (slower memories make kernels take proportionally longer, the
+	// runtime analogue of the simulator's access-bandwidth model).
+	AccessFactor float64
+
+	mu   sync.Mutex
+	used int64
+}
+
+// reserve charges bytes against the arena's capacity.
+func (a *Arena) reserve(n int64) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.used+n > a.Capacity {
+		return false
+	}
+	a.used += n
+	return true
+}
+
+// Machine is a runtime machine: one pool per processor kind and one arena
+// per memory kind (single-node: the host).
+type Machine struct {
+	Name   string
+	Pools  map[machine.ProcKind]*Pool
+	Arenas map[machine.MemKind]*Arena
+}
+
+// Model returns the kind-level accessibility view: every pool can address
+// every arena except the conventional exclusions (CPU cannot address
+// Frame-Buffer; GPU cannot address System memory), mirroring the clusters.
+func (m *Machine) Model() *machine.Model {
+	acc := make(map[machine.ProcKind][]machine.MemKind)
+	for pk := range m.Pools {
+		for mk := range m.Arenas {
+			if pk == machine.CPU && mk == machine.FrameBuffer {
+				continue
+			}
+			if pk == machine.GPU && mk == machine.SysMem {
+				continue
+			}
+			acc[pk] = append(acc[pk], mk)
+		}
+	}
+	return machine.NewModel(m.Name, acc)
+}
+
+// DefaultMachine returns a host machine emulating a small heterogeneous
+// node: a wide, slower "CPU" pool and a narrow, faster "GPU" pool with a
+// launch delay; three arenas with Frame-Buffer the fastest and smallest.
+// scale shrinks the synthetic kernel work so tests stay fast (1.0 = full).
+func DefaultMachine(scale float64) *Machine {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &Machine{
+		Name: "host",
+		Pools: map[machine.ProcKind]*Pool{
+			machine.CPU: {Kind: machine.CPU, Workers: 4, OpsPerSec: 0.4e9 * scale},
+			machine.GPU: {Kind: machine.GPU, Workers: 1, OpsPerSec: 4e9 * scale,
+				Launch: 200 * time.Microsecond},
+		},
+		Arenas: map[machine.MemKind]*Arena{
+			machine.SysMem:      {Kind: machine.SysMem, Capacity: 1 << 30, CopyBytesPerSec: 4e9, AccessFactor: 1.0},
+			machine.ZeroCopy:    {Kind: machine.ZeroCopy, Capacity: 1 << 30, CopyBytesPerSec: 1e9, AccessFactor: 1.6},
+			machine.FrameBuffer: {Kind: machine.FrameBuffer, Capacity: 64 << 20, CopyBytesPerSec: 8e9, AccessFactor: 0.6},
+		},
+	}
+}
+
+// instance is a live buffer of a collection in one arena.
+type instance struct {
+	arena *Arena
+	buf   []byte
+}
+
+// Executor runs a program under mappings on a runtime machine.
+type Executor struct {
+	M *Machine
+	G *taskir.Graph
+
+	// KernelRate bounds the real operations per abstract op (so huge
+	// declared work values stay executable); the default of 1 runs one
+	// arithmetic op per scaled abstract op.
+	KernelRate float64
+}
+
+// NewExecutor returns an executor for (m, g).
+func NewExecutor(m *Machine, g *taskir.Graph) *Executor {
+	return &Executor{M: m, G: g, KernelRate: 1}
+}
+
+// OOMError reports that a collection did not fit its mapped arenas.
+type OOMError struct {
+	Task, Collection string
+	Tried            []machine.MemKind
+}
+
+// Error implements the error interface.
+func (e *OOMError) Error() string {
+	return fmt.Sprintf("rt: out of memory: task %q collection %q (tried %v)", e.Task, e.Collection, e.Tried)
+}
+
+// Execute runs the program once under mp and returns the measured wall
+// time.
+//
+// Execution is asynchronous and dependence-driven, like a real task-based
+// runtime: each task launch becomes a goroutine gated on the completion
+// events of its data dependences (last writer of each read collection, all
+// accessors since the last writer for each written collection), its points
+// compete for the mapped pool's worker slots with every other in-flight
+// launch on that pool, and independent launches on different pools overlap
+// for real. Collections are materialized lazily per (alias, arena) with
+// priority-list fallback; data moves between arenas with paced copies when
+// a consumer needs it elsewhere.
+func (e *Executor) Execute(mp *mapping.Mapping) (time.Duration, error) {
+	if err := mp.Validate(e.G, e.M.Model()); err != nil {
+		return 0, err
+	}
+	run := &execution{
+		ex: e, mp: mp,
+		instances: make(map[instKey]*instance),
+		valid:     make(map[taskir.CollectionID]machine.MemKind),
+		slots:     make(map[machine.ProcKind]chan struct{}),
+	}
+	for pk, pool := range e.M.Pools {
+		w := pool.Workers
+		if w < 1 {
+			w = 1
+		}
+		run.slots[pk] = make(chan struct{}, w)
+	}
+	// Reset arena accounting for this run.
+	for _, a := range e.M.Arenas {
+		a.mu.Lock()
+		a.used = 0
+		a.mu.Unlock()
+	}
+
+	// Pre-flight the placement serially so capacity failures surface as
+	// errors before any asynchronous work starts.
+	for _, t := range e.G.Tasks {
+		d := mp.Decision(t.ID)
+		for a, arg := range t.Args {
+			c := e.G.Collection(arg.Collection)
+			if _, _, err := run.materialize(t, c, d.Mems[a]); err != nil {
+				return 0, err
+			}
+		}
+	}
+
+	start := time.Now()
+	// Dependence tracking over launch events: per alias, the done
+	// channel of the last writer and of all readers since.
+	lastWriter := make(map[taskir.CollectionID]chan struct{})
+	readersSince := make(map[taskir.CollectionID][]chan struct{})
+	var all []chan struct{}
+	for iter := 0; iter < e.G.Iterations; iter++ {
+		for _, t := range e.G.Tasks {
+			deps := make([]chan struct{}, 0, 4)
+			done := make(chan struct{})
+			for _, arg := range t.Args {
+				al := e.G.AliasID(arg.Collection)
+				if arg.Privilege.Reads() {
+					if w := lastWriter[al]; w != nil {
+						deps = append(deps, w)
+					}
+				}
+				if arg.Privilege.Writes() {
+					deps = append(deps, readersSince[al]...)
+					if w := lastWriter[al]; w != nil {
+						deps = append(deps, w)
+					}
+					lastWriter[al] = done
+					readersSince[al] = nil
+				} else if arg.Privilege.Reads() {
+					readersSince[al] = append(readersSince[al], done)
+				}
+			}
+			all = append(all, done)
+			go func(t *taskir.GroupTask, deps []chan struct{}, done chan struct{}) {
+				defer close(done)
+				for _, d := range deps {
+					<-d
+				}
+				// Placement was pre-flighted; runTask re-resolves
+				// instances from the shared cache.
+				_ = run.runTask(t)
+			}(t, deps, done)
+		}
+	}
+	for _, done := range all {
+		<-done
+	}
+	return time.Since(start), nil
+}
+
+// instKey identifies an instance of an aliased collection in an arena.
+type instKey struct {
+	alias taskir.CollectionID
+	kind  machine.MemKind
+}
+
+// execution is the per-run state.
+type execution struct {
+	ex *Executor
+	mp *mapping.Mapping
+
+	// mu guards the instance cache and validity map (launch goroutines
+	// bind and move data concurrently).
+	mu        sync.Mutex
+	instances map[instKey]*instance
+	// valid tracks where each alias's current data lives.
+	valid map[taskir.CollectionID]machine.MemKind
+
+	// slots is one semaphore per pool: points of concurrent launches on
+	// the same pool genuinely contend for workers.
+	slots map[machine.ProcKind]chan struct{}
+}
+
+// materialize returns the instance of collection c in arena kind mk,
+// allocating (with capacity accounting) on first use.
+func (r *execution) materialize(t *taskir.GroupTask, c *taskir.Collection, tried []machine.MemKind) (*instance, machine.MemKind, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	al := r.ex.G.AliasID(c.ID)
+	for _, mk := range tried {
+		key := instKey{al, mk}
+		if inst, ok := r.instances[key]; ok {
+			return inst, mk, nil
+		}
+		arena := r.ex.M.Arenas[mk]
+		if arena == nil {
+			continue
+		}
+		size := c.SizeBytes()
+		// Cap physical buffers: kernels stream the buffer cyclically,
+		// so a window is enough to create real memory traffic.
+		bufSize := size
+		if bufSize > 1<<22 {
+			bufSize = 1 << 22
+		}
+		if !arena.reserve(size) {
+			continue
+		}
+		inst := &instance{arena: arena, buf: make([]byte, bufSize)}
+		r.instances[key] = inst
+		return inst, mk, nil
+	}
+	return nil, 0, &OOMError{Task: t.Name, Collection: c.Name, Tried: tried}
+}
+
+// ensure moves the alias's current data into dst with a paced copy when it
+// lives elsewhere. The validity map is updated under the lock; the copy
+// itself happens outside it (dependences already serialize conflicting
+// accesses to the same alias).
+func (r *execution) ensure(c *taskir.Collection, dst machine.MemKind, inst *instance) {
+	al := r.ex.G.AliasID(c.ID)
+	r.mu.Lock()
+	cur, ok := r.valid[al]
+	r.valid[al] = dst
+	var src *instance
+	if ok && cur != dst {
+		src = r.instances[instKey{al, cur}]
+	}
+	r.mu.Unlock()
+	if src != nil {
+		pacedCopy(inst.buf, src.buf, c.SizeBytes(), minf(src.arena.CopyBytesPerSec, inst.arena.CopyBytesPerSec))
+	}
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// pacedCopy copies logical `bytes` between buffers (cycling over the
+// physical windows) at no more than bw bytes/second.
+func pacedCopy(dst, src []byte, bytes int64, bw float64) {
+	if len(dst) == 0 || len(src) == 0 || bytes <= 0 {
+		return
+	}
+	start := time.Now()
+	var done int64
+	for done < bytes {
+		n := int64(len(dst))
+		if rem := bytes - done; rem < n {
+			n = rem
+		}
+		copy(dst[:n], src[:min64(n, int64(len(src)))])
+		done += n
+		if bw > 0 {
+			if ahead := time.Duration(float64(done)/bw*1e9)*time.Nanosecond - time.Since(start); ahead > 50*time.Microsecond {
+				time.Sleep(ahead)
+			}
+		}
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// runTask executes one launch of t: materialize/ensure the arguments, then
+// run the points in parallel over the mapped pool's workers.
+func (r *execution) runTask(t *taskir.GroupTask) error {
+	d := r.mp.Decision(t.ID)
+	pool := r.ex.M.Pools[d.Proc]
+	if pool == nil {
+		return fmt.Errorf("rt: no pool for kind %v", d.Proc)
+	}
+	variant := t.Variants[d.Proc]
+
+	bound := make([]boundArg, 0, len(t.Args))
+	for a, arg := range t.Args {
+		c := r.ex.G.Collection(arg.Collection)
+		inst, mk, err := r.materialize(t, c, d.Mems[a])
+		if err != nil {
+			return err
+		}
+		if arg.Privilege.Reads() {
+			r.ensure(c, mk, inst)
+		} else {
+			al := r.ex.G.AliasID(c.ID)
+			r.mu.Lock()
+			r.valid[al] = mk
+			r.mu.Unlock()
+		}
+		bound = append(bound, boundArg{
+			inst:   inst,
+			factor: inst.arena.AccessFactor,
+			bpp:    arg.BytesPerPoint,
+			writes: arg.Privilege.Writes(),
+		})
+	}
+
+	// Per-point kernel duration = work / (pool speed × efficiency),
+	// stretched by the slowest accessed arena; converted to real kernel
+	// iterations at the calibrated iteration rate.
+	eff := variant.Efficiency
+	if eff <= 0 {
+		eff = 1
+	}
+	factor := 1.0
+	for _, ba := range bound {
+		if ba.bpp > 0 && ba.factor > factor {
+			factor = ba.factor
+		}
+	}
+	durationSec := variant.WorkPerPoint / (pool.OpsPerSec * eff) * factor
+	ops := int64(durationSec * kernelItersPerSec * r.ex.KernelRate)
+
+	// Points compete for the pool's worker slots with every other
+	// in-flight launch mapped to the same pool.
+	slots := r.slots[d.Proc]
+	var wg sync.WaitGroup
+	for pt := 0; pt < t.Points; pt++ {
+		wg.Add(1)
+		go func(pt int) {
+			defer wg.Done()
+			slots <- struct{}{}
+			defer func() { <-slots }()
+			if pool.Launch > 0 {
+				spinWait(pool.Launch)
+			}
+			runKernel(bound2bufs(bound), pt, t.Points, ops)
+		}(pt)
+	}
+	wg.Wait()
+	return nil
+}
+
+// boundArg is one argument bound to its materialized instance.
+type boundArg struct {
+	inst   *instance
+	factor float64
+	bpp    int64
+	writes bool
+}
+
+// kernelItersPerSec is the calibrated rate of runKernel iterations on a
+// typical host core; it only needs to be right within a small factor.
+const kernelItersPerSec = 100e6
+
+func bound2bufs(bound []boundArg) [][]byte {
+	bufs := make([][]byte, 0, len(bound))
+	for _, b := range bound {
+		bufs = append(bufs, b.inst.buf)
+	}
+	return bufs
+}
+
+// spinWait busy-waits for short, precise delays (time.Sleep overshoots by
+// up to a scheduler tick, which would swamp sub-millisecond launch
+// overheads).
+func spinWait(d time.Duration) {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+	}
+}
+
+// runKernel burns `ops` real arithmetic operations while streaming this
+// point's disjoint window of each argument buffer — the synthetic stand-in
+// for the application's numeric kernels. Windows are disjoint per point so
+// concurrent points never write the same bytes.
+func runKernel(bufs [][]byte, point, points int, ops int64) {
+	if points < 1 {
+		points = 1
+	}
+	var acc uint64 = uint64(point) + 1
+	idx := 0
+	for i := int64(0); i < ops; i++ {
+		acc = acc*6364136223846793005 + 1442695040888963407
+		for _, buf := range bufs {
+			win := len(buf) / points
+			if win < 1 {
+				continue
+			}
+			off := point * win
+			j := off + idx%win
+			acc += uint64(buf[j])
+			buf[j] = byte(acc)
+		}
+		idx += 8
+	}
+}

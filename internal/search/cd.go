@@ -1,0 +1,141 @@
+// Coordinate-wise descent and constrained coordinate-wise descent
+// (Algorithm 1 of the paper).
+
+package search
+
+import (
+	"automap/internal/overlap"
+	"automap/internal/taskir"
+)
+
+// CCD is the paper's constrained coordinate-wise descent search algorithm
+// (Section 4.2). With Constrained == false and Rotations == 1 it degrades
+// to plain coordinate-wise descent (Section 4.1): "CD is equivalent to the
+// one rotation (the last one) of CCD".
+type CCD struct {
+	// Rotations is the number of full CD passes; the paper uses 5, with
+	// 1/4 of the overlap-graph edges pruned after each rotation.
+	Rotations int
+	// Constrained enables the co-location constraints of Algorithm 2.
+	Constrained bool
+	// IgnoreProfiledOrder disables the paper's heuristic of visiting
+	// tasks longest-running-first and arguments largest-first
+	// (Section 4.1); tasks and arguments are then visited in program
+	// order. Used by the ordering ablation benchmark.
+	IgnoreProfiledOrder bool
+}
+
+// NewCCD returns the paper's CCD configuration (5 rotations, constrained).
+func NewCCD() *CCD { return &CCD{Rotations: 5, Constrained: true} }
+
+// NewCD returns plain coordinate-wise descent.
+func NewCD() *CCD { return &CCD{Rotations: 1, Constrained: false} }
+
+// Name identifies the algorithm ("AM-CCD" / "AM-CD" in the figures).
+func (c *CCD) Name() string {
+	if c.Constrained {
+		return "AM-CCD"
+	}
+	return "AM-CD"
+}
+
+// Search runs Algorithm 1: initialize f to the starting point; for each
+// rotation, optimize every task in decreasing profiled-runtime order
+// (distribution bit, then processor kind, then memory kind per collection
+// argument in decreasing size order), testing each candidate and keeping
+// strict improvements; after each rotation prune the lightest
+// original/(N−1) edges of the collection-overlap graph.
+func (c *CCD) Search(p *Problem, ev Evaluator, budget Budget) *Outcome {
+	rotations := c.Rotations
+	if rotations < 1 {
+		rotations = 1
+	}
+	tr := newTracker(ev)
+
+	// Line 2: initialize f to starting point, p to its performance.
+	start := p.Start.Clone()
+	tr.test(start)
+	if tr.best == nil {
+		// Even the starting point failed (e.g. OOM); continue with it
+		// as the incumbent structure so candidates can still improve.
+		tr.best = start
+	}
+
+	// Line 3: induced graph over collections.
+	var og *overlap.Graph
+	if c.Constrained && p.Overlap != nil {
+		og = p.Overlap.Clone()
+	}
+
+	taskOrder := p.Space.TasksByRuntime()
+	if c.IgnoreProfiledOrder {
+		taskOrder = taskOrder[:0]
+		for _, t := range p.Graph.Tasks {
+			taskOrder = append(taskOrder, t.ID)
+		}
+	}
+	tunable := p.tunableSet()
+
+	for r := 1; r <= rotations; r++ {
+		for _, tid := range taskOrder {
+			if tunable != nil && !tunable[tid] {
+				continue
+			}
+			if budget.exceeded(ev, tr.suggested) {
+				return tr.outcome()
+			}
+			c.optimizeTask(p, tr, og, tid)
+		}
+		// Line 8: remove original_num_edges/(num_rotations-1) lightest
+		// edges, so the final rotation runs unconstrained.
+		if og != nil && rotations > 1 {
+			quota := og.OriginalNumEdges() / (rotations - 1)
+			if quota < 1 {
+				quota = 1
+			}
+			og.PruneLightest(quota)
+		}
+	}
+	return tr.outcome()
+}
+
+// optimizeTask is Algorithm 1's OptimizeTask: greedily optimize the
+// distribution setting, then jointly sweep processor kinds and per-argument
+// memory kinds.
+func (c *CCD) optimizeTask(p *Problem, tr *tracker, og *overlap.Graph, tid taskir.TaskID) {
+	t := p.Graph.Task(tid)
+
+	// Lines 11–12: optimize the distribution setting.
+	for _, dist := range []bool{true, false} {
+		cand := tr.best.Clone()
+		cand.SetDistribute(tid, dist)
+		tr.test(cand)
+	}
+
+	// Lines 13–18: optimize processor kind and per-collection memory
+	// kinds.
+	argOrder := p.Space.ArgsBySize(tid)
+	if c.IgnoreProfiledOrder {
+		argOrder = argOrder[:0]
+		for a := range t.Args {
+			argOrder = append(argOrder, a)
+		}
+	}
+	for _, k := range p.Model.ProcKinds {
+		if !t.HasVariant(k) {
+			continue
+		}
+		for _, argIdx := range argOrder {
+			for _, r := range p.Model.Accessible(k) {
+				cand := tr.best.Clone()
+				cand.SetProc(tid, k)
+				cand.RebuildPriorityLists(p.Model, tid)
+				cand.SetArgMem(p.Model, tid, argIdx, r)
+				if c.Constrained && og != nil {
+					applyColocation(p, og, cand, tid, argIdx, k, r)
+				}
+				tr.test(cand)
+			}
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Co-location constraints (Algorithm 2 of the paper).
+//
+// CCD enforces two constraints on every candidate mapping:
+//
+//  1. a task argument is mapped to a memory kind addressable by the task's
+//     processor kind (correctness);
+//  2. collections joined by an edge of the overlap graph C are mapped to
+//     the same memory kind (co-location, to minimize data movement).
+//
+// After CCD changes one decision — task t moves to processor kind k and its
+// argument referencing collection c moves to memory kind r — this file
+// propagates the two rules to a global fixed point: overlapping collections
+// follow c to r; tasks whose arguments became unaddressable move to k;
+// arguments of moved tasks that are now unaddressable are re-homed to an
+// addressable kind and drag their own overlap sets along. The process
+// converges because the limiting case is that every task/collection is
+// mapped to the same processor/memory kind; a generous step bound guards
+// against pathological inputs.
+
+package search
+
+import (
+	"sort"
+
+	"automap/internal/machine"
+	"automap/internal/mapping"
+	"automap/internal/overlap"
+	"automap/internal/taskir"
+)
+
+// applyColocation mutates cand in place, enforcing the co-location
+// constraints after the decision "map t on k, c(argIdx) on r" (Algorithm 2).
+func applyColocation(p *Problem, og *overlap.Graph, cand *mapping.Mapping, t taskir.TaskID, argIdx int, k machine.ProcKind, r machine.MemKind) {
+	g := p.Graph
+	md := p.Model
+	c := g.Task(t).Args[argIdx].Collection
+	tunable := p.tunableSet()
+	frozen := func(id taskir.TaskID) bool {
+		return tunable != nil && !tunable[id]
+	}
+
+	tCheck := make(map[taskir.TaskID]bool)
+	cCheck := make(map[overlap.TaskArg]bool)
+
+	// Lines 4–6: map all collections overlapping with c to r and record
+	// their tasks.
+	origSet := overlap.OverlapSet(g, og, t, c)
+	for _, ta := range origSet {
+		if frozen(ta.Task) {
+			continue
+		}
+		if !(ta.Task == t && ta.Arg == argIdx) {
+			cand.SetArgMemRaw(ta.Task, ta.Arg, r)
+		}
+		tCheck[ta.Task] = true
+	}
+
+	// inOrigSet reports whether (t, c) ∈ O[(ti, ci)]; since the overlap
+	// relation is symmetric, this holds iff ci == c or (c, ci) ∈ C.
+	inOrigSet := func(ci taskir.CollectionID) bool {
+		return ci == c || og.Connected(c, ci)
+	}
+
+	// Lines 7–26: iterate to a fixed point.
+	maxSteps := 8 * (g.NumCollectionArgs() + len(g.Tasks) + 8)
+	for steps := 0; (len(tCheck) > 0 || len(cCheck) > 0) && steps < maxSteps; steps++ {
+		// Lines 8–13: adjust tasks whose collections moved.
+		for len(tCheck) > 0 {
+			ti := popTask(tCheck)
+			task := g.Task(ti)
+			for ai := range task.Args {
+				prim := cand.Decision(ti).PrimaryMem(ai)
+				if !md.CanAccess(cand.Decision(ti).Proc, prim) {
+					if ti != t && task.HasVariant(k) && md.HasProcKind(k) {
+						cand.SetProc(ti, k)
+					}
+					cCheck[overlap.TaskArg{Task: ti, Arg: ai, Collection: task.Args[ai].Collection}] = true
+				}
+			}
+		}
+		// Lines 14–26: adjust collections whose tasks moved.
+		for len(cCheck) > 0 {
+			ta := popTaskArg(cCheck)
+			ti, ai, ci := ta.Task, ta.Arg, ta.Collection
+			// Line 16: select a memory kind addressable by ti's
+			// processor kind (deterministically: the kind's
+			// preferred memory, else the first accessible).
+			pk := cand.Decision(ti).Proc
+			m := mapping.PreferredMem(pk)
+			if !md.CanAccess(pk, m) {
+				acc := md.Accessible(pk)
+				if len(acc) == 0 {
+					continue
+				}
+				m = acc[0]
+			}
+			// Lines 17–18: do not disturb the original decision's
+			// overlap set.
+			if inOrigSet(ci) {
+				continue
+			}
+			// Line 19.
+			cand.SetArgMemRaw(ti, ai, m)
+			// Lines 20–26: drag (ti, ci)'s own overlap set along.
+			for _, tj := range overlap.OverlapSet(g, og, ti, ci) {
+				if tj.Task == ti && tj.Arg == ai {
+					continue
+				}
+				if frozen(tj.Task) {
+					continue
+				}
+				if cand.Decision(tj.Task).PrimaryMem(tj.Arg) == m {
+					continue
+				}
+				cand.SetArgMemRaw(tj.Task, tj.Arg, m)
+				if !md.CanAccess(cand.Decision(tj.Task).Proc, m) {
+					tCheck[tj.Task] = true
+				}
+				delete(cCheck, tj)
+			}
+		}
+	}
+
+	// Safety net: guarantee constraint (1) holds even if the step bound
+	// tripped, and rebuild fallback lists for all touched decisions.
+	// Frozen tasks were never modified, so sanitizing cannot move them.
+	cand.Sanitize(g, md)
+}
+
+// popTask removes and returns the smallest task ID in the set
+// (deterministic iteration).
+func popTask(set map[taskir.TaskID]bool) taskir.TaskID {
+	best := taskir.TaskID(-1)
+	for id := range set {
+		if best < 0 || id < best {
+			best = id
+		}
+	}
+	delete(set, best)
+	return best
+}
+
+// popTaskArg removes and returns the smallest (task, arg) in the set.
+func popTaskArg(set map[overlap.TaskArg]bool) overlap.TaskArg {
+	keys := make([]overlap.TaskArg, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Task != keys[j].Task {
+			return keys[i].Task < keys[j].Task
+		}
+		return keys[i].Arg < keys[j].Arg
+	})
+	delete(set, keys[0])
+	return keys[0]
+}

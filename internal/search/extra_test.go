@@ -1,0 +1,81 @@
+package search
+
+import (
+	"math"
+	"testing"
+
+	"automap/internal/taskir"
+)
+
+func TestRandomSearchImproves(t *testing.T) {
+	p := searchProblem(t)
+	ev := newFakeEval(p.Graph, p.Model, [2]taskir.CollectionID{0, 1})
+	startCost := ev.cost(p.Start)
+	out := NewRandom().Search(p, ev, Budget{MaxSuggestions: 500})
+	if out.BestSec >= startCost {
+		t.Fatalf("random best %v did not improve on start %v", out.BestSec, startCost)
+	}
+	if err := out.Best.Validate(p.Graph, p.Model); err != nil {
+		t.Fatalf("random proposed invalid best: %v", err)
+	}
+}
+
+func TestRandomProposesOnlyValidMappings(t *testing.T) {
+	p := searchProblem(t)
+	ev := newFakeEval(p.Graph, p.Model, [2]taskir.CollectionID{0, 1})
+	out := NewRandom().Search(p, ev, Budget{MaxSuggestions: 300})
+	// The fake evaluator returns +Inf for invalid mappings and caches
+	// them; a valid-only proposer never produces one.
+	for key, cost := range ev.cache {
+		if math.IsInf(cost, 1) {
+			t.Fatalf("invalid mapping proposed (key %s)", key)
+		}
+	}
+	_ = out
+}
+
+func TestAnnealImprovesAndEscapesLocalOptima(t *testing.T) {
+	p := searchProblem(t)
+	ev := newFakeEval(p.Graph, p.Model, [2]taskir.CollectionID{0, 1})
+	startCost := ev.cost(p.Start)
+	out := NewAnneal().Search(p, ev, Budget{MaxSuggestions: 3000})
+	if out.BestSec >= startCost {
+		t.Fatalf("anneal best %v did not improve on start %v", out.BestSec, startCost)
+	}
+	if err := out.Best.Validate(p.Graph, p.Model); err != nil {
+		t.Fatalf("anneal best invalid: %v", err)
+	}
+}
+
+func TestAnnealRespectsTunable(t *testing.T) {
+	p := searchProblem(t)
+	p.Tunable = []taskir.TaskID{1}
+	ev := newFakeEval(p.Graph, p.Model, [2]taskir.CollectionID{0, 1})
+	out := NewAnneal().Search(p, ev, Budget{MaxSuggestions: 500})
+	for _, id := range []taskir.TaskID{0, 2, 3} {
+		if out.Best.Decision(id).Proc != p.Start.Decision(id).Proc ||
+			out.Best.Decision(id).Distribute != p.Start.Decision(id).Distribute {
+			t.Fatalf("non-tunable task %d moved", id)
+		}
+	}
+}
+
+func TestExtraAlgorithmNames(t *testing.T) {
+	if NewRandom().Name() != "AM-Random" || NewAnneal().Name() != "AM-Anneal" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestCCDBeatsRandomAndAnneal(t *testing.T) {
+	run := func(alg Algorithm, budget Budget) float64 {
+		p := searchProblem(t)
+		ev := newFakeEval(p.Graph, p.Model, [2]taskir.CollectionID{0, 1})
+		return alg.Search(p, ev, budget).BestSec
+	}
+	ccd := run(NewCCD(), Budget{})
+	rnd := run(NewRandom(), Budget{MaxSuggestions: 2000})
+	ann := run(NewAnneal(), Budget{MaxSuggestions: 2000})
+	if ccd > rnd || ccd > ann {
+		t.Fatalf("CCD (%v) should be at least as good as random (%v) and anneal (%v)", ccd, rnd, ann)
+	}
+}

@@ -1,0 +1,317 @@
+// An OpenTuner-style generic autotuner (Section 4.3 of the paper).
+//
+// OpenTuner runs an ensemble of search techniques simultaneously; a
+// multi-armed-bandit meta-technique gives techniques that recently found
+// better configurations a larger share of the suggestion budget. The search
+// space is encoded as an unconstrained vector of integer parameters, so the
+// tuner can — and frequently does — propose invalid mappings (e.g. a task
+// on CPU with an argument in Frame-Buffer memory). Per the paper, AutoMap
+// does not execute such mappings; it returns a high value so similar
+// suggestions become less likely, "although that is not guaranteed".
+//
+// The ensemble mirrors OpenTuner's defaults: uniform random search, greedy
+// 1..3-parameter mutation of the best known configuration, uniform
+// crossover of elite configurations, and a ±1 pattern search. Each
+// suggestion also charges a fixed bookkeeping overhead to the search clock,
+// reproducing the paper's observation that OpenTuner spends only 13–45% of
+// its search time actually evaluating mappings.
+
+package search
+
+import (
+	"math"
+
+	"automap/internal/machine"
+	"automap/internal/mapping"
+	"automap/internal/taskir"
+	"automap/internal/xrand"
+)
+
+// OpenTuner is the generic ensemble tuner ("AM-OT" in Figure 9).
+type OpenTuner struct {
+	// EliteSize is the population kept for crossover.
+	EliteSize int
+	// OverheadSec is the bookkeeping time charged per suggestion.
+	OverheadSec float64
+}
+
+// NewOpenTuner returns the tuner with defaults matching the paper's
+// observed behavior.
+func NewOpenTuner() *OpenTuner {
+	return &OpenTuner{EliteSize: 10, OverheadSec: 0.12}
+}
+
+// Name identifies the algorithm.
+func (*OpenTuner) Name() string { return "AM-OT" }
+
+// genome is the unconstrained parameter vector: for each task
+// [distribute, procKindIdx] then one memKindIdx per collection argument.
+type genome []int
+
+// encoding describes the genome layout for a problem.
+type encoding struct {
+	g  *taskir.Graph
+	md *machine.Model
+	// dims[i] is the cardinality of parameter i.
+	dims []int
+	// taskOff[t] is the offset of task t's [distribute, proc] pair;
+	// argOff[t] is the offset of its first argument parameter.
+	taskOff []int
+	argOff  []int
+}
+
+func newEncoding(g *taskir.Graph, md *machine.Model) *encoding {
+	e := &encoding{g: g, md: md}
+	e.taskOff = make([]int, len(g.Tasks))
+	e.argOff = make([]int, len(g.Tasks))
+	for i, t := range g.Tasks {
+		e.taskOff[i] = len(e.dims)
+		e.dims = append(e.dims, 2)                 // distribute
+		e.dims = append(e.dims, len(md.ProcKinds)) // processor kind
+		e.argOff[i] = len(e.dims)
+		for range t.Args {
+			e.dims = append(e.dims, len(md.MemKinds)) // memory kind
+		}
+	}
+	return e
+}
+
+// encode converts a mapping into a genome.
+func (e *encoding) encode(mp *mapping.Mapping) genome {
+	gen := make(genome, len(e.dims))
+	for i := range e.g.Tasks {
+		d := mp.Decision(taskir.TaskID(i))
+		if d.Distribute {
+			gen[e.taskOff[i]] = 1
+		}
+		gen[e.taskOff[i]+1] = indexOfProc(e.md.ProcKinds, d.Proc)
+		for a := range e.g.Tasks[i].Args {
+			gen[e.argOff[i]+a] = indexOfMem(e.md.MemKinds, d.PrimaryMem(a))
+		}
+	}
+	return gen
+}
+
+// decode converts a genome into a mapping, reporting whether it is valid
+// (every task has a variant for its kind and every argument's memory kind
+// is addressable by it).
+func (e *encoding) decode(gen genome) (*mapping.Mapping, bool) {
+	mp := mapping.New(e.g)
+	valid := true
+	for i, t := range e.g.Tasks {
+		id := taskir.TaskID(i)
+		mp.SetDistribute(id, gen[e.taskOff[i]] == 1)
+		pk := e.md.ProcKinds[gen[e.taskOff[i]+1]]
+		mp.SetProc(id, pk)
+		if !t.HasVariant(pk) {
+			valid = false
+		}
+		for a := range t.Args {
+			mk := e.md.MemKinds[gen[e.argOff[i]+a]]
+			mp.SetArgMemRaw(id, a, mk)
+			if !e.md.CanAccess(pk, mk) {
+				valid = false
+			}
+		}
+	}
+	if valid {
+		// Fill fallback lists so valid genomes produce executable
+		// priority-list mappings.
+		for i := range e.g.Tasks {
+			mp.RebuildPriorityLists(e.md, taskir.TaskID(i))
+		}
+	}
+	return mp, valid
+}
+
+func indexOfProc(ks []machine.ProcKind, k machine.ProcKind) int {
+	for i, v := range ks {
+		if v == k {
+			return i
+		}
+	}
+	return 0
+}
+
+func indexOfMem(ks []machine.MemKind, k machine.MemKind) int {
+	for i, v := range ks {
+		if v == k {
+			return i
+		}
+	}
+	return 0
+}
+
+// scored is a genome with its measured performance.
+type scored struct {
+	gen genome
+	sec float64
+}
+
+// technique is one member of the ensemble.
+type technique struct {
+	name    string
+	propose func(best []scored, rng *xrand.RNG) genome
+	// Bandit state.
+	uses    int
+	credits float64
+}
+
+// Search runs the ensemble until the budget is exhausted.
+func (o *OpenTuner) Search(p *Problem, ev Evaluator, budget Budget) *Outcome {
+	rng := xrand.New(p.Seed ^ 0x0b9d2ad7)
+	enc := newEncoding(p.Graph, p.Model)
+	tr := newTracker(ev)
+
+	// Dimensions of non-tunable tasks are frozen at the starting genome.
+	frozen := make([]bool, len(enc.dims))
+	if tun := p.tunableSet(); tun != nil {
+		for i, t := range p.Graph.Tasks {
+			if !tun[t.ID] {
+				frozen[enc.taskOff[i]] = true
+				frozen[enc.taskOff[i]+1] = true
+				for a := range t.Args {
+					frozen[enc.argOff[i]+a] = true
+				}
+			}
+		}
+	}
+	freeDims := make([]int, 0, len(enc.dims))
+	for d := range enc.dims {
+		if !frozen[d] {
+			freeDims = append(freeDims, d)
+		}
+	}
+	if len(freeDims) == 0 {
+		freeDims = append(freeDims, 0)
+	}
+
+	elite := make([]scored, 0, o.EliteSize)
+	record := func(gen genome, sec float64) {
+		if math.IsInf(sec, 1) {
+			return
+		}
+		elite = append(elite, scored{gen: append(genome(nil), gen...), sec: sec})
+		for i := len(elite) - 1; i > 0 && elite[i].sec < elite[i-1].sec; i-- {
+			elite[i], elite[i-1] = elite[i-1], elite[i]
+		}
+		if len(elite) > o.EliteSize {
+			elite = elite[:o.EliteSize]
+		}
+	}
+
+	// Seed with the starting mapping so mutation-based techniques have a
+	// valid origin.
+	startGen := enc.encode(p.Start)
+	startRes := ev.Evaluate(p.Start.Clone())
+	tr.suggested++
+	if !startRes.Cached && !startRes.Failed {
+		tr.evaluated++
+	}
+	if startRes.MeanSec < tr.bestSec {
+		tr.best = p.Start.Clone()
+		tr.bestSec = startRes.MeanSec
+		tr.trace = append(tr.trace, TracePoint{SearchSec: ev.SearchTimeSec(), BestSec: tr.bestSec})
+	}
+	record(startGen, startRes.MeanSec)
+
+	mutate := func(src genome, n int, rng *xrand.RNG) genome {
+		out := append(genome(nil), src...)
+		for i := 0; i < n; i++ {
+			d := freeDims[rng.Intn(len(freeDims))]
+			out[d] = rng.Intn(enc.dims[d])
+		}
+		return out
+	}
+	pickElite := func(rng *xrand.RNG) genome {
+		if len(elite) == 0 {
+			return startGen
+		}
+		return elite[rng.Intn(len(elite))].gen
+	}
+
+	techniques := []*technique{
+		{name: "random", propose: func(_ []scored, rng *xrand.RNG) genome {
+			out := append(genome(nil), startGen...)
+			for _, d := range freeDims {
+				out[d] = rng.Intn(enc.dims[d])
+			}
+			return out
+		}},
+		{name: "mutate1", propose: func(_ []scored, rng *xrand.RNG) genome {
+			return mutate(pickElite(rng), 1, rng)
+		}},
+		{name: "mutate3", propose: func(_ []scored, rng *xrand.RNG) genome {
+			return mutate(pickElite(rng), 1+rng.Intn(3), rng)
+		}},
+		{name: "crossover", propose: func(_ []scored, rng *xrand.RNG) genome {
+			a, b := pickElite(rng), pickElite(rng)
+			out := append(genome(nil), a...)
+			for _, d := range freeDims {
+				if rng.Intn(2) == 0 {
+					out[d] = b[d]
+				}
+			}
+			return out
+		}},
+		{name: "pattern", propose: func(_ []scored, rng *xrand.RNG) genome {
+			out := append(genome(nil), pickElite(rng)...)
+			d := freeDims[rng.Intn(len(freeDims))]
+			step := 1
+			if rng.Intn(2) == 0 {
+				step = -1
+			}
+			out[d] = ((out[d]+step)%enc.dims[d] + enc.dims[d]) % enc.dims[d]
+			return out
+		}},
+	}
+
+	totalUses := 0
+	pickTechnique := func() *technique {
+		// UCB1 over per-technique improvement credit.
+		var best *technique
+		bestScore := math.Inf(-1)
+		for _, t := range techniques {
+			var score float64
+			if t.uses == 0 {
+				score = math.Inf(1)
+			} else {
+				score = t.credits/float64(t.uses) +
+					math.Sqrt(2*math.Log(float64(totalUses+1))/float64(t.uses))
+			}
+			if score > bestScore {
+				bestScore = score
+				best = t
+			}
+		}
+		return best
+	}
+
+	for !budget.exceeded(ev, tr.suggested) {
+		tech := pickTechnique()
+		gen := tech.propose(elite, rng)
+		tech.uses++
+		totalUses++
+		ev.ChargeOverhead(o.OverheadSec)
+
+		mp, valid := enc.decode(gen)
+		tr.suggested++
+		if !valid {
+			// Invalid mapping: AutoMap returns a high value without
+			// executing it.
+			continue
+		}
+		res := ev.Evaluate(mp)
+		if !res.Cached && !res.Failed {
+			tr.evaluated++
+		}
+		record(gen, res.MeanSec)
+		if res.MeanSec < tr.bestSec {
+			tr.best = mp
+			tr.bestSec = res.MeanSec
+			tr.trace = append(tr.trace, TracePoint{SearchSec: ev.SearchTimeSec(), BestSec: tr.bestSec})
+			tech.credits++
+		}
+	}
+	return tr.outcome()
+}

@@ -1,0 +1,82 @@
+package search
+
+import (
+	"testing"
+	"testing/quick"
+
+	"automap/internal/machine"
+)
+
+func TestGenomeEncodeDecodeRoundtrip(t *testing.T) {
+	p := searchProblem(t)
+	enc := newEncoding(p.Graph, p.Model)
+	gen := enc.encode(p.Start)
+	mp, valid := enc.decode(gen)
+	if !valid {
+		t.Fatal("start mapping decodes as invalid")
+	}
+	// Round trip preserves the searched components: distribute, proc,
+	// primary memory per argument.
+	for _, tk := range p.Graph.Tasks {
+		d0, d1 := p.Start.Decision(tk.ID), mp.Decision(tk.ID)
+		if d0.Distribute != d1.Distribute || d0.Proc != d1.Proc {
+			t.Fatalf("task %d decision changed: %+v vs %+v", tk.ID, d0, d1)
+		}
+		for a := range tk.Args {
+			if d0.PrimaryMem(a) != d1.PrimaryMem(a) {
+				t.Fatalf("task %d arg %d primary changed", tk.ID, a)
+			}
+		}
+	}
+}
+
+func TestGenomeDecodeDetectsInvalid(t *testing.T) {
+	p := searchProblem(t)
+	enc := newEncoding(p.Graph, p.Model)
+	gen := enc.encode(p.Start)
+	// Force task 0 (on GPU by default) to claim System memory.
+	sysIdx := indexOfMem(p.Model.MemKinds, machine.SysMem)
+	gen[enc.argOff[0]] = sysIdx
+	if _, valid := enc.decode(gen); valid {
+		t.Fatal("inaccessible memory kind decoded as valid")
+	}
+}
+
+func TestGenomeDims(t *testing.T) {
+	p := searchProblem(t)
+	enc := newEncoding(p.Graph, p.Model)
+	// 4 tasks × (distribute + proc) + 6 args = 14 dimensions.
+	if len(enc.dims) != 14 {
+		t.Fatalf("dims = %d, want 14", len(enc.dims))
+	}
+	for i, d := range enc.dims {
+		if d < 2 {
+			t.Fatalf("dim %d has cardinality %d", i, d)
+		}
+	}
+}
+
+func TestGenomeDecodeNeverPanics(t *testing.T) {
+	p := searchProblem(t)
+	enc := newEncoding(p.Graph, p.Model)
+	f := func(raw []byte) bool {
+		gen := make(genome, len(enc.dims))
+		for i := range gen {
+			if i < len(raw) {
+				gen[i] = int(raw[i]) % enc.dims[i]
+			}
+		}
+		mp, valid := enc.decode(gen)
+		if mp == nil {
+			return false
+		}
+		if valid {
+			// Valid decodes must actually validate.
+			return mp.Validate(p.Graph, p.Model) == nil
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

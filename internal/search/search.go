@@ -1,0 +1,203 @@
+// Package search implements AutoMap's search algorithms over the space of
+// mappings (Section 4 of the paper): coordinate-wise descent (CD), the
+// novel constrained coordinate-wise descent (CCD, Algorithms 1 and 2), and
+// an OpenTuner-style ensemble tuner.
+//
+// The search space follows the paper's factorization (Section 3.2): a
+// mapping function of signature
+//
+//	tasks × collections → bool × processor kind × memory kind
+//
+// is searched at the kind level, while the runtime (here: the simulator)
+// deterministically selects concrete processors and memories of the chosen
+// kinds. Algorithms propose candidate mappings; an Evaluator — implemented
+// by the driver — measures them by running the application, caching results
+// per canonical mapping key, and accounting for search time in simulated
+// application-seconds (in the real system the search is dominated by the
+// time spent executing candidate mappings).
+package search
+
+import (
+	"math"
+
+	"automap/internal/machine"
+	"automap/internal/mapping"
+	"automap/internal/overlap"
+	"automap/internal/profile"
+	"automap/internal/taskir"
+)
+
+// Evaluation is the driver's verdict on one proposed mapping.
+type Evaluation struct {
+	// MeanSec is the mean measured execution time; +Inf for mappings
+	// that are invalid or failed to execute (e.g. out of memory).
+	MeanSec float64
+	// Cached reports that the mapping had been evaluated before
+	// (repeated suggestion; no new measurements were taken).
+	Cached bool
+	// Failed reports invalid or unexecutable mappings.
+	Failed bool
+}
+
+// Evaluator measures candidate mappings. Implementations must be
+// deterministic given their construction seed.
+type Evaluator interface {
+	// Evaluate measures mp (or returns the cached result).
+	Evaluate(mp *mapping.Mapping) Evaluation
+	// SearchTimeSec returns the simulated search time consumed so far:
+	// application execution time of all measurements plus any charged
+	// algorithm overhead.
+	SearchTimeSec() float64
+	// ChargeOverhead adds algorithm bookkeeping time (used by the
+	// OpenTuner-style tuner, whose generic machinery consumes 55–87% of
+	// search time in the paper's measurements, Section 5.3).
+	ChargeOverhead(sec float64)
+}
+
+// Budget bounds a search.
+type Budget struct {
+	// MaxSearchSec stops the search once the evaluator's simulated
+	// search time exceeds it. Zero means unbounded.
+	MaxSearchSec float64
+	// MaxSuggestions stops the search after this many proposals. Zero
+	// means unbounded.
+	MaxSuggestions int
+}
+
+// exceeded reports whether the budget is exhausted.
+func (b Budget) exceeded(ev Evaluator, suggested int) bool {
+	if b.MaxSearchSec > 0 && ev.SearchTimeSec() >= b.MaxSearchSec {
+		return true
+	}
+	if b.MaxSuggestions > 0 && suggested >= b.MaxSuggestions {
+		return true
+	}
+	return false
+}
+
+// Problem bundles everything an algorithm needs to search.
+type Problem struct {
+	Graph *taskir.Graph
+	Model *machine.Model
+	// Space is the profiled search-space description (task runtimes for
+	// ordering, argument sizes).
+	Space *profile.Space
+	// Overlap is the collection-overlap graph C; CCD clones it before
+	// pruning. May be nil for algorithms that do not use it.
+	Overlap *overlap.Graph
+	// Start is the starting mapping (Section 4.1's starting point).
+	Start *mapping.Mapping
+	// Tunable optionally restricts the search to a subset of tasks
+	// (Section 3.3: the search-space file may contain "all or a subset
+	// of tasks and data collections"); nil means all tasks are tunable.
+	// Decisions of non-tunable tasks stay fixed at the starting mapping.
+	Tunable []taskir.TaskID
+	// Seed drives any algorithm-internal randomness.
+	Seed uint64
+}
+
+// tunableSet returns the tunable tasks as a set, or nil when all tasks are
+// tunable.
+func (p *Problem) tunableSet() map[taskir.TaskID]bool {
+	if p.Tunable == nil {
+		return nil
+	}
+	set := make(map[taskir.TaskID]bool, len(p.Tunable))
+	for _, id := range p.Tunable {
+		set[id] = true
+	}
+	return set
+}
+
+// TracePoint is one point of the best-mapping-so-far trajectory (Figure 9
+// plots these).
+type TracePoint struct {
+	SearchSec float64
+	BestSec   float64
+}
+
+// Outcome is the result of one search.
+type Outcome struct {
+	Best    *mapping.Mapping
+	BestSec float64
+	// Suggested counts mappings proposed to the evaluator (including
+	// repeats and invalid ones); Evaluated counts distinct mappings
+	// actually measured. Section 5.3 compares these per algorithm.
+	Suggested int
+	Evaluated int
+	Trace     []TracePoint
+}
+
+// Algorithm is a pluggable search algorithm (Figure 4: "the search
+// algorithms are pluggable components").
+type Algorithm interface {
+	Name() string
+	Search(p *Problem, ev Evaluator, budget Budget) *Outcome
+}
+
+// tracker centralizes proposal bookkeeping shared by the algorithms.
+type tracker struct {
+	ev        Evaluator
+	best      *mapping.Mapping
+	bestSec   float64
+	suggested int
+	evaluated int
+	trace     []TracePoint
+}
+
+func newTracker(ev Evaluator) *tracker {
+	return &tracker{ev: ev, bestSec: math.Inf(1)}
+}
+
+// test proposes cand; if it measures strictly faster than the incumbent it
+// becomes the new best (the paper's TestMapping, Algorithm 1 lines 20–24).
+// Returns whether cand was accepted.
+func (tr *tracker) test(cand *mapping.Mapping) bool {
+	tr.suggested++
+	res := tr.ev.Evaluate(cand)
+	if !res.Cached && !res.Failed {
+		tr.evaluated++
+	}
+	if res.MeanSec < tr.bestSec {
+		tr.best = cand
+		tr.bestSec = res.MeanSec
+		tr.trace = append(tr.trace, TracePoint{SearchSec: tr.ev.SearchTimeSec(), BestSec: tr.bestSec})
+		return true
+	}
+	return false
+}
+
+func (tr *tracker) outcome() *Outcome {
+	return &Outcome{
+		Best:      tr.best,
+		BestSec:   tr.bestSec,
+		Suggested: tr.suggested,
+		Evaluated: tr.evaluated,
+		Trace:     tr.trace,
+	}
+}
+
+// SizeLog2 estimates the base-2 logarithm of the mapping search-space size
+// for the Figure 5 table: P^T · M^C (with the distribution bit folded into
+// the per-task choices), where P is the number of processor-kind choices
+// per task and M the number of memory-kind choices per collection argument.
+func SizeLog2(g *taskir.Graph, md *machine.Model) float64 {
+	var bits float64
+	for _, t := range g.Tasks {
+		kinds := 0
+		for _, k := range t.VariantKinds() {
+			if md.HasProcKind(k) {
+				kinds++
+			}
+		}
+		if kinds > 1 {
+			bits += math.Log2(float64(kinds))
+		}
+		for range t.Args {
+			// Each processor kind in the modeled machines can
+			// address at least two memory kinds (Section 3.2).
+			bits += 1
+		}
+	}
+	return bits
+}

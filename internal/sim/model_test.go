@@ -1,0 +1,251 @@
+package sim
+
+import (
+	"testing"
+
+	"automap/internal/cluster"
+	"automap/internal/machine"
+	"automap/internal/mapping"
+	"automap/internal/taskir"
+)
+
+// oneTask builds a single-task graph with one collection placed per test.
+func oneTask(points int, colBytes int64, partitioned bool, work float64, bytesPP int64) *taskir.Graph {
+	g := taskir.NewGraph("one")
+	c := g.AddCollection(taskir.Collection{
+		Name: "c", Space: "s", Lo: 0, Hi: colBytes, Partitioned: partitioned,
+	})
+	g.AddTask(taskir.GroupTask{Name: "t", Points: points,
+		Variants: map[machine.ProcKind]taskir.Variant{
+			machine.CPU: {Efficiency: 1, WorkPerPoint: work},
+			machine.GPU: {Efficiency: 1, WorkPerPoint: work},
+		},
+		Args: []taskir.Arg{{Collection: c.ID, Privilege: taskir.ReadWrite, BytesPerPoint: bytesPP}}})
+	g.Iterations = 1
+	return g
+}
+
+func cpuMapping(g *taskir.Graph, md *machine.Model, mk machine.MemKind) *mapping.Mapping {
+	mp := mapping.Default(g, md)
+	for i := range g.Tasks {
+		mp.SetProc(taskir.TaskID(i), machine.CPU)
+		mp.RebuildPriorityLists(md, taskir.TaskID(i))
+		for a := range g.Tasks[i].Args {
+			mp.SetArgMem(md, taskir.TaskID(i), a, mk)
+		}
+	}
+	return mp
+}
+
+// TestCacheTierBoundary checks that a CPU task whose working set fits in L3
+// runs faster than the same task streaming a too-large working set, far
+// beyond the pure size ratio.
+func TestCacheTierBoundary(t *testing.T) {
+	m := cluster.Shepard(1)
+	md := m.Model()
+	cache := m.CacheBytesPerSocket
+
+	// Per-socket share fits comfortably in cache.
+	small := oneTask(2, cache/2, true, 0, cache/4)
+	// Per-socket share clearly exceeds cache: same per-point traffic
+	// achieved with a bigger collection.
+	big := oneTask(2, 8*cache, true, 0, cache/4)
+
+	tSmall, err := Simulate(m, small, cpuMapping(small, md, machine.SysMem), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tBig, err := Simulate(m, big, cpuMapping(big, md, machine.SysMem), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical bytes per point, so any difference is the cache tier.
+	ratio := tBig.MakespanSec / tSmall.MakespanSec
+	want := m.Access.CPUCache / m.Access.CPUSys
+	if ratio < want*0.5 {
+		t.Fatalf("cache tier missing: big/small = %.2f, want ≈ %.2f", ratio, want)
+	}
+}
+
+// TestTrafficFactorScalesAccessTime verifies per-variant traffic factors.
+func TestTrafficFactorScalesAccessTime(t *testing.T) {
+	m := cluster.Shepard(1)
+	md := m.Model()
+	base := oneTask(4, 256<<20, true, 0, 64<<20)
+	infl := oneTask(4, 256<<20, true, 0, 64<<20)
+	v := infl.Task(0).Variants[machine.GPU]
+	v.TrafficFactor = 3
+	infl.Task(0).Variants[machine.GPU] = v
+
+	tBase, err := Simulate(m, base, mapping.Default(base, md), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tInfl, err := Simulate(m, infl, mapping.Default(infl, md), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tInfl.MakespanSec < tBase.MakespanSec*1.5 {
+		t.Fatalf("traffic factor not applied: %v vs %v", tInfl.MakespanSec, tBase.MakespanSec)
+	}
+}
+
+// TestZeroCopyPoolSharing: ZC bandwidth is divided among concurrently
+// accessing processors, so four Lassen GPUs reading ZC take about as long
+// as one GPU reading the same per-point bytes (pool-limited), while the
+// Frame-Buffer path scales.
+func TestZeroCopyPoolSharing(t *testing.T) {
+	m := cluster.Lassen(1)
+	md := m.Model()
+	mk := func(points int) *taskir.Graph {
+		// Large per-point traffic so launch overhead is negligible;
+		// total bytes scale with point count.
+		return oneTask(points, int64(points)*(256<<20), true, 0, 256<<20)
+	}
+	zc1 := mk(1)
+	zc4 := mk(4)
+	mpZC1 := mapping.Default(zc1, md)
+	mpZC1.SetArgMem(md, 0, 0, machine.ZeroCopy)
+	mpZC4 := mapping.Default(zc4, md)
+	mpZC4.SetArgMem(md, 0, 0, machine.ZeroCopy)
+
+	t1, err := Simulate(m, zc1, mpZC1, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t4, err := Simulate(m, zc4, mpZC4, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 GPUs contending for the shared pool: per-GPU bandwidth drops
+	// ~4x, so wall time rises to ~4x of the single-GPU case.
+	if t4.MakespanSec < 3*t1.MakespanSec {
+		t.Fatalf("ZC pool sharing missing: 4 GPUs %v vs 1 GPU %v", t4.MakespanSec, t1.MakespanSec)
+	}
+
+	// Frame-Buffer is per-GPU: the same scaling stays ~flat.
+	fb4 := mk(4)
+	tFB4, err := Simulate(m, fb4, mapping.Default(fb4, md), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb1 := mk(1)
+	tFB1, err := Simulate(m, fb1, mapping.Default(fb1, md), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tFB4.MakespanSec > 1.5*tFB1.MakespanSec {
+		t.Fatalf("FB should scale across GPUs: %v vs %v", tFB4.MakespanSec, tFB1.MakespanSec)
+	}
+}
+
+// TestGhostExchangeAfterDistributedSharedWrite: a shared collection written
+// by a distributed group task forces readers to gather the other nodes'
+// parts over the network every version.
+func TestGhostExchangeAfterDistributedSharedWrite(t *testing.T) {
+	m := cluster.Shepard(4)
+	md := m.Model()
+	g := taskir.NewGraph("ghost")
+	sh := g.AddCollection(taskir.Collection{Name: "sh", Space: "s", Lo: 0, Hi: 64 << 20})
+	v := map[machine.ProcKind]taskir.Variant{machine.GPU: {Efficiency: 1, WorkPerPoint: 1e6}}
+	g.AddTask(taskir.GroupTask{Name: "writer", Points: 8, Variants: v,
+		Args: []taskir.Arg{{Collection: sh.ID, Privilege: taskir.ReadWrite, BytesPerPoint: 8 << 20}}})
+	g.Iterations = 3
+	res, err := Simulate(m, g, mapping.Default(g, md), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every iteration after the first, each of the 4 nodes gathers 3/4
+	// of the collection.
+	minNet := int64(2) * 4 * (64 << 20) * 3 / 4
+	if res.BytesOnNetwork < minNet {
+		t.Fatalf("ghost exchange bytes = %d, want >= %d", res.BytesOnNetwork, minNet)
+	}
+}
+
+// TestChannelRoutingThroughSystem: a copy between Zero-Copy and a
+// Frame-Buffer uses the direct channel; SysMem<->FB likewise; and copies
+// between kinds without a direct channel route through System memory
+// without failing.
+func TestChannelRoutingCosts(t *testing.T) {
+	m := cluster.Shepard(1)
+	md := m.Model()
+	// Producer GPU writes to FB; consumer CPU reads from SysMem: the
+	// per-iteration copy pays the host-device channel.
+	g := taskir.NewGraph("route")
+	c := g.AddCollection(taskir.Collection{Name: "c", Space: "s", Lo: 0, Hi: 1 << 30, Partitioned: true})
+	both := map[machine.ProcKind]taskir.Variant{
+		machine.CPU: {Efficiency: 1, WorkPerPoint: 1e6},
+		machine.GPU: {Efficiency: 1, WorkPerPoint: 1e6},
+	}
+	g.AddTask(taskir.GroupTask{Name: "w", Points: 2, Variants: both,
+		Args: []taskir.Arg{{Collection: c.ID, Privilege: taskir.WriteOnly, BytesPerPoint: 1 << 20}}})
+	g.AddTask(taskir.GroupTask{Name: "r", Points: 2, Variants: both,
+		Args: []taskir.Arg{{Collection: c.ID, Privilege: taskir.ReadOnly, BytesPerPoint: 1 << 20}}})
+	g.Iterations = 2
+	mp := mapping.Default(g, md)
+	mp.SetProc(1, machine.CPU)
+	mp.RebuildPriorityLists(md, 1)
+	res, err := Simulate(m, g, mp, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 1 GiB collection crosses FB->Sys at least once per iteration;
+	// at 12 GB/s that dominates the makespan.
+	spec := cluster.ShepardNode()
+	minCopyTime := float64(1<<30) / spec.HostDevBW
+	if res.MakespanSec < minCopyTime {
+		t.Fatalf("makespan %v does not include the host-device copy (>= %v)", res.MakespanSec, minCopyTime)
+	}
+}
+
+// TestEnergyAccounting checks the energy estimate's structure: more busy
+// time and more copies mean more joules, and a GPU run draws more power
+// than a CPU run of equal duration would.
+func TestEnergyAccounting(t *testing.T) {
+	m := cluster.Shepard(1)
+	md := m.Model()
+	g := oneTask(4, 1<<20, true, 1e10, 1<<18)
+	gpu := mapping.Default(g, md)
+	cpu := cpuMapping(g, md, machine.SysMem)
+
+	resGPU, err := Simulate(m, g, gpu, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resCPU, err := Simulate(m, g, cpu, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resGPU.EnergyJoules <= 0 || resCPU.EnergyJoules <= 0 {
+		t.Fatal("zero energy")
+	}
+	spec := cluster.ShepardNode()
+	// Energy consistency: busy time × power ≈ energy (no copies here).
+	wantGPU := resGPU.ProcBusySec[machine.GPU] * spec.GPUPowerW
+	if diff := resGPU.EnergyJoules - wantGPU; diff < 0 || diff > 0.01*wantGPU+1 {
+		t.Fatalf("GPU energy %v, busy×power %v", resGPU.EnergyJoules, wantGPU)
+	}
+}
+
+// TestLeaderUsesOnlyNodeZero: non-distributed tasks leave other nodes idle.
+func TestLeaderUsesOnlyNodeZero(t *testing.T) {
+	m := cluster.Shepard(2)
+	md := m.Model()
+	g := oneTask(8, 1<<24, true, 1e9, 1<<20)
+	leader := mapping.Default(g, md)
+	leader.SetDistribute(0, false)
+	res, err := Simulate(m, g, leader, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 8 points serialize in 8 waves on node 0's single GPU.
+	dist := mapping.Default(g, md)
+	res2, err := Simulate(m, g, dist, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MakespanSec < 1.8*res2.MakespanSec {
+		t.Fatalf("leader %v vs distributed %v: expected ~2x from wave count", res.MakespanSec, res2.MakespanSec)
+	}
+}

@@ -1,0 +1,856 @@
+// Package sim is a deterministic discrete-event simulator of a Legion-like
+// task-based runtime executing a program under a given mapping on a modeled
+// machine. It substitutes for the paper's real clusters (see DESIGN.md):
+// the search algorithms only ever observe end-to-end execution times, so a
+// simulator that reproduces the cost structure of the real system — GPU vs
+// CPU throughput and launch overhead, per-memory access bandwidths,
+// inter-memory copy channels, memory capacities with OOM failure, and
+// socket-/device-local instance duplication — exercises the same search
+// behavior.
+//
+// The execution model follows how Legion runs the benchmark applications:
+//
+//   - Group tasks (index launches) either run entirely on the leader node
+//     or are distributed blocked across all nodes; within a node, points
+//     are executed in waves over the processors of the mapped kind.
+//   - Each collection argument is instantiated in the first memory kind of
+//     its priority list with available capacity ("a priority list of
+//     memories ... where the first memory that can hold c will be used",
+//     Section 3.1). Exhausting the list is an out-of-memory failure.
+//   - Data movement is implicit: when a consumer needs a collection in a
+//     different memory (or node) than where the last writer left it, a
+//     copy is issued over the connecting channels before the consumer may
+//     start (Section 2).
+//   - Shared (non-partitioned) collections placed in socket- or
+//     device-local memories (System, Frame-Buffer) are duplicated per
+//     socket/GPU that accesses them, costing capacity and per-version
+//     mirror copies; Zero-Copy is a single node-wide allocation
+//     (Section 5's Stencil discussion).
+//
+// Run-to-run variation is modeled with seeded unit-mean log-normal noise on
+// task durations, which is what makes the paper's repeated-measurement
+// protocol (7 runs per candidate, 31 for final reporting) meaningful.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"automap/internal/machine"
+	"automap/internal/mapping"
+	"automap/internal/taskir"
+	"automap/internal/xrand"
+)
+
+// Config controls a simulation run.
+type Config struct {
+	// NoiseSigma is the log-normal sigma of per-task-launch duration
+	// noise; 0 disables noise and makes runs bit-identical.
+	NoiseSigma float64
+	// Seed seeds the noise generator.
+	Seed uint64
+	// Trace records a per-launch execution event log in Result.Events
+	// (one event per task × node × iteration), for timeline rendering
+	// and debugging. Off by default: event logs are large.
+	Trace bool
+}
+
+// Event is one recorded task execution on one node (Config.Trace).
+type Event struct {
+	Task      taskir.TaskID
+	Node      int
+	Kind      machine.ProcKind
+	Iteration int
+	// StartSec is when execution began (after dependences and copies);
+	// CopySec is the copy time that preceded it; DurSec the execution
+	// duration.
+	StartSec float64
+	CopySec  float64
+	DurSec   float64
+}
+
+// Result reports the outcome of a simulation.
+type Result struct {
+	// MakespanSec is the end-to-end execution time in seconds.
+	MakespanSec float64
+	// TaskWallSec is the total execution time (across iterations,
+	// excluding copies) attributed to each group task; the search uses
+	// it to order tasks by runtime.
+	TaskWallSec map[taskir.TaskID]float64
+	// BytesCopied is the total bytes moved between memories.
+	BytesCopied int64
+	// BytesOnNetwork is the subset of BytesCopied that crossed nodes.
+	BytesOnNetwork int64
+	// NumCopies counts individual copy operations.
+	NumCopies int
+	// Spills counts collection instances that fell back to a non-primary
+	// memory kind because the primary was full.
+	Spills int
+	// PeakMemBytes records the final resident bytes per memory kind.
+	PeakMemBytes map[machine.MemKind]int64
+	// Events is the execution event log (only with Config.Trace).
+	Events []Event
+	// ProcBusySec is the total processor-occupied time per kind.
+	ProcBusySec map[machine.ProcKind]float64
+	// EnergyJoules estimates dynamic energy: processor busy time times
+	// active power, plus a per-byte cost for data movement. It is the
+	// alternative objective of Section 3.3 ("AutoMap is suitable for
+	// minimizing other metrics (e.g., power consumption)").
+	EnergyJoules float64
+}
+
+// OOMError reports that a collection argument could not be placed in any
+// memory kind of its priority list.
+type OOMError struct {
+	Task       string
+	Collection string
+	Node       int
+	Tried      []machine.MemKind
+}
+
+// Error implements the error interface.
+func (e *OOMError) Error() string {
+	return fmt.Sprintf("out of memory: task %q collection %q on node %d (tried %v)",
+		e.Task, e.Collection, e.Node, e.Tried)
+}
+
+// Simulate executes program g under mapping mp on machine m and returns the
+// execution result, or an *OOMError if the mapping does not fit. The
+// mapping must already be valid for (g, m.Model()).
+func Simulate(m *machine.Machine, g *taskir.Graph, mp *mapping.Mapping, cfg Config) (*Result, error) {
+	s := newState(m, g, mp, cfg)
+	if err := s.place(); err != nil {
+		return nil, err
+	}
+	s.run()
+	return s.result, nil
+}
+
+// argPlacement records where one collection argument of one task actually
+// lives on one node after the placement pass.
+type argPlacement struct {
+	kind  machine.MemKind
+	units int // sockets or GPUs holding (splitting or mirroring) the instance
+}
+
+// sharedLoc is one valid location of a shared collection.
+type sharedLoc struct {
+	node int
+	kind machine.MemKind
+}
+
+// partialInfo records that a shared collection was last written piecewise
+// by a distributed task.
+type partialInfo struct {
+	active bool
+	frac   float64 // fraction of the collection each reader must gather
+	src    int     // a writer node other readers can gather from
+}
+
+// state carries all mutable simulation state.
+type state struct {
+	m   *machine.Machine
+	g   *taskir.Graph
+	mp  *mapping.Mapping
+	cfg Config
+	rng *xrand.RNG
+
+	nodes int
+
+	// placement[taskID][argIdx][node] -> placement (nil entry if the
+	// task has no points on that node).
+	placement [][][]argPlacement
+	placed    [][][]bool
+
+	// residentKindBytes[colID][node][kind] tracks bytes already charged
+	// for the (collection, node, kind) instance group, so growing
+	// footprints only charge deltas.
+	residentKindBytes []map[int]map[machine.MemKind]int64
+	// memUsed[memID] is the committed bytes per concrete memory.
+	memUsed []int64
+
+	// Validity state for coherence.
+	sharedValid []map[sharedLoc]bool // per shared collection
+	shardValid  [][]sharedLoc        // per partitioned collection, per shard(node): holder; node<0 = untouched
+	// partial[alias] is set after a distributed write of a shared
+	// collection: every node wrote only its part, so a reader must
+	// gather the remaining fraction from the other writers (the ghost /
+	// halo exchange of the real applications).
+	partial []partialInfo
+
+	// Timelines (absolute seconds).
+	procAvail  [][]float64 // [node][procKind]
+	copyAvail  []float64   // per-node copy engine
+	netAvail   float64     // network serialization point
+	writeDone  []float64   // per collection: finish of last writer
+	accessDone []float64   // per collection: finish of last accessor
+
+	taskFinish []float64
+	iteration  int
+
+	result *Result
+}
+
+func newState(m *machine.Machine, g *taskir.Graph, mp *mapping.Mapping, cfg Config) *state {
+	s := &state{
+		m: m, g: g, mp: mp, cfg: cfg,
+		rng:   xrand.New(cfg.Seed ^ 0x5bd1e995),
+		nodes: m.Nodes,
+		result: &Result{
+			TaskWallSec:  make(map[taskir.TaskID]float64, len(g.Tasks)),
+			PeakMemBytes: make(map[machine.MemKind]int64),
+			ProcBusySec:  make(map[machine.ProcKind]float64),
+		},
+	}
+	nc := len(g.Collections)
+	s.placement = make([][][]argPlacement, len(g.Tasks))
+	s.placed = make([][][]bool, len(g.Tasks))
+	for i, t := range g.Tasks {
+		s.placement[i] = make([][]argPlacement, len(t.Args))
+		s.placed[i] = make([][]bool, len(t.Args))
+		for a := range t.Args {
+			s.placement[i][a] = make([]argPlacement, s.nodes)
+			s.placed[i][a] = make([]bool, s.nodes)
+		}
+	}
+	s.residentKindBytes = make([]map[int]map[machine.MemKind]int64, nc)
+	for c := range s.residentKindBytes {
+		s.residentKindBytes[c] = make(map[int]map[machine.MemKind]int64)
+	}
+	s.memUsed = make([]int64, len(m.Mems))
+	s.sharedValid = make([]map[sharedLoc]bool, nc)
+	s.shardValid = make([][]sharedLoc, nc)
+	s.partial = make([]partialInfo, nc)
+	for c := range g.Collections {
+		s.sharedValid[c] = make(map[sharedLoc]bool)
+		s.shardValid[c] = make([]sharedLoc, s.nodes)
+		for n := range s.shardValid[c] {
+			s.shardValid[c][n] = sharedLoc{node: -1}
+		}
+	}
+	s.procAvail = make([][]float64, s.nodes)
+	for n := range s.procAvail {
+		s.procAvail[n] = make([]float64, machine.NumProcKinds)
+	}
+	s.copyAvail = make([]float64, s.nodes)
+	s.writeDone = make([]float64, nc)
+	s.accessDone = make([]float64, nc)
+	s.taskFinish = make([]float64, len(g.Tasks))
+	return s
+}
+
+// nodesUsed returns the node set a task runs on under its decision.
+func (s *state) nodesUsed(t *taskir.GroupTask) []int {
+	if !s.mp.Decision(t.ID).Distribute {
+		return []int{0}
+	}
+	var out []int
+	for n := 0; n < s.nodes; n++ {
+		if s.pointsOnNode(t, n) > 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// pointsOnNode returns the number of points of t placed on node n: a
+// blocked distribution across all nodes if distributed, otherwise all on
+// node 0.
+func (s *state) pointsOnNode(t *taskir.GroupTask, n int) int {
+	if !s.mp.Decision(t.ID).Distribute {
+		if n == 0 {
+			return t.Points
+		}
+		return 0
+	}
+	base := t.Points / s.nodes
+	rem := t.Points % s.nodes
+	if n < rem {
+		return base + 1
+	}
+	return base
+}
+
+// procsOnNode returns how many processors of kind k node n has.
+func (s *state) procsOnNode(k machine.ProcKind, n int) int {
+	return len(s.m.ProcsOfKindOnNode(k, n))
+}
+
+// unitsSpanned returns how many socket-/device-local units of memory kind
+// mk an instance accessed by `points` points of kind pk on node n spans.
+// Zero-Copy is one node-wide allocation; System memory has one allocation
+// per socket; Frame-Buffer one per GPU.
+func (s *state) unitsSpanned(pk machine.ProcKind, mk machine.MemKind, n, points int) int {
+	switch mk {
+	case machine.ZeroCopy:
+		return 1
+	case machine.SysMem:
+		if pk != machine.CPU {
+			return 1
+		}
+		mems := s.m.MemsOfKindOnNode(machine.SysMem, n)
+		sockets := len(mems)
+		if sockets == 0 {
+			return 1
+		}
+		perSocket := s.procsOnNode(machine.CPU, n) / sockets
+		if perSocket == 0 {
+			return 1
+		}
+		units := (points + perSocket - 1) / perSocket
+		if units > sockets {
+			units = sockets
+		}
+		if units < 1 {
+			units = 1
+		}
+		return units
+	case machine.FrameBuffer:
+		gpus := s.procsOnNode(machine.GPU, n)
+		if gpus == 0 {
+			return 1
+		}
+		units := points
+		if units > gpus {
+			units = gpus
+		}
+		if units < 1 {
+			units = 1
+		}
+		return units
+	default:
+		return 1
+	}
+}
+
+// shardBytes returns the bytes of collection c resident on one node for a
+// task with pointsOnNode points out of total points.
+func shardBytes(c *taskir.Collection, pointsOnNode, totalPoints int) int64 {
+	if !c.Partitioned || totalPoints == 0 {
+		return c.SizeBytes()
+	}
+	return c.SizeBytes() * int64(pointsOnNode) / int64(totalPoints)
+}
+
+// footprint returns the total bytes instance(s) of collection c occupy in
+// kind mk on node n for the given task, together with the units count.
+func (s *state) footprint(t *taskir.GroupTask, c *taskir.Collection, mk machine.MemKind, n int) (int64, int) {
+	pts := s.pointsOnNode(t, n)
+	d := s.mp.Decision(t.ID)
+	units := s.unitsSpanned(d.Proc, mk, n, pts)
+	sb := shardBytes(c, pts, t.Points)
+	if !c.Partitioned && units > 1 {
+		// Shared collections are replicated per socket/device.
+		return sb * int64(units), units
+	}
+	return sb, units
+}
+
+// kindMemsOnNode returns the concrete memories of kind mk on node n in
+// deterministic order.
+func (s *state) kindMemsOnNode(mk machine.MemKind, n int) []machine.MemID {
+	return s.m.MemsOfKindOnNode(mk, n)
+}
+
+// tryCharge attempts to charge `total` bytes for (c, n, mk) spread over
+// `units` concrete memories, charging only the growth over what this
+// (collection, node, kind) group already holds. Returns false (without
+// committing) if any target memory would exceed capacity.
+func (s *state) tryCharge(c taskir.CollectionID, n int, mk machine.MemKind, total int64, units int) bool {
+	byNode := s.residentKindBytes[c][n]
+	var have int64
+	if byNode != nil {
+		have = byNode[mk]
+	}
+	if total <= have {
+		return true
+	}
+	delta := total - have
+	mems := s.kindMemsOnNode(mk, n)
+	if len(mems) == 0 {
+		return false
+	}
+	if units > len(mems) {
+		units = len(mems)
+	}
+	if units < 1 {
+		units = 1
+	}
+	per := delta / int64(units)
+	if per*int64(units) < delta {
+		per++
+	}
+	for i := 0; i < units; i++ {
+		mem := s.m.Mem(mems[i])
+		if s.memUsed[mems[i]]+per > mem.Capacity {
+			return false
+		}
+	}
+	for i := 0; i < units; i++ {
+		s.memUsed[mems[i]] += per
+	}
+	if byNode == nil {
+		byNode = make(map[machine.MemKind]int64)
+		s.residentKindBytes[c][n] = byNode
+	}
+	byNode[mk] = total
+	return true
+}
+
+// place runs the placement pass: walks tasks in launch order and commits
+// each collection argument to the first memory kind of its priority list
+// with available capacity on every node the task uses.
+func (s *state) place() error {
+	order := s.launchOrder()
+	for _, tid := range order {
+		t := s.g.Task(tid)
+		d := s.mp.Decision(tid)
+		for a, arg := range t.Args {
+			c := s.g.Collection(arg.Collection)
+			for _, n := range s.nodesUsed(t) {
+				placed := false
+				for ki, mk := range d.Mems[a] {
+					total, units := s.footprint(t, c, mk, n)
+					if s.tryCharge(s.g.AliasID(arg.Collection), n, mk, total, units) {
+						s.placement[tid][a][n] = argPlacement{kind: mk, units: units}
+						s.placed[tid][a][n] = true
+						if ki > 0 {
+							s.result.Spills++
+						}
+						placed = true
+						break
+					}
+				}
+				if !placed {
+					return &OOMError{
+						Task:       t.Name,
+						Collection: c.Name,
+						Node:       n,
+						Tried:      append([]machine.MemKind(nil), d.Mems[a]...),
+					}
+				}
+			}
+		}
+	}
+	for id, used := range s.memUsed {
+		k := s.m.Mem(machine.MemID(id)).Kind
+		s.result.PeakMemBytes[k] += used
+	}
+	return nil
+}
+
+func (s *state) launchOrder() []taskir.TaskID {
+	if len(s.g.Launch) > 0 {
+		return s.g.Launch
+	}
+	order := make([]taskir.TaskID, len(s.g.Tasks))
+	for i := range s.g.Tasks {
+		order[i] = s.g.Tasks[i].ID
+	}
+	return order
+}
+
+// chanBW returns the copy bandwidth and latency between memory kinds a and
+// b on node n, looked up from the machine's channels between representative
+// concrete memories.
+func (s *state) chanBW(a, b machine.MemKind, n int) (float64, float64) {
+	am := s.kindMemsOnNode(a, n)
+	bm := s.kindMemsOnNode(b, n)
+	if len(am) == 0 || len(bm) == 0 {
+		return 0, 0
+	}
+	src, dst := am[0], bm[0]
+	if src == dst {
+		if len(am) > 1 {
+			dst = am[1] // same-kind copy, e.g. socket-to-socket System
+		} else {
+			// Same single memory: treat as a cheap in-place move.
+			return math.Inf(1), 0
+		}
+	}
+	if ch, ok := s.m.ChannelBetween(src, dst); ok {
+		return ch.BandwidthBps, ch.LatencySec
+	}
+	// No direct channel: route through System memory.
+	sys := s.kindMemsOnNode(machine.SysMem, n)
+	if len(sys) == 0 {
+		return 0, 0
+	}
+	bw := math.Inf(1)
+	lat := 0.0
+	if ch, ok := s.m.ChannelBetween(src, sys[0]); ok {
+		if ch.BandwidthBps < bw {
+			bw = ch.BandwidthBps
+		}
+		lat += ch.LatencySec
+	}
+	if ch, ok := s.m.ChannelBetween(sys[0], dst); ok {
+		if ch.BandwidthBps < bw {
+			bw = ch.BandwidthBps
+		}
+		lat += ch.LatencySec
+	}
+	if math.IsInf(bw, 1) {
+		return 0, 0
+	}
+	return bw, lat
+}
+
+// intraCopy schedules a copy of `bytes` between kinds on node n, starting
+// no earlier than `after`, and returns the completion time.
+func (s *state) intraCopy(a, b machine.MemKind, n int, bytes int64, after float64) float64 {
+	bw, lat := s.chanBW(a, b, n)
+	var dur float64
+	if bw <= 0 {
+		// Should not happen on validated machines; charge a network-like cost.
+		dur = float64(bytes) / 1e9
+	} else if math.IsInf(bw, 1) {
+		dur = 0
+	} else {
+		dur = lat + float64(bytes)/bw
+	}
+	start := math.Max(after, s.copyAvail[n])
+	done := start + dur
+	s.copyAvail[n] = done
+	s.result.BytesCopied += bytes
+	s.result.NumCopies++
+	return done
+}
+
+// netCopy schedules a cross-node copy of `bytes` from (srcNode, srcKind) to
+// (dstNode, dstKind), staging through System memory on both ends, and
+// returns the completion time.
+func (s *state) netCopy(srcNode int, srcKind machine.MemKind, dstNode int, dstKind machine.MemKind, bytes int64, after float64) float64 {
+	t := after
+	if srcKind != machine.SysMem {
+		t = s.intraCopy(srcKind, machine.SysMem, srcNode, bytes, t)
+	}
+	bw := s.m.NetworkBandwidthBps
+	if bw <= 0 {
+		bw = 1e9
+	}
+	start := math.Max(t, s.netAvail)
+	done := start + s.m.NetworkLatencySec + float64(bytes)/bw
+	s.netAvail = done
+	s.result.BytesCopied += bytes
+	s.result.BytesOnNetwork += bytes
+	s.result.NumCopies++
+	t = done
+	if dstKind != machine.SysMem {
+		t = s.intraCopy(machine.SysMem, dstKind, dstNode, bytes, t)
+	}
+	return t
+}
+
+// ensureShared makes collection c valid at (node, kind) and returns the
+// completion time of any copies needed (>= after).
+func (s *state) ensureShared(c *taskir.Collection, node int, kind machine.MemKind, units int, after float64) float64 {
+	al := s.g.AliasID(c.ID)
+	valid := s.sharedValid[al]
+	want := sharedLoc{node: node, kind: kind}
+	done := after
+	if !valid[want] {
+		if pi := s.partial[al]; pi.active {
+			// Gather the parts written by the other nodes (ghost
+			// exchange).
+			bytes := int64(pi.frac * float64(c.SizeBytes()))
+			src := pi.src
+			if src == node {
+				src = (node + 1) % s.nodes
+			}
+			done = s.netCopy(src, kind, node, kind, bytes, after)
+			valid[want] = true
+		} else if len(valid) == 0 {
+			// First touch: the collection is materialized in place.
+			valid[want] = true
+		} else {
+			// Prefer an intra-node source; break remaining ties by
+			// (node, kind) so the choice is deterministic regardless
+			// of map iteration order.
+			var src sharedLoc
+			found := false
+			better := func(a, b sharedLoc) bool {
+				ai, bi := a.node == node, b.node == node
+				if ai != bi {
+					return ai
+				}
+				if a.node != b.node {
+					return a.node < b.node
+				}
+				return a.kind < b.kind
+			}
+			for loc := range valid {
+				if !found || better(loc, src) {
+					src = loc
+					found = true
+				}
+			}
+			if src.node == node {
+				done = s.intraCopy(src.kind, kind, node, c.SizeBytes(), after)
+			} else {
+				done = s.netCopy(src.node, src.kind, node, kind, c.SizeBytes(), after)
+			}
+			valid[want] = true
+		}
+	}
+	// Mirror copies for the extra sockets/devices spanned.
+	for u := 1; u < units; u++ {
+		done = s.intraCopy(kind, kind, node, c.SizeBytes(), done)
+	}
+	return done
+}
+
+// ensureShard makes shard `shard` of partitioned collection c valid at
+// (node, kind) and returns the copy completion time.
+func (s *state) ensureShard(c *taskir.Collection, shard, node int, kind machine.MemKind, bytes int64, after float64) float64 {
+	cur := s.shardValid[s.g.AliasID(c.ID)][shard]
+	want := sharedLoc{node: node, kind: kind}
+	if cur.node < 0 {
+		s.shardValid[s.g.AliasID(c.ID)][shard] = want
+		return after
+	}
+	if cur == want {
+		return after
+	}
+	var done float64
+	if cur.node == node {
+		done = s.intraCopy(cur.kind, kind, node, bytes, after)
+	} else {
+		done = s.netCopy(cur.node, cur.kind, node, kind, bytes, after)
+	}
+	s.shardValid[s.g.AliasID(c.ID)][shard] = want
+	return done
+}
+
+// invalidateSharedExcept resets the valid set of shared collection c to the
+// writer's locations.
+func (s *state) invalidateSharedExcept(c taskir.CollectionID, locs []sharedLoc) {
+	valid := s.sharedValid[c]
+	for k := range valid {
+		delete(valid, k)
+	}
+	for _, l := range locs {
+		valid[l] = true
+	}
+}
+
+// run executes the timing pass over all iterations.
+func (s *state) run() {
+	order := s.launchOrder()
+	var makespan float64
+	for iter := 0; iter < s.g.Iterations; iter++ {
+		s.iteration = iter
+		for _, tid := range order {
+			finish := s.runTask(tid)
+			if finish > makespan {
+				makespan = finish
+			}
+		}
+	}
+	// The runtime's serial per-iteration overhead (dependence analysis,
+	// scheduling) is mapping-independent and additive.
+	makespan += float64(s.g.Iterations) * s.g.SerialOverheadSec
+	s.result.MakespanSec = makespan
+	s.result.EnergyJoules += float64(s.result.BytesCopied) * s.m.CopyEnergyPerByte
+}
+
+// runTask executes one launch of group task tid and returns its finish time.
+func (s *state) runTask(tid taskir.TaskID) float64 {
+	t := s.g.Task(tid)
+	d := s.mp.Decision(tid)
+
+	// Readiness from data flow (true and anti dependences), including
+	// wrap-around dependences across iterations.
+	ready := 0.0
+	for _, arg := range t.Args {
+		al := s.g.AliasID(arg.Collection)
+		if arg.Privilege.Reads() && s.writeDone[al] > ready {
+			ready = s.writeDone[al]
+		}
+		if arg.Privilege.Writes() && s.accessDone[al] > ready {
+			ready = s.accessDone[al]
+		}
+	}
+
+	nodes := s.nodesUsed(t)
+	proc := s.procFor(d.Proc)
+	variant := t.Variants[d.Proc]
+
+	taskFinish := ready
+	var execWall float64
+	// writerLocs[a] collects, per written argument, the locations the
+	// write lands in; they become the sole valid locations afterwards.
+	writerLocs := make([][]sharedLoc, len(t.Args))
+
+	for _, n := range nodes {
+		pts := s.pointsOnNode(t, n)
+		if pts == 0 {
+			continue
+		}
+		// Coherence copies for this node's arguments.
+		copyDone := ready
+		for a, arg := range t.Args {
+			if !s.placed[tid][a][n] {
+				continue
+			}
+			pl := s.placement[tid][a][n]
+			c := s.g.Collection(arg.Collection)
+			if arg.Privilege.Reads() {
+				if c.Partitioned {
+					sb := shardBytes(c, pts, t.Points)
+					if d.Distribute {
+						copyDone = math.Max(copyDone, s.ensureShard(c, n, n, pl.kind, sb, ready))
+					} else {
+						// Leader gathers every shard.
+						for sh := 0; sh < s.nodes; sh++ {
+							shb := c.SizeBytes() / int64(s.nodes)
+							copyDone = math.Max(copyDone, s.ensureShard(c, sh, 0, pl.kind, shb, ready))
+						}
+					}
+				} else {
+					copyDone = math.Max(copyDone, s.ensureShared(c, n, pl.kind, pl.units, ready))
+				}
+			}
+			if arg.Privilege.Writes() {
+				writerLocs[a] = append(writerLocs[a], sharedLoc{node: n, kind: pl.kind})
+			}
+		}
+
+		// Execution on this node.
+		procs := s.procsOnNode(d.Proc, n)
+		if procs == 0 {
+			procs = 1
+		}
+		waves := (pts + procs - 1) / procs
+		active := pts
+		if active > procs {
+			active = procs
+		}
+		traffic := variant.TrafficFactor
+		if traffic <= 0 {
+			traffic = 1
+		}
+		// Last-level-cache tier: a socket streams at cache bandwidth
+		// when its share of the task's whole working set fits in L3.
+		cached := false
+		if d.Proc == machine.CPU && s.m.CacheBytesPerSocket > 0 {
+			var resident int64
+			for a, arg := range t.Args {
+				if !s.placed[tid][a][n] {
+					continue
+				}
+				c := s.g.Collection(arg.Collection)
+				share := shardBytes(c, pts, t.Points)
+				if c.Partitioned && s.placement[tid][a][n].units > 1 {
+					share /= int64(s.placement[tid][a][n].units)
+				}
+				resident += share
+			}
+			cached = resident <= s.m.CacheBytesPerSocket
+		}
+		perPoint := proc.LaunchOverhead + variant.WorkPerPoint/(proc.ThroughputFLOPS*variant.Efficiency)
+		for a, arg := range t.Args {
+			if !s.placed[tid][a][n] || arg.BytesPerPoint == 0 {
+				continue
+			}
+			pl := s.placement[tid][a][n]
+			bw := s.m.Access.Bandwidth(d.Proc, pl.kind, false)
+			if cached && (pl.kind == machine.SysMem || pl.kind == machine.ZeroCopy) &&
+				s.m.Access.CPUCache > bw {
+				bw = s.m.Access.CPUCache
+			} else if pl.kind == machine.ZeroCopy && active > 1 {
+				// The Zero-Copy pool is one allocation shared by
+				// all concurrently accessing processors.
+				bw /= float64(active)
+			}
+			if bw > 0 {
+				perPoint += traffic * float64(arg.BytesPerPoint) / bw
+			}
+		}
+		dur := float64(waves) * perPoint
+		if s.cfg.NoiseSigma > 0 {
+			dur *= s.rng.UnitMeanLogNormal(s.cfg.NoiseSigma)
+		}
+		start := math.Max(copyDone, s.procAvail[n][d.Proc])
+		fin := start + dur
+		s.procAvail[n][d.Proc] = fin
+		// Energy: `active` processors of this kind are busy for dur.
+		s.result.ProcBusySec[d.Proc] += float64(active) * dur
+		s.result.EnergyJoules += float64(active) * dur * proc.PowerW
+		if s.cfg.Trace {
+			s.result.Events = append(s.result.Events, Event{
+				Task: tid, Node: n, Kind: d.Proc, Iteration: s.iteration,
+				StartSec: start, CopySec: copyDone - ready, DurSec: dur,
+			})
+		}
+		if fin > taskFinish {
+			taskFinish = fin
+		}
+		if dur > execWall {
+			execWall = dur
+		}
+	}
+
+	// Commit write effects.
+	for a, arg := range t.Args {
+		al := s.g.AliasID(arg.Collection)
+		if !arg.Privilege.Writes() {
+			if arg.Privilege.Reads() && taskFinish > s.accessDone[al] {
+				s.accessDone[al] = taskFinish
+			}
+			continue
+		}
+		c := s.g.Collection(arg.Collection)
+		if c.Partitioned {
+			if d.Distribute {
+				for _, n := range nodes {
+					if s.placed[tid][a][n] {
+						s.shardValid[al][n] = sharedLoc{node: n, kind: s.placement[tid][a][n].kind}
+					}
+				}
+			} else if s.placed[tid][a][0] {
+				for sh := 0; sh < s.nodes; sh++ {
+					s.shardValid[al][sh] = sharedLoc{node: 0, kind: s.placement[tid][a][0].kind}
+				}
+			}
+		} else {
+			s.invalidateSharedExcept(al, writerLocs[a])
+			if len(writerLocs[a]) > 1 {
+				// Distributed write of a shared collection:
+				// each node produced only its part.
+				w := len(writerLocs[a])
+				s.sharedValid[al] = make(map[sharedLoc]bool)
+				s.partial[al] = partialInfo{
+					active: true,
+					frac:   float64(w-1) / float64(w),
+					src:    writerLocs[a][0].node,
+				}
+			} else {
+				s.partial[al] = partialInfo{}
+			}
+		}
+		if taskFinish > s.writeDone[al] {
+			s.writeDone[al] = taskFinish
+		}
+		if taskFinish > s.accessDone[al] {
+			s.accessDone[al] = taskFinish
+		}
+	}
+
+	s.taskFinish[tid] = taskFinish
+	s.result.TaskWallSec[tid] += execWall
+	return taskFinish
+}
+
+// procFor returns a representative processor of kind k for calibration
+// constants (throughput, overhead); all processors of a kind are identical
+// in the modeled clusters.
+func (s *state) procFor(k machine.ProcKind) *machine.Processor {
+	for i := range s.m.Procs {
+		if s.m.Procs[i].Kind == k {
+			return &s.m.Procs[i]
+		}
+	}
+	// Validated mappings never reach here.
+	return &s.m.Procs[0]
+}

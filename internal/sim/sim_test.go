@@ -1,0 +1,424 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"automap/internal/cluster"
+	"automap/internal/machine"
+	"automap/internal/mapping"
+	"automap/internal/taskir"
+)
+
+// simpleGraph builds a two-task producer/consumer program over one
+// partitioned collection plus one shared collection.
+func simpleGraph(points int, colBytes int64) *taskir.Graph {
+	g := taskir.NewGraph("simple")
+	part := g.AddCollection(taskir.Collection{
+		Name: "part", Space: "s.part", Lo: 0, Hi: colBytes, Partitioned: true,
+	})
+	shared := g.AddCollection(taskir.Collection{
+		Name: "shared", Space: "s.shared", Lo: 0, Hi: colBytes / 4,
+	})
+	both := func(work float64) map[machine.ProcKind]taskir.Variant {
+		return map[machine.ProcKind]taskir.Variant{
+			machine.CPU: {Kind: machine.CPU, WorkPerPoint: work, Efficiency: 1},
+			machine.GPU: {Kind: machine.GPU, WorkPerPoint: work, Efficiency: 1},
+		}
+	}
+	bpp := colBytes / int64(points)
+	g.AddTask(taskir.GroupTask{Name: "produce", Points: points, Variants: both(1e6),
+		Args: []taskir.Arg{
+			{Collection: part.ID, Privilege: taskir.WriteOnly, BytesPerPoint: bpp},
+			{Collection: shared.ID, Privilege: taskir.ReadOnly, BytesPerPoint: colBytes / 4},
+		}})
+	g.AddTask(taskir.GroupTask{Name: "consume", Points: points, Variants: both(1e6),
+		Args: []taskir.Arg{
+			{Collection: part.ID, Privilege: taskir.ReadOnly, BytesPerPoint: bpp},
+			{Collection: shared.ID, Privilege: taskir.ReadWrite, BytesPerPoint: colBytes / 4},
+		}})
+	g.Iterations = 5
+	return g
+}
+
+func mustSim(t *testing.T, m *machine.Machine, g *taskir.Graph, mp *mapping.Mapping, cfg Config) *Result {
+	t.Helper()
+	if err := mp.Validate(g, m.Model()); err != nil {
+		t.Fatalf("mapping invalid: %v", err)
+	}
+	res, err := Simulate(m, g, mp, cfg)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	return res
+}
+
+func TestDeterministicWithoutNoise(t *testing.T) {
+	m := cluster.Shepard(1)
+	g := simpleGraph(4, 1<<20)
+	mp := mapping.Default(g, m.Model())
+	a := mustSim(t, m, g, mp, Config{})
+	b := mustSim(t, m, g, mp, Config{Seed: 999})
+	if a.MakespanSec != b.MakespanSec {
+		t.Fatalf("noiseless runs differ: %v vs %v", a.MakespanSec, b.MakespanSec)
+	}
+	if a.MakespanSec <= 0 {
+		t.Fatal("makespan must be positive")
+	}
+}
+
+func TestNoiseSeedsProduceVariation(t *testing.T) {
+	m := cluster.Shepard(1)
+	g := simpleGraph(4, 1<<20)
+	mp := mapping.Default(g, m.Model())
+	a := mustSim(t, m, g, mp, Config{NoiseSigma: 0.05, Seed: 1})
+	b := mustSim(t, m, g, mp, Config{NoiseSigma: 0.05, Seed: 2})
+	if a.MakespanSec == b.MakespanSec {
+		t.Fatal("different seeds should give different noisy times")
+	}
+	c := mustSim(t, m, g, mp, Config{NoiseSigma: 0.05, Seed: 1})
+	if a.MakespanSec != c.MakespanSec {
+		t.Fatal("same seed must reproduce the same time")
+	}
+}
+
+func TestNoiseIsUnbiased(t *testing.T) {
+	m := cluster.Shepard(1)
+	g := simpleGraph(4, 1<<20)
+	mp := mapping.Default(g, m.Model())
+	base := mustSim(t, m, g, mp, Config{}).MakespanSec
+	var sum float64
+	const n = 200
+	for i := 0; i < n; i++ {
+		sum += mustSim(t, m, g, mp, Config{NoiseSigma: 0.05, Seed: uint64(i)}).MakespanSec
+	}
+	mean := sum / n
+	if math.Abs(mean-base)/base > 0.02 {
+		t.Fatalf("noisy mean %v deviates from noiseless %v", mean, base)
+	}
+}
+
+func TestZeroCopySlowerThanFrameBufferForGPU(t *testing.T) {
+	m := cluster.Shepard(1)
+	md := m.Model()
+	g := simpleGraph(4, 64<<20)
+	fb := mapping.Default(g, md)
+	zc := mapping.Default(g, md)
+	for id := range g.Tasks {
+		for a := range g.Tasks[id].Args {
+			zc.SetArgMem(md, taskir.TaskID(id), a, machine.ZeroCopy)
+		}
+	}
+	tFB := mustSim(t, m, g, fb, Config{}).MakespanSec
+	tZC := mustSim(t, m, g, zc, Config{}).MakespanSec
+	if tZC <= tFB {
+		t.Fatalf("GPU+ZC (%v) should be slower than GPU+FB (%v)", tZC, tFB)
+	}
+}
+
+func TestOOMWhenFrameBufferOnlyTooSmall(t *testing.T) {
+	m := cluster.Shepard(1)
+	md := m.Model()
+	g := simpleGraph(4, 20<<30) // 20 GB > 16 GB FB
+	mp := mapping.Default(g, md)
+	for id := range g.Tasks {
+		d := mp.Decision(taskir.TaskID(id))
+		for a := range d.Mems {
+			d.Mems[a] = []machine.MemKind{machine.FrameBuffer} // no fallback
+		}
+	}
+	_, err := Simulate(m, g, mp, Config{})
+	oom, ok := err.(*OOMError)
+	if !ok {
+		t.Fatalf("err = %v, want OOMError", err)
+	}
+	if oom.Collection == "" || oom.Error() == "" {
+		t.Fatalf("OOMError underpopulated: %+v", oom)
+	}
+}
+
+func TestPriorityListSpillsInsteadOfOOM(t *testing.T) {
+	m := cluster.Shepard(1)
+	md := m.Model()
+	g := simpleGraph(4, 20<<30)
+	mp := mapping.Default(g, md) // FB primary with ZC fallback
+	res := mustSim(t, m, g, mp, Config{})
+	if res.Spills == 0 {
+		t.Fatal("expected spills to Zero-Copy")
+	}
+	if res.PeakMemBytes[machine.ZeroCopy] == 0 {
+		t.Fatal("no bytes landed in Zero-Copy")
+	}
+}
+
+func TestCrossKindPlacementCausesCopies(t *testing.T) {
+	m := cluster.Shepard(1)
+	md := m.Model()
+	g := simpleGraph(4, 1<<24)
+
+	same := mapping.Default(g, md)
+	resSame := mustSim(t, m, g, same, Config{})
+
+	// Producer on GPU+FB, consumer on CPU+Sys: the partitioned
+	// collection moves between memories every iteration.
+	mixed := mapping.Default(g, md)
+	mixed.SetProc(1, machine.CPU)
+	mixed.RebuildPriorityLists(md, 1)
+	resMixed := mustSim(t, m, g, mixed, Config{})
+
+	if resMixed.BytesCopied <= resSame.BytesCopied {
+		t.Fatalf("mixed mapping copied %d bytes, same-kind %d — expected more",
+			resMixed.BytesCopied, resSame.BytesCopied)
+	}
+	if resMixed.NumCopies == 0 {
+		t.Fatal("mixed mapping performed no copies")
+	}
+}
+
+func TestLeaderVsDistributedMultiNode(t *testing.T) {
+	m := cluster.Shepard(4)
+	md := m.Model()
+	// Compute-heavy, communication-light: distribution must win.
+	g := simpleGraph(16, 1<<22)
+	for _, tk := range g.Tasks {
+		for k, v := range tk.Variants {
+			v.WorkPerPoint = 1e10
+			tk.Variants[k] = v
+		}
+	}
+
+	dist := mapping.Default(g, md)
+	leader := mapping.Default(g, md)
+	leader.SetDistribute(0, false)
+	leader.SetDistribute(1, false)
+
+	resDist := mustSim(t, m, g, dist, Config{})
+	resLeader := mustSim(t, m, g, leader, Config{})
+	// 16 points on one node's single GPU vs 4 nodes' GPUs: the leader
+	// mapping must be slower for compute-heavy work.
+	if resLeader.MakespanSec <= resDist.MakespanSec {
+		t.Fatalf("leader (%v) should be slower than distributed (%v)",
+			resLeader.MakespanSec, resDist.MakespanSec)
+	}
+	if resDist.BytesOnNetwork == 0 {
+		t.Fatal("distributed shared collection should touch the network")
+	}
+}
+
+func TestGatherForLeaderConsumer(t *testing.T) {
+	m := cluster.Shepard(2)
+	md := m.Model()
+	g := simpleGraph(8, 1<<26)
+	mp := mapping.Default(g, md)
+	mp.SetDistribute(1, false) // consumer gathers all shards to node 0
+	res := mustSim(t, m, g, mp, Config{})
+	if res.BytesOnNetwork == 0 {
+		t.Fatal("gathering shards to the leader must use the network")
+	}
+}
+
+func TestSerialOverheadAdditive(t *testing.T) {
+	m := cluster.Shepard(1)
+	g := simpleGraph(4, 1<<20)
+	mp := mapping.Default(g, m.Model())
+	base := mustSim(t, m, g, mp, Config{}).MakespanSec
+	g.SerialOverheadSec = 0.01
+	withOv := mustSim(t, m, g, mp, Config{}).MakespanSec
+	want := base + float64(g.Iterations)*0.01
+	if math.Abs(withOv-want) > 1e-9 {
+		t.Fatalf("overhead: got %v, want %v", withOv, want)
+	}
+}
+
+func TestTaskWallSecPopulated(t *testing.T) {
+	m := cluster.Shepard(1)
+	g := simpleGraph(4, 1<<20)
+	mp := mapping.Default(g, m.Model())
+	res := mustSim(t, m, g, mp, Config{})
+	for _, tk := range g.Tasks {
+		if res.TaskWallSec[tk.ID] <= 0 {
+			t.Errorf("task %q has no wall time", tk.Name)
+		}
+	}
+}
+
+func TestCapacityAccountingSharedAndPartitioned(t *testing.T) {
+	m := cluster.Shepard(1)
+	md := m.Model()
+	colBytes := int64(1 << 30)
+	g := simpleGraph(4, colBytes)
+	mp := mapping.Default(g, md)
+	res := mustSim(t, m, g, mp, Config{})
+	// FB must hold at least the partitioned collection + shared copy.
+	min := colBytes + colBytes/4
+	if res.PeakMemBytes[machine.FrameBuffer] < min {
+		t.Fatalf("FB peak = %d, want >= %d", res.PeakMemBytes[machine.FrameBuffer], min)
+	}
+}
+
+func TestCPUSharedSysMemMirrorsAcrossSockets(t *testing.T) {
+	// A shared collection read by CPU points on both sockets occupies
+	// both socket System memories (the paper's Stencil observation).
+	m := cluster.Shepard(1)
+	md := m.Model()
+	g := taskir.NewGraph("mirror")
+	sh := g.AddCollection(taskir.Collection{Name: "sh", Space: "s", Lo: 0, Hi: 1 << 20})
+	g.AddTask(taskir.GroupTask{Name: "r", Points: 2,
+		Variants: map[machine.ProcKind]taskir.Variant{
+			machine.CPU: {Efficiency: 1, WorkPerPoint: 1e6},
+		},
+		Args: []taskir.Arg{{Collection: sh.ID, Privilege: taskir.ReadOnly, BytesPerPoint: 1 << 20}}})
+	g.Iterations = 2
+	mp := mapping.Default(g, md)
+	res := mustSim(t, m, g, mp, Config{})
+	if res.PeakMemBytes[machine.SysMem] < 2*(1<<20) {
+		t.Fatalf("SysMem peak = %d, want >= %d (one instance per socket)",
+			res.PeakMemBytes[machine.SysMem], 2*(1<<20))
+	}
+}
+
+func TestSharedZeroCopySingleAllocation(t *testing.T) {
+	m := cluster.Shepard(1)
+	md := m.Model()
+	g := taskir.NewGraph("zc1")
+	sh := g.AddCollection(taskir.Collection{Name: "sh", Space: "s", Lo: 0, Hi: 1 << 20})
+	g.AddTask(taskir.GroupTask{Name: "r", Points: 2,
+		Variants: map[machine.ProcKind]taskir.Variant{
+			machine.CPU: {Efficiency: 1, WorkPerPoint: 1e6},
+		},
+		Args: []taskir.Arg{{Collection: sh.ID, Privilege: taskir.ReadOnly, BytesPerPoint: 1 << 20}}})
+	g.Iterations = 2
+	mp := mapping.Default(g, md)
+	mp.SetArgMem(md, 0, 0, machine.ZeroCopy)
+	res := mustSim(t, m, g, mp, Config{})
+	if got := res.PeakMemBytes[machine.ZeroCopy]; got != 1<<20 {
+		t.Fatalf("ZC peak = %d, want exactly one instance (%d)", got, 1<<20)
+	}
+}
+
+func TestAliasedCollectionsShareInstances(t *testing.T) {
+	// Two views of the same interval must not double-charge capacity.
+	m := cluster.Shepard(1)
+	md := m.Model()
+	g := taskir.NewGraph("alias")
+	v := map[machine.ProcKind]taskir.Variant{machine.GPU: {Efficiency: 1, WorkPerPoint: 1e6}}
+	a := g.AddCollection(taskir.Collection{Name: "a", Space: "s", Lo: 0, Hi: 1 << 20})
+	b := g.AddCollection(taskir.Collection{Name: "b", Space: "s", Lo: 0, Hi: 1 << 20})
+	g.AddTask(taskir.GroupTask{Name: "t0", Points: 1, Variants: v,
+		Args: []taskir.Arg{{Collection: a.ID, Privilege: taskir.ReadWrite, BytesPerPoint: 1 << 20}}})
+	g.AddTask(taskir.GroupTask{Name: "t1", Points: 1, Variants: v,
+		Args: []taskir.Arg{{Collection: b.ID, Privilege: taskir.ReadOnly, BytesPerPoint: 1 << 20}}})
+	g.Iterations = 2
+	mp := mapping.Default(g, md)
+	res := mustSim(t, m, g, mp, Config{})
+	if got := res.PeakMemBytes[machine.FrameBuffer]; got != 1<<20 {
+		t.Fatalf("FB peak = %d, want %d (aliases share one instance)", got, 1<<20)
+	}
+}
+
+func TestGPUFasterForComputeHeavyWork(t *testing.T) {
+	m := cluster.Shepard(1)
+	md := m.Model()
+	g := taskir.NewGraph("heavy")
+	c := g.AddCollection(taskir.Collection{Name: "c", Space: "s", Lo: 0, Hi: 1 << 20, Partitioned: true})
+	g.AddTask(taskir.GroupTask{Name: "t", Points: 4,
+		Variants: map[machine.ProcKind]taskir.Variant{
+			machine.CPU: {Efficiency: 1, WorkPerPoint: 1e11},
+			machine.GPU: {Efficiency: 1, WorkPerPoint: 1e11},
+		},
+		Args: []taskir.Arg{{Collection: c.ID, Privilege: taskir.ReadWrite, BytesPerPoint: 1 << 18}}})
+	g.Iterations = 1
+	gpu := mapping.Default(g, md)
+	cpu := mapping.Default(g, md)
+	cpu.SetProc(0, machine.CPU)
+	cpu.RebuildPriorityLists(md, 0)
+	tGPU := mustSim(t, m, g, gpu, Config{}).MakespanSec
+	tCPU := mustSim(t, m, g, cpu, Config{}).MakespanSec
+	if tGPU >= tCPU {
+		t.Fatalf("GPU (%v) should beat CPU (%v) on 100 GFLOP points", tGPU, tCPU)
+	}
+}
+
+func TestCPUFasterForTinyTasks(t *testing.T) {
+	// Launch-overhead-dominated tasks favor the CPU — the core of the
+	// paper's small-input speedups (Figure 6).
+	m := cluster.Shepard(1)
+	md := m.Model()
+	g := taskir.NewGraph("tiny")
+	c := g.AddCollection(taskir.Collection{Name: "c", Space: "s", Lo: 0, Hi: 4096, Partitioned: true})
+	g.AddTask(taskir.GroupTask{Name: "t", Points: 8,
+		Variants: map[machine.ProcKind]taskir.Variant{
+			machine.CPU: {Efficiency: 1, WorkPerPoint: 1e4},
+			machine.GPU: {Efficiency: 1, WorkPerPoint: 1e4},
+		},
+		Args: []taskir.Arg{{Collection: c.ID, Privilege: taskir.ReadWrite, BytesPerPoint: 512}}})
+	g.Iterations = 1
+	gpu := mapping.Default(g, md)
+	cpu := mapping.Default(g, md)
+	cpu.SetProc(0, machine.CPU)
+	cpu.RebuildPriorityLists(md, 0)
+	tGPU := mustSim(t, m, g, gpu, Config{}).MakespanSec
+	tCPU := mustSim(t, m, g, cpu, Config{}).MakespanSec
+	if tCPU >= tGPU {
+		t.Fatalf("CPU (%v) should beat GPU (%v) on tiny tasks", tCPU, tGPU)
+	}
+}
+
+func TestIndependentKindsOverlap(t *testing.T) {
+	// Two independent tasks on different processor kinds run
+	// concurrently; on the same kind they serialize.
+	m := cluster.Shepard(1)
+	md := m.Model()
+	g := taskir.NewGraph("overlap")
+	v := func() map[machine.ProcKind]taskir.Variant {
+		return map[machine.ProcKind]taskir.Variant{
+			machine.CPU: {Efficiency: 1, WorkPerPoint: 1e10},
+			machine.GPU: {Efficiency: 1, WorkPerPoint: 1e10},
+		}
+	}
+	c1 := g.AddCollection(taskir.Collection{Name: "c1", Space: "s1", Lo: 0, Hi: 1 << 20, Partitioned: true})
+	c2 := g.AddCollection(taskir.Collection{Name: "c2", Space: "s2", Lo: 0, Hi: 1 << 20, Partitioned: true})
+	g.AddTask(taskir.GroupTask{Name: "t1", Points: 1, Variants: v(),
+		Args: []taskir.Arg{{Collection: c1.ID, Privilege: taskir.ReadWrite, BytesPerPoint: 1 << 20}}})
+	// t2's GPU variant is inefficient (a scatter-style kernel): keeping
+	// it on the GPU serializes with t1, while the CPU runs it
+	// concurrently at full efficiency.
+	g.AddTask(taskir.GroupTask{Name: "t2", Points: 1,
+		Variants: map[machine.ProcKind]taskir.Variant{
+			machine.CPU: {Efficiency: 1, WorkPerPoint: 5e9},
+			machine.GPU: {Efficiency: 0.1, WorkPerPoint: 5e9},
+		},
+		Args: []taskir.Arg{{Collection: c2.ID, Privilege: taskir.ReadWrite, BytesPerPoint: 1 << 20}}})
+	g.Iterations = 1
+
+	bothGPU := mapping.Default(g, md)
+	split := mapping.Default(g, md)
+	split.SetProc(1, machine.CPU)
+	split.RebuildPriorityLists(md, 1)
+
+	tSame := mustSim(t, m, g, bothGPU, Config{}).MakespanSec
+	tSplit := mustSim(t, m, g, split, Config{}).MakespanSec
+	if tSplit >= tSame {
+		t.Fatalf("split kinds (%v) should overlap and beat same-kind (%v)", tSplit, tSame)
+	}
+}
+
+func TestMoreNodesFasterForDistributedWork(t *testing.T) {
+	heavy := func() *taskir.Graph {
+		g := simpleGraph(16, 1<<22)
+		for _, tk := range g.Tasks {
+			for k, v := range tk.Variants {
+				v.WorkPerPoint = 1e10
+				tk.Variants[k] = v
+			}
+		}
+		return g
+	}
+	g1, g4 := heavy(), heavy()
+	m1, m4 := cluster.Shepard(1), cluster.Shepard(4)
+	t1 := mustSim(t, m1, g1, mapping.Default(g1, m1.Model()), Config{}).MakespanSec
+	t4 := mustSim(t, m4, g4, mapping.Default(g4, m4.Model()), Config{}).MakespanSec
+	if t4 >= t1 {
+		t.Fatalf("4 nodes (%v) should beat 1 node (%v) on this strong-scaled workload", t4, t1)
+	}
+}

@@ -1,0 +1,158 @@
+// Welch's unequal-variance t-test, used to decide whether one mapping is
+// *significantly* faster than another: the paper stresses that "individual
+// mappings can have significant variation in performance from run to run,
+// necessitating multiple executions to obtain reliable estimates of the
+// performance mean and variance" (Section 1). The implementation is
+// standard-library only: the t CDF comes from the regularized incomplete
+// beta function evaluated with Lentz's continued fraction.
+
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Comparison is the verdict of comparing two samples of execution times.
+type Comparison struct {
+	// MeanA and MeanB are the sample means.
+	MeanA, MeanB float64
+	// T is Welch's t statistic (positive when A is slower than B).
+	T float64
+	// DF is the Welch–Satterthwaite degrees of freedom.
+	DF float64
+	// P is the two-sided p-value for the null hypothesis that the means
+	// are equal.
+	P float64
+}
+
+// Faster reports whether B is significantly faster than A at level alpha
+// (one-sided: mean(B) < mean(A)).
+func (c Comparison) Faster(alpha float64) bool {
+	return c.MeanB < c.MeanA && c.P/2 < alpha
+}
+
+// String renders the comparison.
+func (c Comparison) String() string {
+	return fmt.Sprintf("meanA=%.6g meanB=%.6g t=%.3f df=%.1f p=%.4f", c.MeanA, c.MeanB, c.T, c.DF, c.P)
+}
+
+// Compare runs Welch's t-test on two samples. Panics if either sample has
+// fewer than two observations (no variance estimate).
+func Compare(a, b []float64) Comparison {
+	if len(a) < 2 || len(b) < 2 {
+		panic("stats: Compare requires at least two observations per sample")
+	}
+	sa, sb := Summarize(a), Summarize(b)
+	va := sa.Stddev * sa.Stddev / float64(sa.N)
+	vb := sb.Stddev * sb.Stddev / float64(sb.N)
+	c := Comparison{MeanA: sa.Mean, MeanB: sb.Mean}
+	if va+vb == 0 {
+		// Identical constants: equal means have p = 1, different means
+		// are trivially distinct.
+		if sa.Mean == sb.Mean {
+			c.P = 1
+		} else {
+			c.T = math.Inf(sign(sa.Mean - sb.Mean))
+			c.P = 0
+		}
+		c.DF = float64(sa.N + sb.N - 2)
+		return c
+	}
+	c.T = (sa.Mean - sb.Mean) / math.Sqrt(va+vb)
+	c.DF = (va + vb) * (va + vb) /
+		(va*va/float64(sa.N-1) + vb*vb/float64(sb.N-1))
+	c.P = 2 * studentTSF(math.Abs(c.T), c.DF)
+	return c
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// studentTSF returns P(T > t) for Student's t distribution with df degrees
+// of freedom (the survival function), t >= 0.
+func studentTSF(t, df float64) float64 {
+	if math.IsInf(t, 1) {
+		return 0
+	}
+	x := df / (df + t*t)
+	return 0.5 * regIncBeta(df/2, 0.5, x)
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b)
+// via the continued-fraction expansion (Numerical Recipes §6.4, Lentz's
+// method).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	// Symmetry: converge fast by expanding on the smaller side.
+	front := math.Exp(lgamma(a+b) - lgamma(a) - lgamma(b) +
+		a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta function.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		tiny    = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		// Even step.
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		// Odd step.
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

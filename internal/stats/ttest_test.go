@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"automap/internal/xrand"
+)
+
+func TestCompareClearlyDifferent(t *testing.T) {
+	a := []float64{10.0, 10.1, 9.9, 10.05, 9.95, 10.02, 9.98}
+	b := []float64{5.0, 5.1, 4.9, 5.05, 4.95, 5.02, 4.98}
+	c := Compare(a, b)
+	if c.P > 1e-6 {
+		t.Fatalf("clearly different samples: p = %v", c.P)
+	}
+	if !c.Faster(0.05) {
+		t.Fatal("B is obviously faster")
+	}
+	if c.T <= 0 {
+		t.Fatalf("t should be positive when A is slower: %v", c.T)
+	}
+}
+
+func TestCompareSameDistribution(t *testing.T) {
+	// Repeated draws from the same distribution should rarely look
+	// significant; check the false-positive rate at alpha = 0.05.
+	rng := xrand.New(42)
+	falsePositives := 0
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		a := make([]float64, 7)
+		b := make([]float64, 7)
+		for j := range a {
+			a[j] = 100 + rng.NormFloat64()
+			b[j] = 100 + rng.NormFloat64()
+		}
+		if Compare(a, b).Faster(0.05) {
+			falsePositives++
+		}
+	}
+	// One-sided at 0.05: expect ~5% of trials (≈15), allow slack.
+	if falsePositives > 30 {
+		t.Fatalf("false positive rate too high: %d/%d", falsePositives, trials)
+	}
+}
+
+func TestComparePower(t *testing.T) {
+	// A real 5% difference with 1% noise and n=7 should be detected
+	// nearly always.
+	rng := xrand.New(7)
+	detected := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		a := make([]float64, 7)
+		b := make([]float64, 7)
+		for j := range a {
+			a[j] = 100 * (1 + 0.01*rng.NormFloat64())
+			b[j] = 95 * (1 + 0.01*rng.NormFloat64())
+		}
+		if Compare(a, b).Faster(0.05) {
+			detected++
+		}
+	}
+	if detected < trials*9/10 {
+		t.Fatalf("power too low: %d/%d", detected, trials)
+	}
+}
+
+func TestCompareConstantSamples(t *testing.T) {
+	eq := Compare([]float64{3, 3, 3}, []float64{3, 3, 3})
+	if eq.P != 1 {
+		t.Fatalf("identical constants: p = %v", eq.P)
+	}
+	ne := Compare([]float64{3, 3, 3}, []float64{2, 2, 2})
+	if ne.P != 0 || !ne.Faster(0.05) {
+		t.Fatalf("distinct constants: %+v", ne)
+	}
+}
+
+func TestComparePanicsOnTinySamples(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Compare([]float64{1}, []float64{2, 3})
+}
+
+func TestStudentTSFKnownValues(t *testing.T) {
+	// Reference values: P(T > t) for given df (from standard tables).
+	cases := []struct {
+		t, df, want float64
+	}{
+		{0, 10, 0.5},
+		{1.812, 10, 0.05},  // t_{0.95, 10}
+		{2.228, 10, 0.025}, // t_{0.975, 10}
+		{1.645, 1e6, 0.05}, // ~normal
+	}
+	for _, c := range cases {
+		got := studentTSF(c.t, c.df)
+		if math.Abs(got-c.want) > 0.002 {
+			t.Errorf("SF(%v, df=%v) = %v, want %v", c.t, c.df, got, c.want)
+		}
+	}
+}
+
+func TestRegIncBetaBounds(t *testing.T) {
+	if regIncBeta(2, 3, 0) != 0 || regIncBeta(2, 3, 1) != 1 {
+		t.Fatal("boundary values wrong")
+	}
+	// I_x(1,1) is the uniform CDF: I_x = x.
+	for _, x := range []float64{0.1, 0.35, 0.5, 0.8} {
+		if got := regIncBeta(1, 1, x); math.Abs(got-x) > 1e-12 {
+			t.Errorf("I_%v(1,1) = %v", x, got)
+		}
+	}
+	// Monotone in x.
+	prev := 0.0
+	for x := 0.05; x < 1; x += 0.05 {
+		v := regIncBeta(3.5, 2.25, x)
+		if v < prev {
+			t.Fatalf("not monotone at x=%v", x)
+		}
+		prev = v
+	}
+}
+
+func TestCompareString(t *testing.T) {
+	c := Compare([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if c.String() == "" {
+		t.Fatal("empty string")
+	}
+}

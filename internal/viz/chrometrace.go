@@ -1,0 +1,83 @@
+// Chrome-trace (Catapult / chrome://tracing, also Perfetto) export of
+// simulator execution traces, for interactive timeline inspection of
+// mappings.
+
+package viz
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"automap/internal/sim"
+	"automap/internal/taskir"
+)
+
+// chromeEvent is one complete ("X") event of the Chrome trace format.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	PID  int            `json:"pid"` // node
+	TID  int            `json:"tid"` // processor kind within the node
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeMeta names processes (nodes) and threads (kinds).
+type chromeMeta struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid,omitempty"`
+	Args map[string]any `json:"args"`
+}
+
+// WriteChromeTrace writes the events of a traced simulation
+// (sim.Config.Trace) as a Chrome trace JSON array. Load the file at
+// chrome://tracing or ui.perfetto.dev. Copies preceding a launch appear as
+// separate "copy" slices.
+func WriteChromeTrace(w io.Writer, g *taskir.Graph, res *sim.Result) error {
+	var out []any
+	nodes := map[int]bool{}
+	for _, e := range res.Events {
+		if !nodes[e.Node] {
+			nodes[e.Node] = true
+			out = append(out, chromeMeta{
+				Name: "process_name", Ph: "M", PID: e.Node,
+				Args: map[string]any{"name": fmt.Sprintf("node %d", e.Node)},
+			})
+		}
+	}
+	kindNames := map[int]string{0: "CPU", 1: "GPU"}
+	for n := range nodes {
+		for tid, name := range kindNames {
+			out = append(out, chromeMeta{
+				Name: "thread_name", Ph: "M", PID: n, TID: tid,
+				Args: map[string]any{"name": name},
+			})
+		}
+	}
+	for _, e := range res.Events {
+		name := fmt.Sprintf("task %d", e.Task)
+		if int(e.Task) < len(g.Tasks) {
+			name = g.Tasks[e.Task].Name
+		}
+		if e.CopySec > 0 {
+			out = append(out, chromeEvent{
+				Name: name + " (copy)", Cat: "copy", Ph: "X",
+				Ts: (e.StartSec - e.CopySec) * 1e6, Dur: e.CopySec * 1e6,
+				PID: e.Node, TID: int(e.Kind),
+			})
+		}
+		out = append(out, chromeEvent{
+			Name: name, Cat: "task", Ph: "X",
+			Ts: e.StartSec * 1e6, Dur: e.DurSec * 1e6,
+			PID: e.Node, TID: int(e.Kind),
+			Args: map[string]any{"iteration": e.Iteration},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,90 @@
+// Figure 2-style rendering: the program's dependence graph annotated with
+// a mapping ("partial dependence graph of a multi-physics application, and
+// a mapping discovered by AutoMap").
+
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"automap/internal/mapping"
+	"automap/internal/taskir"
+)
+
+// RenderDeps renders the per-iteration dependence graph of g in launch
+// order, one task per line with its incoming edges (producer → this task,
+// labeled by collection) and, when mp is non-nil, the task's mapping.
+func RenderDeps(g *taskir.Graph, mp *mapping.Mapping) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dependence graph of %s (%d tasks, %d deps per iteration)\n",
+		g.Name, len(g.Tasks), len(g.Deps()))
+	for _, t := range g.Tasks {
+		if mp != nil {
+			d := mp.Decision(t.ID)
+			fmt.Fprintf(&b, "[%s] ", d.Proc)
+		}
+		fmt.Fprintf(&b, "%s", t.Name)
+		deps := g.DepsInto(t.ID)
+		if len(deps) == 0 {
+			b.WriteString("  (source)\n")
+			continue
+		}
+		b.WriteString("\n")
+		for _, dep := range deps {
+			from := g.Task(dep.From)
+			c := g.Collection(dep.Collection)
+			fmt.Fprintf(&b, "    ↑ %s  (via %s", from.Name, c.Name)
+			if mp != nil {
+				fmt.Fprintf(&b, " in %s", mp.Decision(t.ID).PrimaryMem(argIndexOf(t, dep.Collection)).ShortString())
+			}
+			b.WriteString(")\n")
+		}
+	}
+	return b.String()
+}
+
+// argIndexOf returns the first argument index of t referencing collection
+// c, or 0 if none (defensive; deps always reference an argument).
+func argIndexOf(t *taskir.GroupTask, c taskir.CollectionID) int {
+	for i, a := range t.Args {
+		if a.Collection == c {
+			return i
+		}
+	}
+	return 0
+}
+
+// WriteDOT emits the dependence graph in Graphviz DOT format, one node per
+// task (colored by processor kind when a mapping is given) and one edge per
+// dependence, labeled with the collection it flows through.
+func WriteDOT(w io.Writer, g *taskir.Graph, mp *mapping.Mapping) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=TB;\n  node [shape=box,style=filled];\n", g.Name); err != nil {
+		return err
+	}
+	for _, t := range g.Tasks {
+		color := "lightgray"
+		label := t.Name
+		if mp != nil {
+			d := mp.Decision(t.ID)
+			if d.Proc.String() == "GPU" {
+				color = "lightgreen"
+			} else {
+				color = "lightblue"
+			}
+			label = fmt.Sprintf("%s\\n%s", t.Name, d.Proc)
+		}
+		if _, err := fmt.Fprintf(w, "  t%d [label=%q,fillcolor=%q];\n", t.ID, label, color); err != nil {
+			return err
+		}
+	}
+	for _, dep := range g.Deps() {
+		c := g.Collection(dep.Collection)
+		if _, err := fmt.Fprintf(w, "  t%d -> t%d [label=%q];\n", dep.From, dep.To, c.Name); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

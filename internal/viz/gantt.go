@@ -1,0 +1,108 @@
+// Timeline (Gantt) rendering of simulator execution traces: one row per
+// (node, processor kind), time on the X axis, a block per task launch.
+// Useful for seeing where a mapping wins — e.g. CPU/GPU overlap, or
+// copy-dominated gaps.
+
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"automap/internal/machine"
+	"automap/internal/sim"
+	"automap/internal/taskir"
+)
+
+// RenderGantt renders the events of a traced simulation (sim.Config.Trace)
+// as an ASCII timeline, `width` characters wide. Each (node, kind) lane
+// shows task launches as letters (a = task 0, b = task 1, …); '·' is idle
+// and '~' marks time spent copying before a launch.
+func RenderGantt(g *taskir.Graph, res *sim.Result, width int) string {
+	if len(res.Events) == 0 {
+		return "(no events; run the simulation with Trace: true)\n"
+	}
+	if width < 20 {
+		width = 20
+	}
+	type laneKey struct {
+		node int
+		kind machine.ProcKind
+	}
+	lanes := make(map[laneKey][]sim.Event)
+	var end float64
+	for _, e := range res.Events {
+		k := laneKey{e.Node, e.Kind}
+		lanes[k] = append(lanes[k], e)
+		if t := e.StartSec + e.DurSec; t > end {
+			end = t
+		}
+	}
+	if end <= 0 {
+		end = 1
+	}
+	keys := make([]laneKey, 0, len(lanes))
+	for k := range lanes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].node != keys[j].node {
+			return keys[i].node < keys[j].node
+		}
+		return keys[i].kind < keys[j].kind
+	})
+
+	col := func(t float64) int {
+		c := int(t / end * float64(width))
+		if c >= width {
+			c = width - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline of %s (%.4gs total)\n", g.Name, end)
+	for _, k := range keys {
+		row := make([]rune, width)
+		for i := range row {
+			row[i] = '·'
+		}
+		for _, e := range lanes[k] {
+			if e.CopySec > 0 {
+				for c := col(e.StartSec - e.CopySec); c < col(e.StartSec); c++ {
+					if row[c] == '·' {
+						row[c] = '~'
+					}
+				}
+			}
+			mark := taskMark(e.Task)
+			for c := col(e.StartSec); c <= col(e.StartSec+e.DurSec); c++ {
+				row[c] = mark
+			}
+		}
+		fmt.Fprintf(&b, "  node %d %-3s |%s|\n", k.node, k.kind, string(row))
+	}
+	b.WriteString("  legend:")
+	n := len(g.Tasks)
+	if n > 12 {
+		n = 12
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, " %c=%s", taskMark(taskir.TaskID(i)), trunc(g.Tasks[i].Name, 14))
+	}
+	if len(g.Tasks) > 12 {
+		b.WriteString(" …")
+	}
+	b.WriteString("  (~ = copy, · = idle)\n")
+	return b.String()
+}
+
+// taskMark maps a task ID to a stable printable letter.
+func taskMark(id taskir.TaskID) rune {
+	const marks = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	return rune(marks[int(id)%len(marks)])
+}

@@ -1,0 +1,59 @@
+// Machine-topology rendering in the style of the paper's Figure 1 ("sample
+// two-node heterogeneous machine, with 2 kinds of processors and 3 kinds of
+// memories").
+
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"automap/internal/machine"
+)
+
+// RenderMachine renders one node of the machine (all nodes are identical in
+// the modeled clusters) plus the cluster-level summary: processors with
+// their throughputs, memories with capacities and bandwidths, and the
+// kind-level accessibility relation.
+func RenderMachine(m *machine.Machine) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", m)
+	fmt.Fprintf(&b, "node 0 of %d:\n", m.Nodes)
+	for _, pid := range append(m.ProcsOfKindOnNode(machine.CPU, 0), m.ProcsOfKindOnNode(machine.GPU, 0)...) {
+		p := m.Proc(pid)
+		fmt.Fprintf(&b, "  %-4s socket %d  %7.1f GFLOPS  launch %5.1fµs  ->",
+			p.Kind, p.Socket, p.ThroughputFLOPS/1e9, p.LaunchOverhead*1e6)
+		for _, mid := range m.AddressableMems(pid) {
+			fmt.Fprintf(&b, " %s", m.Mem(mid).Kind.ShortString())
+		}
+		b.WriteByte('\n')
+	}
+	for _, kind := range []machine.MemKind{machine.SysMem, machine.ZeroCopy, machine.FrameBuffer} {
+		for _, mid := range m.MemsOfKindOnNode(kind, 0) {
+			mem := m.Mem(mid)
+			fmt.Fprintf(&b, "  %-12s %6.1f GiB  %7.1f GB/s",
+				mem.Kind, float64(mem.Capacity)/(1<<30), mem.BandwidthBps/1e9)
+			if mem.Kind == machine.SysMem {
+				fmt.Fprintf(&b, "  (socket %d)", mem.Socket)
+			}
+			if mem.Kind == machine.FrameBuffer {
+				fmt.Fprintf(&b, "  (GPU %d)", mem.Device)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	if m.Nodes > 1 {
+		fmt.Fprintf(&b, "interconnect: %.1f GB/s, %.1f µs latency\n",
+			m.NetworkBandwidthBps/1e9, m.NetworkLatencySec*1e6)
+	}
+	md := m.Model()
+	b.WriteString("kind-level accessibility:\n")
+	for _, pk := range md.ProcKinds {
+		fmt.Fprintf(&b, "  %s ->", pk)
+		for _, mk := range md.Accessible(pk) {
+			fmt.Fprintf(&b, " %s", mk.ShortString())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

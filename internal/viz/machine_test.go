@@ -1,0 +1,144 @@
+package viz
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"automap/internal/cluster"
+	"automap/internal/machine"
+	"automap/internal/mapping"
+	"automap/internal/sim"
+	"automap/internal/taskir"
+)
+
+// mappingDefaultForTest builds the default mapping via the real machinery.
+func mappingDefaultForTest(g *taskir.Graph, md *machine.Model) *mapping.Mapping {
+	return mapping.Default(g, md)
+}
+
+func TestRenderMachineShepard(t *testing.T) {
+	out := RenderMachine(cluster.Shepard(2))
+	for _, want := range []string{
+		"shepard", "CPU", "GPU", "Frame-Buffer", "Zero-Copy", "System",
+		"interconnect", "kind-level accessibility",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderMachineSingleNodeOmitsInterconnect(t *testing.T) {
+	out := RenderMachine(cluster.Shepard(1))
+	if strings.Contains(out, "interconnect") {
+		t.Error("single-node machine should not print an interconnect")
+	}
+}
+
+func TestRenderDepsWithMapping(t *testing.T) {
+	g := vizGraph(t)
+	md := cluster.Shepard(1).Model()
+	// Add a consumer so there is at least one dependence edge.
+	out := RenderDeps(g, nil)
+	if !strings.Contains(out, "dependence graph") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "(source)") {
+		t.Errorf("source marker missing:\n%s", out)
+	}
+	_ = md
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := vizGraph(t)
+	md := cluster.Shepard(1).Model()
+	mp := mappingDefaultForTest(g, md)
+	var sb strings.Builder
+	if err := WriteDOT(&sb, g, mp); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"digraph", "compute_something_long_name", "GPU", "}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in DOT:\n%s", want, out)
+		}
+	}
+	// Without a mapping: plain nodes.
+	sb.Reset()
+	if err := WriteDOT(&sb, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "GPU") {
+		t.Error("unmapped DOT should not mention processor kinds")
+	}
+}
+
+func TestRenderGantt(t *testing.T) {
+	g := vizGraph(t)
+	m := cluster.Shepard(1)
+	mp := mappingDefaultForTest(g, m.Model())
+	res, err := sim.Simulate(m, g, mp, sim.Config{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Events) == 0 {
+		t.Fatal("trace produced no events")
+	}
+	out := RenderGantt(g, res, 60)
+	for _, want := range []string{"timeline", "node 0 GPU", "legend", "a=compute_somet"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Untraced result renders the hint.
+	res2, _ := sim.Simulate(m, g, mp, sim.Config{})
+	if !strings.Contains(RenderGantt(g, res2, 60), "Trace: true") {
+		t.Error("missing no-events hint")
+	}
+}
+
+func TestTraceOffByDefault(t *testing.T) {
+	g := vizGraph(t)
+	m := cluster.Shepard(1)
+	mp := mappingDefaultForTest(g, m.Model())
+	res, err := sim.Simulate(m, g, mp, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Events) != 0 {
+		t.Fatal("events recorded without Trace")
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	g := vizGraph(t)
+	m := cluster.Shepard(1)
+	mp := mappingDefaultForTest(g, m.Model())
+	res, err := sim.Simulate(m, g, mp, sim.Config{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteChromeTrace(&sb, g, res); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &parsed); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	foundTask, foundMeta := false, false
+	for _, ev := range parsed {
+		switch ev["ph"] {
+		case "X":
+			if ev["cat"] == "task" {
+				foundTask = true
+			}
+		case "M":
+			foundMeta = true
+		}
+	}
+	if !foundTask || !foundMeta {
+		t.Fatalf("trace missing task or metadata events:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,146 @@
+// Package viz renders mappings and search trajectories as text, in the
+// spirit of the paper's Figures 2, 3 (mapping visualizations) and 9
+// (best-mapping-over-time plots).
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"automap/internal/mapping"
+	"automap/internal/taskir"
+)
+
+// RenderMapping renders a Figure 3-style view of a mapping: one line per
+// task with its processor kind, and one cell per collection argument
+// showing the memory kind and a bar proportional to the collection's size
+// relative to the application's largest collection.
+func RenderMapping(g *taskir.Graph, mp *mapping.Mapping) string {
+	var maxBytes int64 = 1
+	for _, c := range g.Collections {
+		if c.SizeBytes() > maxBytes {
+			maxBytes = c.SizeBytes()
+		}
+	}
+	var b strings.Builder
+	for _, t := range g.Tasks {
+		d := mp.Decision(t.ID)
+		dist := " "
+		if d.Distribute {
+			dist = "*"
+		}
+		fmt.Fprintf(&b, "%-22s %s%-3s |", trunc(t.Name, 22), dist, d.Proc)
+		for a, arg := range t.Args {
+			c := g.Collection(arg.Collection)
+			frac := float64(c.SizeBytes()) / float64(maxBytes)
+			bar := barOf(frac, 6)
+			fmt.Fprintf(&b, " %s:%s[%s]", trunc(c.Name, 10), d.Mems[a][0].ShortString(), bar)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("(* = distributed across nodes; bar = collection size relative to largest)\n")
+	return b.String()
+}
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+func barOf(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(math.Round(frac * float64(width)))
+	return strings.Repeat("#", n) + strings.Repeat("·", width-n)
+}
+
+// Series is one named line of a Plot.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Plot renders an ASCII scatter/step plot of the series over a
+// width×height character grid, with shared axes.
+func Plot(series []Series, width, height int, xlabel, ylabel string) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for i := range s.X {
+			if math.IsInf(s.Y[i], 0) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			any = true
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if !any {
+		return "(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	marks := []byte{'*', 'o', '+', 'x', '@', '%'}
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		// Step-render: each best-so-far level extends to the next point.
+		for i := range s.X {
+			if math.IsInf(s.Y[i], 0) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			x0 := s.X[i]
+			x1 := maxX
+			if i+1 < len(s.X) {
+				x1 = s.X[i+1]
+			}
+			r := height - 1 - int((s.Y[i]-minY)/(maxY-minY)*float64(height-1))
+			c0 := int((x0 - minX) / (maxX - minX) * float64(width-1))
+			c1 := int((x1 - minX) / (maxX - minX) * float64(width-1))
+			for c := c0; c <= c1 && c < width; c++ {
+				if grid[r][c] == ' ' || c == c0 {
+					grid[r][c] = mark
+				}
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (max %.4g)\n", ylabel, maxY)
+	for _, row := range grid {
+		b.WriteString("  |")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("  +" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, "   %.4g .. %.4g  %s\n", minX, maxX, xlabel)
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", marks[si%len(marks)], s.Name))
+	}
+	b.WriteString("   " + strings.Join(legend, "  ") + "\n")
+	return b.String()
+}

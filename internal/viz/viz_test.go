@@ -1,0 +1,92 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"automap/internal/cluster"
+	"automap/internal/machine"
+	"automap/internal/mapping"
+	"automap/internal/taskir"
+)
+
+func vizGraph(t *testing.T) *taskir.Graph {
+	g := taskir.NewGraph("viz")
+	big := g.AddCollection(taskir.Collection{Name: "big", Space: "a", Lo: 0, Hi: 1000, Partitioned: true})
+	small := g.AddCollection(taskir.Collection{Name: "small", Space: "b", Lo: 0, Hi: 100})
+	g.AddTask(taskir.GroupTask{Name: "compute_something_long_name", Points: 4,
+		Variants: map[machine.ProcKind]taskir.Variant{
+			machine.GPU: {Efficiency: 1, WorkPerPoint: 1},
+			machine.CPU: {Efficiency: 1, WorkPerPoint: 1},
+		},
+		Args: []taskir.Arg{
+			{Collection: big.ID, Privilege: taskir.ReadWrite, BytesPerPoint: 250},
+			{Collection: small.ID, Privilege: taskir.ReadOnly, BytesPerPoint: 100},
+		}})
+	return g
+}
+
+func TestRenderMapping(t *testing.T) {
+	g := vizGraph(t)
+	md := cluster.Shepard(1).Model()
+	mp := mapping.Default(g, md)
+	out := RenderMapping(g, mp)
+	if !strings.Contains(out, "GPU") {
+		t.Errorf("missing processor kind:\n%s", out)
+	}
+	if !strings.Contains(out, "big:FB") {
+		t.Errorf("missing collection cell:\n%s", out)
+	}
+	// Size bars: big gets a full bar, small a short one.
+	if !strings.Contains(out, "######") {
+		t.Errorf("largest collection should have a full bar:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Errorf("distributed marker missing:\n%s", out)
+	}
+}
+
+func TestPlotRendersSeries(t *testing.T) {
+	out := Plot([]Series{
+		{Name: "a", X: []float64{0, 1, 2}, Y: []float64{10, 5, 2}},
+		{Name: "b", X: []float64{0, 2}, Y: []float64{8, 8}},
+	}, 40, 10, "time", "cost")
+	if !strings.Contains(out, "*=a") || !strings.Contains(out, "o=b") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "time") || !strings.Contains(out, "cost") {
+		t.Errorf("axis labels missing:\n%s", out)
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	if out := Plot(nil, 40, 10, "x", "y"); !strings.Contains(out, "no data") {
+		t.Errorf("empty plot = %q", out)
+	}
+}
+
+func TestPlotDegenerateRanges(t *testing.T) {
+	// Single point and constant series must not divide by zero.
+	out := Plot([]Series{{Name: "a", X: []float64{5}, Y: []float64{3}}}, 20, 6, "x", "y")
+	if strings.Contains(out, "NaN") {
+		t.Errorf("NaN in plot:\n%s", out)
+	}
+}
+
+func TestBarOfClamps(t *testing.T) {
+	if barOf(-1, 4) != "····" {
+		t.Error("negative fraction should be empty bar")
+	}
+	if barOf(2, 4) != "####" {
+		t.Error("fraction > 1 should be full bar")
+	}
+}
+
+func TestTrunc(t *testing.T) {
+	if got := trunc("abcdef", 4); len([]rune(got)) != 4 {
+		t.Errorf("trunc = %q", got)
+	}
+	if got := trunc("ab", 4); got != "ab" {
+		t.Errorf("trunc = %q", got)
+	}
+}
