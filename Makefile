@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fuzz experiments experiments-quick cover clean
+.PHONY: all build test race bench fuzz check experiments experiments-quick cover clean
 
 all: build test
 
@@ -25,6 +25,12 @@ fuzz:
 	$(GO) test -fuzz FuzzLoad -fuzztime 20s ./internal/mapping
 	$(GO) test -fuzz FuzzCanonicalKey -fuzztime 20s ./internal/mapping
 	$(GO) test -fuzz FuzzLoad -fuzztime 20s ./internal/profile
+	$(GO) test -fuzz FuzzAnalyze -fuzztime 30s ./internal/analyze
+
+# Static gate: vet, race-enabled tests, and mapcheck over every bundled
+# application's default mapping on both machine models.
+check:
+	./scripts/ci.sh
 
 # Full-protocol reproduction of every table and figure (~30 min).
 experiments:

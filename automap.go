@@ -33,6 +33,7 @@
 package automap
 
 import (
+	"automap/internal/analyze"
 	"automap/internal/cluster"
 	"automap/internal/driver"
 	"automap/internal/machine"
@@ -248,6 +249,41 @@ func LoadProfilesDB(path string) (*ProfilesDB, error) { return profile.LoadDB(pa
 func SearchFromSpace(m *Machine, g *Graph, sp *Space, alg Algorithm, opts Options, budget Budget) (*Report, error) {
 	return driver.SearchFromSpace(m, g, sp, alg, opts, budget)
 }
+
+// Static analysis (mapcheck, internal/analyze): coded diagnostics over
+// (program, machine, mapping) triples without executing anything.
+type (
+	// LintReport is the outcome of a static analysis: diagnostics of
+	// every pass, sorted most severe first.
+	LintReport = analyze.Report
+	// Diagnostic is one coded finding (AM0001–AM0010) with a source
+	// location naming the task, argument, and collection involved.
+	Diagnostic = analyze.Diagnostic
+	// DiagSeverity ranks a diagnostic (DiagInfo, DiagWarn, DiagError).
+	DiagSeverity = analyze.Severity
+)
+
+// Diagnostic severities.
+const (
+	DiagInfo  = analyze.Info
+	DiagWarn  = analyze.Warn
+	DiagError = analyze.Error
+)
+
+// Lint statically analyzes program g mapped by mp on machine m with the
+// default pass list. mp may be nil for a program-only lint. Library users
+// can lint before tuning; rep.HasErrors() reports unexecutable inputs.
+func Lint(m *Machine, g *Graph, mp *Mapping) *LintReport { return analyze.Check(m, g, mp) }
+
+// Infeasible reports whether mp is statically unexecutable on (m, g): it
+// fails validation or cannot fit in memory under the simulator's own
+// placement arithmetic. Search pre-pruning (Options.PrePrune) uses this
+// oracle to reject candidates without simulating them.
+func Infeasible(m *Machine, g *Graph, mp *Mapping) bool { return analyze.Infeasible(m, g, mp) }
+
+// NewPruningEvaluator wraps a search evaluator with static infeasibility
+// pre-pruning (see search.PruningEvaluator).
+var NewPruningEvaluator = search.NewPruningEvaluator
 
 // Real mini-runtime (internal/rt): actually execute task graphs on the
 // host with goroutine worker pools, real buffers and paced copies, and

@@ -1,0 +1,94 @@
+package analyze_test
+
+import (
+	"errors"
+	"testing"
+
+	"automap/internal/analyze"
+	"automap/internal/apps"
+	"automap/internal/cluster"
+	"automap/internal/machine"
+	"automap/internal/mapper"
+	"automap/internal/mapping"
+	"automap/internal/sim"
+	"automap/internal/taskir"
+)
+
+// TestFeasibilityMatchesSimulator asserts the zero-drift property of the
+// shared placement helper: for every bundled application, on both machine
+// models, and for several mappings — including ones that OOM — the static
+// feasibility verdict (analyze.Infeasible via sim.PlanPlacement) agrees
+// exactly with sim.Simulate, and on success the committed memory accounting
+// is identical.
+func TestFeasibilityMatchesSimulator(t *testing.T) {
+	machines := map[string]func() *machine.Machine{
+		"shepard": func() *machine.Machine { return cluster.Shepard(1) },
+		"lassen":  func() *machine.Machine { return cluster.Lassen(1) },
+		// A memory-starved machine so the OOM side of the agreement is
+		// exercised too.
+		"tiny": func() *machine.Machine { return tinyGPUMachine(8 << 20) },
+	}
+	for _, app := range apps.All() {
+		g, err := app.Build(app.Inputs[1][0], 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for mname, build := range machines {
+			m := build()
+			md := m.Model()
+			mappings := map[string]*mapping.Mapping{
+				"default": mapping.Default(g, md),
+				"allzc":   mapper.AllZeroCopy(g, md),
+			}
+			for mpName, mp := range mappings {
+				t.Run(app.Name+"/"+mname+"/"+mpName, func(t *testing.T) {
+					plan, planErr := sim.PlanPlacement(m, g, mp)
+					res, simErr := sim.Simulate(m, g, mp, sim.Config{})
+					if (planErr != nil) != (simErr != nil) {
+						t.Fatalf("verdicts disagree: plan=%v sim=%v", planErr, simErr)
+					}
+					if analyze.Infeasible(m, g, mp) != (simErr != nil) {
+						t.Fatalf("Infeasible disagrees with Simulate (sim err: %v)", simErr)
+					}
+					if planErr != nil {
+						var a, b *sim.OOMError
+						if !errors.As(planErr, &a) || !errors.As(simErr, &b) {
+							t.Fatalf("non-OOM failures: plan=%v sim=%v", planErr, simErr)
+						}
+						if a.Task != b.Task || a.Collection != b.Collection || a.Node != b.Node {
+							t.Fatalf("OOM locations disagree: plan=%v sim=%v", a, b)
+						}
+						return
+					}
+					for _, k := range []machine.MemKind{machine.SysMem, machine.ZeroCopy, machine.FrameBuffer} {
+						if plan.PeakMemBytes()[k] != res.PeakMemBytes[k] {
+							t.Errorf("%s peak bytes disagree: plan=%d sim=%d",
+								k, plan.PeakMemBytes()[k], res.PeakMemBytes[k])
+						}
+					}
+					if plan.Spills != res.Spills {
+						t.Errorf("spill counts disagree: plan=%d sim=%d", plan.Spills, res.Spills)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestShardBytes pins the shared shard arithmetic both sides consume.
+func TestShardBytes(t *testing.T) {
+	part := &taskir.Collection{Space: "s", Lo: 0, Hi: 1000, Partitioned: true}
+	shared := &taskir.Collection{Space: "s", Lo: 0, Hi: 1000}
+	if got := sim.ShardBytes(part, 1, 4); got != 250 {
+		t.Errorf("partitioned shard = %d, want 250", got)
+	}
+	if got := sim.ShardBytes(part, 0, 4); got != 0 {
+		t.Errorf("empty shard = %d, want 0", got)
+	}
+	if got := sim.ShardBytes(shared, 1, 4); got != 1000 {
+		t.Errorf("shared shard = %d, want full 1000", got)
+	}
+	if got := sim.ShardBytes(part, 2, 0); got != 1000 {
+		t.Errorf("zero-point shard = %d, want full 1000", got)
+	}
+}

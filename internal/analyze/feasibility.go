@@ -1,0 +1,87 @@
+// Memory-feasibility pass: the static out-of-memory check. It runs the
+// simulator's own placement pass (sim.PlanPlacement) over the mapping, so
+// its verdict is the simulator's verdict by construction — a mapping flagged
+// AM0002 here is exactly a mapping sim.Simulate would reject with an
+// OOMError, and a clean pass is a placement the simulator will commit.
+
+package analyze
+
+import (
+	"errors"
+	"fmt"
+
+	"automap/internal/sim"
+	"automap/internal/taskir"
+)
+
+// memPressureThreshold is the fill fraction past which a successfully
+// placed memory draws a Warn: small input growth will spill or OOM.
+const memPressureThreshold = 0.9
+
+type feasibilityPass struct{}
+
+func (feasibilityPass) Name() string { return "feasibility" }
+
+func (feasibilityPass) Run(ctx *Context) []Diagnostic {
+	g, m, mp := ctx.Graph, ctx.Machine, ctx.Mapping
+	if m == nil || mp == nil {
+		return nil
+	}
+	// PlanPlacement requires a structurally valid mapping; if the legality
+	// pass has findings, placement could index out of range — skip and let
+	// those errors stand on their own.
+	if len(mp.Violations(g, ctx.Model)) > 0 {
+		return nil
+	}
+	plan, err := sim.PlanPlacement(m, g, mp)
+	if err != nil {
+		var oom *sim.OOMError
+		if !errors.As(err, &oom) {
+			d := noLoc(CodeOOM, Error, "feasibility")
+			d.Msg = err.Error()
+			return []Diagnostic{d}
+		}
+		d := noLoc(CodeOOM, Error, "feasibility")
+		d.Task = findTask(g, oom.Task)
+		d.Collection = findCollection(g, oom.Collection)
+		d.Node = oom.Node
+		d.Msg = fmt.Sprintf("mapping cannot fit: no memory kind in the priority list %v has capacity for the instance", oom.Tried)
+		return []Diagnostic{d}
+	}
+	var out []Diagnostic
+	for _, u := range plan.MemUsage() {
+		if u.Capacity <= 0 || u.UsedBytes == 0 {
+			continue
+		}
+		frac := float64(u.UsedBytes) / float64(u.Capacity)
+		if frac < memPressureThreshold {
+			continue
+		}
+		d := noLoc(CodeMemPressure, Warn, "feasibility")
+		d.Node = u.Node
+		d.Msg = fmt.Sprintf("%s memory %d is %.0f%% full (%d of %d bytes committed): input growth will spill or run out of memory",
+			u.Kind, u.ID, frac*100, u.UsedBytes, u.Capacity)
+		out = append(out, d)
+	}
+	return out
+}
+
+// findTask resolves a task name back to its ID, or -1.
+func findTask(g *taskir.Graph, name string) taskir.TaskID {
+	for _, t := range g.Tasks {
+		if t.Name == name {
+			return t.ID
+		}
+	}
+	return -1
+}
+
+// findCollection resolves a collection name back to its ID, or -1.
+func findCollection(g *taskir.Graph, name string) taskir.CollectionID {
+	for _, c := range g.Collections {
+		if c.Name == name {
+			return c.ID
+		}
+	}
+	return -1
+}

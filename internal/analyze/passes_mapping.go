@@ -1,0 +1,175 @@
+// Mapping-level passes: these need a candidate mapping (and the machine
+// model) — priority-list legality, distribute-bit sanity, and co-location
+// conformance against the overlap graph.
+
+package analyze
+
+import (
+	"fmt"
+	"strings"
+
+	"automap/internal/machine"
+	"automap/internal/overlap"
+	"automap/internal/taskir"
+)
+
+// legalityPass routes mapping.Violations through the diagnostic types —
+// processor kinds without variants, shape mismatches, empty or unaddressable
+// priority lists are Errors — and additionally flags duplicate priority-list
+// entries (Warn): a duplicate can never be chosen (the first occurrence
+// already was) and usually indicates a hand-edited mapping file.
+type legalityPass struct{}
+
+func (legalityPass) Name() string { return "legality" }
+
+func (legalityPass) Run(ctx *Context) []Diagnostic {
+	g, md, mp := ctx.Graph, ctx.Model, ctx.Mapping
+	if md == nil || mp == nil {
+		return nil
+	}
+	var out []Diagnostic
+	for _, v := range mp.Violations(g, md) {
+		code := CodeBadMemList
+		if v.Arg < 0 {
+			code = CodeBadProc
+		}
+		d := noLoc(code, Error, "legality")
+		d.Task = v.Task
+		d.Arg = v.Arg
+		if v.Task >= 0 && v.Arg >= 0 && int(v.Task) < len(g.Tasks) && v.Arg < len(g.Task(v.Task).Args) {
+			d.Collection = g.Task(v.Task).Args[v.Arg].Collection
+		}
+		d.Msg = v.Msg
+		out = append(out, d)
+	}
+	if mp.NumTasks() != len(g.Tasks) {
+		return out
+	}
+	for _, t := range g.Tasks {
+		d := mp.Decision(t.ID)
+		if len(d.Mems) != len(t.Args) {
+			continue
+		}
+		for a := range t.Args {
+			seen := make(map[machine.MemKind]bool, len(d.Mems[a]))
+			var dups []string
+			for _, mk := range d.Mems[a] {
+				if seen[mk] {
+					dups = append(dups, mk.String())
+				}
+				seen[mk] = true
+			}
+			if len(dups) > 0 {
+				diag := noLoc(CodeDupMemList, Warn, "legality")
+				diag.Task = t.ID
+				diag.Arg = a
+				diag.Collection = t.Args[a].Collection
+				diag.Msg = fmt.Sprintf("memory priority list repeats %s: duplicates can never be selected", strings.Join(dups, ", "))
+				out = append(out, diag)
+			}
+		}
+	}
+	return out
+}
+
+// distributePass flags distribute bits that cannot help: a single-point
+// group has nothing to spread, and a task all of whose collections are
+// unpartitioned replicates every byte on every node, so distribution buys
+// parallelism only at full duplication cost — legal, but worth a look.
+type distributePass struct{}
+
+func (distributePass) Name() string { return "distribute" }
+
+func (distributePass) Run(ctx *Context) []Diagnostic {
+	g, mp := ctx.Graph, ctx.Mapping
+	if mp == nil || mp.NumTasks() != len(g.Tasks) {
+		return nil
+	}
+	var out []Diagnostic
+	for _, t := range g.Tasks {
+		if !mp.Decision(t.ID).Distribute {
+			continue
+		}
+		if t.Points == 1 {
+			d := noLoc(CodeUselessDistribute, Warn, "distribute")
+			d.Task = t.ID
+			d.Msg = "distribute bit is set on a single-point task: one point cannot be spread across nodes"
+			out = append(out, d)
+			continue
+		}
+		partitioned := false
+		for _, a := range t.Args {
+			if g.Collection(a.Collection).Partitioned {
+				partitioned = true
+				break
+			}
+		}
+		if !partitioned && len(t.Args) > 0 {
+			d := noLoc(CodeUselessDistribute, Warn, "distribute")
+			d.Task = t.ID
+			d.Msg = "distributed task uses only unpartitioned collections: every node holds a full replica of each argument"
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// colocationPass checks the mapping against the overlap graph C (Section 4.2
+// of the paper): collections joined by an overlap edge share bytes, so
+// placing their arguments in different primary memory kinds forces the
+// shared bytes to exist in both — the data movement the co-location
+// constraint of constrained CCD exists to avoid. One Warn per violated edge.
+type colocationPass struct{}
+
+func (colocationPass) Name() string { return "colocation" }
+
+func (colocationPass) Run(ctx *Context) []Diagnostic {
+	g, mp := ctx.Graph, ctx.Mapping
+	if mp == nil || mp.NumTasks() != len(g.Tasks) {
+		return nil
+	}
+	// primaries[c] is the set of primary memory kinds of arguments
+	// referencing collection c.
+	primaries := make(map[taskir.CollectionID]map[machine.MemKind]bool)
+	for _, t := range g.Tasks {
+		d := mp.Decision(t.ID)
+		if len(d.Mems) != len(t.Args) {
+			return nil // structurally invalid; legality pass reports it
+		}
+		for a, arg := range t.Args {
+			if len(d.Mems[a]) == 0 {
+				return nil
+			}
+			if primaries[arg.Collection] == nil {
+				primaries[arg.Collection] = make(map[machine.MemKind]bool)
+			}
+			primaries[arg.Collection][d.Mems[a][0]] = true
+		}
+	}
+	var out []Diagnostic
+	for _, e := range overlap.Build(g).Edges() {
+		union := make(map[machine.MemKind]bool)
+		for k := range primaries[e.A] {
+			union[k] = true
+		}
+		for k := range primaries[e.B] {
+			union[k] = true
+		}
+		if len(union) <= 1 {
+			continue
+		}
+		var kinds []string
+		for k := machine.MemKind(0); int(k) < machine.NumMemKinds; k++ {
+			if union[k] {
+				kinds = append(kinds, k.String())
+			}
+		}
+		d := noLoc(CodeColocation, Warn, "colocation")
+		d.Collection = e.A
+		d.Msg = fmt.Sprintf(
+			"overlaps collection %q by %d bytes but their arguments target different primary memory kinds (%s): the shared bytes move between kinds",
+			g.Collection(e.B).Name, e.Weight, strings.Join(kinds, ", "))
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+// Program-level passes: these analyze the task graph (and optionally the
+// machine model) without needing a mapping — collection races, variant
+// coverage, and dead nodes.
+
+package analyze
+
+import (
+	"fmt"
+
+	"automap/internal/taskir"
+)
+
+// racePass reports conflicting accesses (write/write or read/write) to
+// overlapping collections by tasks that no dependence path orders.
+//
+// The dependence analysis of taskir (like the Legion runtime it models)
+// tracks data flow per collection alias: two arguments referencing the
+// exact same (space, lo, hi) interval are ordered, but arguments whose
+// intervals merely *overlap* — a halo slice versus the full grid it cuts
+// through — carry no edges. A write to one concurrent with an access to the
+// other is a potential race: the simulator's coherence timeline executes
+// them in whatever order the timing works out.
+//
+// Findings are Warn, not Error: ghost/halo exchange patterns (HTR's
+// exchange_ghost_grad) are algorithmically race-free — the exchanged planes
+// are consumed a launch later — but the static analysis cannot distinguish
+// them from genuine unordered conflicts, so they are flagged for human
+// review rather than rejected.
+type racePass struct{}
+
+func (racePass) Name() string { return "race" }
+
+func (racePass) Run(ctx *Context) []Diagnostic {
+	g := ctx.Graph
+	reach := reachability(g)
+	// access records one task's privilege on one collection.
+	type access struct {
+		task taskir.TaskID
+		col  taskir.CollectionID
+		priv taskir.Privilege
+	}
+	var accesses []access
+	for _, t := range g.Tasks {
+		for _, a := range t.Args {
+			accesses = append(accesses, access{task: t.ID, col: a.Collection, priv: a.Privilege})
+		}
+	}
+	type pairKey struct {
+		t1, t2 taskir.TaskID
+		c1, c2 taskir.CollectionID
+	}
+	seen := make(map[pairKey]bool)
+	var out []Diagnostic
+	for i := 0; i < len(accesses); i++ {
+		for j := i + 1; j < len(accesses); j++ {
+			x, y := accesses[i], accesses[j]
+			if x.task == y.task {
+				continue
+			}
+			if !x.priv.Writes() && !y.priv.Writes() {
+				continue
+			}
+			cx, cy := g.Collection(x.col), g.Collection(y.col)
+			if cx.OverlapBytes(cy) == 0 {
+				continue
+			}
+			if reach[x.task][y.task] || reach[y.task][x.task] {
+				continue
+			}
+			// Normalize the pair so each conflict reports once.
+			k := pairKey{t1: x.task, t2: y.task, c1: x.col, c2: y.col}
+			if k.t1 > k.t2 {
+				k.t1, k.t2 = k.t2, k.t1
+				k.c1, k.c2 = k.c2, k.c1
+			}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			// Report at the writer.
+			w, r := x, y
+			if !w.priv.Writes() {
+				w, r = y, x
+			}
+			d := noLoc(CodeRace, Warn, "race")
+			d.Task = w.task
+			d.Collection = w.col
+			d.Msg = fmt.Sprintf(
+				"%s access of %q conflicts with %s access of overlapping %q by task %q: no dependence orders the tasks",
+				w.priv, g.Collection(w.col).Name, r.priv, g.Collection(r.col).Name, g.Task(r.task).Name)
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// reachability computes the transitive closure of the per-iteration
+// dependence DAG: reach[a][b] reports that a path of dependence edges leads
+// from a to b.
+func reachability(g *taskir.Graph) map[taskir.TaskID]map[taskir.TaskID]bool {
+	succ := make(map[taskir.TaskID][]taskir.TaskID)
+	for _, d := range g.Deps() {
+		succ[d.From] = append(succ[d.From], d.To)
+	}
+	reach := make(map[taskir.TaskID]map[taskir.TaskID]bool, len(g.Tasks))
+	for _, t := range g.Tasks {
+		set := make(map[taskir.TaskID]bool)
+		stack := append([]taskir.TaskID(nil), succ[t.ID]...)
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if set[n] {
+				continue
+			}
+			set[n] = true
+			stack = append(stack, succ[n]...)
+		}
+		reach[t.ID] = set
+	}
+	return reach
+}
+
+// variantPass checks variant coverage against the machine model: every task
+// must be runnable on at least one processor kind the machine has (Error),
+// and variants for kinds the machine lacks are flagged as unreachable
+// (Info). With a mapping present, the mapped processor kind itself is
+// checked by the legality pass.
+type variantPass struct{}
+
+func (variantPass) Name() string { return "variants" }
+
+func (variantPass) Run(ctx *Context) []Diagnostic {
+	g, md := ctx.Graph, ctx.Model
+	if md == nil {
+		return nil
+	}
+	var out []Diagnostic
+	for _, t := range g.Tasks {
+		runnable := false
+		for _, k := range t.VariantKinds() {
+			if md.HasProcKind(k) {
+				runnable = true
+			} else {
+				d := noLoc(CodeUnreachableVariant, Info, "variants")
+				d.Task = t.ID
+				d.Msg = fmt.Sprintf("%s variant is unreachable: machine %q has no %s processors", k, md.Name, k)
+				out = append(out, d)
+			}
+		}
+		if !runnable {
+			d := noLoc(CodeBadProc, Error, "variants")
+			d.Task = t.ID
+			d.Msg = fmt.Sprintf("no variant for any processor kind of machine %q (variants: %v)", md.Name, t.VariantKinds())
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// deadNodePass flags collections that are written but never read (dead
+// stores — or program outputs, which is why the severity is Info) and tasks
+// none of whose written collections are ever consumed by another task.
+// "Read" is overlap-aware: reading any collection that intersects c
+// consumes (part of) a write to c.
+type deadNodePass struct{}
+
+func (deadNodePass) Name() string { return "deadcode" }
+
+func (deadNodePass) Run(ctx *Context) []Diagnostic {
+	g := ctx.Graph
+	// readBy[c] is the set of tasks reading a collection overlapping c.
+	readBy := make(map[taskir.CollectionID]map[taskir.TaskID]bool, len(g.Collections))
+	accessed := make(map[taskir.CollectionID]bool)
+	written := make(map[taskir.CollectionID]bool)
+	for _, t := range g.Tasks {
+		for _, a := range t.Args {
+			accessed[a.Collection] = true
+			if a.Privilege.Writes() {
+				written[a.Collection] = true
+			}
+			if !a.Privilege.Reads() {
+				continue
+			}
+			rc := g.Collection(a.Collection)
+			for _, c := range g.Collections {
+				if rc.OverlapBytes(c) > 0 {
+					if readBy[c.ID] == nil {
+						readBy[c.ID] = make(map[taskir.TaskID]bool)
+					}
+					readBy[c.ID][t.ID] = true
+				}
+			}
+		}
+	}
+	var out []Diagnostic
+	for _, c := range g.Collections {
+		switch {
+		case !accessed[c.ID]:
+			d := noLoc(CodeDeadNode, Info, "deadcode")
+			d.Collection = c.ID
+			d.Msg = "never accessed by any task"
+			out = append(out, d)
+		case written[c.ID] && len(readBy[c.ID]) == 0:
+			d := noLoc(CodeDeadNode, Info, "deadcode")
+			d.Collection = c.ID
+			d.Msg = "written but never read (program output or dead store)"
+			out = append(out, d)
+		}
+	}
+	for _, t := range g.Tasks {
+		writes := 0
+		consumed := false
+		for _, a := range t.Args {
+			if !a.Privilege.Writes() {
+				continue
+			}
+			writes++
+			for reader := range readBy[a.Collection] {
+				if reader != t.ID {
+					consumed = true
+				}
+			}
+		}
+		if writes > 0 && !consumed {
+			d := noLoc(CodeDeadNode, Info, "deadcode")
+			d.Task = t.ID
+			d.Msg = "outputs are never consumed by another task"
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -60,6 +60,12 @@ type Options struct {
 	// profile.DB.Save/LoadDB): previously measured mappings are
 	// recognized without re-execution.
 	WarmDB *profile.DB
+	// PrePrune wraps the evaluator with the static analyzer's
+	// infeasibility oracle (search.PruningEvaluator): statically doomed
+	// candidates are rejected without simulation. The search trajectory
+	// is unchanged — pruning is exact — but wasted Simulate calls are
+	// saved.
+	PrePrune bool
 }
 
 // TimeObjective minimizes end-to-end execution time (the default).
@@ -224,6 +230,9 @@ type Report struct {
 	// Suggested/Evaluated are the Section 5.3 counters.
 	Suggested int
 	Evaluated int
+	// Pruned counts candidates rejected by static pre-pruning without
+	// simulation (zero unless Options.PrePrune).
+	Pruned int
 	// Trace is the best-so-far trajectory (Figure 9).
 	Trace []search.TracePoint
 	// StartSec is the starting mapping's objective over the final
@@ -288,7 +297,13 @@ func SearchFromSpace(m *machine.Machine, g *taskir.Graph, sp *profile.Space, alg
 		Tunable: opts.Tunable,
 		Seed:    opts.Seed,
 	}
-	out := alg.Search(prob, ev, budget)
+	var searchEv search.Evaluator = ev
+	var pruner *search.PruningEvaluator
+	if opts.PrePrune {
+		pruner = search.NewPruningEvaluator(ev, m, g)
+		searchEv = pruner
+	}
+	out := alg.Search(prob, searchEv, budget)
 
 	rep := &Report{
 		Algorithm:     alg.Name(),
@@ -298,6 +313,10 @@ func SearchFromSpace(m *machine.Machine, g *taskir.Graph, sp *profile.Space, alg
 		Suggested:     ev.Suggested,
 		Evaluated:     ev.Evaluated,
 		Trace:         out.Trace,
+	}
+	if pruner != nil {
+		rep.Pruned = pruner.Pruned
+		rep.Suggested += pruner.Pruned
 	}
 
 	// Final step: re-measure the top candidates.

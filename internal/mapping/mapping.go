@@ -16,6 +16,7 @@ package mapping
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -210,37 +211,83 @@ func (m *Mapping) RebuildPriorityLists(md *machine.Model, id taskir.TaskID) {
 	}
 }
 
-// Validate checks the mapping against the program and machine model: every
-// task must have a variant for its processor kind, every argument must have
-// a non-empty priority list, and every listed memory kind must be
-// addressable by the processor kind (the paper's correctness constraint).
-func (m *Mapping) Validate(g *taskir.Graph, md *machine.Model) error {
+// Violation is one validity defect of a mapping, located at a task and
+// optionally at one of its collection arguments. Violation implements error
+// so a slice of them can be joined into a single validation error.
+type Violation struct {
+	// Task is the offending task, or -1 for mapping-level defects (e.g.
+	// decision-count mismatch).
+	Task taskir.TaskID
+	// Arg is the offending argument index, or -1 for task-level defects.
+	Arg int
+	// Msg describes the defect, with task/argument names already resolved.
+	Msg string
+}
+
+// Error returns the violation message.
+func (v Violation) Error() string { return v.Msg }
+
+// Violations returns every validity defect of the mapping against program g
+// and machine model md: tasks mapped to processor kinds they have no variant
+// for or the machine lacks, argument/priority-list count mismatches, empty
+// priority lists, and listed memory kinds the processor kind cannot address
+// (the paper's correctness constraint). A nil result means the mapping is
+// valid. Unlike Validate, which joins the defects into one error, Violations
+// keeps them structured so the static analyzer can turn each into a located
+// diagnostic.
+func (m *Mapping) Violations(g *taskir.Graph, md *machine.Model) []Violation {
+	var out []Violation
 	if len(m.decisions) != len(g.Tasks) {
-		return fmt.Errorf("mapping covers %d tasks, program has %d", len(m.decisions), len(g.Tasks))
+		return []Violation{{Task: -1, Arg: -1,
+			Msg: fmt.Sprintf("mapping covers %d tasks, program has %d", len(m.decisions), len(g.Tasks))}}
 	}
 	for i, t := range g.Tasks {
 		d := m.decisions[i]
 		if !t.HasVariant(d.Proc) {
-			return fmt.Errorf("task %q mapped to %s but has no %s variant", t.Name, d.Proc, d.Proc)
-		}
-		if !md.HasProcKind(d.Proc) {
-			return fmt.Errorf("task %q mapped to %s, absent from machine %q", t.Name, d.Proc, md.Name)
+			out = append(out, Violation{Task: t.ID, Arg: -1,
+				Msg: fmt.Sprintf("task %q mapped to %s but has no %s variant", t.Name, d.Proc, d.Proc)})
+		} else if !md.HasProcKind(d.Proc) {
+			out = append(out, Violation{Task: t.ID, Arg: -1,
+				Msg: fmt.Sprintf("task %q mapped to %s, absent from machine %q", t.Name, d.Proc, md.Name)})
 		}
 		if len(d.Mems) != len(t.Args) {
-			return fmt.Errorf("task %q has %d args but %d memory lists", t.Name, len(t.Args), len(d.Mems))
+			out = append(out, Violation{Task: t.ID, Arg: -1,
+				Msg: fmt.Sprintf("task %q has %d args but %d memory lists", t.Name, len(t.Args), len(d.Mems))})
+			continue
 		}
 		for a := range t.Args {
 			if len(d.Mems[a]) == 0 {
-				return fmt.Errorf("task %q arg %d has an empty memory priority list", t.Name, a)
+				out = append(out, Violation{Task: t.ID, Arg: a,
+					Msg: fmt.Sprintf("task %q arg %d has an empty memory priority list", t.Name, a)})
+				continue
 			}
 			for _, mk := range d.Mems[a] {
 				if !md.CanAccess(d.Proc, mk) {
-					return fmt.Errorf("task %q arg %d lists %s, not addressable by %s", t.Name, a, mk, d.Proc)
+					out = append(out, Violation{Task: t.ID, Arg: a,
+						Msg: fmt.Sprintf("task %q arg %d lists %s, not addressable by %s", t.Name, a, mk, d.Proc)})
 				}
 			}
 		}
 	}
-	return nil
+	return out
+}
+
+// Validate checks the mapping against the program and machine model: every
+// task must have a variant for its processor kind, every argument must have
+// a non-empty priority list, and every listed memory kind must be
+// addressable by the processor kind (the paper's correctness constraint).
+// All defects are reported, joined into a single error; errors.Is/As can
+// unwrap the individual Violation values.
+func (m *Mapping) Validate(g *taskir.Graph, md *machine.Model) error {
+	vs := m.Violations(g, md)
+	if len(vs) == 0 {
+		return nil
+	}
+	errs := make([]error, len(vs))
+	for i, v := range vs {
+		errs[i] = v
+	}
+	return errors.Join(errs...)
 }
 
 // Key returns a canonical, collision-resistant key identifying the mapping.

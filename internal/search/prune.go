@@ -1,0 +1,90 @@
+// Static infeasibility pre-pruning: an Evaluator wrapper that consults the
+// static analyzer before paying for simulation.
+
+package search
+
+import (
+	"math"
+
+	"automap/internal/analyze"
+	"automap/internal/machine"
+	"automap/internal/mapping"
+	"automap/internal/taskir"
+)
+
+// DefaultCheckCostSec is the simulated search time charged per fresh static
+// check. The analyzer re-runs the simulator's placement pass, which costs
+// microseconds of real time; 10ms of simulated time keeps the accounting
+// honest while staying two orders of magnitude below the 1-second failed
+// launch the driver charges for an OOM the search had to execute to
+// discover.
+const DefaultCheckCostSec = 0.01
+
+// PruningEvaluator wraps an Evaluator with the static analyzer's
+// infeasibility oracle (analyze.Infeasible): candidates that are statically
+// unexecutable — they fail validation or cannot fit in memory under the
+// simulator's own placement arithmetic — receive an immediate infinite-cost
+// verdict without a single sim.Simulate call. Verdicts are cached by
+// Mapping.Key(), so repeated suggestions of a doomed candidate cost nothing.
+//
+// Pruning is exact, not heuristic: the feasibility pass runs the placement
+// pass the simulator itself uses, so a pruned candidate is precisely one the
+// inner evaluator would have failed with an OOMError (after executing it).
+// The search trajectory is therefore unchanged; only the wasted simulations
+// are saved.
+type PruningEvaluator struct {
+	inner Evaluator
+	m     *machine.Machine
+	g     *taskir.Graph
+
+	// CheckCostSec is charged to the search clock (via ChargeOverhead)
+	// for every fresh static check. Defaults to DefaultCheckCostSec.
+	CheckCostSec float64
+
+	// verdict caches infeasibility per canonical mapping key.
+	verdict map[string]bool
+
+	// Checked counts fresh static checks; Pruned counts evaluations
+	// answered statically (including cached re-suggestions of pruned
+	// candidates).
+	Checked int
+	Pruned  int
+}
+
+// NewPruningEvaluator wraps inner with static pre-pruning for program g on
+// machine m.
+func NewPruningEvaluator(inner Evaluator, m *machine.Machine, g *taskir.Graph) *PruningEvaluator {
+	return &PruningEvaluator{
+		inner:        inner,
+		m:            m,
+		g:            g,
+		CheckCostSec: DefaultCheckCostSec,
+		verdict:      make(map[string]bool),
+	}
+}
+
+// Evaluate returns an immediate failed verdict for statically infeasible
+// candidates and otherwise delegates to the inner evaluator.
+func (e *PruningEvaluator) Evaluate(mp *mapping.Mapping) Evaluation {
+	key := mp.Key()
+	bad, seen := e.verdict[key]
+	if !seen {
+		bad = analyze.Infeasible(e.m, e.g, mp)
+		e.verdict[key] = bad
+		e.Checked++
+		if e.CheckCostSec > 0 {
+			e.inner.ChargeOverhead(e.CheckCostSec)
+		}
+	}
+	if bad {
+		e.Pruned++
+		return Evaluation{MeanSec: math.Inf(1), Failed: true, Cached: seen}
+	}
+	return e.inner.Evaluate(mp)
+}
+
+// SearchTimeSec returns the inner evaluator's search clock.
+func (e *PruningEvaluator) SearchTimeSec() float64 { return e.inner.SearchTimeSec() }
+
+// ChargeOverhead forwards to the inner evaluator.
+func (e *PruningEvaluator) ChargeOverhead(sec float64) { e.inner.ChargeOverhead(sec) }

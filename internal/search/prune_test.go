@@ -1,0 +1,127 @@
+package search_test
+
+import (
+	"math"
+	"testing"
+
+	"automap/internal/apps"
+	"automap/internal/cluster"
+	"automap/internal/machine"
+	"automap/internal/mapping"
+	"automap/internal/overlap"
+	"automap/internal/profile"
+	"automap/internal/search"
+	"automap/internal/sim"
+	"automap/internal/taskir"
+)
+
+// countingEval is a deterministic simulator-backed evaluator that counts
+// actual sim.Simulate invocations. Like the driver's evaluator it caches by
+// canonical mapping key, so repeated suggestions cost nothing.
+type countingEval struct {
+	m        *machine.Machine
+	g        *taskir.Graph
+	cache    map[string]search.Evaluation
+	simCalls int
+	clock    float64
+}
+
+func newCountingEval(m *machine.Machine, g *taskir.Graph) *countingEval {
+	return &countingEval{m: m, g: g, cache: make(map[string]search.Evaluation)}
+}
+
+func (e *countingEval) Evaluate(mp *mapping.Mapping) search.Evaluation {
+	key := mp.Key()
+	if ev, ok := e.cache[key]; ok {
+		ev.Cached = true
+		return ev
+	}
+	var ev search.Evaluation
+	if err := mp.Validate(e.g, e.m.Model()); err != nil {
+		ev = search.Evaluation{MeanSec: math.Inf(1), Failed: true}
+	} else {
+		e.simCalls++
+		res, err := sim.Simulate(e.m, e.g, mp, sim.Config{})
+		if err != nil {
+			ev = search.Evaluation{MeanSec: math.Inf(1), Failed: true}
+		} else {
+			ev = search.Evaluation{MeanSec: res.MakespanSec}
+			e.clock += res.MakespanSec
+		}
+	}
+	e.cache[key] = ev
+	return ev
+}
+
+func (e *countingEval) SearchTimeSec() float64   { return e.clock }
+func (e *countingEval) ChargeOverhead(s float64) { e.clock += s }
+
+// TestCCDPrePruning runs CCD on the Stencil app on a memory-starved machine
+// twice — with and without the static pre-pruning evaluator — and asserts
+// the pruned search reaches at least as good a best cost with strictly
+// fewer simulator invocations. Pruning must be exact: the executability
+// passes flag exactly the candidates the simulator would reject, so the
+// search trajectory (and therefore the found optimum) is unchanged; only
+// the wasted launches disappear.
+func TestCCDPrePruning(t *testing.T) {
+	g, err := apps.Stencil.Build("500x500", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 500x500 grid is 2 MB. With 2.5 MiB of FrameBuffer and 1 MiB of
+	// Zero-Copy, one whole grid fits on the device but the stencil task —
+	// which commits grid_in, grid_out, and the halos (≈4 MB) — exceeds
+	// FrameBuffer and Zero-Copy combined, so the search space mixes
+	// feasible and infeasible GPU placements.
+	spec := cluster.ShepardNode()
+	spec.FrameBufBytes = 5 << 19
+	spec.ZeroCopyBytes = 1 << 20
+	spec.Name = "shepard-smallgpu"
+	m := cluster.Build(spec, 1)
+	md := m.Model()
+
+	// The default (GPU-leaning) start may not fit; start from all-CPU,
+	// which lives in system memory and always executes.
+	start := mapping.Default(g, md)
+	for _, tk := range g.Tasks {
+		start.SetProc(tk.ID, machine.CPU)
+		start.RebuildPriorityLists(md, tk.ID)
+	}
+	sp, err := profile.Extract(m, g, start, sim.Config{})
+	if err != nil {
+		t.Fatalf("profiling the starting mapping: %v", err)
+	}
+	prob := &search.Problem{
+		Graph:   g,
+		Model:   md,
+		Space:   sp,
+		Overlap: overlap.Build(g),
+		Start:   start,
+	}
+	budget := search.Budget{} // run CCD to completion both times
+
+	baseInner := newCountingEval(m, g)
+	outBase := search.NewCCD().Search(prob, baseInner, budget)
+
+	prunedInner := newCountingEval(m, g)
+	pruner := search.NewPruningEvaluator(prunedInner, m, g)
+	outPruned := search.NewCCD().Search(prob, pruner, budget)
+
+	if math.IsInf(outBase.BestSec, 1) || math.IsInf(outPruned.BestSec, 1) {
+		t.Fatalf("search found no executable mapping: base=%v pruned=%v",
+			outBase.BestSec, outPruned.BestSec)
+	}
+	if outPruned.BestSec > outBase.BestSec {
+		t.Errorf("pre-pruning worsened the best cost: base=%g pruned=%g",
+			outBase.BestSec, outPruned.BestSec)
+	}
+	if pruner.Pruned == 0 {
+		t.Error("no candidates were pruned; the fixture should make some GPU placements infeasible")
+	}
+	if prunedInner.simCalls >= baseInner.simCalls {
+		t.Errorf("pre-pruning did not save simulator invocations: base=%d pruned=%d (pruned verdicts: %d)",
+			baseInner.simCalls, prunedInner.simCalls, pruner.Pruned)
+	}
+	t.Logf("best %.4gs; simulator calls %d → %d (%d statically pruned, %d fresh checks)",
+		outPruned.BestSec, baseInner.simCalls, prunedInner.simCalls, pruner.Pruned, pruner.Checked)
+}

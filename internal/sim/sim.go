@@ -118,19 +118,13 @@ func (e *OOMError) Error() string {
 // execution result, or an *OOMError if the mapping does not fit. The
 // mapping must already be valid for (g, m.Model()).
 func Simulate(m *machine.Machine, g *taskir.Graph, mp *mapping.Mapping, cfg Config) (*Result, error) {
-	s := newState(m, g, mp, cfg)
-	if err := s.place(); err != nil {
+	plan, err := PlanPlacement(m, g, mp)
+	if err != nil {
 		return nil, err
 	}
+	s := newState(plan, cfg)
 	s.run()
 	return s.result, nil
-}
-
-// argPlacement records where one collection argument of one task actually
-// lives on one node after the placement pass.
-type argPlacement struct {
-	kind  machine.MemKind
-	units int // sockets or GPUs holding (splitting or mirroring) the instance
 }
 
 // sharedLoc is one valid location of a shared collection.
@@ -147,27 +141,13 @@ type partialInfo struct {
 	src    int     // a writer node other readers can gather from
 }
 
-// state carries all mutable simulation state.
+// state carries all mutable simulation state. It embeds the committed
+// placement plan (see place.go), which provides the machine/program/mapping
+// triple and the per-argument instance placements.
 type state struct {
-	m   *machine.Machine
-	g   *taskir.Graph
-	mp  *mapping.Mapping
+	*PlacementPlan
 	cfg Config
 	rng *xrand.RNG
-
-	nodes int
-
-	// placement[taskID][argIdx][node] -> placement (nil entry if the
-	// task has no points on that node).
-	placement [][][]argPlacement
-	placed    [][][]bool
-
-	// residentKindBytes[colID][node][kind] tracks bytes already charged
-	// for the (collection, node, kind) instance group, so growing
-	// footprints only charge deltas.
-	residentKindBytes []map[int]map[machine.MemKind]int64
-	// memUsed[memID] is the committed bytes per concrete memory.
-	memUsed []int64
 
 	// Validity state for coherence.
 	sharedValid []map[sharedLoc]bool // per shared collection
@@ -191,33 +171,20 @@ type state struct {
 	result *Result
 }
 
-func newState(m *machine.Machine, g *taskir.Graph, mp *mapping.Mapping, cfg Config) *state {
+func newState(plan *PlacementPlan, cfg Config) *state {
+	g := plan.g
 	s := &state{
-		m: m, g: g, mp: mp, cfg: cfg,
-		rng:   xrand.New(cfg.Seed ^ 0x5bd1e995),
-		nodes: m.Nodes,
+		PlacementPlan: plan,
+		cfg:           cfg,
+		rng:           xrand.New(cfg.Seed ^ 0x5bd1e995),
 		result: &Result{
 			TaskWallSec:  make(map[taskir.TaskID]float64, len(g.Tasks)),
-			PeakMemBytes: make(map[machine.MemKind]int64),
+			PeakMemBytes: plan.PeakMemBytes(),
 			ProcBusySec:  make(map[machine.ProcKind]float64),
+			Spills:       plan.Spills,
 		},
 	}
 	nc := len(g.Collections)
-	s.placement = make([][][]argPlacement, len(g.Tasks))
-	s.placed = make([][][]bool, len(g.Tasks))
-	for i, t := range g.Tasks {
-		s.placement[i] = make([][]argPlacement, len(t.Args))
-		s.placed[i] = make([][]bool, len(t.Args))
-		for a := range t.Args {
-			s.placement[i][a] = make([]argPlacement, s.nodes)
-			s.placed[i][a] = make([]bool, s.nodes)
-		}
-	}
-	s.residentKindBytes = make([]map[int]map[machine.MemKind]int64, nc)
-	for c := range s.residentKindBytes {
-		s.residentKindBytes[c] = make(map[int]map[machine.MemKind]int64)
-	}
-	s.memUsed = make([]int64, len(m.Mems))
 	s.sharedValid = make([]map[sharedLoc]bool, nc)
 	s.shardValid = make([][]sharedLoc, nc)
 	s.partial = make([]partialInfo, nc)
@@ -237,217 +204,6 @@ func newState(m *machine.Machine, g *taskir.Graph, mp *mapping.Mapping, cfg Conf
 	s.accessDone = make([]float64, nc)
 	s.taskFinish = make([]float64, len(g.Tasks))
 	return s
-}
-
-// nodesUsed returns the node set a task runs on under its decision.
-func (s *state) nodesUsed(t *taskir.GroupTask) []int {
-	if !s.mp.Decision(t.ID).Distribute {
-		return []int{0}
-	}
-	var out []int
-	for n := 0; n < s.nodes; n++ {
-		if s.pointsOnNode(t, n) > 0 {
-			out = append(out, n)
-		}
-	}
-	return out
-}
-
-// pointsOnNode returns the number of points of t placed on node n: a
-// blocked distribution across all nodes if distributed, otherwise all on
-// node 0.
-func (s *state) pointsOnNode(t *taskir.GroupTask, n int) int {
-	if !s.mp.Decision(t.ID).Distribute {
-		if n == 0 {
-			return t.Points
-		}
-		return 0
-	}
-	base := t.Points / s.nodes
-	rem := t.Points % s.nodes
-	if n < rem {
-		return base + 1
-	}
-	return base
-}
-
-// procsOnNode returns how many processors of kind k node n has.
-func (s *state) procsOnNode(k machine.ProcKind, n int) int {
-	return len(s.m.ProcsOfKindOnNode(k, n))
-}
-
-// unitsSpanned returns how many socket-/device-local units of memory kind
-// mk an instance accessed by `points` points of kind pk on node n spans.
-// Zero-Copy is one node-wide allocation; System memory has one allocation
-// per socket; Frame-Buffer one per GPU.
-func (s *state) unitsSpanned(pk machine.ProcKind, mk machine.MemKind, n, points int) int {
-	switch mk {
-	case machine.ZeroCopy:
-		return 1
-	case machine.SysMem:
-		if pk != machine.CPU {
-			return 1
-		}
-		mems := s.m.MemsOfKindOnNode(machine.SysMem, n)
-		sockets := len(mems)
-		if sockets == 0 {
-			return 1
-		}
-		perSocket := s.procsOnNode(machine.CPU, n) / sockets
-		if perSocket == 0 {
-			return 1
-		}
-		units := (points + perSocket - 1) / perSocket
-		if units > sockets {
-			units = sockets
-		}
-		if units < 1 {
-			units = 1
-		}
-		return units
-	case machine.FrameBuffer:
-		gpus := s.procsOnNode(machine.GPU, n)
-		if gpus == 0 {
-			return 1
-		}
-		units := points
-		if units > gpus {
-			units = gpus
-		}
-		if units < 1 {
-			units = 1
-		}
-		return units
-	default:
-		return 1
-	}
-}
-
-// shardBytes returns the bytes of collection c resident on one node for a
-// task with pointsOnNode points out of total points.
-func shardBytes(c *taskir.Collection, pointsOnNode, totalPoints int) int64 {
-	if !c.Partitioned || totalPoints == 0 {
-		return c.SizeBytes()
-	}
-	return c.SizeBytes() * int64(pointsOnNode) / int64(totalPoints)
-}
-
-// footprint returns the total bytes instance(s) of collection c occupy in
-// kind mk on node n for the given task, together with the units count.
-func (s *state) footprint(t *taskir.GroupTask, c *taskir.Collection, mk machine.MemKind, n int) (int64, int) {
-	pts := s.pointsOnNode(t, n)
-	d := s.mp.Decision(t.ID)
-	units := s.unitsSpanned(d.Proc, mk, n, pts)
-	sb := shardBytes(c, pts, t.Points)
-	if !c.Partitioned && units > 1 {
-		// Shared collections are replicated per socket/device.
-		return sb * int64(units), units
-	}
-	return sb, units
-}
-
-// kindMemsOnNode returns the concrete memories of kind mk on node n in
-// deterministic order.
-func (s *state) kindMemsOnNode(mk machine.MemKind, n int) []machine.MemID {
-	return s.m.MemsOfKindOnNode(mk, n)
-}
-
-// tryCharge attempts to charge `total` bytes for (c, n, mk) spread over
-// `units` concrete memories, charging only the growth over what this
-// (collection, node, kind) group already holds. Returns false (without
-// committing) if any target memory would exceed capacity.
-func (s *state) tryCharge(c taskir.CollectionID, n int, mk machine.MemKind, total int64, units int) bool {
-	byNode := s.residentKindBytes[c][n]
-	var have int64
-	if byNode != nil {
-		have = byNode[mk]
-	}
-	if total <= have {
-		return true
-	}
-	delta := total - have
-	mems := s.kindMemsOnNode(mk, n)
-	if len(mems) == 0 {
-		return false
-	}
-	if units > len(mems) {
-		units = len(mems)
-	}
-	if units < 1 {
-		units = 1
-	}
-	per := delta / int64(units)
-	if per*int64(units) < delta {
-		per++
-	}
-	for i := 0; i < units; i++ {
-		mem := s.m.Mem(mems[i])
-		if s.memUsed[mems[i]]+per > mem.Capacity {
-			return false
-		}
-	}
-	for i := 0; i < units; i++ {
-		s.memUsed[mems[i]] += per
-	}
-	if byNode == nil {
-		byNode = make(map[machine.MemKind]int64)
-		s.residentKindBytes[c][n] = byNode
-	}
-	byNode[mk] = total
-	return true
-}
-
-// place runs the placement pass: walks tasks in launch order and commits
-// each collection argument to the first memory kind of its priority list
-// with available capacity on every node the task uses.
-func (s *state) place() error {
-	order := s.launchOrder()
-	for _, tid := range order {
-		t := s.g.Task(tid)
-		d := s.mp.Decision(tid)
-		for a, arg := range t.Args {
-			c := s.g.Collection(arg.Collection)
-			for _, n := range s.nodesUsed(t) {
-				placed := false
-				for ki, mk := range d.Mems[a] {
-					total, units := s.footprint(t, c, mk, n)
-					if s.tryCharge(s.g.AliasID(arg.Collection), n, mk, total, units) {
-						s.placement[tid][a][n] = argPlacement{kind: mk, units: units}
-						s.placed[tid][a][n] = true
-						if ki > 0 {
-							s.result.Spills++
-						}
-						placed = true
-						break
-					}
-				}
-				if !placed {
-					return &OOMError{
-						Task:       t.Name,
-						Collection: c.Name,
-						Node:       n,
-						Tried:      append([]machine.MemKind(nil), d.Mems[a]...),
-					}
-				}
-			}
-		}
-	}
-	for id, used := range s.memUsed {
-		k := s.m.Mem(machine.MemID(id)).Kind
-		s.result.PeakMemBytes[k] += used
-	}
-	return nil
-}
-
-func (s *state) launchOrder() []taskir.TaskID {
-	if len(s.g.Launch) > 0 {
-		return s.g.Launch
-	}
-	order := make([]taskir.TaskID, len(s.g.Tasks))
-	for i := range s.g.Tasks {
-		order[i] = s.g.Tasks[i].ID
-	}
-	return order
 }
 
 // chanBW returns the copy bandwidth and latency between memory kinds a and
@@ -636,7 +392,7 @@ func (s *state) invalidateSharedExcept(c taskir.CollectionID, locs []sharedLoc) 
 
 // run executes the timing pass over all iterations.
 func (s *state) run() {
-	order := s.launchOrder()
+	order := launchOrder(s.g)
 	var makespan float64
 	for iter := 0; iter < s.g.Iterations; iter++ {
 		s.iteration = iter
@@ -697,7 +453,7 @@ func (s *state) runTask(tid taskir.TaskID) float64 {
 			c := s.g.Collection(arg.Collection)
 			if arg.Privilege.Reads() {
 				if c.Partitioned {
-					sb := shardBytes(c, pts, t.Points)
+					sb := ShardBytes(c, pts, t.Points)
 					if d.Distribute {
 						copyDone = math.Max(copyDone, s.ensureShard(c, n, n, pl.kind, sb, ready))
 					} else {
@@ -740,7 +496,7 @@ func (s *state) runTask(tid taskir.TaskID) float64 {
 					continue
 				}
 				c := s.g.Collection(arg.Collection)
-				share := shardBytes(c, pts, t.Points)
+				share := ShardBytes(c, pts, t.Points)
 				if c.Partitioned && s.placement[tid][a][n].units > 1 {
 					share /= int64(s.placement[tid][a][n].units)
 				}

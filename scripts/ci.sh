@@ -1,0 +1,27 @@
+#!/bin/sh
+# Static gate for the AutoMap reproduction: vet, race-enabled tests, then
+# mapcheck over every bundled application's default mapping on both machine
+# models. Any Error-severity diagnostic (nonzero mapcheck exit) fails the
+# gate. Run from the repository root, directly or via `make check`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+GO=${GO:-go}
+
+echo "== go vet"
+$GO vet ./...
+
+echo "== go test -race"
+$GO test -race ./...
+
+echo "== mapcheck"
+$GO build -o bin/mapcheck ./cmd/mapcheck
+for app in circuit htr maestro pennant stencil; do
+    for m in shepard lassen; do
+        echo "-- mapcheck -app $app -machine $m"
+        ./bin/mapcheck -app "$app" -machine "$m"
+    done
+done
+
+echo "ci: all checks passed"
