@@ -43,6 +43,7 @@ import (
 	"automap/internal/search"
 	"automap/internal/sim"
 	"automap/internal/taskir"
+	"automap/internal/telemetry"
 )
 
 // Machine-model types.
@@ -284,6 +285,43 @@ func Infeasible(m *Machine, g *Graph, mp *Mapping) bool { return analyze.Infeasi
 // NewPruningEvaluator wraps a search evaluator with static infeasibility
 // pre-pruning (see search.PruningEvaluator).
 var NewPruningEvaluator = search.NewPruningEvaluator
+
+// Observability (internal/telemetry): a typed event stream and metrics
+// registry over the search process. Attach an Observer via
+// Options.Observer; the driver then streams Suggested/Evaluated/NewBest/
+// rotation events to the sink and folds evaluator and simulator counters
+// into the registry (Report.Metrics carries the final snapshot). Payloads
+// are clocked in simulated search seconds, so telemetry is byte-identical
+// across runs with the same seed.
+type (
+	// Observer pairs an event sink with a metrics registry.
+	Observer = telemetry.Observer
+	// TelemetryEvent is one structured search-process event.
+	TelemetryEvent = telemetry.Event
+	// TelemetrySink consumes events (JSONL, in-memory, or fan-out).
+	TelemetrySink = telemetry.Sink
+	// MetricsRegistry is the named counter/gauge/histogram store.
+	MetricsRegistry = telemetry.Registry
+	// StopReason reports why a search ended (Report.StopReason).
+	StopReason = search.StopReason
+)
+
+// Stop reasons.
+const (
+	StopTimeBudget       = search.StopTimeBudget
+	StopSuggestionBudget = search.StopSuggestionBudget
+	StopConverged        = search.StopConverged
+)
+
+// Telemetry constructors.
+var (
+	// NewJSONLSink streams events to w as JSON lines.
+	NewJSONLSink = telemetry.NewJSONLSink
+	// NewMemorySink retains events in memory (viz.WriteSearchTrace input).
+	NewMemorySink = telemetry.NewMemorySink
+	// NewMetricsRegistry returns an empty metrics registry.
+	NewMetricsRegistry = telemetry.NewRegistry
+)
 
 // Real mini-runtime (internal/rt): actually execute task graphs on the
 // host with goroutine worker pools, real buffers and paced copies, and

@@ -31,6 +31,7 @@ import (
 	"automap/internal/search"
 	"automap/internal/sim"
 	"automap/internal/taskir"
+	"automap/internal/telemetry"
 	"automap/internal/viz"
 )
 
@@ -145,6 +146,9 @@ func cmdSearch(args []string) {
 	dot := c.fs.String("dot", "", "write the mapped dependence graph to this Graphviz DOT file")
 	spaceFile := c.fs.String("space", "", "search-space file from 'automap profile' (skips re-profiling)")
 	check := c.fs.Bool("check", false, "lint the program statically before searching and enable infeasibility pre-pruning")
+	eventsFile := c.fs.String("events", "", "write the search telemetry event stream to this JSONL file")
+	metricsFile := c.fs.String("metrics", "", "write the final metrics snapshot to this text file")
+	searchTraceFile := c.fs.String("search-trace", "", "write a chrome://tracing JSON of the search timeline to this file")
 	c.fs.Parse(args)
 	m, g := c.build()
 	if *check {
@@ -194,6 +198,34 @@ func cmdSearch(args []string) {
 	if *c.app == "maestro" {
 		opts.Tunable = apps.MaestroTunable(g)
 	}
+
+	// Telemetry: a JSONL sink streams events to -events as the search
+	// runs; a memory sink retains them for the -search-trace timeline;
+	// the registry backs -metrics and Report.Metrics.
+	var jsonl *telemetry.JSONLSink
+	var eventsOut *os.File
+	var mem *telemetry.MemorySink
+	if *eventsFile != "" || *metricsFile != "" || *searchTraceFile != "" {
+		var sinks []telemetry.Sink
+		if *eventsFile != "" {
+			f, err := os.Create(*eventsFile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			eventsOut = f
+			jsonl = telemetry.NewJSONLSink(f)
+			sinks = append(sinks, jsonl)
+		}
+		if *searchTraceFile != "" {
+			mem = telemetry.NewMemorySink()
+			sinks = append(sinks, mem)
+		}
+		opts.Observer = &telemetry.Observer{
+			Sink:    telemetry.Multi(sinks...),
+			Metrics: telemetry.NewRegistry(),
+		}
+	}
+
 	rep, err := driver.SearchFromSpace(m, g, sp, alg, opts, search.Budget{MaxSearchSec: *budget})
 	if err != nil {
 		log.Fatal(err)
@@ -216,11 +248,15 @@ func cmdSearch(args []string) {
 		}
 		fmt.Printf("  improvement over starting mapping: %s (Welch's t: %s)\n", verdict, rep.Significance)
 	}
-	fmt.Printf("  search time: %.0f simulated seconds (%.0f%% evaluating candidates)\n",
+	fmt.Printf("  search time: %.0f simulated seconds (%.0f%% evaluating candidates)",
 		rep.SearchSec, 100*rep.EvalSec/rep.SearchSec)
+	if rep.StopReason != "" {
+		fmt.Printf(", stopped: %s", rep.StopReason)
+	}
+	fmt.Println()
 	fmt.Printf("  mappings suggested: %d, evaluated: %d", rep.Suggested, rep.Evaluated)
-	if rep.Pruned > 0 {
-		fmt.Printf(", statically pruned: %d", rep.Pruned)
+	if rep.PruneChecked > 0 {
+		fmt.Printf(", statically pruned: %d (of %d checked)", rep.Pruned, rep.PruneChecked)
 	}
 	fmt.Println()
 	fmt.Printf("  mapping shape: %s\n\n", rep.Best.ComputeStats(g))
@@ -243,6 +279,41 @@ func cmdSearch(args []string) {
 			log.Fatal(err)
 		}
 		fmt.Printf("dependence graph written to %s\n", *dot)
+	}
+	if jsonl != nil {
+		if err := jsonl.Err(); err != nil {
+			log.Fatalf("writing %s: %v", *eventsFile, err)
+		}
+		if err := eventsOut.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("telemetry events written to %s\n", *eventsFile)
+	}
+	if *metricsFile != "" {
+		f, err := os.Create(*metricsFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := opts.Observer.Metrics.WriteText(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("metrics written to %s\n", *metricsFile)
+	}
+	if *searchTraceFile != "" {
+		f, err := os.Create(*searchTraceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := viz.WriteSearchTrace(f, mem.Events()); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("search trace written to %s\n", *searchTraceFile)
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 	"automap/internal/sim"
 	"automap/internal/stats"
 	"automap/internal/taskir"
+	"automap/internal/telemetry"
 )
 
 // Options configures the driver.
@@ -66,6 +67,13 @@ type Options struct {
 	// is unchanged — pruning is exact — but wasted Simulate calls are
 	// saved.
 	PrePrune bool
+	// Observer optionally receives search telemetry: the typed event
+	// stream and the metrics registry (see internal/telemetry). The
+	// evaluator folds its own counters (cache hits, failures, simulated
+	// runs) and the simulator's aggregate copy/spill/energy counters
+	// into the registry; the search algorithms emit the decision-level
+	// events. Nil disables observation at zero cost.
+	Observer *telemetry.Observer
 }
 
 // TimeObjective minimizes end-to-end execution time (the default).
@@ -114,7 +122,25 @@ type Evaluator struct {
 	// mappings actually measured (Section 5.3's accounting).
 	Suggested int
 	Evaluated int
+
+	// Metric instruments, pre-resolved at construction so the per-call
+	// cost with no observer is a nil check (nil instruments no-op).
+	mCacheHits *telemetry.Counter
+	mFailures  *telemetry.Counter
+	mSimRuns   *telemetry.Counter
+	mCopies    *telemetry.Counter
+	mCopyBytes *telemetry.Counter
+	mNetBytes  *telemetry.Counter
+	mSpills    *telemetry.Counter
+	gEnergy    *telemetry.Gauge
+	gOverhead  *telemetry.Gauge
+	hEvalSec   *telemetry.Histogram
 }
+
+// evalSecBuckets are the histogram bucket bounds for candidate mean
+// execution times: the benchmark applications span milliseconds (stencil
+// iterations) to hundreds of seconds (full searches).
+var evalSecBuckets = []float64{0.001, 0.01, 0.1, 1, 10, 100, 1000}
 
 // NewEvaluator returns an evaluator over (m, g).
 func NewEvaluator(m *machine.Machine, g *taskir.Graph, opts Options) *Evaluator {
@@ -122,12 +148,24 @@ func NewEvaluator(m *machine.Machine, g *taskir.Graph, opts Options) *Evaluator 
 	if db == nil {
 		db = profile.NewDB()
 	}
+	obs := opts.Observer
 	return &Evaluator{
 		M: m, G: g, Opts: opts,
 		DB:      db,
 		byKey:   make(map[string]*mapping.Mapping),
 		model:   m.Model(),
 		runSeed: opts.Seed,
+
+		mCacheHits: obs.Counter("search.eval.cache_hits"),
+		mFailures:  obs.Counter("search.eval.failures"),
+		mSimRuns:   obs.Counter("search.eval.sim_runs"),
+		mCopies:    obs.Counter("sim.copies.count"),
+		mCopyBytes: obs.Counter("sim.copies.bytes"),
+		mNetBytes:  obs.Counter("sim.copies.network_bytes"),
+		mSpills:    obs.Counter("sim.spills"),
+		gEnergy:    obs.Gauge("sim.energy_joules"),
+		gOverhead:  obs.Gauge("search.overhead_sec"),
+		hEvalSec:   obs.Histogram("search.eval.mean_sec", evalSecBuckets),
 	}
 }
 
@@ -138,6 +176,7 @@ func (e *Evaluator) Evaluate(mp *mapping.Mapping) search.Evaluation {
 	e.Suggested++
 	key := mp.Key()
 	if s, ok := e.DB.Lookup(key); ok {
+		e.mCacheHits.Add(1)
 		return search.Evaluation{MeanSec: s.Mean(), Cached: true, Failed: s.Failed}
 	}
 	if err := mp.Validate(e.G, e.model); err != nil {
@@ -145,6 +184,7 @@ func (e *Evaluator) Evaluate(mp *mapping.Mapping) search.Evaluation {
 		// value is returned to the search.
 		e.DB.RecordFailure(key)
 		e.byKey[key] = mp.Clone()
+		e.mFailures.Add(1)
 		return search.Evaluation{MeanSec: inf(), Failed: true}
 	}
 	obj := e.Opts.objective()
@@ -180,6 +220,7 @@ func (e *Evaluator) Evaluate(mp *mapping.Mapping) search.Evaluation {
 			e.evalSec += 1.0
 			e.DB.RecordFailure(key)
 			e.byKey[key] = mp.Clone()
+			e.mFailures.Add(1)
 			return search.Evaluation{MeanSec: inf(), Failed: true}
 		}
 		times = append(times, obj(results[i]))
@@ -188,11 +229,21 @@ func (e *Evaluator) Evaluate(mp *mapping.Mapping) search.Evaluation {
 		// objective.
 		e.searchSec += results[i].MakespanSec
 		e.evalSec += results[i].MakespanSec
+		// Fold the simulator's aggregate data-movement counters into
+		// the metrics registry (nil-safe no-ops without an observer).
+		r := results[i]
+		e.mSimRuns.Add(1)
+		e.mCopies.Add(int64(r.NumCopies))
+		e.mCopyBytes.Add(r.BytesCopied)
+		e.mNetBytes.Add(r.BytesOnNetwork)
+		e.mSpills.Add(int64(r.Spills))
+		e.gEnergy.Add(r.EnergyJoules)
 	}
 	e.DB.Record(key, times)
 	e.byKey[key] = mp.Clone()
 	e.Evaluated++
 	s, _ := e.DB.Lookup(key)
+	e.hEvalSec.Observe(s.Mean())
 	return search.Evaluation{MeanSec: s.Mean()}
 }
 
@@ -204,7 +255,10 @@ func (e *Evaluator) SearchTimeSec() float64 { return e.searchSec }
 func (e *Evaluator) EvalTimeSec() float64 { return e.evalSec }
 
 // ChargeOverhead adds algorithm bookkeeping time to the search clock.
-func (e *Evaluator) ChargeOverhead(sec float64) { e.searchSec += sec }
+func (e *Evaluator) ChargeOverhead(sec float64) {
+	e.searchSec += sec
+	e.gOverhead.Add(sec)
+}
 
 // Mapping returns the retained mapping for a database key.
 func (e *Evaluator) Mapping(key string) (*mapping.Mapping, bool) {
@@ -231,10 +285,19 @@ type Report struct {
 	Suggested int
 	Evaluated int
 	// Pruned counts candidates rejected by static pre-pruning without
-	// simulation (zero unless Options.PrePrune).
-	Pruned int
+	// simulation, and PruneChecked the fresh static checks performed
+	// (both zero unless Options.PrePrune).
+	Pruned       int
+	PruneChecked int
+	// StopReason records why the search phase ended (time budget,
+	// suggestion budget, or converged).
+	StopReason search.StopReason
 	// Trace is the best-so-far trajectory (Figure 9).
 	Trace []search.TracePoint
+	// Metrics is the final snapshot of the telemetry metrics registry
+	// (nil unless Options.Observer carries one). Histograms appear
+	// flattened as name.count / name.sum.
+	Metrics map[string]float64
 	// StartSec is the starting mapping's objective over the final
 	// measurement protocol (when it executes), and Significance the
 	// Welch's t-test verdict of Best against it — the statistically
@@ -263,6 +326,7 @@ func SearchFromSpace(m *machine.Machine, g *taskir.Graph, sp *profile.Space, alg
 
 	// Profiling run (Section 3.3): generates the search-space
 	// representation from one execution of the application.
+	userSeed := opts.Seed
 	opts.Seed ^= 0x9e37
 	if sp == nil {
 		var err error
@@ -289,19 +353,29 @@ func SearchFromSpace(m *machine.Machine, g *taskir.Graph, sp *profile.Space, alg
 
 	ev := NewEvaluator(m, g, opts)
 	prob := &search.Problem{
-		Graph:   g,
-		Model:   md,
-		Space:   sp,
-		Overlap: overlap.Build(g),
-		Start:   start,
-		Tunable: opts.Tunable,
-		Seed:    opts.Seed,
+		Graph:    g,
+		Model:    md,
+		Space:    sp,
+		Overlap:  overlap.Build(g),
+		Start:    start,
+		Tunable:  opts.Tunable,
+		Seed:     opts.Seed,
+		Observer: opts.Observer,
 	}
 	var searchEv search.Evaluator = ev
 	var pruner *search.PruningEvaluator
 	if opts.PrePrune {
 		pruner = search.NewPruningEvaluator(ev, m, g)
+		pruner.SetObserver(opts.Observer)
 		searchEv = pruner
+	}
+	obs := opts.Observer
+	if obs.Enabled() {
+		obs.Emit(telemetry.SearchStarted{
+			Algorithm: alg.Name(), Program: g.Name, Machine: m.Name,
+			Tasks: len(g.Tasks), Collections: len(g.Collections),
+			Seed: userSeed,
+		})
 	}
 	out := alg.Search(prob, searchEv, budget)
 
@@ -312,11 +386,28 @@ func SearchFromSpace(m *machine.Machine, g *taskir.Graph, sp *profile.Space, alg
 		EvalSec:       ev.EvalTimeSec(),
 		Suggested:     ev.Suggested,
 		Evaluated:     ev.Evaluated,
+		StopReason:    out.StopReason,
 		Trace:         out.Trace,
 	}
 	if pruner != nil {
 		rep.Pruned = pruner.Pruned
+		rep.PruneChecked = pruner.Checked
 		rep.Suggested += pruner.Pruned
+	}
+	if obs.Enabled() {
+		bestSec := out.BestSec
+		if math.IsInf(bestSec, 1) {
+			bestSec = 0
+		}
+		obs.Emit(telemetry.SearchFinished{
+			StopReason: string(out.StopReason), BestSec: bestSec,
+			SearchSec: rep.SearchSec, Suggested: rep.Suggested, Evaluated: rep.Evaluated,
+		})
+	}
+	if obs != nil && obs.Metrics != nil {
+		obs.Gauge("search.best_sec").Set(rep.SearchBestSec)
+		obs.Gauge("search.search_sec").Set(rep.SearchSec)
+		obs.Gauge("search.eval_sec").Set(rep.EvalSec)
 	}
 
 	// Final step: re-measure the top candidates.
@@ -386,6 +477,12 @@ func SearchFromSpace(m *machine.Machine, g *taskir.Graph, sp *profile.Space, alg
 	if startTimes, ok := finalMeasure(start); ok && len(startTimes) >= 2 && len(bestTimes) >= 2 {
 		rep.StartSec = stats.Mean(startTimes)
 		rep.Significance = stats.Compare(startTimes, bestTimes)
+	}
+	// Embed the final metrics snapshot so callers can persist or assert
+	// on it without holding the registry themselves.
+	if obs != nil && obs.Metrics != nil {
+		obs.Gauge("driver.final_sec").Set(rep.FinalSec)
+		rep.Metrics = obs.Metrics.Snapshot()
 	}
 	return rep, nil
 }

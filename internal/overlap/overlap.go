@@ -95,12 +95,13 @@ func (og *Graph) Connected(c, d taskir.CollectionID) bool {
 }
 
 // PruneLightest removes the n lightest edges (ties broken by (A, B) order
-// for determinism) and returns how many were removed. Used by CCD to remove
-// original_num_edges/(num_rotations-1) edges after each rotation
-// (Algorithm 1, line 8).
-func (og *Graph) PruneLightest(n int) int {
+// for determinism) and returns the removed edges in (A, B) order. Used by
+// CCD to remove original_num_edges/(num_rotations-1) edges after each
+// rotation (Algorithm 1, line 8); the returned edges feed the telemetry
+// layer's ConstraintDropped events.
+func (og *Graph) PruneLightest(n int) []Edge {
 	if n <= 0 || len(og.edges) == 0 {
-		return 0
+		return nil
 	}
 	if n > len(og.edges) {
 		n = len(og.edges)
@@ -120,12 +121,14 @@ func (og *Graph) PruneLightest(n int) int {
 		doomed[e] = true
 	}
 	kept := og.edges[:0]
+	var removed []Edge
 	for _, e := range og.edges {
-		if !doomed[e] {
+		if doomed[e] {
+			removed = append(removed, e)
+		} else {
 			kept = append(kept, e)
 		}
 	}
-	removed := len(og.edges) - len(kept)
 	og.edges = kept
 	og.rebuildAdj()
 	return removed

@@ -61,8 +61,18 @@ func TestBuildEdges(t *testing.T) {
 func TestPruneLightestOrder(t *testing.T) {
 	g := overlapGraph(t)
 	og := Build(g)
-	if removed := og.PruneLightest(2); removed != 2 {
-		t.Fatalf("removed = %d", removed)
+	removed := og.PruneLightest(2)
+	if len(removed) != 2 {
+		t.Fatalf("removed = %d", len(removed))
+	}
+	// Removed edges are reported in (A, B) order with their weights.
+	for _, e := range removed {
+		if e.Weight != 20 {
+			t.Errorf("removed edge %+v, want weight 20", e)
+		}
+	}
+	if len(removed) == 2 && !(removed[0].A < removed[1].A || (removed[0].A == removed[1].A && removed[0].B < removed[1].B)) {
+		t.Errorf("removed edges out of (A,B) order: %+v", removed)
 	}
 	// The two weight-20 edges go first; the alias edge survives.
 	if og.NumEdges() != 1 {
@@ -79,13 +89,13 @@ func TestPruneLightestOrder(t *testing.T) {
 
 func TestPruneMoreThanAvailable(t *testing.T) {
 	og := Build(overlapGraph(t))
-	if removed := og.PruneLightest(99); removed != 3 {
-		t.Fatalf("removed = %d", removed)
+	if removed := og.PruneLightest(99); len(removed) != 3 {
+		t.Fatalf("removed = %d", len(removed))
 	}
 	if og.NumEdges() != 0 {
 		t.Fatal("edges remain")
 	}
-	if removed := og.PruneLightest(1); removed != 0 {
+	if removed := og.PruneLightest(1); len(removed) != 0 {
 		t.Fatal("pruning an empty graph removed something")
 	}
 }

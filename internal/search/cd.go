@@ -4,8 +4,11 @@
 package search
 
 import (
+	"fmt"
+
 	"automap/internal/overlap"
 	"automap/internal/taskir"
+	"automap/internal/telemetry"
 )
 
 // CCD is the paper's constrained coordinate-wise descent search algorithm
@@ -50,10 +53,16 @@ func (c *CCD) Search(p *Problem, ev Evaluator, budget Budget) *Outcome {
 	if rotations < 1 {
 		rotations = 1
 	}
-	tr := newTracker(ev)
+	tr := newTracker(p, ev)
+	tr.source = c.Name()
+	mRotations := p.Observer.Counter("search.rotations")
+	mDropped := p.Observer.Counter("search.constraint_edges_dropped")
 
 	// Line 2: initialize f to starting point, p to its performance.
 	start := p.Start.Clone()
+	if tr.obs.Enabled() {
+		tr.coord, tr.move = "start", ""
+	}
 	tr.test(start)
 	if tr.best == nil {
 		// Even the starting point failed (e.g. OOM); continue with it
@@ -77,12 +86,20 @@ func (c *CCD) Search(p *Problem, ev Evaluator, budget Budget) *Outcome {
 	tunable := p.tunableSet()
 
 	for r := 1; r <= rotations; r++ {
+		mRotations.Add(1)
+		if tr.obs.Enabled() {
+			edges := 0
+			if og != nil {
+				edges = og.NumEdges()
+			}
+			tr.obs.Emit(telemetry.RotationStarted{Rotation: r, ConstraintEdges: edges})
+		}
 		for _, tid := range taskOrder {
 			if tunable != nil && !tunable[tid] {
 				continue
 			}
-			if budget.exceeded(ev, tr.suggested) {
-				return tr.outcome()
+			if reason := budget.reason(ev, tr.suggested); reason != "" {
+				return tr.outcome(reason)
 			}
 			c.optimizeTask(p, tr, og, tid)
 		}
@@ -93,10 +110,18 @@ func (c *CCD) Search(p *Problem, ev Evaluator, budget Budget) *Outcome {
 			if quota < 1 {
 				quota = 1
 			}
-			og.PruneLightest(quota)
+			removed := og.PruneLightest(quota)
+			mDropped.Add(int64(len(removed)))
+			if tr.obs.Enabled() {
+				for _, e := range removed {
+					tr.obs.Emit(telemetry.ConstraintDropped{
+						Rotation: r, CollA: int(e.A), CollB: int(e.B), WeightBytes: e.Weight,
+					})
+				}
+			}
 		}
 	}
-	return tr.outcome()
+	return tr.outcome(StopConverged)
 }
 
 // optimizeTask is Algorithm 1's OptimizeTask: greedily optimize the
@@ -104,11 +129,16 @@ func (c *CCD) Search(p *Problem, ev Evaluator, budget Budget) *Outcome {
 // memory kinds.
 func (c *CCD) optimizeTask(p *Problem, tr *tracker, og *overlap.Graph, tid taskir.TaskID) {
 	t := p.Graph.Task(tid)
+	observe := tr.obs.Enabled()
 
 	// Lines 11–12: optimize the distribution setting.
 	for _, dist := range []bool{true, false} {
 		cand := tr.best.Clone()
 		cand.SetDistribute(tid, dist)
+		if observe {
+			tr.coord = t.Name + ".dist"
+			tr.move = fmt.Sprintf("distribute=%v", dist)
+		}
 		tr.test(cand)
 	}
 
@@ -133,6 +163,10 @@ func (c *CCD) optimizeTask(p *Problem, tr *tracker, og *overlap.Graph, tid taski
 				cand.SetArgMem(p.Model, tid, argIdx, r)
 				if c.Constrained && og != nil {
 					applyColocation(p, og, cand, tid, argIdx, k, r)
+				}
+				if observe {
+					tr.coord = fmt.Sprintf("%s.arg%d", t.Name, argIdx)
+					tr.move = fmt.Sprintf("proc=%s mem=%s", k, r)
 				}
 				tr.test(cand)
 			}

@@ -69,12 +69,16 @@ func availableKinds(p *Problem, t *taskir.GroupTask) []machine.ProcKind {
 // Search samples valid mappings until the budget is exhausted.
 func (r *Random) Search(p *Problem, ev Evaluator, budget Budget) *Outcome {
 	rng := xrand.New(p.Seed ^ 0x5eedf00d)
-	tr := newTracker(ev)
+	tr := newTracker(p, ev)
+	tr.source = r.Name()
 	tr.test(p.Start.Clone())
-	for !budget.exceeded(ev, tr.suggested) {
+	for {
+		reason := budget.reason(ev, tr.suggested)
+		if reason != "" {
+			return tr.outcome(reason)
+		}
 		tr.test(randomValid(p, rng))
 	}
-	return tr.outcome()
 }
 
 // Anneal is simulated annealing over single-decision moves.
@@ -136,7 +140,8 @@ func mutateOne(p *Problem, mp *mapping.Mapping, rng *xrand.RNG) *mapping.Mapping
 // state that may be worse than the best seen.
 func (an *Anneal) Search(p *Problem, ev Evaluator, budget Budget) *Outcome {
 	rng := xrand.New(p.Seed ^ 0xa99ea1)
-	tr := newTracker(ev)
+	tr := newTracker(p, ev)
+	tr.source = an.Name()
 
 	cur := p.Start.Clone()
 	tr.test(cur)
@@ -156,18 +161,12 @@ func (an *Anneal) Search(p *Problem, ev Evaluator, budget Budget) *Outcome {
 	cool := math.Pow(t1/t0, 1/float64(steps))
 
 	temp := t0
-	for step := 0; step < steps && !budget.exceeded(ev, tr.suggested); step++ {
+	for step := 0; step < steps; step++ {
+		if reason := budget.reason(ev, tr.suggested); reason != "" {
+			return tr.outcome(reason)
+		}
 		cand := mutateOne(p, cur, rng)
-		tr.suggested++
-		res := ev.Evaluate(cand)
-		if !res.Cached && !res.Failed {
-			tr.evaluated++
-		}
-		if res.MeanSec < tr.bestSec {
-			tr.best = cand
-			tr.bestSec = res.MeanSec
-			tr.trace = append(tr.trace, TracePoint{SearchSec: ev.SearchTimeSec(), BestSec: tr.bestSec})
-		}
+		res, _ := tr.testEval(cand)
 		// Metropolis acceptance.
 		if !math.IsInf(res.MeanSec, 1) {
 			delta := res.MeanSec - curCost
@@ -178,5 +177,6 @@ func (an *Anneal) Search(p *Problem, ev Evaluator, budget Budget) *Outcome {
 		}
 		temp *= cool
 	}
-	return tr.outcome()
+	// The annealing schedule ran to completion within the budget.
+	return tr.outcome(StopConverged)
 }

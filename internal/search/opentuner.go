@@ -24,6 +24,7 @@ import (
 	"automap/internal/machine"
 	"automap/internal/mapping"
 	"automap/internal/taskir"
+	"automap/internal/telemetry"
 	"automap/internal/xrand"
 )
 
@@ -161,7 +162,9 @@ type technique struct {
 func (o *OpenTuner) Search(p *Problem, ev Evaluator, budget Budget) *Outcome {
 	rng := xrand.New(p.Seed ^ 0x0b9d2ad7)
 	enc := newEncoding(p.Graph, p.Model)
-	tr := newTracker(ev)
+	tr := newTracker(p, ev)
+	tr.source = o.Name()
+	mInvalid := p.Observer.Counter("search.invalid_suggestions")
 
 	// Dimensions of non-tunable tasks are frozen at the starting genome.
 	frozen := make([]bool, len(enc.dims))
@@ -203,16 +206,10 @@ func (o *OpenTuner) Search(p *Problem, ev Evaluator, budget Budget) *Outcome {
 	// Seed with the starting mapping so mutation-based techniques have a
 	// valid origin.
 	startGen := enc.encode(p.Start)
-	startRes := ev.Evaluate(p.Start.Clone())
-	tr.suggested++
-	if !startRes.Cached && !startRes.Failed {
-		tr.evaluated++
+	if tr.obs.Enabled() {
+		tr.coord = "start"
 	}
-	if startRes.MeanSec < tr.bestSec {
-		tr.best = p.Start.Clone()
-		tr.bestSec = startRes.MeanSec
-		tr.trace = append(tr.trace, TracePoint{SearchSec: ev.SearchTimeSec(), BestSec: tr.bestSec})
-	}
+	startRes, _ := tr.testEval(p.Start.Clone())
 	record(startGen, startRes.MeanSec)
 
 	mutate := func(src genome, n int, rng *xrand.RNG) genome {
@@ -287,31 +284,42 @@ func (o *OpenTuner) Search(p *Problem, ev Evaluator, budget Budget) *Outcome {
 		return best
 	}
 
-	for !budget.exceeded(ev, tr.suggested) {
+	for {
+		reason := budget.reason(ev, tr.suggested)
+		if reason != "" {
+			return tr.outcome(reason)
+		}
 		tech := pickTechnique()
 		gen := tech.propose(elite, rng)
 		tech.uses++
 		totalUses++
 		ev.ChargeOverhead(o.OverheadSec)
 
+		observe := tr.obs.Enabled()
+		if observe {
+			// Genome-wide moves have no single coordinate; the
+			// ensemble technique is the interesting label.
+			tr.coord, tr.source = "", "ot:"+tech.name
+		}
 		mp, valid := enc.decode(gen)
-		tr.suggested++
 		if !valid {
 			// Invalid mapping: AutoMap returns a high value without
 			// executing it.
+			tr.suggested++
+			tr.mSuggested.Add(1)
+			mInvalid.Add(1)
+			if observe {
+				key := mp.Key()
+				now := ev.SearchTimeSec()
+				tr.obs.Emit(telemetry.Suggested{Candidate: key, Source: tr.source})
+				tr.obs.Emit(telemetry.Evaluated{Candidate: key, Failed: true, StartSec: now, EndSec: now})
+			}
 			continue
 		}
-		res := ev.Evaluate(mp)
-		if !res.Cached && !res.Failed {
-			tr.evaluated++
-		}
+		res, accepted := tr.testEval(mp)
 		record(gen, res.MeanSec)
-		if res.MeanSec < tr.bestSec {
-			tr.best = mp
-			tr.bestSec = res.MeanSec
-			tr.trace = append(tr.trace, TracePoint{SearchSec: ev.SearchTimeSec(), BestSec: tr.bestSec})
+		if accepted {
 			tech.credits++
 		}
 	}
-	return tr.outcome()
 }

@@ -10,6 +10,7 @@ import (
 	"automap/internal/machine"
 	"automap/internal/mapping"
 	"automap/internal/taskir"
+	"automap/internal/telemetry"
 )
 
 // DefaultCheckCostSec is the simulated search time charged per fresh static
@@ -49,6 +50,10 @@ type PruningEvaluator struct {
 	// candidates).
 	Checked int
 	Pruned  int
+
+	// Metric instruments; nil (no-op) until SetObserver.
+	mChecked *telemetry.Counter
+	mPruned  *telemetry.Counter
 }
 
 // NewPruningEvaluator wraps inner with static pre-pruning for program g on
@@ -63,6 +68,13 @@ func NewPruningEvaluator(inner Evaluator, m *machine.Machine, g *taskir.Graph) *
 	}
 }
 
+// SetObserver attaches telemetry: fresh static checks and pruned verdicts
+// are counted as search.eval.prune_checks and search.eval.pruned.
+func (e *PruningEvaluator) SetObserver(obs *telemetry.Observer) {
+	e.mChecked = obs.Counter("search.eval.prune_checks")
+	e.mPruned = obs.Counter("search.eval.pruned")
+}
+
 // Evaluate returns an immediate failed verdict for statically infeasible
 // candidates and otherwise delegates to the inner evaluator.
 func (e *PruningEvaluator) Evaluate(mp *mapping.Mapping) Evaluation {
@@ -72,13 +84,15 @@ func (e *PruningEvaluator) Evaluate(mp *mapping.Mapping) Evaluation {
 		bad = analyze.Infeasible(e.m, e.g, mp)
 		e.verdict[key] = bad
 		e.Checked++
+		e.mChecked.Add(1)
 		if e.CheckCostSec > 0 {
 			e.inner.ChargeOverhead(e.CheckCostSec)
 		}
 	}
 	if bad {
 		e.Pruned++
-		return Evaluation{MeanSec: math.Inf(1), Failed: true, Cached: seen}
+		e.mPruned.Add(1)
+		return Evaluation{MeanSec: math.Inf(1), Failed: true, Cached: seen, Pruned: true}
 	}
 	return e.inner.Evaluate(mp)
 }

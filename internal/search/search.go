@@ -25,6 +25,7 @@ import (
 	"automap/internal/overlap"
 	"automap/internal/profile"
 	"automap/internal/taskir"
+	"automap/internal/telemetry"
 )
 
 // Evaluation is the driver's verdict on one proposed mapping.
@@ -37,6 +38,9 @@ type Evaluation struct {
 	Cached bool
 	// Failed reports invalid or unexecutable mappings.
 	Failed bool
+	// Pruned reports that the verdict came from the static analyzer
+	// (PruningEvaluator) without executing the mapping; implies Failed.
+	Pruned bool
 }
 
 // Evaluator measures candidate mappings. Implementations must be
@@ -64,15 +68,28 @@ type Budget struct {
 	MaxSuggestions int
 }
 
-// exceeded reports whether the budget is exhausted.
-func (b Budget) exceeded(ev Evaluator, suggested int) bool {
+// StopReason records why a search ended.
+type StopReason string
+
+// The stop reasons. "Converged" means the algorithm ran to its natural
+// completion (all CCD rotations done, annealing schedule exhausted) within
+// the budget.
+const (
+	StopTimeBudget       StopReason = "time_budget"
+	StopSuggestionBudget StopReason = "suggestion_budget"
+	StopConverged        StopReason = "converged"
+)
+
+// reason returns the budget bound that is exhausted, or "" while the search
+// may continue.
+func (b Budget) reason(ev Evaluator, suggested int) StopReason {
 	if b.MaxSearchSec > 0 && ev.SearchTimeSec() >= b.MaxSearchSec {
-		return true
+		return StopTimeBudget
 	}
 	if b.MaxSuggestions > 0 && suggested >= b.MaxSuggestions {
-		return true
+		return StopSuggestionBudget
 	}
-	return false
+	return ""
 }
 
 // Problem bundles everything an algorithm needs to search.
@@ -94,6 +111,12 @@ type Problem struct {
 	Tunable []taskir.TaskID
 	// Seed drives any algorithm-internal randomness.
 	Seed uint64
+	// Observer optionally receives the search's telemetry: the typed
+	// event stream (Suggested/Evaluated/NewBest/RotationStarted/
+	// ConstraintDropped) and the metrics registry. Nil disables
+	// observation at zero cost: no event values are built, no mapping
+	// keys are computed.
+	Observer *telemetry.Observer
 }
 
 // tunableSet returns the tunable tasks as a set, or nil when all tasks are
@@ -126,6 +149,8 @@ type Outcome struct {
 	Suggested int
 	Evaluated int
 	Trace     []TracePoint
+	// StopReason records why the search ended.
+	StopReason StopReason
 }
 
 // Algorithm is a pluggable search algorithm (Figure 4: "the search
@@ -135,7 +160,10 @@ type Algorithm interface {
 	Search(p *Problem, ev Evaluator, budget Budget) *Outcome
 }
 
-// tracker centralizes proposal bookkeeping shared by the algorithms.
+// tracker centralizes proposal bookkeeping shared by the algorithms: the
+// incumbent, the Section 5.3 counters, the Figure 9 trace, and — when the
+// problem carries an Observer — the telemetry event stream and metric
+// counters. With a nil observer every telemetry site is a nil check.
 type tracker struct {
 	ev        Evaluator
 	best      *mapping.Mapping
@@ -143,37 +171,92 @@ type tracker struct {
 	suggested int
 	evaluated int
 	trace     []TracePoint
+
+	obs *telemetry.Observer
+	// source labels Suggested events with the proposing algorithm or
+	// ensemble technique; coord and move describe the coordinate the
+	// current proposal flips. Algorithms set them (guarded by
+	// obs.Enabled) before calling test/testEval.
+	source string
+	coord  string
+	move   string
+	// Pre-resolved metric instruments (nil-safe no-ops without a
+	// registry).
+	mSuggested *telemetry.Counter
+	mEvaluated *telemetry.Counter
+	mNewBest   *telemetry.Counter
 }
 
-func newTracker(ev Evaluator) *tracker {
-	return &tracker{ev: ev, bestSec: math.Inf(1)}
+func newTracker(p *Problem, ev Evaluator) *tracker {
+	return &tracker{
+		ev:         ev,
+		bestSec:    math.Inf(1),
+		obs:        p.Observer,
+		mSuggested: p.Observer.Counter("search.suggested"),
+		mEvaluated: p.Observer.Counter("search.evaluated"),
+		mNewBest:   p.Observer.Counter("search.new_best"),
+	}
 }
 
 // test proposes cand; if it measures strictly faster than the incumbent it
 // becomes the new best (the paper's TestMapping, Algorithm 1 lines 20–24).
 // Returns whether cand was accepted.
 func (tr *tracker) test(cand *mapping.Mapping) bool {
+	_, accepted := tr.testEval(cand)
+	return accepted
+}
+
+// testEval is test exposing the evaluator's verdict, for algorithms that
+// need the measured cost itself (annealing's Metropolis rule, the
+// OpenTuner elite population).
+func (tr *tracker) testEval(cand *mapping.Mapping) (Evaluation, bool) {
 	tr.suggested++
+	tr.mSuggested.Add(1)
+	var key string
+	var before float64
+	emit := tr.obs.Enabled()
+	if emit {
+		key = cand.Key()
+		before = tr.ev.SearchTimeSec()
+		tr.obs.Emit(telemetry.Suggested{Coord: tr.coord, Move: tr.move, Candidate: key, Source: tr.source})
+	}
 	res := tr.ev.Evaluate(cand)
 	if !res.Cached && !res.Failed {
 		tr.evaluated++
+		tr.mEvaluated.Add(1)
+	}
+	if emit {
+		mean := res.MeanSec
+		if math.IsInf(mean, 1) {
+			mean = 0 // infinite cost is encoded as absence in JSON
+		}
+		tr.obs.Emit(telemetry.Evaluated{
+			Candidate: key, MeanSec: mean,
+			Cached: res.Cached, Failed: res.Failed, Pruned: res.Pruned,
+			StartSec: before, EndSec: tr.ev.SearchTimeSec(),
+		})
 	}
 	if res.MeanSec < tr.bestSec {
 		tr.best = cand
 		tr.bestSec = res.MeanSec
 		tr.trace = append(tr.trace, TracePoint{SearchSec: tr.ev.SearchTimeSec(), BestSec: tr.bestSec})
-		return true
+		tr.mNewBest.Add(1)
+		if emit {
+			tr.obs.Emit(telemetry.NewBest{Candidate: key, BestSec: tr.bestSec, SearchSec: tr.ev.SearchTimeSec()})
+		}
+		return res, true
 	}
-	return false
+	return res, false
 }
 
-func (tr *tracker) outcome() *Outcome {
+func (tr *tracker) outcome(reason StopReason) *Outcome {
 	return &Outcome{
-		Best:      tr.best,
-		BestSec:   tr.bestSec,
-		Suggested: tr.suggested,
-		Evaluated: tr.evaluated,
-		Trace:     tr.trace,
+		Best:       tr.best,
+		BestSec:    tr.bestSec,
+		Suggested:  tr.suggested,
+		Evaluated:  tr.evaluated,
+		Trace:      tr.trace,
+		StopReason: reason,
 	}
 }
 

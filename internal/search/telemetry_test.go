@@ -1,0 +1,187 @@
+package search
+
+import (
+	"testing"
+
+	"automap/internal/taskir"
+	"automap/internal/telemetry"
+)
+
+// observe attaches a memory sink + registry to p and returns them.
+func observe(p *Problem) (*telemetry.MemorySink, *telemetry.Registry) {
+	mem := telemetry.NewMemorySink()
+	reg := telemetry.NewRegistry()
+	p.Observer = &telemetry.Observer{Sink: mem, Metrics: reg}
+	return mem, reg
+}
+
+func TestCCDEmitsRotationAndConstraintEvents(t *testing.T) {
+	p := searchProblem(t)
+	mem, reg := observe(p)
+	ev := newFakeEval(p.Graph, p.Model, [2]taskir.CollectionID{0, 1})
+	out := NewCCD().Search(p, ev, Budget{})
+	if out.StopReason != StopConverged {
+		t.Errorf("StopReason = %q, want %q", out.StopReason, StopConverged)
+	}
+
+	var rotations []telemetry.RotationStarted
+	var dropped []telemetry.ConstraintDropped
+	var suggested, evaluated int
+	for _, e := range mem.Events() {
+		switch e := e.(type) {
+		case telemetry.RotationStarted:
+			rotations = append(rotations, e)
+		case telemetry.ConstraintDropped:
+			dropped = append(dropped, e)
+		case telemetry.Suggested:
+			suggested++
+		case telemetry.Evaluated:
+			evaluated++
+		}
+	}
+	if len(rotations) != 5 {
+		t.Fatalf("%d RotationStarted events, want 5", len(rotations))
+	}
+	for i, r := range rotations {
+		if r.Rotation != i+1 {
+			t.Errorf("rotation %d numbered %d", i+1, r.Rotation)
+		}
+	}
+	// Constraint edges must be monotonically non-increasing across
+	// rotations, starting at the full overlap graph.
+	if rotations[0].ConstraintEdges != p.Overlap.NumEdges() {
+		t.Errorf("first rotation sees %d edges, overlap graph has %d",
+			rotations[0].ConstraintEdges, p.Overlap.NumEdges())
+	}
+	for i := 1; i < len(rotations); i++ {
+		if rotations[i].ConstraintEdges > rotations[i-1].ConstraintEdges {
+			t.Errorf("constraint edges grew between rotations: %+v", rotations)
+		}
+	}
+	if len(dropped) == 0 {
+		t.Fatal("no ConstraintDropped events from a constrained search")
+	}
+	for _, d := range dropped {
+		if d.CollA >= d.CollB {
+			t.Errorf("dropped edge not in (A<B) order: %+v", d)
+		}
+		if d.Rotation < 1 || d.Rotation >= 5 {
+			t.Errorf("edge dropped after rotation %d, want 1..4", d.Rotation)
+		}
+	}
+	// Every dropped edge must be distinct (an edge is pruned once).
+	seen := map[[2]int]bool{}
+	for _, d := range dropped {
+		k := [2]int{d.CollA, d.CollB}
+		if seen[k] {
+			t.Errorf("edge (%d,%d) dropped twice", d.CollA, d.CollB)
+		}
+		seen[k] = true
+	}
+
+	if suggested != out.Suggested || suggested != evaluated {
+		t.Errorf("events suggested=%d evaluated=%d, outcome %d", suggested, evaluated, out.Suggested)
+	}
+	if got := reg.Counter("search.suggested").Value(); got != int64(out.Suggested) {
+		t.Errorf("search.suggested metric = %d, outcome %d", got, out.Suggested)
+	}
+	if got := reg.Counter("search.rotations").Value(); got != 5 {
+		t.Errorf("search.rotations = %d, want 5", got)
+	}
+	if got := reg.Counter("search.constraint_edges_dropped").Value(); got != int64(len(dropped)) {
+		t.Errorf("search.constraint_edges_dropped = %d, want %d", got, len(dropped))
+	}
+}
+
+func TestSuggestedEventsCarryCoordinates(t *testing.T) {
+	p := searchProblem(t)
+	mem, _ := observe(p)
+	ev := newFakeEval(p.Graph, p.Model, [2]taskir.CollectionID{0, 1})
+	NewCCD().Search(p, ev, Budget{})
+
+	coords := map[string]bool{}
+	for _, e := range mem.Events() {
+		if s, ok := e.(telemetry.Suggested); ok {
+			coords[s.Coord] = true
+			if s.Candidate == "" {
+				t.Fatal("Suggested event without candidate key")
+			}
+			if s.Source != "AM-CCD" {
+				t.Fatalf("Suggested.Source = %q", s.Source)
+			}
+		}
+	}
+	// Distribution and memory coordinates of the named tasks must appear.
+	for _, want := range []string{"start", "t0.dist", "t0.arg0", "t3.arg0"} {
+		if !coords[want] {
+			t.Errorf("no Suggested event for coordinate %q (have %v)", want, coords)
+		}
+	}
+}
+
+func TestStopReasons(t *testing.T) {
+	cases := []struct {
+		name   string
+		alg    Algorithm
+		budget Budget
+		want   StopReason
+	}{
+		{"ccd-unbounded", NewCCD(), Budget{}, StopConverged},
+		{"ccd-suggestions", NewCCD(), Budget{MaxSuggestions: 3}, StopSuggestionBudget},
+		{"ccd-time", NewCCD(), Budget{MaxSearchSec: 2.5}, StopTimeBudget},
+		{"random-suggestions", NewRandom(), Budget{MaxSuggestions: 10}, StopSuggestionBudget},
+		{"ot-time", NewOpenTuner(), Budget{MaxSearchSec: 20}, StopTimeBudget},
+		{"anneal-unbounded", NewAnneal(), Budget{}, StopConverged},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := searchProblem(t)
+			ev := newFakeEval(p.Graph, p.Model, [2]taskir.CollectionID{0, 1})
+			out := tc.alg.Search(p, ev, tc.budget)
+			if out.StopReason != tc.want {
+				t.Errorf("StopReason = %q, want %q", out.StopReason, tc.want)
+			}
+		})
+	}
+}
+
+// TestObserverDoesNotChangeSearch: the same search with and without an
+// observer must propose the identical sequence of candidates.
+func TestObserverDoesNotChangeSearch(t *testing.T) {
+	for _, alg := range []Algorithm{NewCCD(), NewCD(), NewOpenTuner(), NewRandom(), NewAnneal()} {
+		p1 := searchProblem(t)
+		ev1 := newFakeEval(p1.Graph, p1.Model, [2]taskir.CollectionID{0, 1})
+		plain := alg.Search(p1, ev1, Budget{MaxSuggestions: 200})
+
+		p2 := searchProblem(t)
+		observe(p2)
+		ev2 := newFakeEval(p2.Graph, p2.Model, [2]taskir.CollectionID{0, 1})
+		observed := alg.Search(p2, ev2, Budget{MaxSuggestions: 200})
+
+		if plain.Suggested != observed.Suggested || plain.Evaluated != observed.Evaluated ||
+			plain.BestSec != observed.BestSec || plain.StopReason != observed.StopReason {
+			t.Errorf("%s: observer changed the search: %+v vs %+v", alg.Name(), plain, observed)
+		}
+	}
+}
+
+// BenchmarkCCDObserver quantifies the telemetry tax: the nil-observer
+// search must be indistinguishable from the pre-telemetry baseline (the
+// hot path is a nil check), and the attached-observer cost stays modest.
+func BenchmarkCCDObserver(b *testing.B) {
+	run := func(b *testing.B, attach bool) {
+		for i := 0; i < b.N; i++ {
+			p := searchProblem(b)
+			if attach {
+				p.Observer = &telemetry.Observer{
+					Sink:    telemetry.NewMemorySink(),
+					Metrics: telemetry.NewRegistry(),
+				}
+			}
+			ev := newFakeEval(p.Graph, p.Model, [2]taskir.CollectionID{0, 1})
+			NewCCD().Search(p, ev, Budget{})
+		}
+	}
+	b.Run("nil", func(b *testing.B) { run(b, false) })
+	b.Run("attached", func(b *testing.B) { run(b, true) })
+}

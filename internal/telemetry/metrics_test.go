@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryInstruments(t *testing.T) {
+	r := NewRegistry()
+
+	c := r.Counter("search.eval.cache_hits")
+	c.Add(2)
+	r.Counter("search.eval.cache_hits").Add(3) // same instrument
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+
+	g := r.Gauge("search.best_sec")
+	g.Set(1.5)
+	g.Add(0.25)
+	if g.Value() != 1.75 {
+		t.Errorf("gauge = %g, want 1.75", g.Value())
+	}
+
+	h := r.Histogram("search.eval.mean_sec", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("histogram count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 56.05 {
+		t.Errorf("histogram sum = %g, want 56.05", h.Sum())
+	}
+}
+
+func TestSnapshotFlattens(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.b").Add(7)
+	r.Gauge("c").Set(2.5)
+	h := r.Histogram("d", []float64{1})
+	h.Observe(0.5)
+	h.Observe(2)
+
+	snap := r.Snapshot()
+	want := map[string]float64{"a.b": 7, "c": 2.5, "d.count": 2, "d.sum": 2.5}
+	for k, v := range want {
+		if snap[k] != v {
+			t.Errorf("snapshot[%q] = %g, want %g", k, snap[k], v)
+		}
+	}
+	if len(snap) != len(want) {
+		t.Errorf("snapshot has %d entries, want %d: %v", len(snap), len(want), snap)
+	}
+
+	var nilReg *Registry
+	if nilReg.Snapshot() != nil {
+		t.Error("nil registry snapshot should be nil")
+	}
+}
+
+func TestWriteTextStable(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		// Register in one order...
+		r.Counter("z.last").Add(1)
+		r.Counter("a.first").Add(2)
+		r.Gauge("m.middle").Set(0.125)
+		r.Histogram("h.buckets", []float64{0.1, 1}).Observe(0.5)
+		return r
+	}
+	var a strings.Builder
+	if err := build().WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+	// ...and another: the dump must not depend on registration or map
+	// iteration order.
+	r2 := NewRegistry()
+	r2.Histogram("h.buckets", []float64{0.1, 1}).Observe(0.5)
+	r2.Gauge("m.middle").Set(0.125)
+	r2.Counter("a.first").Add(2)
+	r2.Counter("z.last").Add(1)
+	var b strings.Builder
+	if err := r2.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("dumps differ:\n%s\nvs\n%s", a.String(), b.String())
+	}
+
+	want := "counter a.first 2\ncounter z.last 1\ngauge m.middle 0.125\nhistogram h.buckets count=1 sum=0.5 le0.1=0 le1=1 le+Inf=0\n"
+	if a.String() != want {
+		t.Errorf("dump:\n%s\nwant:\n%s", a.String(), want)
+	}
+
+	var nilReg *Registry
+	if err := nilReg.WriteText(&a); err != nil {
+		t.Error("nil registry WriteText should be a no-op")
+	}
+}

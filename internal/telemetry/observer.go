@@ -1,0 +1,52 @@
+// Observer: the handle instrumented code holds. Every method is safe on a
+// nil receiver, so "no telemetry" is the zero value and the instrumented
+// hot paths pay only a nil check — no event values are constructed and no
+// mapping keys are computed unless a sink is attached (callers guard
+// allocation-heavy payload construction with Enabled).
+
+package telemetry
+
+// Observer bundles an event sink and a metrics registry. Either may be nil:
+// a nil Sink drops events, a nil Metrics yields nil (no-op) instruments.
+type Observer struct {
+	Sink    Sink
+	Metrics *Registry
+}
+
+// Enabled reports whether events will actually be recorded. Callers use it
+// to skip building event payloads (which may allocate, e.g. canonical
+// mapping keys) when nobody is listening.
+func (o *Observer) Enabled() bool { return o != nil && o.Sink != nil }
+
+// Emit forwards e to the sink, if any.
+func (o *Observer) Emit(e Event) {
+	if o == nil || o.Sink == nil {
+		return
+	}
+	o.Sink.Emit(e)
+}
+
+// Counter resolves a counter from the registry; nil (a no-op instrument)
+// when the observer or its registry is nil.
+func (o *Observer) Counter(name string) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Counter(name)
+}
+
+// Gauge resolves a gauge from the registry; nil when unavailable.
+func (o *Observer) Gauge(name string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Gauge(name)
+}
+
+// Histogram resolves a histogram from the registry; nil when unavailable.
+func (o *Observer) Histogram(name string, bounds []float64) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Histogram(name, bounds)
+}

@@ -1,0 +1,96 @@
+// Event sinks: where the event stream goes.
+
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Sink consumes the event stream. Implementations must preserve emission
+// order; they are not required to be safe for concurrent use (searches are
+// single-threaded).
+type Sink interface {
+	Emit(Event)
+}
+
+// JSONLSink writes one JSON object per event, one per line:
+//
+//	{"seq":3,"event":"new_best","data":{...}}
+//
+// The seq counter makes truncated streams detectable and keeps lines unique.
+// Output is byte-deterministic: field order follows the event struct
+// definitions and no wall-clock values are ever written.
+type JSONLSink struct {
+	w   io.Writer
+	seq int
+	err error
+}
+
+// NewJSONLSink returns a sink writing to w.
+func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{w: w} }
+
+// jsonlRecord is the JSONL envelope.
+type jsonlRecord struct {
+	Seq   int    `json:"seq"`
+	Event string `json:"event"`
+	Data  Event  `json:"data"`
+}
+
+// Emit writes e as one line. The first write or marshal error is retained
+// (see Err) and subsequent events are dropped.
+func (s *JSONLSink) Emit(e Event) {
+	if s.err != nil {
+		return
+	}
+	s.seq++
+	b, err := json.Marshal(jsonlRecord{Seq: s.seq, Event: e.Kind(), Data: e})
+	if err != nil {
+		s.err = err
+		return
+	}
+	b = append(b, '\n')
+	if _, err := s.w.Write(b); err != nil {
+		s.err = err
+	}
+}
+
+// Err returns the first write or marshal error encountered, if any.
+func (s *JSONLSink) Err() error { return s.err }
+
+// MemorySink retains events in memory, for tests and for post-search
+// exports (viz.WriteSearchTrace).
+type MemorySink struct {
+	events []Event
+}
+
+// NewMemorySink returns an empty in-memory sink.
+func NewMemorySink() *MemorySink { return &MemorySink{} }
+
+// Emit appends e.
+func (s *MemorySink) Emit(e Event) { s.events = append(s.events, e) }
+
+// Events returns the retained events in emission order.
+func (s *MemorySink) Events() []Event { return s.events }
+
+// multiSink fans events out to several sinks.
+type multiSink []Sink
+
+// Emit forwards e to every sink.
+func (m multiSink) Emit(e Event) {
+	for _, s := range m {
+		s.Emit(e)
+	}
+}
+
+// Multi returns a sink that forwards every event to all of sinks, in order.
+// With zero or one sink it returns the trivial equivalent.
+func Multi(sinks ...Sink) Sink {
+	switch len(sinks) {
+	case 0:
+		return nil
+	case 1:
+		return sinks[0]
+	}
+	return multiSink(sinks)
+}

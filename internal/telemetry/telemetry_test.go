@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// emitAll pushes one event of every kind through s.
+func emitAll(s Sink) {
+	s.Emit(SearchStarted{Algorithm: "AM-CCD", Program: "stencil", Machine: "shepard", Tasks: 2, Collections: 7, Seed: 1})
+	s.Emit(RotationStarted{Rotation: 1, ConstraintEdges: 4})
+	s.Emit(Suggested{Coord: "stencil.arg0", Move: "proc=GPU mem=FB", Candidate: "k1", Source: "AM-CCD"})
+	s.Emit(Evaluated{Candidate: "k1", MeanSec: 0.5, StartSec: 0, EndSec: 3.5})
+	s.Emit(NewBest{Candidate: "k1", BestSec: 0.5, SearchSec: 3.5})
+	s.Emit(Evaluated{Candidate: "k2", Failed: true, Pruned: true, StartSec: 3.5, EndSec: 3.5})
+	s.Emit(ConstraintDropped{Rotation: 1, CollA: 2, CollB: 5, WeightBytes: 4096})
+	s.Emit(SearchFinished{StopReason: "converged", BestSec: 0.5, SearchSec: 3.5, Suggested: 2, Evaluated: 1})
+}
+
+func TestJSONLSinkFormat(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	emitAll(s)
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("got %d lines, want 8:\n%s", len(lines), buf.String())
+	}
+	wantKinds := []string{
+		"search_started", "rotation_started", "suggested", "evaluated",
+		"new_best", "evaluated", "constraint_dropped", "search_finished",
+	}
+	for i, line := range lines {
+		var rec struct {
+			Seq   int             `json:"seq"`
+			Event string          `json:"event"`
+			Data  json.RawMessage `json:"data"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d does not parse: %v\n%s", i+1, err, line)
+		}
+		if rec.Seq != i+1 {
+			t.Errorf("line %d: seq = %d", i+1, rec.Seq)
+		}
+		if rec.Event != wantKinds[i] {
+			t.Errorf("line %d: event = %q, want %q", i+1, rec.Event, wantKinds[i])
+		}
+		if len(rec.Data) == 0 {
+			t.Errorf("line %d: empty data", i+1)
+		}
+	}
+
+	// The failed evaluation must omit mean_sec (infinite cost is encoded
+	// as absence, not as an unparseable Inf).
+	if strings.Contains(lines[5], "mean_sec") {
+		t.Errorf("failed evaluation should omit mean_sec: %s", lines[5])
+	}
+	if !strings.Contains(lines[5], `"pruned":true`) {
+		t.Errorf("pruned flag missing: %s", lines[5])
+	}
+}
+
+func TestJSONLSinkDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	emitAll(NewJSONLSink(&a))
+	emitAll(NewJSONLSink(&b))
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("same events produced different bytes:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestMemoryAndMultiSink(t *testing.T) {
+	mem := NewMemorySink()
+	var buf bytes.Buffer
+	multi := Multi(mem, NewJSONLSink(&buf))
+	emitAll(multi)
+	if len(mem.Events()) != 8 {
+		t.Fatalf("memory sink retained %d events, want 8", len(mem.Events()))
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 8 {
+		t.Fatalf("jsonl sink wrote %d lines, want 8", got)
+	}
+	if mem.Events()[0].Kind() != "search_started" {
+		t.Errorf("first event kind = %q", mem.Events()[0].Kind())
+	}
+
+	// Multi with one sink is the sink itself; with none, nil.
+	if Multi(mem) != Sink(mem) {
+		t.Error("Multi(one) should return the sink unchanged")
+	}
+	if Multi() != nil {
+		t.Error("Multi() should be nil")
+	}
+}
+
+func TestNilObserverIsInert(t *testing.T) {
+	var o *Observer
+	if o.Enabled() {
+		t.Error("nil observer reports Enabled")
+	}
+	// None of these may panic, and the instruments must be usable no-ops.
+	o.Emit(NewBest{})
+	o.Counter("x").Add(1)
+	o.Gauge("y").Set(2)
+	o.Gauge("y").Add(2)
+	o.Histogram("z", []float64{1}).Observe(0.5)
+	if o.Counter("x").Value() != 0 || o.Gauge("y").Value() != 0 || o.Histogram("z", nil).Count() != 0 {
+		t.Error("nil instruments should read zero")
+	}
+
+	// Observer with a registry but no sink: metrics work, events drop.
+	o = &Observer{Metrics: NewRegistry()}
+	if o.Enabled() {
+		t.Error("observer without sink reports Enabled")
+	}
+	o.Emit(NewBest{})
+	o.Counter("x").Add(3)
+	if o.Counter("x").Value() != 3 {
+		t.Errorf("counter = %d, want 3", o.Counter("x").Value())
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"automap/internal/sim"
 	"automap/internal/taskir"
@@ -40,18 +41,25 @@ type chromeMeta struct {
 // separate "copy" slices.
 func WriteChromeTrace(w io.Writer, g *taskir.Graph, res *sim.Result) error {
 	var out []any
-	nodes := map[int]bool{}
+	seen := map[int]bool{}
+	var nodes []int
 	for _, e := range res.Events {
-		if !nodes[e.Node] {
-			nodes[e.Node] = true
-			out = append(out, chromeMeta{
-				Name: "process_name", Ph: "M", PID: e.Node,
-				Args: map[string]any{"name": fmt.Sprintf("node %d", e.Node)},
-			})
+		if !seen[e.Node] {
+			seen[e.Node] = true
+			nodes = append(nodes, e.Node)
 		}
 	}
-	kindNames := map[int]string{0: "CPU", 1: "GPU"}
-	for n := range nodes {
+	// Metadata in sorted node/kind order: the export must be
+	// byte-deterministic (it is golden-tested).
+	sort.Ints(nodes)
+	for _, n := range nodes {
+		out = append(out, chromeMeta{
+			Name: "process_name", Ph: "M", PID: n,
+			Args: map[string]any{"name": fmt.Sprintf("node %d", n)},
+		})
+	}
+	kindNames := []string{"CPU", "GPU"}
+	for _, n := range nodes {
 		for tid, name := range kindNames {
 			out = append(out, chromeMeta{
 				Name: "thread_name", Ph: "M", PID: n, TID: tid,

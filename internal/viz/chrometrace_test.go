@@ -1,0 +1,107 @@
+package viz
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"automap/internal/cluster"
+	"automap/internal/mapping"
+	"automap/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata")
+
+// TestWriteChromeTraceGolden pins the exporter's byte-level output for a
+// small noiseless run: the trace must be stable across runs (no map-order
+// or wall-clock leakage) and across refactors of the exporter.
+func TestWriteChromeTraceGolden(t *testing.T) {
+	g := vizGraph(t)
+	m := cluster.Shepard(2)
+	mp := mapping.Default(g, m.Model())
+	res, err := sim.Simulate(m, g, mp, sim.Config{Trace: true, NoiseSigma: 0})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, g, res); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+
+	golden := filepath.Join("testdata", "chrometrace.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace differs from golden %s (regenerate with -update):\ngot:  %s\nwant: %s",
+			golden, buf.Bytes(), want)
+	}
+}
+
+// TestWriteChromeTraceDeterministic catches map-iteration order leaking
+// into the output: two exports of the same result must be byte-identical.
+func TestWriteChromeTraceDeterministic(t *testing.T) {
+	g := vizGraph(t)
+	m := cluster.Shepard(2)
+	mp := mapping.Default(g, m.Model())
+	res, err := sim.Simulate(m, g, mp, sim.Config{Trace: true, NoiseSigma: 0})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	var a, b bytes.Buffer
+	if err := WriteChromeTrace(&a, g, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&b, g, res); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two exports of the same result differ")
+	}
+}
+
+// TestWriteChromeTraceStructure sanity-checks the trace content: valid
+// JSON, metadata for every node, and one task slice per trace event.
+func TestWriteChromeTraceStructure(t *testing.T) {
+	g := vizGraph(t)
+	m := cluster.Shepard(2)
+	mp := mapping.Default(g, m.Model())
+	res, err := sim.Simulate(m, g, mp, sim.Config{Trace: true, NoiseSigma: 0})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, g, res); err != nil {
+		t.Fatal(err)
+	}
+	var entries []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &entries); err != nil {
+		t.Fatalf("trace is not a JSON array: %v", err)
+	}
+	var tasks, meta int
+	for _, e := range entries {
+		switch e["ph"] {
+		case "X":
+			if e["cat"] == "task" {
+				tasks++
+			}
+		case "M":
+			meta++
+		}
+	}
+	if tasks != len(res.Events) {
+		t.Errorf("%d task slices for %d trace events", tasks, len(res.Events))
+	}
+	if meta == 0 {
+		t.Error("no metadata events")
+	}
+}

@@ -1,0 +1,164 @@
+// Chrome-trace export of the search process itself: the telemetry event
+// stream rendered as a timeline over *simulated search seconds*, so the
+// anatomy of a CCD run — which coordinate was being swept when, which
+// candidates were cached or pruned, where rotations began and constraint
+// edges were dropped — can be inspected interactively at ui.perfetto.dev.
+
+package viz
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"automap/internal/telemetry"
+)
+
+// chromeInstant is one instant ("i") event of the Chrome trace format.
+type chromeInstant struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s"` // scope: g(lobal), p(rocess), t(hread)
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeCounter is one counter ("C") event of the Chrome trace format.
+type chromeCounter struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	PID  int            `json:"pid"`
+	Args map[string]any `json:"args"`
+}
+
+// WriteSearchTrace writes a search telemetry event stream (in emission
+// order, e.g. telemetry.MemorySink.Events) as a Chrome trace JSON array.
+// The time axis is the simulated search clock — one trace microsecond per
+// simulated microsecond — with one track per search coordinate (tasks'
+// distribution and argument-memory coordinates; ensemble technique names
+// for genome-wide proposers), evaluation spans annotated with candidate,
+// cost, and verdict, rotation boundaries and constraint drops as instant
+// markers on a control track, and the best-so-far cost as a counter
+// series. Load the file at chrome://tracing or ui.perfetto.dev.
+//
+// Output is a pure function of the event slice: a deterministic search
+// yields a byte-identical trace.
+func WriteSearchTrace(w io.Writer, events []telemetry.Event) error {
+	const usec = 1e6 // search seconds -> trace microseconds
+	out := []any{
+		chromeMeta{Name: "process_name", Ph: "M", PID: 0,
+			Args: map[string]any{"name": "mapping search"}},
+		chromeMeta{Name: "thread_name", Ph: "M", PID: 0, TID: 0,
+			Args: map[string]any{"name": "search control"}},
+	}
+
+	// Coordinate tracks, tids assigned in first-seen order (tid 0 is the
+	// control track).
+	tids := map[string]int{}
+	track := func(label string) int {
+		if id, ok := tids[label]; ok {
+			return id
+		}
+		id := len(tids) + 1
+		tids[label] = id
+		out = append(out, chromeMeta{Name: "thread_name", Ph: "M", PID: 0, TID: id,
+			Args: map[string]any{"name": label}})
+		return id
+	}
+
+	// clock tracks the search time of the last timestamped event, so
+	// events without their own timestamp (rotations, constraint drops)
+	// land where the search actually was.
+	var clock float64
+	var pending *telemetry.Suggested
+
+	for _, raw := range events {
+		switch e := raw.(type) {
+		case telemetry.SearchStarted:
+			out = append(out, chromeInstant{
+				Name: fmt.Sprintf("%s: %s on %s", e.Algorithm, e.Program, e.Machine),
+				Cat:  "control", Ph: "i", Ts: clock * usec, S: "t",
+				Args: map[string]any{
+					"tasks": e.Tasks, "collections": e.Collections, "seed": e.Seed,
+				},
+			})
+		case telemetry.Suggested:
+			s := e
+			pending = &s
+		case telemetry.Evaluated:
+			label, name := "eval", "eval"
+			if pending != nil {
+				switch {
+				case pending.Coord != "":
+					label = pending.Coord
+				case pending.Source != "":
+					label = pending.Source
+				}
+				if pending.Move != "" {
+					name = pending.Move
+				} else {
+					name = label
+				}
+			}
+			verdict := "ok"
+			switch {
+			case e.Pruned:
+				verdict = "pruned"
+			case e.Failed:
+				verdict = "failed"
+			case e.Cached:
+				verdict = "cached"
+			}
+			args := map[string]any{"candidate": e.Candidate, "verdict": verdict}
+			if e.MeanSec > 0 {
+				args["mean_sec"] = e.MeanSec
+			}
+			dur := (e.EndSec - e.StartSec) * usec
+			if dur < 1 { // keep zero-cost verdicts (cache hits) visible
+				dur = 1
+			}
+			out = append(out, chromeEvent{
+				Name: name, Cat: "eval", Ph: "X",
+				Ts: e.StartSec * usec, Dur: dur,
+				TID: track(label), Args: args,
+			})
+			clock = e.EndSec
+			pending = nil
+		case telemetry.NewBest:
+			out = append(out, chromeCounter{
+				Name: "best_sec", Ph: "C", Ts: e.SearchSec * usec,
+				Args: map[string]any{"best_sec": e.BestSec},
+			})
+			clock = e.SearchSec
+		case telemetry.RotationStarted:
+			out = append(out, chromeInstant{
+				Name: fmt.Sprintf("rotation %d", e.Rotation),
+				Cat:  "control", Ph: "i", Ts: clock * usec, S: "p",
+				Args: map[string]any{"constraint_edges": e.ConstraintEdges},
+			})
+		case telemetry.ConstraintDropped:
+			out = append(out, chromeInstant{
+				Name: fmt.Sprintf("drop constraint (%d,%d)", e.CollA, e.CollB),
+				Cat:  "control", Ph: "i", Ts: clock * usec, S: "t",
+				Args: map[string]any{
+					"rotation": e.Rotation, "weight_bytes": e.WeightBytes,
+				},
+			})
+		case telemetry.SearchFinished:
+			clock = e.SearchSec
+			out = append(out, chromeInstant{
+				Name: "finished: " + e.StopReason,
+				Cat:  "control", Ph: "i", Ts: clock * usec, S: "t",
+				Args: map[string]any{
+					"best_sec": e.BestSec, "suggested": e.Suggested,
+					"evaluated": e.Evaluated,
+				},
+			})
+		}
+	}
+	return json.NewEncoder(w).Encode(out)
+}

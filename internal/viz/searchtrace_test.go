@@ -1,0 +1,149 @@
+package viz
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"automap/internal/telemetry"
+)
+
+// syntheticSearch is a hand-built event stream exercising every event kind
+// the search-timeline exporter understands.
+func syntheticSearch() []telemetry.Event {
+	return []telemetry.Event{
+		telemetry.SearchStarted{Algorithm: "AM-CCD", Program: "stencil",
+			Machine: "shepard", Tasks: 2, Collections: 2, Seed: 7},
+		telemetry.Suggested{Coord: "start", Candidate: "k0", Source: "AM-CCD"},
+		telemetry.Evaluated{Candidate: "k0", MeanSec: 3, StartSec: 0, EndSec: 9},
+		telemetry.NewBest{Candidate: "k0", BestSec: 3, SearchSec: 9},
+		telemetry.RotationStarted{Rotation: 1, ConstraintEdges: 2},
+		telemetry.Suggested{Coord: "stencil.arg0", Move: "proc=GPU mem=FB",
+			Candidate: "k1", Source: "AM-CCD"},
+		telemetry.Evaluated{Candidate: "k1", MeanSec: 2, StartSec: 9, EndSec: 15},
+		telemetry.NewBest{Candidate: "k1", BestSec: 2, SearchSec: 15},
+		telemetry.Suggested{Coord: "stencil.dist", Move: "distribute=true",
+			Candidate: "k2", Source: "AM-CCD"},
+		telemetry.Evaluated{Candidate: "k2", Failed: true, Pruned: true,
+			StartSec: 15, EndSec: 15.01},
+		telemetry.ConstraintDropped{Rotation: 1, CollA: 0, CollB: 1, WeightBytes: 4096},
+		telemetry.RotationStarted{Rotation: 2, ConstraintEdges: 1},
+		telemetry.Suggested{Coord: "stencil.arg0", Move: "proc=CPU mem=SYS",
+			Candidate: "k1", Source: "AM-CCD"},
+		telemetry.Evaluated{Candidate: "k1", MeanSec: 2, Cached: true,
+			StartSec: 15.01, EndSec: 15.01},
+		telemetry.SearchFinished{StopReason: "converged", BestSec: 2,
+			SearchSec: 15.01, Suggested: 4, Evaluated: 4},
+	}
+}
+
+func TestWriteSearchTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSearchTrace(&buf, syntheticSearch()); err != nil {
+		t.Fatalf("WriteSearchTrace: %v", err)
+	}
+	var entries []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &entries); err != nil {
+		t.Fatalf("trace is not a JSON array: %v", err)
+	}
+
+	tracks := map[string]bool{}
+	verdicts := map[string]int{}
+	var spans, instants, counters int
+	for _, e := range entries {
+		switch e["ph"] {
+		case "M":
+			if e["name"] == "thread_name" {
+				args := e["args"].(map[string]any)
+				tracks[args["name"].(string)] = true
+			}
+		case "X":
+			spans++
+			args := e["args"].(map[string]any)
+			verdicts[args["verdict"].(string)]++
+		case "i":
+			instants++
+		case "C":
+			counters++
+		}
+	}
+	// One track per coordinate, plus the control track.
+	for _, want := range []string{"search control", "start", "stencil.arg0", "stencil.dist"} {
+		if !tracks[want] {
+			t.Errorf("missing track %q (have %v)", want, tracks)
+		}
+	}
+	if spans != 4 {
+		t.Errorf("%d evaluation spans, want 4", spans)
+	}
+	if verdicts["ok"] != 2 || verdicts["pruned"] != 1 || verdicts["cached"] != 1 {
+		t.Errorf("verdicts = %v", verdicts)
+	}
+	// SearchStarted + 2 rotations + 1 drop + SearchFinished.
+	if instants != 5 {
+		t.Errorf("%d instant markers, want 5", instants)
+	}
+	if counters != 2 {
+		t.Errorf("%d best_sec counter samples, want 2", counters)
+	}
+}
+
+// TestWriteSearchTraceSpanTiming checks the simulated-seconds axis: spans
+// sit at StartSec microseconds with their evaluation cost as duration, and
+// zero-cost verdicts are clamped to a visible sliver.
+func TestWriteSearchTraceSpanTiming(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSearchTrace(&buf, syntheticSearch()); err != nil {
+		t.Fatal(err)
+	}
+	var entries []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &entries); err != nil {
+		t.Fatal(err)
+	}
+	var spans []map[string]any
+	for _, e := range entries {
+		if e["ph"] == "X" {
+			spans = append(spans, e)
+		}
+	}
+	if spans[0]["ts"].(float64) != 0 || spans[0]["dur"].(float64) != 9e6 {
+		t.Errorf("first span ts=%v dur=%v, want 0/9e6", spans[0]["ts"], spans[0]["dur"])
+	}
+	if spans[1]["ts"].(float64) != 9e6 || spans[1]["dur"].(float64) != 6e6 {
+		t.Errorf("second span ts=%v dur=%v, want 9e6/6e6", spans[1]["ts"], spans[1]["dur"])
+	}
+	// The cached re-suggestion costs zero search time; its span must still
+	// be at least 1µs wide so it renders.
+	last := spans[len(spans)-1]
+	if last["dur"].(float64) < 1 {
+		t.Errorf("zero-cost span not clamped: dur=%v", last["dur"])
+	}
+}
+
+func TestWriteSearchTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSearchTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var entries []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &entries); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v", err)
+	}
+	// Still a loadable trace: process + control-track metadata only.
+	if len(entries) != 2 {
+		t.Errorf("%d entries for empty stream, want 2", len(entries))
+	}
+}
+
+func TestWriteSearchTraceDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteSearchTrace(&a, syntheticSearch()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSearchTrace(&b, syntheticSearch()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two exports of the same stream differ")
+	}
+}

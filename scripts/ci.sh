@@ -1,8 +1,10 @@
 #!/bin/sh
-# Static gate for the AutoMap reproduction: vet, race-enabled tests, then
+# Static gate for the AutoMap reproduction: vet, race-enabled tests,
 # mapcheck over every bundled application's default mapping on both machine
-# models. Any Error-severity diagnostic (nonzero mapcheck exit) fails the
-# gate. Run from the repository root, directly or via `make check`.
+# models, and a telemetry smoke test (a short CCD search must emit a
+# parseable, deterministic event stream and metrics dump). Any failure
+# fails the gate. Run from the repository root, directly or via `make
+# check`.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -23,5 +25,19 @@ for app in circuit htr maestro pennant stencil; do
         ./bin/mapcheck -app "$app" -machine "$m"
     done
 done
+
+echo "== telemetry smoke"
+$GO build -o bin/automap ./cmd/automap
+tdir=$(mktemp -d)
+trap 'rm -rf "$tdir"' EXIT
+./bin/automap search -app stencil -nodes 1 -seed 7 \
+    -events "$tdir/e1.jsonl" -metrics "$tdir/m1.txt" >/dev/null
+./bin/automap search -app stencil -nodes 1 -seed 7 \
+    -events "$tdir/e2.jsonl" -metrics "$tdir/m2.txt" >/dev/null
+cmp "$tdir/e1.jsonl" "$tdir/e2.jsonl" || {
+    echo "telemetry event stream not deterministic under a fixed seed" >&2; exit 1; }
+cmp "$tdir/m1.txt" "$tdir/m2.txt" || {
+    echo "metrics dump not deterministic under a fixed seed" >&2; exit 1; }
+$GO run ./scripts/telemetrycheck "$tdir/e1.jsonl" "$tdir/m1.txt"
 
 echo "ci: all checks passed"

@@ -1,0 +1,134 @@
+// Command telemetrycheck validates the telemetry artifacts of an `automap
+// search -events ... -metrics ...` run for the CI gate: every JSONL line
+// must parse, the stream must contain a coherent search envelope (at least
+// one CCD rotation, at least one dropped constraint edge, exactly one
+// search_finished with a stop reason), and the metrics dump must name the
+// counters the observability layer promises.
+//
+// Usage: go run ./scripts/telemetrycheck events.jsonl metrics.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+)
+
+// record mirrors the JSONL envelope written by telemetry.JSONLSink.
+type record struct {
+	Seq   int             `json:"seq"`
+	Event string          `json:"event"`
+	Data  json.RawMessage `json:"data"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("telemetrycheck: ")
+	if len(os.Args) != 3 {
+		log.Fatal("usage: telemetrycheck <events.jsonl> <metrics.txt>")
+	}
+	checkEvents(os.Args[1])
+	checkMetrics(os.Args[2])
+	fmt.Println("telemetrycheck: ok")
+}
+
+func checkEvents(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	counts := map[string]int{}
+	var stopReason string
+	line := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line++
+		var r record
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			log.Fatalf("%s:%d: bad JSONL line: %v", path, line, err)
+		}
+		if r.Seq != line {
+			log.Fatalf("%s:%d: seq %d out of order", path, line, r.Seq)
+		}
+		if r.Event == "" {
+			log.Fatalf("%s:%d: missing event kind", path, line)
+		}
+		counts[r.Event]++
+		if r.Event == "search_finished" {
+			var data struct {
+				StopReason string `json:"stop_reason"`
+			}
+			if err := json.Unmarshal(r.Data, &data); err != nil {
+				log.Fatalf("%s:%d: bad search_finished payload: %v", path, line, err)
+			}
+			stopReason = data.StopReason
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if line == 0 {
+		log.Fatalf("%s: empty event stream", path)
+	}
+	for kind, min := range map[string]int{
+		"search_started":     1,
+		"suggested":          1,
+		"evaluated":          1,
+		"new_best":           1,
+		"rotation_started":   1,
+		"constraint_dropped": 1,
+	} {
+		if counts[kind] < min {
+			log.Fatalf("%s: %d %s events, want >= %d", path, counts[kind], kind, min)
+		}
+	}
+	if counts["search_finished"] != 1 {
+		log.Fatalf("%s: %d search_finished events, want exactly 1", path, counts["search_finished"])
+	}
+	if stopReason == "" {
+		log.Fatalf("%s: search_finished has no stop_reason", path)
+	}
+	if counts["suggested"] != counts["evaluated"] {
+		log.Fatalf("%s: %d suggested but %d evaluated events",
+			path, counts["suggested"], counts["evaluated"])
+	}
+}
+
+func checkMetrics(path string) {
+	text, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	have := map[string]bool{}
+	for i, line := range strings.Split(strings.TrimRight(string(text), "\n"), "\n") {
+		// Dump format: "<kind> <name> <value...>".
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			log.Fatalf("%s:%d: malformed metrics line %q", path, i+1, line)
+		}
+		switch fields[0] {
+		case "counter", "gauge", "histogram":
+		default:
+			log.Fatalf("%s:%d: unknown instrument kind %q", path, i+1, fields[0])
+		}
+		have[fields[1]] = true
+	}
+	for _, name := range []string{
+		"search.suggested", "search.evaluated", "search.new_best",
+		"search.rotations", "search.constraint_edges_dropped",
+		"search.eval.cache_hits", "search.eval.sim_runs",
+		"search.eval.mean_sec", "search.best_sec", "search.search_sec",
+		"sim.copies.count", "sim.copies.bytes", "sim.copies.network_bytes",
+		"driver.final_sec",
+	} {
+		if !have[name] {
+			log.Fatalf("%s: required metric %q missing", path, name)
+		}
+	}
+}

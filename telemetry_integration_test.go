@@ -1,0 +1,101 @@
+// End-to-end telemetry acceptance test against the public API: a CCD
+// search on a benchmark application with a JSONL event sink must produce a
+// parseable stream containing the full search envelope, byte-identical
+// across runs with the same seed.
+package automap_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"automap"
+	"automap/internal/apps"
+)
+
+// searchWithTelemetry runs a short stencil CCD search streaming events into
+// a buffer and returns the report and the raw JSONL bytes.
+func searchWithTelemetry(t *testing.T, seed uint64) (*automap.Report, []byte) {
+	t.Helper()
+	app, err := apps.Get("stencil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := app.Build("500x500", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := automap.Shepard(1)
+	var buf bytes.Buffer
+	opts := automap.DefaultOptions()
+	opts.Seed = seed
+	opts.Repeats = 3
+	opts.FinalRepeats = 7
+	opts.Observer = &automap.Observer{
+		Sink:    automap.NewJSONLSink(&buf),
+		Metrics: automap.NewMetricsRegistry(),
+	}
+	rep, err := automap.Search(m, g, automap.NewCCD(), opts, automap.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, buf.Bytes()
+}
+
+func TestTelemetryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search test")
+	}
+	rep, stream := searchWithTelemetry(t, 7)
+
+	if rep.StopReason != automap.StopConverged {
+		t.Errorf("StopReason = %q, want %q", rep.StopReason, automap.StopConverged)
+	}
+	if rep.Metrics == nil {
+		t.Fatal("Report.Metrics not populated")
+	}
+
+	counts := map[string]int{}
+	var stopReason string
+	for i, line := range bytes.Split(bytes.TrimRight(stream, "\n"), []byte("\n")) {
+		var r struct {
+			Seq   int             `json:"seq"`
+			Event string          `json:"event"`
+			Data  json.RawMessage `json:"data"`
+		}
+		if err := json.Unmarshal(line, &r); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i+1, err, line)
+		}
+		if r.Seq != i+1 {
+			t.Fatalf("line %d has seq %d", i+1, r.Seq)
+		}
+		counts[r.Event]++
+		if r.Event == "search_finished" {
+			var data struct {
+				StopReason string `json:"stop_reason"`
+			}
+			if err := json.Unmarshal(r.Data, &data); err != nil {
+				t.Fatal(err)
+			}
+			stopReason = data.StopReason
+		}
+	}
+	if counts["rotation_started"] < 1 {
+		t.Error("no rotation_started events")
+	}
+	if counts["constraint_dropped"] < 1 {
+		t.Error("no constraint_dropped events")
+	}
+	if counts["search_finished"] != 1 {
+		t.Errorf("%d search_finished events, want 1", counts["search_finished"])
+	}
+	if stopReason == "" {
+		t.Error("search_finished without stop_reason")
+	}
+
+	// The acceptance bar: same seed, byte-identical stream.
+	_, again := searchWithTelemetry(t, 7)
+	if !bytes.Equal(stream, again) {
+		t.Error("telemetry stream differs between identical runs")
+	}
+}
