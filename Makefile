@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fuzz check experiments experiments-quick cover clean
+.PHONY: all build test race bench bench-search fuzz check experiments experiments-quick cover clean
 
 all: build test
 
@@ -18,6 +18,12 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+	./scripts/bench.sh
+
+# Search-pipeline performance snapshot: simulator hot-path micro-benchmarks
+# plus end-to-end searches at 1/4/8 workers, written to BENCH_search.json.
+bench-search:
+	./scripts/bench.sh
 
 # Short fuzzing pass over every fuzz target.
 fuzz:

@@ -149,6 +149,7 @@ func cmdSearch(args []string) {
 	eventsFile := c.fs.String("events", "", "write the search telemetry event stream to this JSONL file")
 	metricsFile := c.fs.String("metrics", "", "write the final metrics snapshot to this text file")
 	searchTraceFile := c.fs.String("search-trace", "", "write a chrome://tracing JSON of the search timeline to this file")
+	workers := c.fs.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS); results are identical at any value")
 	c.fs.Parse(args)
 	m, g := c.build()
 	if *check {
@@ -195,6 +196,7 @@ func cmdSearch(args []string) {
 	opts := driver.DefaultOptions()
 	opts.Seed = *c.seed
 	opts.PrePrune = *check
+	opts.Workers = *workers
 	if *c.app == "maestro" {
 		opts.Tunable = apps.MaestroTunable(g)
 	}

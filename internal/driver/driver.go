@@ -74,6 +74,14 @@ type Options struct {
 	// into the registry; the search algorithms emit the decision-level
 	// events. Nil disables observation at zero cost.
 	Observer *telemetry.Observer
+	// Workers bounds the number of concurrently executing simulations
+	// across repeats and speculative batch evaluation. Zero or negative
+	// means GOMAXPROCS. The search trajectory, report, and telemetry
+	// stream are byte-identical at every worker count: noise seeds are
+	// derived from (Seed, mapping key, repeat index) rather than
+	// execution order, and all measurement side effects commit in
+	// enumeration order.
+	Workers int
 }
 
 // TimeObjective minimizes end-to-end execution time (the default).
@@ -102,7 +110,14 @@ func DefaultOptions() Options {
 }
 
 // Evaluator executes candidate mappings on the simulated runtime. It
-// implements search.Evaluator.
+// implements search.Evaluator and search.BatchEvaluator.
+//
+// Evaluate commits all observable side effects (search clock, counters,
+// database writes, telemetry) and must be called from one goroutine at a
+// time — the search loop. Prefetch may run simulations concurrently but
+// has no observable side effects; its speculative results are committed by
+// the subsequent sequential Evaluate calls, which is what keeps the
+// trajectory and event stream byte-identical at any worker count.
 type Evaluator struct {
 	M    *machine.Machine
 	G    *taskir.Graph
@@ -116,7 +131,23 @@ type Evaluator struct {
 	model     *machine.Model
 	searchSec float64
 	evalSec   float64
-	runSeed   uint64
+
+	// inst amortizes simulator topology tables, placement plans, and
+	// run scratch across every simulation of the search; sem bounds all
+	// concurrently executing simulations to `workers`.
+	inst    *sim.Instance
+	sem     chan struct{}
+	workers int
+
+	// mu guards the sequential-commit state above (byKey, counters,
+	// clocks). Uncontended in normal operation — Evaluate and the clock
+	// accessors all run on the search goroutine — it exists so misuse
+	// shows up under -race instead of as silent corruption.
+	mu sync.Mutex
+	// spec holds speculative measurement results produced by Prefetch,
+	// keyed by mapping key, awaiting commit by Evaluate.
+	specMu sync.Mutex
+	spec   map[string]specResult
 
 	// Suggested counts Evaluate calls; Evaluated counts distinct
 	// mappings actually measured (Section 5.3's accounting).
@@ -149,12 +180,16 @@ func NewEvaluator(m *machine.Machine, g *taskir.Graph, opts Options) *Evaluator 
 		db = profile.NewDB()
 	}
 	obs := opts.Observer
+	workers := resolveWorkers(opts.Workers)
 	return &Evaluator{
 		M: m, G: g, Opts: opts,
 		DB:      db,
 		byKey:   make(map[string]*mapping.Mapping),
 		model:   m.Model(),
-		runSeed: opts.Seed,
+		inst:    sim.New(m, g),
+		sem:     make(chan struct{}, workers),
+		workers: workers,
+		spec:    make(map[string]specResult),
 
 		mCacheHits: obs.Counter("search.eval.cache_hits"),
 		mFailures:  obs.Counter("search.eval.failures"),
@@ -169,10 +204,35 @@ func NewEvaluator(m *machine.Machine, g *taskir.Graph, opts Options) *Evaluator 
 	}
 }
 
+// specResult is one speculative measurement awaiting commit: the raw
+// per-repeat results and errors of measureRuns.
+type specResult struct {
+	results []*sim.Result
+	errs    []error
+}
+
+// specCacheLimit bounds the speculative-result cache; entries are normally
+// consumed immediately by Evaluate, so the cap only matters for sweeps that
+// re-batch heavily, and dropping the cache is always safe (results are
+// reproducible from the key-derived seeds).
+const specCacheLimit = 1024
+
+// repeats returns the effective per-candidate repeat count.
+func (e *Evaluator) repeats() int {
+	if e.Opts.Repeats < 1 {
+		return 1
+	}
+	return e.Opts.Repeats
+}
+
 // Evaluate measures mp with Opts.Repeats noisy runs (or returns the cached
 // mean for repeated suggestions) and advances the search clock by the
-// execution time spent.
+// execution time spent. If Prefetch already measured mp speculatively, the
+// stored results are committed here — seeds are key-derived, so they are
+// bit-identical to what measuring now would produce.
 func (e *Evaluator) Evaluate(mp *mapping.Mapping) search.Evaluation {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.Suggested++
 	key := mp.Key()
 	if s, ok := e.DB.Lookup(key); ok {
@@ -187,48 +247,43 @@ func (e *Evaluator) Evaluate(mp *mapping.Mapping) search.Evaluation {
 		e.mFailures.Add(1)
 		return search.Evaluation{MeanSec: inf(), Failed: true}
 	}
+	results, errs := e.takeSpec(key)
+	if results == nil {
+		results, errs = measureRuns(e.inst, key, mp, e.repeats(), e.Opts.NoiseSigma, e.Opts.Seed, e.sem)
+	}
+
 	obj := e.Opts.objective()
-	// The repeated measurements are independent runs with pre-assigned
-	// seeds, so they can execute concurrently without affecting
-	// determinism.
-	repeats := e.Opts.Repeats
-	if repeats < 1 {
-		repeats = 1
-	}
-	seeds := make([]uint64, repeats)
-	for i := range seeds {
-		e.runSeed++
-		seeds[i] = e.runSeed
-	}
-	results := make([]*sim.Result, repeats)
-	errs := make([]error, repeats)
-	var wg sync.WaitGroup
-	for i := 0; i < repeats; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			results[i], errs[i] = sim.Simulate(e.M, e.G, mp, sim.Config{NoiseSigma: e.Opts.NoiseSigma, Seed: seeds[i]})
-		}(i)
-	}
-	wg.Wait()
-	times := make([]float64, 0, repeats)
-	for i := 0; i < repeats; i++ {
+	times := make([]float64, 0, len(results))
+	var spent float64
+	failed := false
+	for i := range results {
 		if errs[i] != nil {
-			// Out-of-memory mappings fail at startup; charge a
-			// token amount of search time for the failed launch.
-			e.searchSec += 1.0
-			e.evalSec += 1.0
-			e.DB.RecordFailure(key)
-			e.byKey[key] = mp.Clone()
-			e.mFailures.Add(1)
-			return search.Evaluation{MeanSec: inf(), Failed: true}
+			failed = true
+			continue
 		}
 		times = append(times, obj(results[i]))
-		// The search clock always advances by application wall time:
-		// the search executes the application regardless of the
-		// objective.
-		e.searchSec += results[i].MakespanSec
-		e.evalSec += results[i].MakespanSec
+		spent += results[i].MakespanSec
+	}
+	if failed {
+		// Out-of-memory mappings fail at startup. Charge the simulated
+		// time actually spent before the failure was detected — the
+		// makespans of sibling repeats that did complete — plus a 1.0s
+		// token for the failed launch itself. (Placement failure is
+		// noise-independent today, so all repeats fail together and the
+		// charge reduces to the token; the rule matters once failure
+		// can depend on the run.)
+		e.searchSec += spent + 1.0
+		e.evalSec += spent + 1.0
+		e.DB.RecordFailure(key)
+		e.byKey[key] = mp.Clone()
+		e.mFailures.Add(1)
+		return search.Evaluation{MeanSec: inf(), Failed: true}
+	}
+	// The search clock always advances by application wall time: the
+	// search executes the application regardless of the objective.
+	e.searchSec += spent
+	e.evalSec += spent
+	for i := range results {
 		// Fold the simulator's aggregate data-movement counters into
 		// the metrics registry (nil-safe no-ops without an observer).
 		r := results[i]
@@ -247,24 +302,113 @@ func (e *Evaluator) Evaluate(mp *mapping.Mapping) search.Evaluation {
 	return search.Evaluation{MeanSec: s.Mean()}
 }
 
+// Prefetch speculatively measures candidates concurrently, bounded by the
+// worker pool. It has no observable side effects: no counters move, no
+// search time is charged, nothing is recorded or emitted. The results wait
+// in the speculative cache for the sequential Evaluate calls that commit
+// them in enumeration order, so speculation can only change wall-clock
+// time, never the trajectory. With a single worker, speculation cannot
+// overlap anything and wasted speculative runs would cost real time, so
+// Prefetch is a no-op.
+func (e *Evaluator) Prefetch(cands []*mapping.Mapping) {
+	if e.workers <= 1 {
+		return
+	}
+	type job struct {
+		key string
+		mp  *mapping.Mapping
+	}
+	jobs := make([]job, 0, len(cands))
+	seen := make(map[string]bool, len(cands))
+	for _, mp := range cands {
+		key := mp.Key()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if _, ok := e.DB.Lookup(key); ok {
+			continue
+		}
+		e.specMu.Lock()
+		_, have := e.spec[key]
+		e.specMu.Unlock()
+		if have {
+			continue
+		}
+		if mp.Validate(e.G, e.model) != nil {
+			continue
+		}
+		jobs = append(jobs, job{key: key, mp: mp})
+	}
+	if len(jobs) == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			results, errs := measureRuns(e.inst, j.key, j.mp, e.repeats(), e.Opts.NoiseSigma, e.Opts.Seed, e.sem)
+			e.specMu.Lock()
+			if len(e.spec) >= specCacheLimit {
+				e.spec = make(map[string]specResult)
+			}
+			e.spec[j.key] = specResult{results: results, errs: errs}
+			e.specMu.Unlock()
+		}(j)
+	}
+	wg.Wait()
+}
+
+// takeSpec consumes the speculative measurement for key, if present.
+func (e *Evaluator) takeSpec(key string) ([]*sim.Result, []error) {
+	e.specMu.Lock()
+	defer e.specMu.Unlock()
+	s, ok := e.spec[key]
+	if !ok {
+		return nil, nil
+	}
+	delete(e.spec, key)
+	return s.results, s.errs
+}
+
 // SearchTimeSec returns the simulated search time consumed so far.
-func (e *Evaluator) SearchTimeSec() float64 { return e.searchSec }
+func (e *Evaluator) SearchTimeSec() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.searchSec
+}
 
 // EvalTimeSec returns the portion of search time spent executing candidate
 // mappings (as opposed to algorithm bookkeeping).
-func (e *Evaluator) EvalTimeSec() float64 { return e.evalSec }
+func (e *Evaluator) EvalTimeSec() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.evalSec
+}
 
 // ChargeOverhead adds algorithm bookkeeping time to the search clock.
 func (e *Evaluator) ChargeOverhead(sec float64) {
+	e.mu.Lock()
 	e.searchSec += sec
+	e.mu.Unlock()
 	e.gOverhead.Add(sec)
 }
 
 // Mapping returns the retained mapping for a database key.
 func (e *Evaluator) Mapping(key string) (*mapping.Mapping, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	mp, ok := e.byKey[key]
 	return mp, ok
 }
+
+// Workers returns the effective worker-pool width.
+func (e *Evaluator) Workers() int { return e.workers }
+
+// PlanCacheStats returns the simulator instance's placement-plan cache
+// hit/miss counters.
+func (e *Evaluator) PlanCacheStats() (hits, misses int64) { return e.inst.PlanCacheStats() }
 
 func inf() float64 { return math.Inf(1) }
 
@@ -437,18 +581,17 @@ func SearchFromSpace(m *machine.Machine, g *taskir.Graph, sp *profile.Space, alg
 	var bestMap *mapping.Mapping
 	var bestTimes []float64
 	obj := opts.objective()
-	seed := opts.Seed ^ 0xf17a
+	finalBase := opts.Seed ^ 0xf17a
 	finalMeasure := func(mp *mapping.Mapping) ([]float64, bool) {
-		times := make([]float64, 0, opts.FinalRepeats)
-		for i := 0; i < opts.FinalRepeats; i++ {
-			seed++
-			res, err := sim.Simulate(m, g, mp, sim.Config{NoiseSigma: opts.NoiseSigma, Seed: seed})
-			if err != nil {
+		results, errs := measureRuns(ev.inst, mp.Key(), mp, opts.FinalRepeats, opts.NoiseSigma, finalBase, ev.sem)
+		times := make([]float64, 0, len(results))
+		for i := range results {
+			if errs[i] != nil {
 				return nil, false
 			}
-			times = append(times, obj(res))
+			times = append(times, obj(results[i]))
 		}
-		return times, true
+		return times, len(times) > 0
 	}
 	for _, c := range cands[:n] {
 		mp, have := ev.Mapping(c.key)
@@ -489,19 +632,22 @@ func SearchFromSpace(m *machine.Machine, g *taskir.Graph, sp *profile.Space, alg
 
 // MeasureMapping runs mp `repeats` times with distinct seeds and returns
 // the average execution time. It is the protocol used for baseline mappers
-// when comparing against AutoMap.
+// when comparing against AutoMap. Repeats execute concurrently (bounded by
+// GOMAXPROCS) with key-derived seeds, so the result is independent of
+// scheduling.
 func MeasureMapping(m *machine.Machine, g *taskir.Graph, mp *mapping.Mapping, repeats int, noise float64, seed uint64) (float64, error) {
 	if repeats < 1 {
 		repeats = 1
 	}
+	inst := sim.New(m, g)
+	sem := make(chan struct{}, resolveWorkers(0))
+	results, errs := measureRuns(inst, mp.Key(), mp, repeats, noise, seed, sem)
 	var sum float64
-	for i := 0; i < repeats; i++ {
-		seed++
-		res, err := sim.Simulate(m, g, mp, sim.Config{NoiseSigma: noise, Seed: seed})
-		if err != nil {
-			return 0, err
+	for i := range results {
+		if errs[i] != nil {
+			return 0, errs[i]
 		}
-		sum += res.MakespanSec
+		sum += results[i].MakespanSec
 	}
 	return sum / float64(repeats), nil
 }

@@ -1,0 +1,84 @@
+// The shared measurement path: every repeated-run protocol in the driver —
+// candidate evaluation (7 repeats), final re-measurement (31 repeats), and
+// baseline MeasureMapping — funnels through measureRuns, which executes the
+// repeats concurrently under a worker semaphore with order-independent
+// noise seeds.
+//
+// Seed derivation: each run's seed is a hash of (base seed, mapping key,
+// repeat index). This replaced a sequential runSeed++ counter, whose seeds
+// depended on how many runs had executed before — meaning the measurement
+// of a mapping changed with suggestion order, and concurrent or speculative
+// evaluation would have perturbed results. With key-derived seeds a
+// mapping's measurement is a pure function of (base seed, mapping), so
+// repeats may run in any order and on any number of workers, speculative
+// results are exactly the results a later sequential evaluation would
+// produce, and the search trajectory is identical at every worker count.
+
+package driver
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"runtime"
+	"sync"
+
+	"automap/internal/mapping"
+	"automap/internal/sim"
+)
+
+// runSeed derives the noise seed of one simulation run from the search's
+// base seed, the mapping's canonical key, and the repeat index (FNV-1a).
+func runSeed(base uint64, key string, repeat int) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], base)
+	h.Write(b[:])
+	h.Write([]byte(key))
+	binary.LittleEndian.PutUint64(b[:], uint64(repeat))
+	h.Write(b[:])
+	return h.Sum64()
+}
+
+// resolveWorkers maps an Options.Workers value to the effective pool width:
+// non-positive means GOMAXPROCS.
+func resolveWorkers(w int) int {
+	if w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// measureRuns executes `repeats` independent simulations of mp (whose
+// canonical key is key) with seeds runSeed(base, key, i), concurrently
+// bounded by the semaphore sem. Results and errors are returned in repeat
+// order; both are deterministic regardless of scheduling. A non-positive
+// repeat count returns empty slices.
+func measureRuns(inst *sim.Instance, key string, mp *mapping.Mapping, repeats int, noise float64, base uint64, sem chan struct{}) ([]*sim.Result, []error) {
+	if repeats < 1 {
+		return nil, nil
+	}
+	results := make([]*sim.Result, repeats)
+	errs := make([]error, repeats)
+	if cap(sem) <= 1 || repeats == 1 {
+		// A single worker serializes everything anyway; skip the
+		// goroutine machinery.
+		for i := 0; i < repeats; i++ {
+			sem <- struct{}{}
+			results[i], errs[i] = inst.RunKeyed(key, mp, sim.Config{NoiseSigma: noise, Seed: runSeed(base, key, i)})
+			<-sem
+		}
+		return results, errs
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < repeats; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = inst.RunKeyed(key, mp, sim.Config{NoiseSigma: noise, Seed: runSeed(base, key, i)})
+		}(i)
+	}
+	wg.Wait()
+	return results, errs
+}

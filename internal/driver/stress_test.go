@@ -1,0 +1,126 @@
+package driver
+
+import (
+	"sync"
+	"testing"
+
+	"automap/internal/cluster"
+	"automap/internal/machine"
+	"automap/internal/mapping"
+	"automap/internal/profile"
+)
+
+// TestConcurrentPrefetchAndDB hammers the evaluator's Prefetch path and the
+// profiles database from many goroutines at once while Evaluate commits
+// sequentially — the scenario the worker pool creates. Run under -race this
+// pins the locking of profile.DB, the speculative cache, and the simulator
+// instance's plan cache and state pool.
+func TestConcurrentPrefetchAndDB(t *testing.T) {
+	m := cluster.Shepard(2)
+	g := driverGraph(t)
+	md := m.Model()
+	opts := quickOpts()
+	opts.Workers = 8
+	ev := NewEvaluator(m, g, opts)
+
+	// A pool of distinct candidates (different proc kinds × distribution).
+	var cands []*mapping.Mapping
+	for _, k := range []machine.ProcKind{machine.CPU, machine.GPU} {
+		for _, dist := range []bool{true, false} {
+			for _, dist2 := range []bool{true, false} {
+				mp := mapping.Default(g, md)
+				mp.SetProc(0, k)
+				mp.RebuildPriorityLists(md, 0)
+				mp.SetDistribute(0, dist)
+				mp.SetDistribute(1, dist2)
+				cands = append(cands, mp)
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	// Concurrent speculative batches over overlapping candidate sets.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			for r := 0; r < 10; r++ {
+				batch := append([]*mapping.Mapping(nil), cands[off%len(cands):]...)
+				ev.Prefetch(batch)
+			}
+		}(i)
+	}
+	// Concurrent readers of the shared database.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 200; r++ {
+				for _, mp := range cands {
+					key := mp.Key()
+					ev.DB.Lookup(key)
+					ev.DB.MeanOf(key)
+				}
+				ev.DB.Len()
+				ev.DB.Keys()
+			}
+		}()
+	}
+	// The sequential commit stream (the search goroutine).
+	for r := 0; r < 5; r++ {
+		for _, mp := range cands {
+			ev.Evaluate(mp)
+		}
+	}
+	wg.Wait()
+
+	if ev.Evaluated != len(cands) {
+		t.Fatalf("Evaluated = %d, want %d distinct", ev.Evaluated, len(cands))
+	}
+	// Every candidate must be recorded exactly once despite the concurrent
+	// speculation (Evaluate committed each key a single time).
+	if ev.DB.Len() != len(cands) {
+		t.Fatalf("DB.Len() = %d, want %d", ev.DB.Len(), len(cands))
+	}
+	for _, mp := range cands {
+		s, ok := ev.DB.Lookup(mp.Key())
+		if !ok || s.Failed {
+			t.Fatalf("candidate %s missing or failed", mp.Key())
+		}
+		if len(s.Times) != opts.Repeats {
+			t.Fatalf("candidate has %d samples, want %d (double commit?)", len(s.Times), opts.Repeats)
+		}
+	}
+}
+
+// TestConcurrentDBRecord pins profile.DB's own locking: concurrent Record,
+// RecordFailure, Lookup, MeanOf, Save-path iteration (Keys) on overlapping
+// keys.
+func TestConcurrentDBRecord(t *testing.T) {
+	db := profile.NewDB()
+	keys := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for r := 0; r < 500; r++ {
+				k := keys[(i+r)%len(keys)]
+				switch r % 4 {
+				case 0:
+					db.Record(k, []float64{float64(r)})
+				case 1:
+					db.Lookup(k)
+				case 2:
+					db.MeanOf(k)
+				case 3:
+					db.Keys()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if db.Len() != len(keys) {
+		t.Fatalf("DB.Len() = %d, want %d", db.Len(), len(keys))
+	}
+}

@@ -1,0 +1,71 @@
+package mapping
+
+import (
+	"testing"
+
+	"automap/internal/machine"
+)
+
+// TestCloneCOWIsolation: a COW clone and its parent must behave exactly like
+// deep copies under every setter — mutating one never leaks into the other,
+// in either direction.
+func TestCloneCOWIsolation(t *testing.T) {
+	g := testGraph(t)
+	md := testModel()
+	base := Default(g, md)
+	baseKey := base.Key()
+
+	// Mutate the clone through every setter; the parent must not move.
+	cow := base.CloneCOW()
+	cow.SetProc(0, machine.CPU)
+	cow.RebuildPriorityLists(md, 0)
+	cow.SetDistribute(0, false)
+	cow.SetArgMem(md, 1, 0, machine.ZeroCopy)
+	cow.SetArgMemRaw(1, 0, machine.FrameBuffer)
+	cow.Sanitize(g, md)
+	if base.Key() != baseKey {
+		t.Fatalf("mutating COW clone changed parent:\n%s", base)
+	}
+	if cow.Key() == baseKey {
+		t.Fatal("setters did not change the COW clone")
+	}
+
+	// Mutate the parent; an untouched clone must not move.
+	cow2 := base.CloneCOW()
+	cow2Key := cow2.Key()
+	base.SetProc(0, machine.CPU)
+	base.RebuildPriorityLists(md, 0)
+	if cow2.Key() != cow2Key {
+		t.Fatalf("mutating parent changed COW clone:\n%s", cow2)
+	}
+
+	// A COW clone of a COW clone shares safely too.
+	cow3 := cow.CloneCOW()
+	cow3.SetDistribute(1, !cow.Decision(1).Distribute)
+	if cow3.Key() == cow.Key() {
+		t.Fatal("chained COW clone did not diverge")
+	}
+	cowKey := cow.Key()
+	cow.SetProc(1, machine.CPU)
+	_ = cowKey
+}
+
+// TestCloneCOWEqualsClone: for a sequence of mutations, CloneCOW+setters and
+// Clone+setters must land on identical mappings.
+func TestCloneCOWEqualsClone(t *testing.T) {
+	g := testGraph(t)
+	md := testModel()
+	base := Default(g, md)
+
+	deep := base.Clone()
+	cow := base.CloneCOW()
+	for _, m := range []*Mapping{deep, cow} {
+		m.SetDistribute(1, false)
+		m.SetProc(1, machine.CPU)
+		m.RebuildPriorityLists(md, 1)
+		m.SetArgMem(md, 0, 0, machine.ZeroCopy)
+	}
+	if !deep.Equal(cow) {
+		t.Fatalf("COW result differs from deep-clone result:\n%s\nvs\n%s", deep, cow)
+	}
+}

@@ -53,8 +53,18 @@ func (d *Decision) PrimaryMem(arg int) machine.MemKind { return d.Mems[arg][0] }
 
 // Mapping is a full mapping for a program: one Decision per group task,
 // indexed by taskir.TaskID.
+//
+// Mappings support copy-on-write cloning (CloneCOW): a COW clone shares
+// decision storage with its parent until one of them mutates a decision
+// through a setter, at which point only that decision is copied. The search
+// inner loops rely on this — a candidate move differs from the incumbent in
+// exactly one decision, so cloning the other N-1 is wasted work.
 type Mapping struct {
 	decisions []*Decision
+	// shared[i] marks decisions[i] as possibly aliased by another mapping
+	// (a COW parent or clone); setters must copy it before mutating. A nil
+	// slice means no decision is shared.
+	shared []bool
 }
 
 // New returns a mapping with one zero-valued decision per task of g. All
@@ -121,7 +131,10 @@ func PriorityList(md *machine.Model, pk machine.ProcKind, prim machine.MemKind) 
 }
 
 // Decision returns the decision for task id. The returned pointer aliases
-// the mapping's state; use Clone before mutating a shared mapping.
+// the mapping's state; use Clone before mutating a shared mapping. Mutating
+// through the returned pointer is only safe on mappings that were never
+// COW-cloned (CloneCOW) — builder code constructing a fresh mapping may do
+// it, search code must use the setters.
 func (m *Mapping) Decision(id taskir.TaskID) *Decision { return m.decisions[id] }
 
 // NumTasks returns the number of task decisions.
@@ -136,21 +149,54 @@ func (m *Mapping) Clone() *Mapping {
 	return cp
 }
 
+// CloneCOW returns a copy-on-write clone: the clone shares every decision
+// with m until either mapping mutates one through a setter, which copies
+// just that decision. Cloning is O(tasks) pointer copies instead of a deep
+// copy; the common search move (mutate one decision, keep N-1) costs one
+// decision copy total. Take COW clones only of sanitized (valid, canonical)
+// mappings: Sanitize treats still-shared decisions as already sanitized and
+// skips them.
+func (m *Mapping) CloneCOW() *Mapping {
+	n := len(m.decisions)
+	cp := &Mapping{
+		decisions: append([]*Decision(nil), m.decisions...),
+		shared:    make([]bool, n),
+	}
+	if m.shared == nil {
+		m.shared = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		m.shared[i] = true
+		cp.shared[i] = true
+	}
+	return cp
+}
+
+// mutable returns the decision for task id, first copying it if it may be
+// aliased by a COW parent or clone.
+func (m *Mapping) mutable(id taskir.TaskID) *Decision {
+	if m.shared != nil && m.shared[id] {
+		m.decisions[id] = m.decisions[id].clone()
+		m.shared[id] = false
+	}
+	return m.decisions[id]
+}
+
 // SetProc assigns task id to processor kind pk without touching memories.
 func (m *Mapping) SetProc(id taskir.TaskID, pk machine.ProcKind) {
-	m.decisions[id].Proc = pk
+	m.mutable(id).Proc = pk
 }
 
 // SetDistribute sets the distribution bit of task id.
 func (m *Mapping) SetDistribute(id taskir.TaskID, d bool) {
-	m.decisions[id].Distribute = d
+	m.mutable(id).Distribute = d
 }
 
 // SetArgMem sets the primary memory kind of argument arg of task id,
 // rebuilding the priority list against the model so fallbacks remain
 // addressable by the task's current processor kind.
 func (m *Mapping) SetArgMem(md *machine.Model, id taskir.TaskID, arg int, mk machine.MemKind) {
-	d := m.decisions[id]
+	d := m.mutable(id)
 	d.Mems[arg] = PriorityList(md, d.Proc, mk)
 }
 
@@ -160,7 +206,7 @@ func (m *Mapping) SetArgMem(md *machine.Model, id taskir.TaskID, arg int, mk mac
 // must restore validity, e.g. via Sanitize, before evaluation. Used by the
 // co-location fixed point (Algorithm 2) and by unconstrained tuners.
 func (m *Mapping) SetArgMemRaw(id taskir.TaskID, arg int, mk machine.MemKind) {
-	d := m.decisions[id]
+	d := m.mutable(id)
 	if len(d.Mems[arg]) == 0 {
 		d.Mems[arg] = []machine.MemKind{mk}
 		return
@@ -182,8 +228,17 @@ func (m *Mapping) SetArgMemRaw(id taskir.TaskID, arg int, mk machine.MemKind) {
 // primary is kept when addressable and replaced by the processor kind's
 // preferred memory otherwise.
 func (m *Mapping) Sanitize(g *taskir.Graph, md *machine.Model) {
-	for i, t := range g.Tasks {
-		d := m.decisions[i]
+	for _, t := range g.Tasks {
+		if m.shared != nil && m.shared[t.ID] {
+			// A decision still shared with a COW parent/clone is an
+			// untouched copy from that mapping. COW clones are only
+			// taken of sanitized mappings (search incumbents), for
+			// which the rebuild below is an identical no-op — skipping
+			// keeps Sanitize from deep-copying every decision of every
+			// copy-on-write candidate.
+			continue
+		}
+		d := m.mutable(t.ID)
 		if !t.HasVariant(d.Proc) || !md.HasProcKind(d.Proc) {
 			for _, k := range t.VariantKinds() {
 				if md.HasProcKind(k) {
@@ -201,7 +256,7 @@ func (m *Mapping) Sanitize(g *taskir.Graph, md *machine.Model) {
 // processor kind and otherwise replacing it with the kind's preferred
 // memory. This is used after moving a task between processor kinds.
 func (m *Mapping) RebuildPriorityLists(md *machine.Model, id taskir.TaskID) {
-	d := m.decisions[id]
+	d := m.mutable(id)
 	for a := range d.Mems {
 		prim := PreferredMem(d.Proc)
 		if len(d.Mems[a]) > 0 && md.CanAccess(d.Proc, d.Mems[a][0]) {

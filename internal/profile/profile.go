@@ -24,6 +24,7 @@ import (
 	"math"
 	"os"
 	"sort"
+	"sync"
 
 	"automap/internal/machine"
 	"automap/internal/mapping"
@@ -203,7 +204,14 @@ type Sample struct {
 
 // DB is the profiles database of Figure 4: it remembers every evaluated
 // mapping and its measurements.
+//
+// DB is safe for concurrent use. The lock covers the index structure; the
+// *Sample pointers returned by Lookup/Record alias live entries, so callers
+// that interleave reads of a sample with concurrent Record calls on the
+// same key must synchronize externally (the driver commits all writes from
+// one goroutine and uses MeanOf where only the aggregate is needed).
 type DB struct {
+	mu      sync.RWMutex
 	samples map[string]*Sample
 	order   []string // insertion order for deterministic iteration
 }
@@ -215,13 +223,29 @@ func NewDB() *DB {
 
 // Lookup returns the sample recorded for the mapping key, if any.
 func (db *DB) Lookup(key string) (*Sample, bool) {
+	db.mu.RLock()
 	s, ok := db.samples[key]
+	db.mu.RUnlock()
 	return s, ok
+}
+
+// MeanOf returns the mean execution time recorded for the mapping key
+// (+Inf for failed mappings), without exposing the live sample.
+func (db *DB) MeanOf(key string) (float64, bool) {
+	db.mu.RLock()
+	s, ok := db.samples[key]
+	var mean float64
+	if ok {
+		mean = s.Mean()
+	}
+	db.mu.RUnlock()
+	return mean, ok
 }
 
 // Record stores measurements for a mapping key, appending to any existing
 // sample.
 func (db *DB) Record(key string, times []float64) *Sample {
+	db.mu.Lock()
 	s, ok := db.samples[key]
 	if !ok {
 		s = &Sample{MappingKey: key}
@@ -229,11 +253,13 @@ func (db *DB) Record(key string, times []float64) *Sample {
 		db.order = append(db.order, key)
 	}
 	s.Times = append(s.Times, times...)
+	db.mu.Unlock()
 	return s
 }
 
 // RecordFailure marks a mapping as unexecutable.
 func (db *DB) RecordFailure(key string) *Sample {
+	db.mu.Lock()
 	s, ok := db.samples[key]
 	if !ok {
 		s = &Sample{MappingKey: key}
@@ -241,11 +267,16 @@ func (db *DB) RecordFailure(key string) *Sample {
 		db.order = append(db.order, key)
 	}
 	s.Failed = true
+	db.mu.Unlock()
 	return s
 }
 
 // Len returns the number of distinct mappings recorded.
-func (db *DB) Len() int { return len(db.samples) }
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.samples)
+}
 
 // dbJSON is the serialized profiles database.
 type dbJSON struct {
@@ -262,10 +293,12 @@ type sampleJSON struct {
 // and machine can warm-start from previously measured mappings.
 func (db *DB) Save(path string) error {
 	var f dbJSON
+	db.mu.RLock()
 	for _, key := range db.order {
 		s := db.samples[key]
 		f.Samples = append(f.Samples, sampleJSON{Key: key, Times: s.Times, Failed: s.Failed})
 	}
+	db.mu.RUnlock()
 	data, err := json.MarshalIndent(f, "", " ")
 	if err != nil {
 		return err
@@ -295,7 +328,11 @@ func LoadDB(path string) (*DB, error) {
 }
 
 // Keys returns the mapping keys in insertion order.
-func (db *DB) Keys() []string { return append([]string(nil), db.order...) }
+func (db *DB) Keys() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return append([]string(nil), db.order...)
+}
 
 // Mean returns the mean execution time of the sample; failed samples
 // report +Inf.

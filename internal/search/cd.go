@@ -6,6 +6,8 @@ package search
 import (
 	"fmt"
 
+	"automap/internal/machine"
+	"automap/internal/mapping"
 	"automap/internal/overlap"
 	"automap/internal/taskir"
 	"automap/internal/telemetry"
@@ -124,26 +126,21 @@ func (c *CCD) Search(p *Problem, ev Evaluator, budget Budget) *Outcome {
 	return tr.outcome(StopConverged)
 }
 
-// optimizeTask is Algorithm 1's OptimizeTask: greedily optimize the
-// distribution setting, then jointly sweep processor kinds and per-argument
-// memory kinds.
-func (c *CCD) optimizeTask(p *Problem, tr *tracker, og *overlap.Graph, tid taskir.TaskID) {
+// move is one candidate move of the per-task sweep: either a distribution
+// flip (isDist) or a (processor kind, argument, memory kind) assignment.
+type move struct {
+	isDist bool
+	dist   bool
+	k      machine.ProcKind
+	argIdx int
+	r      machine.MemKind
+}
+
+// enumerateMoves lists the full move set of Algorithm 1's OptimizeTask in
+// evaluation order: the two distribution settings (lines 11–12), then
+// processor kind × argument × memory kind (lines 13–18).
+func (c *CCD) enumerateMoves(p *Problem, tid taskir.TaskID) []move {
 	t := p.Graph.Task(tid)
-	observe := tr.obs.Enabled()
-
-	// Lines 11–12: optimize the distribution setting.
-	for _, dist := range []bool{true, false} {
-		cand := tr.best.Clone()
-		cand.SetDistribute(tid, dist)
-		if observe {
-			tr.coord = t.Name + ".dist"
-			tr.move = fmt.Sprintf("distribute=%v", dist)
-		}
-		tr.test(cand)
-	}
-
-	// Lines 13–18: optimize processor kind and per-collection memory
-	// kinds.
 	argOrder := p.Space.ArgsBySize(tid)
 	if c.IgnoreProfiledOrder {
 		argOrder = argOrder[:0]
@@ -151,25 +148,102 @@ func (c *CCD) optimizeTask(p *Problem, tr *tracker, og *overlap.Graph, tid taski
 			argOrder = append(argOrder, a)
 		}
 	}
+	moves := []move{{isDist: true, dist: true}, {isDist: true, dist: false}}
 	for _, k := range p.Model.ProcKinds {
 		if !t.HasVariant(k) {
 			continue
 		}
 		for _, argIdx := range argOrder {
 			for _, r := range p.Model.Accessible(k) {
-				cand := tr.best.Clone()
-				cand.SetProc(tid, k)
-				cand.RebuildPriorityLists(p.Model, tid)
-				cand.SetArgMem(p.Model, tid, argIdx, r)
-				if c.Constrained && og != nil {
-					applyColocation(p, og, cand, tid, argIdx, k, r)
-				}
-				if observe {
-					tr.coord = fmt.Sprintf("%s.arg%d", t.Name, argIdx)
-					tr.move = fmt.Sprintf("proc=%s mem=%s", k, r)
-				}
-				tr.test(cand)
+				moves = append(moves, move{k: k, argIdx: argIdx, r: r})
 			}
+		}
+	}
+	return moves
+}
+
+// buildMove materializes mv as a candidate mapping derived from the current
+// incumbent. Candidates are copy-on-write clones: the sweep produces many
+// candidates that differ from the incumbent in one task's decision, so only
+// that decision is deep-copied.
+func (c *CCD) buildMove(p *Problem, tr *tracker, og *overlap.Graph, tid taskir.TaskID, mv move) *mapping.Mapping {
+	cand := tr.best.CloneCOW()
+	if mv.isDist {
+		cand.SetDistribute(tid, mv.dist)
+		return cand
+	}
+	cand.SetProc(tid, mv.k)
+	cand.RebuildPriorityLists(p.Model, tid)
+	cand.SetArgMem(p.Model, tid, mv.argIdx, mv.r)
+	if c.Constrained && og != nil {
+		applyColocation(p, og, cand, tid, mv.argIdx, mv.k, mv.r)
+	}
+	return cand
+}
+
+// setLabels attaches the telemetry coordinate/move labels for mv (only
+// called when the observer is enabled).
+func setLabels(tr *tracker, taskName string, mv move) {
+	if mv.isDist {
+		tr.coord = taskName + ".dist"
+		tr.move = fmt.Sprintf("distribute=%v", mv.dist)
+	} else {
+		tr.coord = fmt.Sprintf("%s.arg%d", taskName, mv.argIdx)
+		tr.move = fmt.Sprintf("proc=%s mem=%s", mv.k, mv.r)
+	}
+}
+
+// optimizeTask is Algorithm 1's OptimizeTask: greedily optimize the
+// distribution setting, then jointly sweep processor kinds and per-argument
+// memory kinds.
+//
+// When the evaluator supports batch evaluation, the whole remaining move
+// set is materialized against the incumbent and submitted speculatively
+// before the sequential accept loop; on an accepted improvement the
+// remaining moves are re-built and re-prefetched from the new incumbent.
+// The sequence of candidates passed to Evaluate is exactly the sequential
+// one — each candidate is built from the incumbent current at its turn — so
+// the trajectory is byte-identical with or without batching.
+func (c *CCD) optimizeTask(p *Problem, tr *tracker, og *overlap.Graph, tid taskir.TaskID) {
+	t := p.Graph.Task(tid)
+	observe := tr.obs.Enabled()
+	moves := c.enumerateMoves(p, tid)
+
+	batch, _ := tr.ev.(BatchEvaluator)
+	if batch == nil {
+		// Sequential path: build each candidate at its turn.
+		for _, mv := range moves {
+			cand := c.buildMove(p, tr, og, tid, mv)
+			if observe {
+				setLabels(tr, t.Name, mv)
+			}
+			tr.test(cand)
+		}
+		return
+	}
+
+	for i := 0; i < len(moves); {
+		rest := moves[i:]
+		cands := make([]*mapping.Mapping, len(rest))
+		for j, mv := range rest {
+			cands[j] = c.buildMove(p, tr, og, tid, mv)
+		}
+		batch.Prefetch(cands)
+		advanced := false
+		for j, mv := range rest {
+			if observe {
+				setLabels(tr, t.Name, mv)
+			}
+			if tr.test(cands[j]) {
+				// New incumbent: the remaining moves must derive
+				// from it. Re-batch from the new best.
+				i += j + 1
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			break
 		}
 	}
 }

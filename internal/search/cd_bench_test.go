@@ -1,0 +1,67 @@
+package search
+
+import (
+	"testing"
+
+	"automap/internal/mapping"
+)
+
+// BenchmarkCCDCandidateConstruction times building one full per-task move
+// set of candidates the way the sweep does — copy-on-write clones with one
+// decision rewritten plus co-location propagation. This is the per-proposal
+// algorithm cost of CD/CCD; allocations here scale with the suggestion
+// count (thousands per rotation).
+func BenchmarkCCDCandidateConstruction(b *testing.B) {
+	p := searchProblem(b)
+	c := NewCCD()
+	tr := newTracker(p, &fakeEval{g: p.Graph, md: p.Model, cache: map[string]float64{}})
+	tr.best = p.Start
+	og := p.Overlap.Clone()
+	tid := p.Graph.Tasks[0].ID
+	moves := c.enumerateMoves(p, tid)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, mv := range moves {
+			if c.buildMove(p, tr, og, tid, mv) == nil {
+				b.Fatal("nil candidate")
+			}
+		}
+	}
+	b.ReportMetric(float64(len(moves)), "moves/op")
+}
+
+// BenchmarkCCDCandidateConstructionDeepClone is the pre-copy-on-write
+// construction (full Clone + RebuildPriorityLists per candidate), kept as
+// the comparison baseline for the COW win.
+func BenchmarkCCDCandidateConstructionDeepClone(b *testing.B) {
+	p := searchProblem(b)
+	c := NewCCD()
+	tr := newTracker(p, &fakeEval{g: p.Graph, md: p.Model, cache: map[string]float64{}})
+	tr.best = p.Start
+	og := p.Overlap.Clone()
+	tid := p.Graph.Tasks[0].ID
+	moves := c.enumerateMoves(p, tid)
+	build := func(mv move) *mapping.Mapping {
+		cand := tr.best.Clone()
+		if mv.isDist {
+			cand.SetDistribute(tid, mv.dist)
+			return cand
+		}
+		cand.SetProc(tid, mv.k)
+		cand.RebuildPriorityLists(p.Model, tid)
+		cand.SetArgMem(p.Model, tid, mv.argIdx, mv.r)
+		applyColocation(p, og, cand, tid, mv.argIdx, mv.k, mv.r)
+		return cand
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, mv := range moves {
+			if build(mv) == nil {
+				b.Fatal("nil candidate")
+			}
+		}
+	}
+	b.ReportMetric(float64(len(moves)), "moves/op")
+}

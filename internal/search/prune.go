@@ -5,6 +5,7 @@ package search
 
 import (
 	"math"
+	"sync"
 
 	"automap/internal/analyze"
 	"automap/internal/machine"
@@ -42,8 +43,17 @@ type PruningEvaluator struct {
 	// for every fresh static check. Defaults to DefaultCheckCostSec.
 	CheckCostSec float64
 
-	// verdict caches infeasibility per canonical mapping key.
+	// verdict caches infeasibility per canonical mapping key. It is the
+	// committed cache: only Evaluate writes it (and moves the counters).
 	verdict map[string]bool
+
+	// spec caches verdicts computed speculatively by Prefetch, without
+	// the counter/overhead side effects; Evaluate consults it so a fresh
+	// check need not repeat the analysis, but still commits the check's
+	// observable effects (Checked++, metrics, ChargeOverhead). specMu
+	// guards it against overlapping Prefetch calls.
+	specMu sync.Mutex
+	spec   map[string]bool
 
 	// Checked counts fresh static checks; Pruned counts evaluations
 	// answered statically (including cached re-suggestions of pruned
@@ -65,6 +75,7 @@ func NewPruningEvaluator(inner Evaluator, m *machine.Machine, g *taskir.Graph) *
 		g:            g,
 		CheckCostSec: DefaultCheckCostSec,
 		verdict:      make(map[string]bool),
+		spec:         make(map[string]bool),
 	}
 }
 
@@ -81,7 +92,20 @@ func (e *PruningEvaluator) Evaluate(mp *mapping.Mapping) Evaluation {
 	key := mp.Key()
 	bad, seen := e.verdict[key]
 	if !seen {
-		bad = analyze.Infeasible(e.m, e.g, mp)
+		// A speculative verdict from Prefetch answers the analysis
+		// question, but the check's observable effects still commit
+		// here, exactly as if the analysis ran now.
+		e.specMu.Lock()
+		specBad, specSeen := e.spec[key]
+		if specSeen {
+			delete(e.spec, key)
+		}
+		e.specMu.Unlock()
+		if specSeen {
+			bad = specBad
+		} else {
+			bad = analyze.Infeasible(e.m, e.g, mp)
+		}
 		e.verdict[key] = bad
 		e.Checked++
 		e.mChecked.Add(1)
@@ -95,6 +119,40 @@ func (e *PruningEvaluator) Evaluate(mp *mapping.Mapping) Evaluation {
 		return Evaluation{MeanSec: math.Inf(1), Failed: true, Cached: seen, Pruned: true}
 	}
 	return e.inner.Evaluate(mp)
+}
+
+// Prefetch statically checks the batch and forwards the feasible candidates
+// to the inner evaluator's Prefetch (when it has one). Like all Prefetch
+// implementations it has no observable side effects — verdicts land in the
+// speculative cache and their accounting commits when Evaluate reaches the
+// candidate.
+func (e *PruningEvaluator) Prefetch(cands []*mapping.Mapping) {
+	inner, _ := e.inner.(BatchEvaluator)
+	feasible := cands[:0:0]
+	for _, mp := range cands {
+		key := mp.Key()
+		if bad, seen := e.verdict[key]; seen {
+			if !bad {
+				feasible = append(feasible, mp)
+			}
+			continue
+		}
+		e.specMu.Lock()
+		bad, seen := e.spec[key]
+		e.specMu.Unlock()
+		if !seen {
+			bad = analyze.Infeasible(e.m, e.g, mp)
+			e.specMu.Lock()
+			e.spec[key] = bad
+			e.specMu.Unlock()
+		}
+		if !bad {
+			feasible = append(feasible, mp)
+		}
+	}
+	if inner != nil && len(feasible) > 0 {
+		inner.Prefetch(feasible)
+	}
 }
 
 // SearchTimeSec returns the inner evaluator's search clock.

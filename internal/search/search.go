@@ -58,6 +58,19 @@ type Evaluator interface {
 	ChargeOverhead(sec float64)
 }
 
+// BatchEvaluator is an optional Evaluator extension for speculative batch
+// evaluation. Prefetch MAY measure any of the candidates concurrently but
+// MUST have no observable side effects: no counters, no search-time
+// charges, no database or telemetry writes. All effects commit in the
+// subsequent sequential Evaluate calls, so an algorithm that prefetches a
+// batch and then evaluates its members in enumeration order produces a
+// trajectory byte-identical to not prefetching at all. Implementations are
+// free to ignore any or all candidates (Prefetch is purely advisory).
+type BatchEvaluator interface {
+	Evaluator
+	Prefetch(cands []*mapping.Mapping)
+}
+
 // Budget bounds a search.
 type Budget struct {
 	// MaxSearchSec stops the search once the evaluator's simulated

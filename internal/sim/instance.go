@@ -1,0 +1,132 @@
+// Instance: the search-facing simulator entry point. A search evaluates
+// thousands of mappings of ONE (machine, program) pair, and the paper's
+// measurement protocol runs each candidate several times (7 repeats, 31 for
+// finals). Instance amortizes everything that is invariant across those
+// runs:
+//
+//   - topology tables (alias resolution, per-node inventories, channel
+//     parameters) are built once at New;
+//   - placement plans are cached by mapping key — placement is a pure
+//     function of the mapping, so the repeats of one candidate (and any
+//     revisit of the same mapping) plan placement exactly once, and OOM
+//     verdicts are cached the same way;
+//   - simulation scratch (timelines, coherence state) is recycled through
+//     a sync.Pool instead of reallocated per run.
+//
+// Run is safe for concurrent use; results are bit-identical to Simulate.
+
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"automap/internal/machine"
+	"automap/internal/mapping"
+	"automap/internal/taskir"
+)
+
+// planCacheLimit bounds the plan cache; when full the whole cache is
+// dropped (searches revisit recent mappings heavily, so an occasional full
+// reset is cheaper than tracking recency).
+const planCacheLimit = 8192
+
+// planEntry is one cached placement outcome: the committed plan, or the
+// *OOMError placement failed with.
+type planEntry struct {
+	plan *PlacementPlan
+	err  error
+}
+
+// Instance is a reusable simulator for one (machine, program) pair. Create
+// one with New and call Run for each (mapping, config); concurrent Run
+// calls are safe.
+type Instance struct {
+	m    *machine.Machine
+	g    *taskir.Graph
+	topo *topology
+
+	mu    sync.RWMutex
+	plans map[string]planEntry
+
+	pool sync.Pool // *state
+
+	planHits   atomic.Int64
+	planMisses atomic.Int64
+}
+
+// New builds a reusable simulator instance for program g on machine m.
+func New(m *machine.Machine, g *taskir.Graph) *Instance {
+	return &Instance{
+		m:     m,
+		g:     g,
+		topo:  newTopology(m, g),
+		plans: make(map[string]planEntry),
+	}
+}
+
+// Run executes g under mapping mp and returns the execution result, or an
+// *OOMError if the mapping does not fit — identical to Simulate, but with
+// topology, placement plan, and scratch reuse. Callers that already know
+// the mapping's key should use RunKeyed to skip recomputing it.
+func (in *Instance) Run(mp *mapping.Mapping, cfg Config) (*Result, error) {
+	return in.RunKeyed(mp.Key(), mp, cfg)
+}
+
+// RunKeyed is Run with the mapping's canonical key (mapping.Key) supplied
+// by the caller. The key must belong to mp: it is the plan-cache identity,
+// and two mappings with equal keys have identical decisions and therefore
+// identical plans.
+func (in *Instance) RunKeyed(key string, mp *mapping.Mapping, cfg Config) (*Result, error) {
+	plan, err := in.planFor(key, mp)
+	if err != nil {
+		return nil, err
+	}
+	s, _ := in.pool.Get().(*state)
+	if s == nil {
+		s = &state{}
+	}
+	s.init(plan, cfg)
+	s.run()
+	res := s.result
+	s.result = nil
+	s.PlacementPlan = nil
+	in.pool.Put(s)
+	return res, nil
+}
+
+// PlanPlacement returns the (possibly cached) placement plan for mp, or
+// the *OOMError placement fails with. It is the cached equivalent of the
+// package-level PlanPlacement.
+func (in *Instance) PlanPlacement(mp *mapping.Mapping) (*PlacementPlan, error) {
+	return in.planFor(mp.Key(), mp)
+}
+
+// PlanCacheStats returns how many plan lookups hit and missed the cache.
+func (in *Instance) PlanCacheStats() (hits, misses int64) {
+	return in.planHits.Load(), in.planMisses.Load()
+}
+
+// planFor returns the cached placement outcome for key, planning (and
+// caching) it on a miss.
+func (in *Instance) planFor(key string, mp *mapping.Mapping) (*PlacementPlan, error) {
+	in.mu.RLock()
+	e, ok := in.plans[key]
+	in.mu.RUnlock()
+	if ok {
+		in.planHits.Add(1)
+		return e.plan, e.err
+	}
+	in.planMisses.Add(1)
+	// Plan outside the lock: planning is pure, so a racing duplicate
+	// computes an identical entry and the second store is harmless.
+	plan, err := planPlacement(in.topo, mp)
+	e = planEntry{plan: plan, err: err}
+	in.mu.Lock()
+	if len(in.plans) >= planCacheLimit {
+		in.plans = make(map[string]planEntry)
+	}
+	in.plans[key] = e
+	in.mu.Unlock()
+	return e.plan, e.err
+}

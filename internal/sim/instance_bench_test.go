@@ -1,0 +1,89 @@
+// Micro-benchmarks of the simulator hot path: one-shot Simulate (topology
+// and placement rebuilt per call) against the reusable Instance (cached
+// topology, plan cache, pooled run state), and the plan-cache hit and miss
+// paths in isolation. Allocation counts are part of the contract: the
+// search runs hundreds of thousands of simulations, so allocs/op here
+// dominate its GC load.
+package sim
+
+import (
+	"strconv"
+	"testing"
+
+	"automap/internal/apps"
+	"automap/internal/cluster"
+	"automap/internal/machine"
+	"automap/internal/mapping"
+	"automap/internal/taskir"
+)
+
+// benchProblem is a mid-size multi-node problem (pennant on 4 Shepard
+// nodes), representative of one candidate evaluation during a search.
+func benchProblem(b *testing.B) (*machine.Machine, *taskir.Graph, *mapping.Mapping) {
+	b.Helper()
+	app, err := apps.Get("pennant")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := app.Build("320x720", 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := cluster.Shepard(4)
+	return m, g, mapping.Default(g, m.Model())
+}
+
+func BenchmarkSimulateOneShot(b *testing.B) {
+	m, g, mp := benchProblem(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(m, g, mp, Config{NoiseSigma: 0.04, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInstanceRun(b *testing.B) {
+	m, g, mp := benchProblem(b)
+	inst := New(m, g)
+	key := mp.Key()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inst.RunKeyed(key, mp, Config{NoiseSigma: 0.04, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanCacheHit(b *testing.B) {
+	m, g, mp := benchProblem(b)
+	inst := New(m, g)
+	if _, err := inst.PlanPlacement(mp); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inst.PlanPlacement(mp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanCacheMiss(b *testing.B) {
+	m, g, mp := benchProblem(b)
+	inst := New(m, g)
+	key := mp.Key()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A unique key per iteration forces the miss path (plan built
+		// from the cached topology) without paying Key() on a mutated
+		// mapping each round.
+		if _, err := inst.planFor(key+strconv.Itoa(i), mp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -9,6 +9,11 @@
 // paying for the discrete-event timing pass. Package analyze consumes this
 // as its memory-feasibility check, so the static analyzer can never drift
 // from the simulator's out-of-memory accounting.
+//
+// Because the plan is a pure function of the mapping, it is also cacheable:
+// sim.Instance keys plans by mapping.Key so the repeated measurements of one
+// candidate plan placement exactly once (see instance.go). A committed plan
+// is immutable and may be shared by concurrent timing passes.
 
 package sim
 
@@ -29,11 +34,13 @@ type argPlacement struct {
 // every task under a mapping: which memory kind each instance landed in,
 // over how many socket-/device-local units, and the resulting bytes per
 // concrete memory. It is produced by PlanPlacement and consumed by the
-// simulator's timing pass and by the static analyzer.
+// simulator's timing pass and by the static analyzer. After place() commits
+// it is read-only and safe to share across concurrent simulations.
 type PlacementPlan struct {
-	m  *machine.Machine
-	g  *taskir.Graph
-	mp *mapping.Mapping
+	m    *machine.Machine
+	g    *taskir.Graph
+	mp   *mapping.Mapping
+	topo *topology
 
 	nodes int
 
@@ -41,6 +48,10 @@ type PlacementPlan struct {
 	// the task has no points on that node; see placed).
 	placement [][][]argPlacement
 	placed    [][][]bool
+
+	// taskNodes[taskID] is the node set the task runs on under its
+	// decision, precomputed so the timing pass never re-derives it.
+	taskNodes [][]int
 
 	// residentKindBytes[colID][node][kind] tracks bytes already charged
 	// for the (collection, node, kind) instance group, so growing
@@ -61,25 +72,64 @@ type PlacementPlan struct {
 // same error Simulate would return, at a fraction of the cost. The mapping
 // must already be valid for (g, m.Model()).
 func PlanPlacement(m *machine.Machine, g *taskir.Graph, mp *mapping.Mapping) (*PlacementPlan, error) {
-	p := newPlan(m, g, mp)
+	return planPlacement(newTopology(m, g), mp)
+}
+
+// planPlacement is PlanPlacement against a prebuilt topology (the path
+// Instance takes, amortizing the topology across every plan of a search).
+func planPlacement(topo *topology, mp *mapping.Mapping) (*PlacementPlan, error) {
+	p := newPlan(topo, mp)
 	if err := p.place(); err != nil {
 		return nil, err
 	}
 	return p, nil
 }
 
-func newPlan(m *machine.Machine, g *taskir.Graph, mp *mapping.Mapping) *PlacementPlan {
-	p := &PlacementPlan{m: m, g: g, mp: mp, nodes: m.Nodes}
+func newPlan(topo *topology, mp *mapping.Mapping) *PlacementPlan {
+	m, g := topo.m, topo.g
+	p := &PlacementPlan{m: m, g: g, mp: mp, topo: topo, nodes: m.Nodes}
+
+	// One backing array per table instead of one allocation per task×arg.
+	totalArgs := 0
+	for i := range g.Tasks {
+		totalArgs += len(g.Tasks[i].Args)
+	}
+	placeBack := make([]argPlacement, totalArgs*p.nodes)
+	placedBack := make([]bool, totalArgs*p.nodes)
+	placeRows := make([][]argPlacement, totalArgs)
+	placedRows := make([][]bool, totalArgs)
 	p.placement = make([][][]argPlacement, len(g.Tasks))
 	p.placed = make([][][]bool, len(g.Tasks))
-	for i, t := range g.Tasks {
-		p.placement[i] = make([][]argPlacement, len(t.Args))
-		p.placed[i] = make([][]bool, len(t.Args))
-		for a := range t.Args {
-			p.placement[i][a] = make([]argPlacement, p.nodes)
-			p.placed[i][a] = make([]bool, p.nodes)
+	row := 0
+	for i := range g.Tasks {
+		na := len(g.Tasks[i].Args)
+		p.placement[i] = placeRows[row : row+na : row+na]
+		p.placed[i] = placedRows[row : row+na : row+na]
+		for a := 0; a < na; a++ {
+			off := (row + a) * p.nodes
+			p.placement[i][a] = placeBack[off : off+p.nodes : off+p.nodes]
+			p.placed[i][a] = placedBack[off : off+p.nodes : off+p.nodes]
 		}
+		row += na
 	}
+
+	p.taskNodes = make([][]int, len(g.Tasks))
+	nodeBack := make([]int, 0, len(g.Tasks)*p.nodes)
+	for i := range g.Tasks {
+		t := g.Tasks[i]
+		start := len(nodeBack)
+		if !mp.Decision(t.ID).Distribute {
+			nodeBack = append(nodeBack, 0)
+		} else {
+			for n := 0; n < p.nodes; n++ {
+				if p.pointsOnNode(t, n) > 0 {
+					nodeBack = append(nodeBack, n)
+				}
+			}
+		}
+		p.taskNodes[t.ID] = nodeBack[start:len(nodeBack):len(nodeBack)]
+	}
+
 	p.residentKindBytes = make([]map[int]map[machine.MemKind]int64, len(g.Collections))
 	for c := range p.residentKindBytes {
 		p.residentKindBytes[c] = make(map[int]map[machine.MemKind]int64)
@@ -102,16 +152,7 @@ func launchOrder(g *taskir.Graph) []taskir.TaskID {
 
 // nodesUsed returns the node set a task runs on under its decision.
 func (p *PlacementPlan) nodesUsed(t *taskir.GroupTask) []int {
-	if !p.mp.Decision(t.ID).Distribute {
-		return []int{0}
-	}
-	var out []int
-	for n := 0; n < p.nodes; n++ {
-		if p.pointsOnNode(t, n) > 0 {
-			out = append(out, n)
-		}
-	}
-	return out
+	return p.taskNodes[t.ID]
 }
 
 // pointsOnNode returns the number of points of t placed on node n: a
@@ -134,7 +175,7 @@ func (p *PlacementPlan) pointsOnNode(t *taskir.GroupTask, n int) int {
 
 // procsOnNode returns how many processors of kind k node n has.
 func (p *PlacementPlan) procsOnNode(k machine.ProcKind, n int) int {
-	return len(p.m.ProcsOfKindOnNode(k, n))
+	return p.topo.procCount[n][k]
 }
 
 // unitsSpanned returns how many socket-/device-local units of memory kind
@@ -149,8 +190,7 @@ func (p *PlacementPlan) unitsSpanned(pk machine.ProcKind, mk machine.MemKind, n,
 		if pk != machine.CPU {
 			return 1
 		}
-		mems := p.m.MemsOfKindOnNode(machine.SysMem, n)
-		sockets := len(mems)
+		sockets := len(p.topo.mems[n][machine.SysMem])
 		if sockets == 0 {
 			return 1
 		}
@@ -212,7 +252,7 @@ func (p *PlacementPlan) footprint(t *taskir.GroupTask, c *taskir.Collection, mk 
 // kindMemsOnNode returns the concrete memories of kind mk on node n in
 // deterministic order.
 func (p *PlacementPlan) kindMemsOnNode(mk machine.MemKind, n int) []machine.MemID {
-	return p.m.MemsOfKindOnNode(mk, n)
+	return p.topo.mems[n][mk]
 }
 
 // tryCharge attempts to charge `total` bytes for (c, n, mk) spread over
@@ -264,16 +304,17 @@ func (p *PlacementPlan) tryCharge(c taskir.CollectionID, n int, mk machine.MemKi
 // the first memory kind of its priority list with available capacity on
 // every node the task uses.
 func (p *PlacementPlan) place() error {
-	for _, tid := range launchOrder(p.g) {
+	for _, tid := range p.topo.launch {
 		t := p.g.Task(tid)
 		d := p.mp.Decision(tid)
 		for a, arg := range t.Args {
 			c := p.g.Collection(arg.Collection)
-			for _, n := range p.nodesUsed(t) {
+			al := p.topo.alias[arg.Collection]
+			for _, n := range p.taskNodes[tid] {
 				placed := false
 				for ki, mk := range d.Mems[a] {
 					total, units := p.footprint(t, c, mk, n)
-					if p.tryCharge(p.g.AliasID(arg.Collection), n, mk, total, units) {
+					if p.tryCharge(al, n, mk, total, units) {
 						p.placement[tid][a][n] = argPlacement{kind: mk, units: units}
 						p.placed[tid][a][n] = true
 						if ki > 0 {

@@ -30,6 +30,10 @@
 // Run-to-run variation is modeled with seeded unit-mean log-normal noise on
 // task durations, which is what makes the paper's repeated-measurement
 // protocol (7 runs per candidate, 31 for final reporting) meaningful.
+//
+// Entry points: Simulate is the one-shot API; Instance (instance.go) is the
+// search-facing API that amortizes topology tables, placement plans, and
+// simulation scratch across the thousands of runs of one search.
 package sim
 
 import (
@@ -117,12 +121,17 @@ func (e *OOMError) Error() string {
 // Simulate executes program g under mapping mp on machine m and returns the
 // execution result, or an *OOMError if the mapping does not fit. The
 // mapping must already be valid for (g, m.Model()).
+//
+// Simulate rebuilds the topology tables and placement plan on every call;
+// callers running many mappings on one (machine, program) pair should use
+// New + Instance.Run, which produces identical results.
 func Simulate(m *machine.Machine, g *taskir.Graph, mp *mapping.Mapping, cfg Config) (*Result, error) {
 	plan, err := PlanPlacement(m, g, mp)
 	if err != nil {
 		return nil, err
 	}
-	s := newState(plan, cfg)
+	var s state
+	s.init(plan, cfg)
 	s.run()
 	return s.result, nil
 }
@@ -143,15 +152,21 @@ type partialInfo struct {
 
 // state carries all mutable simulation state. It embeds the committed
 // placement plan (see place.go), which provides the machine/program/mapping
-// triple and the per-argument instance placements.
+// triple and the per-argument instance placements. A state is reusable:
+// init rebinds it to a new plan and config, recycling all scratch storage
+// (Instance keeps a pool of them).
 type state struct {
 	*PlacementPlan
 	cfg Config
-	rng *xrand.RNG
+	rng xrand.RNG
 
-	// Validity state for coherence.
-	sharedValid []map[sharedLoc]bool // per shared collection
-	shardValid  [][]sharedLoc        // per partitioned collection, per shard(node): holder; node<0 = untouched
+	// Validity state for coherence. sharedValid holds, per shared
+	// collection, the set of currently valid locations as a small slice
+	// (bounded by nodes × memory kinds); membership scans are linear but
+	// the sets are tiny, and slices recycle across runs where the maps
+	// they replaced were reallocated per run.
+	sharedValid [][]sharedLoc // per shared collection
+	shardValid  [][]sharedLoc // per partitioned collection, per shard(node): holder; node<0 = untouched
 	// partial[alias] is set after a distributed write of a shared
 	// collection: every node wrote only its part, so a reader must
 	// gather the remaining fraction from the other writers (the ghost /
@@ -168,88 +183,88 @@ type state struct {
 	taskFinish []float64
 	iteration  int
 
+	// writerScratch[a] is the per-launch writer-location scratch, sized
+	// to the widest task so runTask never allocates it.
+	writerScratch [][]sharedLoc
+
 	result *Result
 }
 
-func newState(plan *PlacementPlan, cfg Config) *state {
+// init binds s to a plan and config, allocating scratch on first use and
+// recycling it afterwards. A pooled state may be rebound to a different
+// plan of the same (machine, program) pair: every dimension below is a
+// function of (machine, program) only.
+func (s *state) init(plan *PlacementPlan, cfg Config) {
 	g := plan.g
-	s := &state{
-		PlacementPlan: plan,
-		cfg:           cfg,
-		rng:           xrand.New(cfg.Seed ^ 0x5bd1e995),
-		result: &Result{
-			TaskWallSec:  make(map[taskir.TaskID]float64, len(g.Tasks)),
-			PeakMemBytes: plan.PeakMemBytes(),
-			ProcBusySec:  make(map[machine.ProcKind]float64),
-			Spills:       plan.Spills,
-		},
-	}
 	nc := len(g.Collections)
-	s.sharedValid = make([]map[sharedLoc]bool, nc)
-	s.shardValid = make([][]sharedLoc, nc)
-	s.partial = make([]partialInfo, nc)
-	for c := range g.Collections {
-		s.sharedValid[c] = make(map[sharedLoc]bool)
-		s.shardValid[c] = make([]sharedLoc, s.nodes)
+	s.PlacementPlan = plan
+	s.cfg = cfg
+	s.rng = *xrand.New(cfg.Seed ^ 0x5bd1e995)
+	s.netAvail = 0
+	s.iteration = 0
+	s.result = &Result{
+		TaskWallSec:  make(map[taskir.TaskID]float64, len(g.Tasks)),
+		PeakMemBytes: plan.PeakMemBytes(),
+		ProcBusySec:  make(map[machine.ProcKind]float64),
+		Spills:       plan.Spills,
+	}
+
+	if s.sharedValid == nil {
+		s.sharedValid = make([][]sharedLoc, nc)
+		s.shardValid = make([][]sharedLoc, nc)
+		s.partial = make([]partialInfo, nc)
+		s.procAvail = make([][]float64, plan.nodes)
+		procBack := make([]float64, plan.nodes*machine.NumProcKinds)
+		for n := range s.procAvail {
+			s.procAvail[n] = procBack[n*machine.NumProcKinds : (n+1)*machine.NumProcKinds]
+		}
+		s.copyAvail = make([]float64, plan.nodes)
+		s.writeDone = make([]float64, nc)
+		s.accessDone = make([]float64, nc)
+		s.taskFinish = make([]float64, len(g.Tasks))
+		s.writerScratch = make([][]sharedLoc, plan.topo.maxArgs)
+	} else {
+		for c := 0; c < nc; c++ {
+			s.sharedValid[c] = s.sharedValid[c][:0]
+		}
+		for i := range s.partial {
+			s.partial[i] = partialInfo{}
+		}
+		for n := range s.procAvail {
+			for k := range s.procAvail[n] {
+				s.procAvail[n][k] = 0
+			}
+		}
+		for i := range s.copyAvail {
+			s.copyAvail[i] = 0
+		}
+		for i := range s.writeDone {
+			s.writeDone[i] = 0
+		}
+		for i := range s.accessDone {
+			s.accessDone[i] = 0
+		}
+		for i := range s.taskFinish {
+			s.taskFinish[i] = 0
+		}
+	}
+	for c := 0; c < nc; c++ {
+		if cap(s.shardValid[c]) < plan.nodes {
+			s.shardValid[c] = make([]sharedLoc, plan.nodes)
+		} else {
+			s.shardValid[c] = s.shardValid[c][:plan.nodes]
+		}
 		for n := range s.shardValid[c] {
 			s.shardValid[c][n] = sharedLoc{node: -1}
 		}
 	}
-	s.procAvail = make([][]float64, s.nodes)
-	for n := range s.procAvail {
-		s.procAvail[n] = make([]float64, machine.NumProcKinds)
-	}
-	s.copyAvail = make([]float64, s.nodes)
-	s.writeDone = make([]float64, nc)
-	s.accessDone = make([]float64, nc)
-	s.taskFinish = make([]float64, len(g.Tasks))
-	return s
 }
 
 // chanBW returns the copy bandwidth and latency between memory kinds a and
-// b on node n, looked up from the machine's channels between representative
-// concrete memories.
+// b on node n from the topology's precomputed channel table.
 func (s *state) chanBW(a, b machine.MemKind, n int) (float64, float64) {
-	am := s.kindMemsOnNode(a, n)
-	bm := s.kindMemsOnNode(b, n)
-	if len(am) == 0 || len(bm) == 0 {
-		return 0, 0
-	}
-	src, dst := am[0], bm[0]
-	if src == dst {
-		if len(am) > 1 {
-			dst = am[1] // same-kind copy, e.g. socket-to-socket System
-		} else {
-			// Same single memory: treat as a cheap in-place move.
-			return math.Inf(1), 0
-		}
-	}
-	if ch, ok := s.m.ChannelBetween(src, dst); ok {
-		return ch.BandwidthBps, ch.LatencySec
-	}
-	// No direct channel: route through System memory.
-	sys := s.kindMemsOnNode(machine.SysMem, n)
-	if len(sys) == 0 {
-		return 0, 0
-	}
-	bw := math.Inf(1)
-	lat := 0.0
-	if ch, ok := s.m.ChannelBetween(src, sys[0]); ok {
-		if ch.BandwidthBps < bw {
-			bw = ch.BandwidthBps
-		}
-		lat += ch.LatencySec
-	}
-	if ch, ok := s.m.ChannelBetween(sys[0], dst); ok {
-		if ch.BandwidthBps < bw {
-			bw = ch.BandwidthBps
-		}
-		lat += ch.LatencySec
-	}
-	if math.IsInf(bw, 1) {
-		return 0, 0
-	}
-	return bw, lat
+	c := s.topo.chans[n][a][b]
+	return c.bw, c.lat
 }
 
 // intraCopy schedules a copy of `bytes` between kinds on node n, starting
@@ -298,14 +313,24 @@ func (s *state) netCopy(srcNode int, srcKind machine.MemKind, dstNode int, dstKi
 	return t
 }
 
+// containsLoc reports whether locs contains want.
+func containsLoc(locs []sharedLoc, want sharedLoc) bool {
+	for _, l := range locs {
+		if l == want {
+			return true
+		}
+	}
+	return false
+}
+
 // ensureShared makes collection c valid at (node, kind) and returns the
 // completion time of any copies needed (>= after).
 func (s *state) ensureShared(c *taskir.Collection, node int, kind machine.MemKind, units int, after float64) float64 {
-	al := s.g.AliasID(c.ID)
+	al := s.topo.alias[c.ID]
 	valid := s.sharedValid[al]
 	want := sharedLoc{node: node, kind: kind}
 	done := after
-	if !valid[want] {
+	if !containsLoc(valid, want) {
 		if pi := s.partial[al]; pi.active {
 			// Gather the parts written by the other nodes (ghost
 			// exchange).
@@ -315,30 +340,24 @@ func (s *state) ensureShared(c *taskir.Collection, node int, kind machine.MemKin
 				src = (node + 1) % s.nodes
 			}
 			done = s.netCopy(src, kind, node, kind, bytes, after)
-			valid[want] = true
-		} else if len(valid) == 0 {
-			// First touch: the collection is materialized in place.
-			valid[want] = true
-		} else {
+		} else if len(valid) > 0 {
 			// Prefer an intra-node source; break remaining ties by
-			// (node, kind) so the choice is deterministic regardless
-			// of map iteration order.
-			var src sharedLoc
-			found := false
-			better := func(a, b sharedLoc) bool {
-				ai, bi := a.node == node, b.node == node
-				if ai != bi {
-					return ai
-				}
-				if a.node != b.node {
-					return a.node < b.node
-				}
-				return a.kind < b.kind
-			}
-			for loc := range valid {
-				if !found || better(loc, src) {
+			// (node, kind) so the choice is deterministic (the same
+			// rule the map-based representation applied).
+			src := valid[0]
+			for _, loc := range valid[1:] {
+				ai, bi := loc.node == node, src.node == node
+				switch {
+				case ai != bi:
+					if ai {
+						src = loc
+					}
+				case loc.node != src.node:
+					if loc.node < src.node {
+						src = loc
+					}
+				case loc.kind < src.kind:
 					src = loc
-					found = true
 				}
 			}
 			if src.node == node {
@@ -346,8 +365,9 @@ func (s *state) ensureShared(c *taskir.Collection, node int, kind machine.MemKin
 			} else {
 				done = s.netCopy(src.node, src.kind, node, kind, c.SizeBytes(), after)
 			}
-			valid[want] = true
 		}
+		// else: first touch — the collection is materialized in place.
+		s.sharedValid[al] = append(valid, want)
 	}
 	// Mirror copies for the extra sockets/devices spanned.
 	for u := 1; u < units; u++ {
@@ -359,10 +379,11 @@ func (s *state) ensureShared(c *taskir.Collection, node int, kind machine.MemKin
 // ensureShard makes shard `shard` of partitioned collection c valid at
 // (node, kind) and returns the copy completion time.
 func (s *state) ensureShard(c *taskir.Collection, shard, node int, kind machine.MemKind, bytes int64, after float64) float64 {
-	cur := s.shardValid[s.g.AliasID(c.ID)][shard]
+	al := s.topo.alias[c.ID]
+	cur := s.shardValid[al][shard]
 	want := sharedLoc{node: node, kind: kind}
 	if cur.node < 0 {
-		s.shardValid[s.g.AliasID(c.ID)][shard] = want
+		s.shardValid[al][shard] = want
 		return after
 	}
 	if cur == want {
@@ -374,25 +395,19 @@ func (s *state) ensureShard(c *taskir.Collection, shard, node int, kind machine.
 	} else {
 		done = s.netCopy(cur.node, cur.kind, node, kind, bytes, after)
 	}
-	s.shardValid[s.g.AliasID(c.ID)][shard] = want
+	s.shardValid[al][shard] = want
 	return done
 }
 
 // invalidateSharedExcept resets the valid set of shared collection c to the
 // writer's locations.
 func (s *state) invalidateSharedExcept(c taskir.CollectionID, locs []sharedLoc) {
-	valid := s.sharedValid[c]
-	for k := range valid {
-		delete(valid, k)
-	}
-	for _, l := range locs {
-		valid[l] = true
-	}
+	s.sharedValid[c] = append(s.sharedValid[c][:0], locs...)
 }
 
 // run executes the timing pass over all iterations.
 func (s *state) run() {
-	order := launchOrder(s.g)
+	order := s.topo.launch
 	var makespan float64
 	for iter := 0; iter < s.g.Iterations; iter++ {
 		s.iteration = iter
@@ -419,7 +434,7 @@ func (s *state) runTask(tid taskir.TaskID) float64 {
 	// wrap-around dependences across iterations.
 	ready := 0.0
 	for _, arg := range t.Args {
-		al := s.g.AliasID(arg.Collection)
+		al := s.topo.alias[arg.Collection]
 		if arg.Privilege.Reads() && s.writeDone[al] > ready {
 			ready = s.writeDone[al]
 		}
@@ -428,7 +443,7 @@ func (s *state) runTask(tid taskir.TaskID) float64 {
 		}
 	}
 
-	nodes := s.nodesUsed(t)
+	nodes := s.taskNodes[tid]
 	proc := s.procFor(d.Proc)
 	variant := t.Variants[d.Proc]
 
@@ -436,7 +451,10 @@ func (s *state) runTask(tid taskir.TaskID) float64 {
 	var execWall float64
 	// writerLocs[a] collects, per written argument, the locations the
 	// write lands in; they become the sole valid locations afterwards.
-	writerLocs := make([][]sharedLoc, len(t.Args))
+	writerLocs := s.writerScratch[:len(t.Args)]
+	for i := range writerLocs {
+		writerLocs[i] = writerLocs[i][:0]
+	}
 
 	for _, n := range nodes {
 		pts := s.pointsOnNode(t, n)
@@ -549,7 +567,7 @@ func (s *state) runTask(tid taskir.TaskID) float64 {
 
 	// Commit write effects.
 	for a, arg := range t.Args {
-		al := s.g.AliasID(arg.Collection)
+		al := s.topo.alias[arg.Collection]
 		if !arg.Privilege.Writes() {
 			if arg.Privilege.Reads() && taskFinish > s.accessDone[al] {
 				s.accessDone[al] = taskFinish
@@ -575,7 +593,7 @@ func (s *state) runTask(tid taskir.TaskID) float64 {
 				// Distributed write of a shared collection:
 				// each node produced only its part.
 				w := len(writerLocs[a])
-				s.sharedValid[al] = make(map[sharedLoc]bool)
+				s.sharedValid[al] = s.sharedValid[al][:0]
 				s.partial[al] = partialInfo{
 					active: true,
 					frac:   float64(w-1) / float64(w),
@@ -602,10 +620,8 @@ func (s *state) runTask(tid taskir.TaskID) float64 {
 // constants (throughput, overhead); all processors of a kind are identical
 // in the modeled clusters.
 func (s *state) procFor(k machine.ProcKind) *machine.Processor {
-	for i := range s.m.Procs {
-		if s.m.Procs[i].Kind == k {
-			return &s.m.Procs[i]
-		}
+	if p := s.topo.procRep[k]; p != nil {
+		return p
 	}
 	// Validated mappings never reach here.
 	return &s.m.Procs[0]

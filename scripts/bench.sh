@@ -1,0 +1,84 @@
+#!/bin/sh
+# Search-pipeline performance benchmark. Runs the simulator hot-path and
+# candidate-construction micro-benchmarks (ns/op, allocs/op) and times
+# end-to-end CCD searches at 1, 4, and 8 workers, then writes the results
+# as JSON (default: BENCH_search.json). Run from the repository root,
+# directly or via `make bench-search`.
+#
+# Environment:
+#   GO         go binary (default: go)
+#   BENCHTIME  -benchtime for the micro-benchmarks (default: 100x)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+GO=${GO:-go}
+OUT=${1:-BENCH_search.json}
+BENCHTIME=${BENCHTIME:-100x}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== micro-benchmarks (-benchtime $BENCHTIME)"
+$GO test ./internal/sim/ -run xxx -benchmem -benchtime "$BENCHTIME" \
+    -bench 'SimulateOneShot|InstanceRun|PlanCacheHit|PlanCacheMiss' \
+    | grep '^Benchmark' | tee -a "$tmp/micro.txt"
+$GO test ./internal/search/ -run xxx -benchmem -benchtime "$BENCHTIME" \
+    -bench 'CCDCandidateConstruction' \
+    | grep '^Benchmark' | tee -a "$tmp/micro.txt"
+
+# Emit one JSON object per benchmark line: scan fields for the unit markers
+# so the extra ReportMetric columns (moves/op) don't shift the parse.
+awk '{
+    name = $1; sub(/-[0-9]+$/, "", name); sub(/^Benchmark/, "", name)
+    ns = ""; allocs = ""; bytes = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+        if ($i == "B/op") bytes = $(i-1)
+    }
+    printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s},\n", name, ns, bytes, allocs
+}' "$tmp/micro.txt" | sed '$ s/,$//' > "$tmp/micro.json"
+
+echo "== end-to-end searches"
+$GO build -o bin/automap ./cmd/automap
+
+run_search() { # app input nodes workers -> prints wall seconds
+    start=$(date +%s%N)
+    ./bin/automap search -app "$1" -input "$2" -nodes "$3" -seed 7 \
+        -workers "$4" >/dev/null
+    end=$(date +%s%N)
+    awk "BEGIN { printf \"%.3f\", ($end - $start) / 1e9 }"
+}
+
+: > "$tmp/e2e.json"
+first=1
+for cfg in "htr 32x256y36z 2" "pennant 320x90 1"; do
+    set -- $cfg
+    app=$1; input=$2; nodes=$3
+    for w in 1 4 8; do
+        secs=$(run_search "$app" "$input" "$nodes" "$w")
+        echo "-- $app $input x$nodes workers=$w: ${secs}s"
+        [ "$first" = 1 ] || printf ',\n' >> "$tmp/e2e.json"
+        first=0
+        printf '    {"app": "%s", "input": "%s", "nodes": %s, "workers": %s, "seconds": %s}' \
+            "$app" "$input" "$nodes" "$w" "$secs" >> "$tmp/e2e.json"
+    done
+done
+printf '\n' >> "$tmp/e2e.json"
+
+{
+    echo '{'
+    echo '  "benchmark": "search pipeline (simulator hot path + parallel evaluation)",'
+    echo "  \"generated_unix\": $(date +%s),"
+    echo "  \"gomaxprocs\": $(nproc),"
+    echo '  "micro": ['
+    cat "$tmp/micro.json"
+    echo '  ],'
+    echo '  "end_to_end": ['
+    cat "$tmp/e2e.json"
+    echo '  ]'
+    echo '}'
+} > "$OUT"
+
+echo "wrote $OUT"

@@ -14,8 +14,11 @@ GO=${GO:-go}
 echo "== go vet"
 $GO vet ./...
 
-echo "== go test -race"
-$GO test -race ./...
+echo "== go test -race (short mode)"
+$GO test -race -short ./...
+
+echo "== go test (full, no race)"
+$GO test ./...
 
 echo "== mapcheck"
 $GO build -o bin/mapcheck ./cmd/mapcheck
@@ -39,5 +42,15 @@ cmp "$tdir/e1.jsonl" "$tdir/e2.jsonl" || {
 cmp "$tdir/m1.txt" "$tdir/m2.txt" || {
     echo "metrics dump not deterministic under a fixed seed" >&2; exit 1; }
 $GO run ./scripts/telemetrycheck "$tdir/e1.jsonl" "$tdir/m1.txt"
+
+echo "== worker-count determinism smoke"
+# The worker pool must not change the trajectory: the event stream with
+# -workers 8 is byte-identical to -workers 1.
+./bin/automap search -app stencil -nodes 1 -seed 7 -workers 1 \
+    -events "$tdir/w1.jsonl" >/dev/null
+./bin/automap search -app stencil -nodes 1 -seed 7 -workers 8 \
+    -events "$tdir/w8.jsonl" >/dev/null
+cmp "$tdir/w1.jsonl" "$tdir/w8.jsonl" || {
+    echo "telemetry event stream differs between -workers 1 and -workers 8" >&2; exit 1; }
 
 echo "ci: all checks passed"

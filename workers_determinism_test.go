@@ -1,0 +1,111 @@
+// Trajectory-invariance acceptance test for parallel candidate evaluation:
+// a search with Options.Workers = 8 must be byte-identical — same report,
+// same best mapping, same trace, same telemetry event stream — to the same
+// search with Workers = 1, for every algorithm. Speculative batch
+// evaluation is allowed to change wall-clock time only.
+package automap_test
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"automap"
+	"automap/internal/apps"
+	"automap/internal/taskir"
+)
+
+// buildApp materializes a small benchmark program.
+func buildApp(t *testing.T, name, size string, nodes int) *taskir.Graph {
+	t.Helper()
+	app, err := apps.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := app.Build(size, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// runWorkers runs one search with the given worker count and returns the
+// report and the telemetry JSONL stream.
+func runWorkers(t *testing.T, g *taskir.Graph, nodes int, alg automap.Algorithm, prune bool, workers int) (*automap.Report, []byte) {
+	t.Helper()
+	m := automap.Shepard(nodes)
+	var buf bytes.Buffer
+	opts := automap.DefaultOptions()
+	opts.Seed = 11
+	opts.Repeats = 3
+	opts.FinalRepeats = 5
+	opts.PrePrune = prune
+	opts.Workers = workers
+	opts.Observer = &automap.Observer{
+		Sink:    automap.NewJSONLSink(&buf),
+		Metrics: automap.NewMetricsRegistry(),
+	}
+	rep, err := automap.Search(m, g, alg, opts, automap.Budget{MaxSuggestions: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, buf.Bytes()
+}
+
+func TestWorkerCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search test")
+	}
+	algs := []struct {
+		name  string
+		alg   automap.Algorithm
+		prune bool
+	}{
+		{"ccd", automap.NewCCD(), false},
+		{"ccd-prepruned", automap.NewCCD(), true},
+		{"cd", automap.NewCD(), false},
+		{"random", automap.NewRandom(), false},
+		{"anneal", automap.NewAnneal(), false},
+		{"opentuner", automap.NewOpenTuner(), false},
+	}
+	appsUnderTest := []struct {
+		name, size string
+		nodes      int
+	}{
+		{"stencil", "500x500", 1},
+		{"circuit", "n50w200", 2},
+	}
+	for _, ac := range appsUnderTest {
+		g := buildApp(t, ac.name, ac.size, ac.nodes)
+		for _, a := range algs {
+			t.Run(fmt.Sprintf("%s/%s", ac.name, a.name), func(t *testing.T) {
+				rep1, stream1 := runWorkers(t, g, ac.nodes, a.alg, a.prune, 1)
+				rep8, stream8 := runWorkers(t, g, ac.nodes, a.alg, a.prune, 8)
+
+				if k1, k8 := rep1.Best.Key(), rep8.Best.Key(); k1 != k8 {
+					t.Errorf("best mapping differs:\nworkers=1: %s\nworkers=8: %s", k1, k8)
+				}
+				if rep1.FinalSec != rep8.FinalSec {
+					t.Errorf("FinalSec differs: %v vs %v", rep1.FinalSec, rep8.FinalSec)
+				}
+				if rep1.SearchSec != rep8.SearchSec {
+					t.Errorf("SearchSec differs: %v vs %v", rep1.SearchSec, rep8.SearchSec)
+				}
+				if rep1.StopReason != rep8.StopReason {
+					t.Errorf("StopReason differs: %q vs %q", rep1.StopReason, rep8.StopReason)
+				}
+				if rep1.Suggested != rep8.Suggested || rep1.Evaluated != rep8.Evaluated {
+					t.Errorf("counters differ: suggested %d/%d evaluated %d/%d",
+						rep1.Suggested, rep8.Suggested, rep1.Evaluated, rep8.Evaluated)
+				}
+				if !reflect.DeepEqual(rep1.Trace, rep8.Trace) {
+					t.Errorf("trace differs:\nworkers=1: %v\nworkers=8: %v", rep1.Trace, rep8.Trace)
+				}
+				if !bytes.Equal(stream1, stream8) {
+					t.Error("telemetry stream differs between workers=1 and workers=8")
+				}
+			})
+		}
+	}
+}
