@@ -34,6 +34,7 @@ package automap
 
 import (
 	"automap/internal/analyze"
+	"automap/internal/checkpoint"
 	"automap/internal/cluster"
 	"automap/internal/driver"
 	"automap/internal/machine"
@@ -306,11 +307,15 @@ type (
 	StopReason = search.StopReason
 )
 
-// Stop reasons.
+// Stop reasons. StopDeadline and StopInterrupted report context
+// cancellation (Budget.Context): the search stopped cleanly, wrote its
+// final checkpoint when Options.CheckpointPath is set, and can be resumed.
 const (
 	StopTimeBudget       = search.StopTimeBudget
 	StopSuggestionBudget = search.StopSuggestionBudget
 	StopConverged        = search.StopConverged
+	StopDeadline         = search.StopDeadline
+	StopInterrupted      = search.StopInterrupted
 )
 
 // Telemetry constructors.
@@ -321,7 +326,23 @@ var (
 	NewMemorySink = telemetry.NewMemorySink
 	// NewMetricsRegistry returns an empty metrics registry.
 	NewMetricsRegistry = telemetry.NewRegistry
+	// MultiSink fans events out to several sinks in order.
+	MultiSink = telemetry.Multi
 )
+
+// Crash safety (internal/checkpoint): a search with Options.CheckpointPath
+// periodically persists its state — the committed measurement log and
+// telemetry sequence counter behind an atomic rename — and a search with
+// Options.ResumeFrom replays a snapshot to the interrupted run's exact
+// state before continuing, reproducing the uninterrupted run's Report and
+// telemetry stream byte for byte at any worker count.
+type (
+	// SearchCheckpoint is one persisted search snapshot.
+	SearchCheckpoint = checkpoint.Snapshot
+)
+
+// LoadCheckpoint reads a snapshot saved by a checkpointing search.
+var LoadCheckpoint = checkpoint.Load
 
 // Real mini-runtime (internal/rt): actually execute task graphs on the
 // host with goroutine worker pools, real buffers and paced copies, and

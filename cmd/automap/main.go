@@ -15,13 +15,19 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"automap/internal/analyze"
 	"automap/internal/apps"
+	"automap/internal/checkpoint"
 	"automap/internal/cluster"
 	"automap/internal/driver"
 	"automap/internal/machine"
@@ -150,6 +156,10 @@ func cmdSearch(args []string) {
 	metricsFile := c.fs.String("metrics", "", "write the final metrics snapshot to this text file")
 	searchTraceFile := c.fs.String("search-trace", "", "write a chrome://tracing JSON of the search timeline to this file")
 	workers := c.fs.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS); results are identical at any value")
+	ckptPath := c.fs.String("checkpoint", "", "periodically save search state to this file (and once more on exit)")
+	ckptEvery := c.fs.Int("checkpoint-every", 0, "fresh measurements between periodic checkpoints (0 = default, 25)")
+	resume := c.fs.Bool("resume", false, "resume from the -checkpoint file: replay to the interrupted run's exact state, then continue")
+	deadline := c.fs.Duration("deadline", 0, "wall-clock time limit (e.g. 30s); on expiry the search checkpoints and stops cleanly")
 	c.fs.Parse(args)
 	m, g := c.build()
 	if *check {
@@ -197,25 +207,78 @@ func cmdSearch(args []string) {
 	opts.Seed = *c.seed
 	opts.PrePrune = *check
 	opts.Workers = *workers
+	opts.CheckpointPath = *ckptPath
+	opts.CheckpointEvery = *ckptEvery
 	if *c.app == "maestro" {
 		opts.Tunable = apps.MaestroTunable(g)
 	}
 
+	// Cancellation: ^C / SIGTERM and the optional wall-clock deadline
+	// both flow into the search through the budget's context, producing a
+	// clean stop (final checkpoint, flushed telemetry) instead of a
+	// killed process.
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		// Once cancelled, restore default signal handling so a second
+		// ^C kills the process rather than waiting for the drain.
+		<-ctx.Done()
+		stop()
+	}()
+
+	if *resume {
+		if *ckptPath == "" {
+			log.Fatal("-resume requires -checkpoint")
+		}
+		snap, err := checkpoint.Load(*ckptPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.ResumeFrom = snap
+		fmt.Printf("resuming from %s (%d recorded evaluations, %.0f simulated seconds)\n",
+			*ckptPath, len(snap.Evals), snap.SearchSec)
+	}
+
 	// Telemetry: a JSONL sink streams events to -events as the search
 	// runs; a memory sink retains them for the -search-trace timeline;
-	// the registry backs -metrics and Report.Metrics.
+	// the registry backs -metrics and Report.Metrics. On resume the
+	// existing event file is continued: the replayed prefix (as many
+	// events as the file already holds, minus any partial last line from
+	// a crash) is suppressed and the suffix appended, so the final file
+	// is byte-identical to an uninterrupted run's.
 	var jsonl *telemetry.JSONLSink
-	var eventsOut *os.File
 	var mem *telemetry.MemorySink
 	if *eventsFile != "" || *metricsFile != "" || *searchTraceFile != "" {
 		var sinks []telemetry.Sink
 		if *eventsFile != "" {
-			f, err := os.Create(*eventsFile)
+			skip := 0
+			var f *os.File
+			var err error
+			if opts.ResumeFrom != nil {
+				skip, err = countJSONLEvents(*eventsFile)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if skip > 0 {
+					if err := telemetry.TruncateJSONL(*eventsFile, skip); err != nil {
+						log.Fatal(err)
+					}
+				}
+				f, err = os.OpenFile(*eventsFile, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+			} else {
+				f, err = os.Create(*eventsFile)
+			}
 			if err != nil {
 				log.Fatal(err)
 			}
-			eventsOut = f
 			jsonl = telemetry.NewJSONLSink(f)
+			jsonl.Resume(skip)
 			sinks = append(sinks, jsonl)
 		}
 		if *searchTraceFile != "" {
@@ -228,9 +291,55 @@ func cmdSearch(args []string) {
 		}
 	}
 
-	rep, err := driver.SearchFromSpace(m, g, sp, alg, opts, search.Budget{MaxSearchSec: *budget})
+	// closeEvents flushes and closes the JSONL sink, surfacing retained
+	// write errors; both the completed and the interrupted exit paths
+	// run it, so no buffered tail of the stream is ever dropped.
+	closeEvents := func() {
+		if jsonl == nil {
+			return
+		}
+		if err := jsonl.Close(); err != nil {
+			log.Fatalf("writing %s: %v", *eventsFile, err)
+		}
+		fmt.Printf("telemetry events written to %s\n", *eventsFile)
+		jsonl = nil
+	}
+	writeMetrics := func() {
+		if *metricsFile == "" {
+			return
+		}
+		f, err := os.Create(*metricsFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := opts.Observer.Metrics.WriteText(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("metrics written to %s\n", *metricsFile)
+	}
+
+	rep, err := driver.SearchFromSpace(m, g, sp, alg, opts, search.Budget{MaxSearchSec: *budget, Context: ctx})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if rep.CheckpointErr != nil {
+		log.Printf("warning: checkpoint write failed: %v", rep.CheckpointErr)
+	}
+	if rep.Interrupted() {
+		fmt.Printf("search stopped (%s) after %.0f simulated seconds: %d suggested, %d evaluated\n",
+			rep.StopReason, rep.SearchSec, rep.Suggested, rep.Evaluated)
+		if !math.IsInf(rep.SearchBestSec, 1) {
+			fmt.Printf("  best so far: %.4fs\n", rep.SearchBestSec)
+		}
+		if *ckptPath != "" {
+			fmt.Printf("  checkpoint saved to %s; resume with the same flags plus -resume\n", *ckptPath)
+		}
+		closeEvents()
+		writeMetrics()
+		return
 	}
 	fmt.Printf("%s on %s (%s, %d node(s)) — algorithm %s\n", *c.app, *c.cluster, *c.input, *c.nodes, rep.Algorithm)
 	// The default mapper's mapping may not execute at all on
@@ -282,28 +391,8 @@ func cmdSearch(args []string) {
 		}
 		fmt.Printf("dependence graph written to %s\n", *dot)
 	}
-	if jsonl != nil {
-		if err := jsonl.Err(); err != nil {
-			log.Fatalf("writing %s: %v", *eventsFile, err)
-		}
-		if err := eventsOut.Close(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("telemetry events written to %s\n", *eventsFile)
-	}
-	if *metricsFile != "" {
-		f, err := os.Create(*metricsFile)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := opts.Observer.Metrics.WriteText(f); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("metrics written to %s\n", *metricsFile)
-	}
+	closeEvents()
+	writeMetrics()
 	if *searchTraceFile != "" {
 		f, err := os.Create(*searchTraceFile)
 		if err != nil {
@@ -317,6 +406,20 @@ func cmdSearch(args []string) {
 		}
 		fmt.Printf("search trace written to %s\n", *searchTraceFile)
 	}
+}
+
+// countJSONLEvents counts the complete (newline-terminated) events in a
+// JSONL file; a missing file holds zero. A trailing partial line — a crash
+// mid-write — is not counted, and TruncateJSONL drops it before appending.
+func countJSONLEvents(path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	return bytes.Count(data, []byte("\n")), nil
 }
 
 func cmdEvaluate(args []string) {

@@ -1,0 +1,172 @@
+// Package checkpoint implements crash-safe snapshots of a search in
+// progress.
+//
+// The paper's search is offline but expensive: candidates are really
+// executed and timed, and all of that wall time is charged to the search
+// (Section 5.3), so on a real cluster a CCD run is an hours-long job. A
+// snapshot makes that job restartable: it captures everything the driver
+// needs to replay a search to the exact point it stopped — the ordered log
+// of committed measurements, the telemetry event-sequence position, and a
+// fingerprint of the inputs — without storing any algorithm-internal state.
+//
+// The design exploits the determinism of the search stack: given the same
+// (program, machine, algorithm, seed, budget), the search trajectory is a
+// pure function of the sequence of evaluation results. A resumed search
+// therefore re-runs the algorithm from the beginning, but the evaluator
+// replays committed measurements from the snapshot's log instead of
+// re-executing them, so the replayed prefix is byte-identical to the
+// original run (same report fields, same telemetry events, same clock) and
+// costs no simulation time. Once the log runs dry the search seamlessly
+// continues with fresh measurements. Telemetry written during replay is
+// suppressed up to EventSeq so a sink appending to the original event file
+// reproduces the uninterrupted stream exactly.
+package checkpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Version is the snapshot format version; Load rejects other versions
+// rather than guessing at forward compatibility.
+const Version = 1
+
+// Run is one committed repeat of one candidate measurement: the subset of
+// the simulator's result that the driver's commit path consumes (search
+// clock, objective value, and the data-movement metric counters). A failed
+// repeat (e.g. out of memory) has OK == false and zero values elsewhere.
+type Run struct {
+	OK             bool    `json:"ok"`
+	MakespanSec    float64 `json:"makespan_sec,omitempty"`
+	ObjSec         float64 `json:"obj_sec,omitempty"`
+	EnergyJoules   float64 `json:"energy_joules,omitempty"`
+	NumCopies      int     `json:"num_copies,omitempty"`
+	BytesCopied    int64   `json:"bytes_copied,omitempty"`
+	BytesOnNetwork int64   `json:"bytes_on_network,omitempty"`
+	Spills         int     `json:"spills,omitempty"`
+}
+
+// Eval is one committed evaluation: the candidate's canonical mapping key
+// and its per-repeat runs, in repeat order.
+type Eval struct {
+	Key  string `json:"key"`
+	Runs []Run  `json:"runs"`
+}
+
+// BudgetInfo mirrors the search budget the snapshot was taken under; a
+// resume must use the same bounds or the replayed trajectory would diverge.
+type BudgetInfo struct {
+	MaxSearchSec   float64 `json:"max_search_sec,omitempty"`
+	MaxSuggestions int     `json:"max_suggestions,omitempty"`
+}
+
+// Snapshot is one crash-safe snapshot of a search in progress.
+type Snapshot struct {
+	Version int `json:"version"`
+
+	// Fingerprint of the inputs: a resume refuses to run against a
+	// different program, machine, algorithm, seed, or measurement
+	// protocol, because the replayed trajectory would silently diverge.
+	Algorithm  string     `json:"algorithm"`
+	Program    string     `json:"program"`
+	Machine    string     `json:"machine"`
+	Seed       uint64     `json:"seed"`
+	Repeats    int        `json:"repeats"`
+	NoiseSigma float64    `json:"noise_sigma"`
+	PrePrune   bool       `json:"pre_prune,omitempty"`
+	Budget     BudgetInfo `json:"budget"`
+
+	// EventSeq is the number of telemetry events emitted when the
+	// snapshot was taken. A resumed sink suppresses the first EventSeq
+	// replayed events, and an existing event file is truncated to
+	// EventSeq lines, so prefix + suffix equals the uninterrupted
+	// stream byte for byte.
+	EventSeq int `json:"event_seq"`
+
+	// Progress counters at snapshot time, informational only (the
+	// replay recomputes them).
+	SearchSec float64 `json:"search_sec"`
+	Suggested int     `json:"suggested"`
+	Evaluated int     `json:"evaluated"`
+
+	// Evals is the ordered log of committed measurements — the
+	// profiles-database contents at full per-repeat resolution.
+	Evals []Eval `json:"evals"`
+}
+
+// Save writes the snapshot atomically: marshal to a temporary file in the
+// destination directory, sync, then rename over the target, so a crash
+// mid-write never leaves a torn snapshot behind.
+func (s *Snapshot) Save(path string) error {
+	s.Version = Version
+	data, err := json.Marshal(s)
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*.tmp")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: write %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: sync %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: close %s: %w", tmp.Name(), err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot written by Save.
+func Load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("checkpoint: parsing %s: %w", path, err)
+	}
+	if s.Version != Version {
+		return nil, fmt.Errorf("checkpoint: %s has format version %d, this build supports %d", path, s.Version, Version)
+	}
+	return &s, nil
+}
+
+// Validate checks the snapshot's fingerprint against the inputs of the
+// search about to resume.
+func (s *Snapshot) Validate(algorithm, program, machine string, seed uint64, repeats int, noise float64, prePrune bool, b BudgetInfo) error {
+	mismatch := func(field string, have, want any) error {
+		return fmt.Errorf("checkpoint: %s mismatch: snapshot has %v, search has %v", field, have, want)
+	}
+	switch {
+	case s.Algorithm != algorithm:
+		return mismatch("algorithm", s.Algorithm, algorithm)
+	case s.Program != program:
+		return mismatch("program", s.Program, program)
+	case s.Machine != machine:
+		return mismatch("machine", s.Machine, machine)
+	case s.Seed != seed:
+		return mismatch("seed", s.Seed, seed)
+	case s.Repeats != repeats:
+		return mismatch("repeats", s.Repeats, repeats)
+	case s.NoiseSigma != noise:
+		return mismatch("noise sigma", s.NoiseSigma, noise)
+	case s.PrePrune != prePrune:
+		return mismatch("pre-pruning", s.PrePrune, prePrune)
+	case s.Budget != b:
+		return mismatch("budget", s.Budget, b)
+	}
+	return nil
+}

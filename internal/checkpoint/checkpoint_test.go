@@ -1,0 +1,118 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sample() *Snapshot {
+	return &Snapshot{
+		Algorithm:  "AM-CCD",
+		Program:    "stencil",
+		Machine:    "shepard",
+		Seed:       11,
+		Repeats:    3,
+		NoiseSigma: 0.04,
+		Budget:     BudgetInfo{MaxSuggestions: 150},
+		EventSeq:   42,
+		SearchSec:  1.5,
+		Suggested:  20,
+		Evaluated:  12,
+		Evals: []Eval{
+			{Key: "k1", Runs: []Run{{OK: true, MakespanSec: 0.5, ObjSec: 0.5, NumCopies: 3}}},
+			{Key: "k2", Runs: []Run{{OK: false}, {OK: true, MakespanSec: 0.7, ObjSec: 0.7}}},
+		},
+	}
+}
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	want := sample()
+	if err := want.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("roundtrip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+	// No temporary files left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".ckpt-") {
+			t.Errorf("temporary file %s left behind", e.Name())
+		}
+	}
+}
+
+func TestSaveOverwritesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	s := sample()
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	s.EventSeq = 99
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.EventSeq != 99 {
+		t.Errorf("EventSeq = %d, want 99", got.EventSeq)
+	}
+}
+
+func TestLoadRejectsWrongVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	if err := os.WriteFile(path, []byte(`{"version":999}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("Load of wrong version: err = %v, want version error", err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	if err := os.WriteFile(path, []byte(`{"version":1,`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("Load of torn snapshot succeeded, want error")
+	}
+}
+
+func TestValidateFingerprint(t *testing.T) {
+	s := sample()
+	ok := func() error {
+		return s.Validate("AM-CCD", "stencil", "shepard", 11, 3, 0.04, false, BudgetInfo{MaxSuggestions: 150})
+	}
+	if err := ok(); err != nil {
+		t.Fatalf("matching fingerprint rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"algorithm", s.Validate("AM-CD", "stencil", "shepard", 11, 3, 0.04, false, BudgetInfo{MaxSuggestions: 150})},
+		{"program", s.Validate("AM-CCD", "circuit", "shepard", 11, 3, 0.04, false, BudgetInfo{MaxSuggestions: 150})},
+		{"seed", s.Validate("AM-CCD", "stencil", "shepard", 12, 3, 0.04, false, BudgetInfo{MaxSuggestions: 150})},
+		{"budget", s.Validate("AM-CCD", "stencil", "shepard", 11, 3, 0.04, false, BudgetInfo{MaxSuggestions: 151})},
+		{"pre-prune", s.Validate("AM-CCD", "stencil", "shepard", 11, 3, 0.04, true, BudgetInfo{MaxSuggestions: 150})},
+	}
+	for _, c := range cases {
+		if c.err == nil {
+			t.Errorf("%s mismatch accepted, want error", c.name)
+		}
+	}
+}

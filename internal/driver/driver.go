@@ -21,6 +21,7 @@ import (
 	"sort"
 	"sync"
 
+	"automap/internal/checkpoint"
 	"automap/internal/machine"
 	"automap/internal/mapping"
 	"automap/internal/overlap"
@@ -82,7 +83,29 @@ type Options struct {
 	// execution order, and all measurement side effects commit in
 	// enumeration order.
 	Workers int
+	// CheckpointPath, when non-empty, makes the driver persist a search
+	// snapshot (internal/checkpoint) atomically to this path: every
+	// CheckpointEvery fresh measurements during the search, and once more
+	// when the search phase ends — whether it converged, exhausted its
+	// budget, or was cancelled.
+	CheckpointPath string
+	// CheckpointEvery is the number of fresh candidate measurements
+	// between periodic checkpoint writes; <= 0 means the default (25).
+	CheckpointEvery int
+	// ResumeFrom restores a snapshot produced by an earlier run with
+	// identical configuration. The search replays from the start —
+	// committing the snapshot's recorded measurements instead of
+	// re-simulating them — and continues fresh past the recorded prefix,
+	// reaching a Report and telemetry stream byte-identical to an
+	// uninterrupted run at any worker count. The snapshot fingerprint
+	// (algorithm, program, machine, seed, protocol, budget) is validated;
+	// a mismatch fails the search rather than silently diverging.
+	ResumeFrom *checkpoint.Snapshot
 }
+
+// defaultCheckpointEvery is the periodic checkpoint interval in fresh
+// measurements when Options.CheckpointEvery is unset.
+const defaultCheckpointEvery = 25
 
 // TimeObjective minimizes end-to-end execution time (the default).
 func TimeObjective(r *sim.Result) float64 { return r.MakespanSec }
@@ -139,6 +162,29 @@ type Evaluator struct {
 	sem     chan struct{}
 	workers int
 
+	// replay holds the measurements restored from Options.ResumeFrom,
+	// keyed by mapping key. When the replayed search re-suggests a key,
+	// the recorded runs are committed through the same path a fresh
+	// measurement would take, reproducing the clock, counters, database,
+	// and telemetry exactly; keys not in the map (past the recorded
+	// prefix) are simulated as usual with their key-derived seeds.
+	replay map[string][]checkpoint.Run
+	// log records every committed evaluation in commit order; checkpoint
+	// snapshots serialize it.
+	log []checkpoint.Eval
+
+	// Checkpointing state, bound by bindSearch. tmpl carries the
+	// fingerprint fields; sinceCkpt counts fresh measurements since the
+	// last periodic write; ckptErr retains the first write failure
+	// (checkpointing degrades, it never aborts the search).
+	tmpl      checkpoint.Snapshot
+	ckptPath  string
+	ckptEvery int
+	sinceCkpt int
+	ckptErr   error
+	eventSeq  func() int
+	budget    search.Budget
+
 	// mu guards the sequential-commit state above (byKey, counters,
 	// clocks). Uncontended in normal operation — Evaluate and the clock
 	// accessors all run on the search goroutine — it exists so misuse
@@ -181,6 +227,13 @@ func NewEvaluator(m *machine.Machine, g *taskir.Graph, opts Options) *Evaluator 
 	}
 	obs := opts.Observer
 	workers := resolveWorkers(opts.Workers)
+	var replay map[string][]checkpoint.Run
+	if snap := opts.ResumeFrom; snap != nil {
+		replay = make(map[string][]checkpoint.Run, len(snap.Evals))
+		for _, ce := range snap.Evals {
+			replay[ce.Key] = ce.Runs
+		}
+	}
 	return &Evaluator{
 		M: m, G: g, Opts: opts,
 		DB:      db,
@@ -190,6 +243,7 @@ func NewEvaluator(m *machine.Machine, g *taskir.Graph, opts Options) *Evaluator 
 		sem:     make(chan struct{}, workers),
 		workers: workers,
 		spec:    make(map[string]specResult),
+		replay:  replay,
 
 		mCacheHits: obs.Counter("search.eval.cache_hits"),
 		mFailures:  obs.Counter("search.eval.failures"),
@@ -229,7 +283,9 @@ func (e *Evaluator) repeats() int {
 // mean for repeated suggestions) and advances the search clock by the
 // execution time spent. If Prefetch already measured mp speculatively, the
 // stored results are committed here — seeds are key-derived, so they are
-// bit-identical to what measuring now would produce.
+// bit-identical to what measuring now would produce. If the run is a
+// checkpoint resume and mp's measurements were recorded, the recorded runs
+// are committed instead of re-simulating.
 func (e *Evaluator) Evaluate(mp *mapping.Mapping) search.Evaluation {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -241,29 +297,71 @@ func (e *Evaluator) Evaluate(mp *mapping.Mapping) search.Evaluation {
 	}
 	if err := mp.Validate(e.G, e.model); err != nil {
 		// Invalid mappings are rejected without execution; a high
-		// value is returned to the search.
+		// value is returned to the search. Validation is deterministic
+		// and free, so these verdicts are not checkpointed — a resumed
+		// search re-derives them.
 		e.DB.RecordFailure(key)
 		e.byKey[key] = mp.Clone()
 		e.mFailures.Add(1)
 		return search.Evaluation{MeanSec: inf(), Failed: true}
 	}
+	if runs, ok := e.replay[key]; ok {
+		delete(e.replay, key)
+		return e.commitRuns(key, mp, runs)
+	}
 	results, errs := e.takeSpec(key)
 	if results == nil {
 		results, errs = measureRuns(e.inst, key, mp, e.repeats(), e.Opts.NoiseSigma, e.Opts.Seed, e.sem)
 	}
+	verdict := e.commitRuns(key, mp, toRuns(results, errs, e.Opts.objective()))
+	// Only fresh measurements advance the periodic-checkpoint counter:
+	// replayed commits re-cover ground an earlier snapshot already holds.
+	e.maybeCheckpointLocked()
+	return verdict
+}
 
-	obj := e.Opts.objective()
-	times := make([]float64, 0, len(results))
-	var spent float64
-	failed := false
+// toRuns normalizes raw simulation results to checkpoint run records: the
+// exact fields the commit path consumes, with the objective evaluated now so
+// a replay after the fact does not need the (unserializable) sim.Result.
+func toRuns(results []*sim.Result, errs []error, obj func(*sim.Result) float64) []checkpoint.Run {
+	runs := make([]checkpoint.Run, len(results))
 	for i := range results {
 		if errs[i] != nil {
+			continue // zero value: OK == false
+		}
+		r := results[i]
+		runs[i] = checkpoint.Run{
+			OK:             true,
+			MakespanSec:    r.MakespanSec,
+			ObjSec:         obj(r),
+			EnergyJoules:   r.EnergyJoules,
+			NumCopies:      r.NumCopies,
+			BytesCopied:    r.BytesCopied,
+			BytesOnNetwork: r.BytesOnNetwork,
+			Spills:         r.Spills,
+		}
+	}
+	return runs
+}
+
+// commitRuns applies one candidate's per-repeat run records to the
+// sequential-commit state: search clock, counters, metric instruments,
+// profiles database, and the checkpoint log. It is the single commit path
+// for fresh measurements and checkpoint replays, which is what makes a
+// resumed search bit-identical to an uninterrupted one. Callers hold e.mu.
+func (e *Evaluator) commitRuns(key string, mp *mapping.Mapping, runs []checkpoint.Run) search.Evaluation {
+	times := make([]float64, 0, len(runs))
+	var spent float64
+	failed := false
+	for _, r := range runs {
+		if !r.OK {
 			failed = true
 			continue
 		}
-		times = append(times, obj(results[i]))
-		spent += results[i].MakespanSec
+		times = append(times, r.ObjSec)
+		spent += r.MakespanSec
 	}
+	e.log = append(e.log, checkpoint.Eval{Key: key, Runs: runs})
 	if failed {
 		// Out-of-memory mappings fail at startup. Charge the simulated
 		// time actually spent before the failure was detected — the
@@ -283,10 +381,9 @@ func (e *Evaluator) Evaluate(mp *mapping.Mapping) search.Evaluation {
 	// search executes the application regardless of the objective.
 	e.searchSec += spent
 	e.evalSec += spent
-	for i := range results {
+	for _, r := range runs {
 		// Fold the simulator's aggregate data-movement counters into
 		// the metrics registry (nil-safe no-ops without an observer).
-		r := results[i]
 		e.mSimRuns.Add(1)
 		e.mCopies.Add(int64(r.NumCopies))
 		e.mCopyBytes.Add(r.BytesCopied)
@@ -302,6 +399,73 @@ func (e *Evaluator) Evaluate(mp *mapping.Mapping) search.Evaluation {
 	return search.Evaluation{MeanSec: s.Mean()}
 }
 
+// bindSearch attaches the per-search checkpointing context: the snapshot
+// fingerprint template, the budget (consulted by Prefetch's gating), and
+// the observer's event-sequence reader. SearchFromSpace calls it once
+// before handing the evaluator to the algorithm.
+func (e *Evaluator) bindSearch(tmpl checkpoint.Snapshot, budget search.Budget, eventSeq func() int) {
+	e.tmpl = tmpl
+	e.budget = budget
+	e.eventSeq = eventSeq
+	e.ckptPath = e.Opts.CheckpointPath
+	e.ckptEvery = e.Opts.CheckpointEvery
+	if e.ckptEvery <= 0 {
+		e.ckptEvery = defaultCheckpointEvery
+	}
+}
+
+// maybeCheckpointLocked writes a periodic snapshot every ckptEvery fresh
+// measurements. Write failures are retained (see CheckpointErr), not
+// propagated: losing checkpoint durability must not kill a healthy search.
+func (e *Evaluator) maybeCheckpointLocked() {
+	if e.ckptPath == "" {
+		return
+	}
+	e.sinceCkpt++
+	if e.sinceCkpt < e.ckptEvery {
+		return
+	}
+	e.sinceCkpt = 0
+	if err := e.writeCheckpointLocked(); err != nil && e.ckptErr == nil {
+		e.ckptErr = err
+	}
+}
+
+// writeCheckpointLocked snapshots the committed-evaluation log and current
+// counters and saves them atomically. Callers hold e.mu.
+func (e *Evaluator) writeCheckpointLocked() error {
+	snap := e.tmpl
+	if e.eventSeq != nil {
+		snap.EventSeq = e.eventSeq()
+	}
+	snap.SearchSec = e.searchSec
+	snap.Suggested = e.Suggested
+	snap.Evaluated = e.Evaluated
+	snap.Evals = append([]checkpoint.Eval(nil), e.log...)
+	return snap.Save(e.ckptPath)
+}
+
+// WriteCheckpoint persists the current search state to
+// Options.CheckpointPath (a no-op without one). The driver calls it when
+// the search phase ends so a cancelled run always leaves a final,
+// up-to-date snapshot behind.
+func (e *Evaluator) WriteCheckpoint() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.ckptPath == "" {
+		return nil
+	}
+	return e.writeCheckpointLocked()
+}
+
+// CheckpointErr returns the first periodic-checkpoint write failure, if
+// any.
+func (e *Evaluator) CheckpointErr() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ckptErr
+}
+
 // Prefetch speculatively measures candidates concurrently, bounded by the
 // worker pool. It has no observable side effects: no counters move, no
 // search time is charged, nothing is recorded or emitted. The results wait
@@ -314,6 +478,44 @@ func (e *Evaluator) Prefetch(cands []*mapping.Mapping) {
 	if e.workers <= 1 {
 		return
 	}
+	// Budget gate: speculation past the point where the search will stop
+	// is pure waste — with a cancelled context or an exhausted time
+	// budget, none of the speculative results can ever commit. Bound the
+	// batch so budget overshoot is limited to work already in flight
+	// rather than a whole speculative sweep. (Skipping speculation can
+	// never change the trajectory: Prefetch has no observable effects.)
+	if e.budget.ContextStop() != "" {
+		return
+	}
+	limit := len(cands)
+	e.mu.Lock()
+	searchSec, evalSec := e.searchSec, e.evalSec
+	suggested, evaluated := e.Suggested, e.Evaluated
+	e.mu.Unlock()
+	if max := e.budget.MaxSearchSec; max > 0 {
+		remSec := max - searchSec
+		if remSec <= 0 {
+			return
+		}
+		// Cap by how many average-cost evaluations still fit; +1 because
+		// the evaluation that crosses the budget line still commits.
+		if evaluated > 0 {
+			if avg := evalSec / float64(evaluated); avg > 0 {
+				if n := int(remSec/avg) + 1; n < limit {
+					limit = n
+				}
+			}
+		}
+	}
+	if max := e.budget.MaxSuggestions; max > 0 {
+		rem := max - suggested
+		if rem <= 0 {
+			return
+		}
+		if rem < limit {
+			limit = rem
+		}
+	}
 	type job struct {
 		key string
 		mp  *mapping.Mapping
@@ -321,12 +523,20 @@ func (e *Evaluator) Prefetch(cands []*mapping.Mapping) {
 	jobs := make([]job, 0, len(cands))
 	seen := make(map[string]bool, len(cands))
 	for _, mp := range cands {
+		if len(jobs) >= limit {
+			break
+		}
 		key := mp.Key()
 		if seen[key] {
 			continue
 		}
 		seen[key] = true
 		if _, ok := e.DB.Lookup(key); ok {
+			continue
+		}
+		// Keys with recorded measurements will be replayed, not
+		// simulated; speculating on them wastes wall-clock time.
+		if _, ok := e.replay[key]; ok {
 			continue
 		}
 		e.specMu.Lock()
@@ -448,7 +658,18 @@ type Report struct {
 	// honest version of "AutoMap is X times faster".
 	StartSec     float64
 	Significance stats.Comparison
+	// CheckpointErr is the first checkpoint-write failure, if any.
+	// Checkpointing degrades rather than aborting the search, so the
+	// report still carries the result; callers that rely on resumability
+	// should surface this.
+	CheckpointErr error
 }
+
+// Interrupted reports whether the search phase was cancelled (deadline or
+// interrupt) before completing. An interrupted report carries the search
+// phase results (SearchBestSec, counters, trace) but no final
+// re-measurement: Best is nil. Resume from the checkpoint to finish.
+func (r *Report) Interrupted() bool { return r.StopReason.Stopped() }
 
 // Search profiles the program, runs the given algorithm within budget, then
 // re-measures the top FinalCandidates mappings FinalRepeats times each and
@@ -495,7 +716,28 @@ func SearchFromSpace(m *machine.Machine, g *taskir.Graph, sp *profile.Space, alg
 		}
 	}
 
+	// Resuming: the snapshot must describe this exact search — same
+	// algorithm, inputs, seed, protocol, and budget — or the replayed
+	// prefix would silently diverge from what the interrupted run did.
+	ckptBudget := checkpoint.BudgetInfo{MaxSearchSec: budget.MaxSearchSec, MaxSuggestions: budget.MaxSuggestions}
+	if snap := opts.ResumeFrom; snap != nil {
+		if err := snap.Validate(alg.Name(), g.Name, m.Name, userSeed, opts.Repeats, opts.NoiseSigma, opts.PrePrune, ckptBudget); err != nil {
+			return nil, fmt.Errorf("cannot resume: %w", err)
+		}
+	}
+
 	ev := NewEvaluator(m, g, opts)
+	ev.bindSearch(checkpoint.Snapshot{
+		Version:    checkpoint.Version,
+		Algorithm:  alg.Name(),
+		Program:    g.Name,
+		Machine:    m.Name,
+		Seed:       userSeed,
+		Repeats:    opts.Repeats,
+		NoiseSigma: opts.NoiseSigma,
+		PrePrune:   opts.PrePrune,
+		Budget:     ckptBudget,
+	}, budget, opts.Observer.EventSeq)
 	prob := &search.Problem{
 		Graph:    g,
 		Model:    md,
@@ -523,6 +765,16 @@ func SearchFromSpace(m *machine.Machine, g *taskir.Graph, sp *profile.Space, alg
 	}
 	out := alg.Search(prob, searchEv, budget)
 
+	// A cancellation that lands after the algorithm's last budget check
+	// still counts: the user asked the run to stop, so skip the final
+	// re-measurement phase and leave a checkpoint instead.
+	stopReason := out.StopReason
+	if !stopReason.Stopped() {
+		if r := budget.ContextStop(); r != "" {
+			stopReason = r
+		}
+	}
+
 	rep := &Report{
 		Algorithm:     alg.Name(),
 		SearchBestSec: out.BestSec,
@@ -530,13 +782,38 @@ func SearchFromSpace(m *machine.Machine, g *taskir.Graph, sp *profile.Space, alg
 		EvalSec:       ev.EvalTimeSec(),
 		Suggested:     ev.Suggested,
 		Evaluated:     ev.Evaluated,
-		StopReason:    out.StopReason,
+		StopReason:    stopReason,
 		Trace:         out.Trace,
 	}
 	if pruner != nil {
 		rep.Pruned = pruner.Pruned
 		rep.PruneChecked = pruner.Checked
 		rep.Suggested += pruner.Pruned
+	}
+	// The end-of-search checkpoint is written before the SearchFinished
+	// event in every outcome, so a snapshot's EventSeq never includes it
+	// and resuming a completed search replays cleanly into the final
+	// phase.
+	rep.CheckpointErr = ev.CheckpointErr()
+	if opts.CheckpointPath != "" {
+		if err := ev.WriteCheckpoint(); err != nil && rep.CheckpointErr == nil {
+			rep.CheckpointErr = err
+		}
+	}
+	if obs != nil && obs.Metrics != nil {
+		obs.Gauge("search.best_sec").Set(rep.SearchBestSec)
+		obs.Gauge("search.search_sec").Set(rep.SearchSec)
+		obs.Gauge("search.eval_sec").Set(rep.EvalSec)
+	}
+	if stopReason.Stopped() {
+		// Interrupted: no SearchFinished event (the resumed run emits it
+		// at the position the uninterrupted run would have) and no final
+		// phase. The report carries the search-phase results; Best is
+		// nil.
+		if obs != nil && obs.Metrics != nil {
+			rep.Metrics = obs.Metrics.Snapshot()
+		}
+		return rep, nil
 	}
 	if obs.Enabled() {
 		bestSec := out.BestSec
@@ -547,11 +824,6 @@ func SearchFromSpace(m *machine.Machine, g *taskir.Graph, sp *profile.Space, alg
 			StopReason: string(out.StopReason), BestSec: bestSec,
 			SearchSec: rep.SearchSec, Suggested: rep.Suggested, Evaluated: rep.Evaluated,
 		})
-	}
-	if obs != nil && obs.Metrics != nil {
-		obs.Gauge("search.best_sec").Set(rep.SearchBestSec)
-		obs.Gauge("search.search_sec").Set(rep.SearchSec)
-		obs.Gauge("search.eval_sec").Set(rep.EvalSec)
 	}
 
 	// Final step: re-measure the top candidates.

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 
@@ -173,13 +174,38 @@ func (sp *Space) ArgsBySize(t taskir.TaskID) []int {
 	return out
 }
 
-// Save writes the space file as indented JSON.
+// Save writes the space file as indented JSON. The write is atomic: a
+// crash mid-save leaves any previous file intact.
 func (sp *Space) Save(path string) error {
 	data, err := json.MarshalIndent(sp, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	return atomicWriteFile(path, data)
+}
+
+// atomicWriteFile writes data to a temporary file in path's directory,
+// syncs it, and renames it over path.
+func atomicWriteFile(path string, data []byte) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+	}
+	return err
 }
 
 // Load reads a space file previously written by Save.
@@ -290,7 +316,8 @@ type sampleJSON struct {
 }
 
 // Save writes the database as JSON so a later search of the same program
-// and machine can warm-start from previously measured mappings.
+// and machine can warm-start from previously measured mappings. The write
+// is atomic: a crash mid-save leaves any previous file intact.
 func (db *DB) Save(path string) error {
 	var f dbJSON
 	db.mu.RLock()
@@ -303,7 +330,7 @@ func (db *DB) Save(path string) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	return atomicWriteFile(path, data)
 }
 
 // LoadDB reads a profiles database written by Save.

@@ -1,0 +1,181 @@
+// Failure-handling tests for the real-runtime evaluator: transient
+// failures retry with backoff, permanent failures don't, exhausted retries
+// charge the driver's failure accounting, and cancellation never poisons a
+// candidate.
+
+package rt
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"automap/internal/machine"
+	"automap/internal/mapping"
+)
+
+// flakyEvaluator returns an evaluator over rtGraph whose executions are
+// driven by exec instead of the real executor. Backoff sleeps are recorded
+// instead of slept.
+func flakyEvaluator(t *testing.T, repeats int, exec func(*mapping.Mapping) (time.Duration, error)) (*Evaluator, *mapping.Mapping, *[]time.Duration) {
+	t.Helper()
+	m := DefaultMachine(1)
+	g := rtGraph()
+	ev := NewEvaluator(NewExecutor(m, g), repeats)
+	ev.Exec = exec
+	var slept []time.Duration
+	ev.Sleep = func(d time.Duration) { slept = append(slept, d) }
+	return ev, mapping.Default(g, m.Model()), &slept
+}
+
+func TestRetryRecoversTransientFailure(t *testing.T) {
+	calls := 0
+	ev, mp, slept := flakyEvaluator(t, 3, func(*mapping.Mapping) (time.Duration, error) {
+		calls++
+		if calls == 2 { // second run of the candidate hiccups once
+			return 0, errors.New("worker hiccup")
+		}
+		return 5 * time.Millisecond, nil
+	})
+	res := ev.Evaluate(mp)
+	if res.Failed {
+		t.Fatalf("transient failure killed the candidate: %+v", res)
+	}
+	if ev.Retries != 1 {
+		t.Errorf("Retries = %d, want 1", ev.Retries)
+	}
+	if len(*slept) != 1 || (*slept)[0] != ev.RetryBackoff {
+		t.Errorf("backoff sleeps = %v, want [%v]", *slept, ev.RetryBackoff)
+	}
+	if s, ok := ev.DB.Lookup(mp.Key()); !ok || s.Failed {
+		t.Fatalf("recovered candidate not recorded as a success")
+	}
+	if ev.Evaluated != 1 {
+		t.Errorf("Evaluated = %d, want 1", ev.Evaluated)
+	}
+}
+
+func TestRetryBackoffDoubles(t *testing.T) {
+	ev, mp, slept := flakyEvaluator(t, 1, func(*mapping.Mapping) (time.Duration, error) {
+		return 0, errors.New("always down")
+	})
+	ev.MaxRetries = 3
+	res := ev.Evaluate(mp)
+	if !res.Failed {
+		t.Fatal("exhausted retries should fail the candidate")
+	}
+	want := []time.Duration{ev.RetryBackoff, 2 * ev.RetryBackoff, 4 * ev.RetryBackoff}
+	if len(*slept) != len(want) {
+		t.Fatalf("slept %v, want %v", *slept, want)
+	}
+	for i := range want {
+		if (*slept)[i] != want[i] {
+			t.Fatalf("slept %v, want %v", *slept, want)
+		}
+	}
+}
+
+func TestRetryExhaustionChargesSiblingsAndToken(t *testing.T) {
+	const runSec = 0.005
+	calls := 0
+	ev, mp, _ := flakyEvaluator(t, 3, func(*mapping.Mapping) (time.Duration, error) {
+		calls++
+		if calls <= 2 { // first two repeats complete, the third never does
+			return time.Duration(runSec * float64(time.Second)), nil
+		}
+		return 0, errors.New("persistent failure")
+	})
+	res := ev.Evaluate(mp)
+	if !res.Failed || !math.IsInf(res.MeanSec, 1) {
+		t.Fatalf("verdict = %+v, want permanent failure", res)
+	}
+	// Driver policy: completed sibling repeats + the 1.0s failure token.
+	want := 2*runSec + failureTokenSec
+	if got := ev.SearchTimeSec(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("SearchTimeSec = %v, want %v", got, want)
+	}
+	if s, ok := ev.DB.Lookup(mp.Key()); !ok || !s.Failed {
+		t.Error("exhausted candidate should be recorded as failed")
+	}
+	if ev.Retries != ev.MaxRetries {
+		t.Errorf("Retries = %d, want %d", ev.Retries, ev.MaxRetries)
+	}
+}
+
+func TestOOMIsNotRetried(t *testing.T) {
+	ev, mp, slept := flakyEvaluator(t, 2, func(*mapping.Mapping) (time.Duration, error) {
+		return 0, &OOMError{Task: "solve", Collection: "state"}
+	})
+	res := ev.Evaluate(mp)
+	if !res.Failed {
+		t.Fatal("OOM should fail the candidate")
+	}
+	if ev.Retries != 0 || len(*slept) != 0 {
+		t.Errorf("OOM was retried: retries=%d sleeps=%v", ev.Retries, *slept)
+	}
+	if got := ev.SearchTimeSec(); got != failureTokenSec {
+		t.Errorf("SearchTimeSec = %v, want the bare failure token %v", got, failureTokenSec)
+	}
+	if s, ok := ev.DB.Lookup(mp.Key()); !ok || !s.Failed {
+		t.Error("OOM candidate should be recorded as failed")
+	}
+}
+
+func TestValidationFailureIsFreeAndPermanent(t *testing.T) {
+	ev, mp, _ := flakyEvaluator(t, 2, func(*mapping.Mapping) (time.Duration, error) {
+		t.Fatal("invalid mapping must not execute")
+		return 0, nil
+	})
+	mp.SetArgMemRaw(0, 0, machine.SysMem) // GPU task + SysMem: invalid
+	res := ev.Evaluate(mp)
+	if !res.Failed {
+		t.Fatal("invalid mapping should fail")
+	}
+	if got := ev.SearchTimeSec(); got != 0 {
+		t.Errorf("validation failure charged %v seconds", got)
+	}
+	if s, ok := ev.DB.Lookup(mp.Key()); !ok || !s.Failed {
+		t.Error("invalid candidate should be recorded as failed")
+	}
+}
+
+func TestCancellationDoesNotPoisonCandidate(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ev, mp, _ := flakyEvaluator(t, 2, func(*mapping.Mapping) (time.Duration, error) {
+		cancel() // interrupt lands mid-execution
+		return 0, ctx.Err()
+	})
+	ev.Ctx = ctx
+	res := ev.Evaluate(mp)
+	if !res.Failed {
+		t.Fatal("cancelled evaluation should report failure to stop the sweep")
+	}
+	if _, ok := ev.DB.Lookup(mp.Key()); ok {
+		t.Fatal("cancelled candidate was recorded — a resumed search could never measure it")
+	}
+	if got := ev.SearchTimeSec(); got != 0 {
+		t.Errorf("cancelled evaluation charged %v seconds", got)
+	}
+	if ev.Retries != 0 {
+		t.Errorf("cancelled execution was retried %d times", ev.Retries)
+	}
+}
+
+func TestExecuteContextCancelled(t *testing.T) {
+	m := DefaultMachine(1)
+	g := rtGraph()
+	ex := NewExecutor(m, g)
+	mp := mapping.Default(g, m.Model())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ex.ExecuteContext(ctx, mp); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The executor stays reusable after a cancelled run.
+	if _, err := ex.Execute(mp); err != nil {
+		t.Fatalf("executor unusable after cancellation: %v", err)
+	}
+}

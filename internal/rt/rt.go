@@ -20,6 +20,7 @@
 package rt
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -167,11 +168,20 @@ func (e *OOMError) Error() string {
 // priority-list fallback; data moves between arenas with paced copies when
 // a consumer needs it elsewhere.
 func (e *Executor) Execute(mp *mapping.Mapping) (time.Duration, error) {
+	return e.ExecuteContext(context.Background(), mp)
+}
+
+// ExecuteContext is Execute with cancellation: a cancelled ctx drains the
+// in-flight launches — goroutines waiting on dependences or pool slots bail
+// out instead of starting work — and returns ctx.Err(). The run's partial
+// effects are confined to its own execution state, so a cancelled execution
+// leaves the executor reusable.
+func (e *Executor) ExecuteContext(ctx context.Context, mp *mapping.Mapping) (time.Duration, error) {
 	if err := mp.Validate(e.G, e.M.Model()); err != nil {
 		return 0, err
 	}
 	run := &execution{
-		ex: e, mp: mp,
+		ex: e, mp: mp, ctx: ctx,
 		instances: make(map[instKey]*instance),
 		valid:     make(map[taskir.CollectionID]machine.MemKind),
 		slots:     make(map[machine.ProcKind]chan struct{}),
@@ -234,7 +244,14 @@ func (e *Executor) Execute(mp *mapping.Mapping) (time.Duration, error) {
 			go func(t *taskir.GroupTask, deps []chan struct{}, done chan struct{}) {
 				defer close(done)
 				for _, d := range deps {
-					<-d
+					select {
+					case <-d:
+					case <-ctx.Done():
+						return
+					}
+				}
+				if ctx.Err() != nil {
+					return
 				}
 				// Placement was pre-flighted; runTask re-resolves
 				// instances from the shared cache.
@@ -244,6 +261,9 @@ func (e *Executor) Execute(mp *mapping.Mapping) (time.Duration, error) {
 	}
 	for _, done := range all {
 		<-done
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
 	}
 	return time.Since(start), nil
 }
@@ -256,8 +276,9 @@ type instKey struct {
 
 // execution is the per-run state.
 type execution struct {
-	ex *Executor
-	mp *mapping.Mapping
+	ex  *Executor
+	mp  *mapping.Mapping
+	ctx context.Context
 
 	// mu guards the instance cache and validity map (launch goroutines
 	// bind and move data concurrently).
@@ -416,7 +437,13 @@ func (r *execution) runTask(t *taskir.GroupTask) error {
 		wg.Add(1)
 		go func(pt int) {
 			defer wg.Done()
-			slots <- struct{}{}
+			// Slot acquisition is where points queue, so it is where a
+			// cancelled run stops consuming the machine.
+			select {
+			case slots <- struct{}{}:
+			case <-r.ctx.Done():
+				return
+			}
 			defer func() { <-slots }()
 			if pool.Launch > 0 {
 				spinWait(pool.Launch)
@@ -425,7 +452,7 @@ func (r *execution) runTask(t *taskir.GroupTask) error {
 		}(pt)
 	}
 	wg.Wait()
-	return nil
+	return r.ctx.Err()
 }
 
 // boundArg is one argument bound to its materialized instance.

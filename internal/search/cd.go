@@ -103,7 +103,13 @@ func (c *CCD) Search(p *Problem, ev Evaluator, budget Budget) *Outcome {
 			if reason := budget.reason(ev, tr.suggested); reason != "" {
 				return tr.outcome(reason)
 			}
-			c.optimizeTask(p, tr, og, tid)
+			c.optimizeTask(p, tr, og, tid, budget)
+			// A cancellation inside the per-task sweep surfaces here so
+			// the outcome carries the interrupt instead of marching on
+			// to the next task.
+			if reason := budget.ContextStop(); reason != "" {
+				return tr.outcome(reason)
+			}
 		}
 		// Line 8: remove original_num_edges/(num_rotations-1) lightest
 		// edges, so the final rotation runs unconstrained.
@@ -204,7 +210,7 @@ func setLabels(tr *tracker, taskName string, mv move) {
 // The sequence of candidates passed to Evaluate is exactly the sequential
 // one — each candidate is built from the incumbent current at its turn — so
 // the trajectory is byte-identical with or without batching.
-func (c *CCD) optimizeTask(p *Problem, tr *tracker, og *overlap.Graph, tid taskir.TaskID) {
+func (c *CCD) optimizeTask(p *Problem, tr *tracker, og *overlap.Graph, tid taskir.TaskID, budget Budget) {
 	t := p.Graph.Task(tid)
 	observe := tr.obs.Enabled()
 	moves := c.enumerateMoves(p, tid)
@@ -213,6 +219,13 @@ func (c *CCD) optimizeTask(p *Problem, tr *tracker, og *overlap.Graph, tid taski
 	if batch == nil {
 		// Sequential path: build each candidate at its turn.
 		for _, mv := range moves {
+			// Deterministic budget bounds are only checked per task
+			// (existing trajectory), but a cancellation stops the
+			// sweep mid-task: with a real-runtime evaluator every
+			// further move is a real execution.
+			if budget.ContextStop() != "" {
+				return
+			}
 			cand := c.buildMove(p, tr, og, tid, mv)
 			if observe {
 				setLabels(tr, t.Name, mv)
@@ -231,6 +244,9 @@ func (c *CCD) optimizeTask(p *Problem, tr *tracker, og *overlap.Graph, tid taski
 		batch.Prefetch(cands)
 		advanced := false
 		for j, mv := range rest {
+			if budget.ContextStop() != "" {
+				return
+			}
 			if observe {
 				setLabels(tr, t.Name, mv)
 			}

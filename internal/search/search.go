@@ -18,6 +18,8 @@
 package search
 
 import (
+	"context"
+	"errors"
 	"math"
 
 	"automap/internal/machine"
@@ -79,6 +81,14 @@ type Budget struct {
 	// MaxSuggestions stops the search after this many proposals. Zero
 	// means unbounded.
 	MaxSuggestions int
+	// Context optionally carries cancellation: a canceled context stops
+	// the search at the next proposal boundary with StopInterrupted, an
+	// expired deadline with StopDeadline. Nil means never canceled.
+	// Unlike the deterministic bounds above, cancellation is a
+	// wall-clock event; a stopped search can be resumed from a
+	// checkpoint and replays to the same result it would have reached
+	// uninterrupted (see internal/checkpoint).
+	Context context.Context
 }
 
 // StopReason records why a search ended.
@@ -86,16 +96,46 @@ type StopReason string
 
 // The stop reasons. "Converged" means the algorithm ran to its natural
 // completion (all CCD rotations done, annealing schedule exhausted) within
-// the budget.
+// the budget. "Deadline" and "interrupted" report context cancellation
+// (wall-clock deadline, SIGINT) — the only non-deterministic stops.
 const (
 	StopTimeBudget       StopReason = "time_budget"
 	StopSuggestionBudget StopReason = "suggestion_budget"
 	StopConverged        StopReason = "converged"
+	StopDeadline         StopReason = "deadline"
+	StopInterrupted      StopReason = "interrupted"
 )
 
+// Stopped reports whether r is a cancellation stop (deadline or
+// interrupt), after which the driver writes a final checkpoint and skips
+// the final re-measurement phase.
+func (r StopReason) Stopped() bool {
+	return r == StopDeadline || r == StopInterrupted
+}
+
+// ContextStop returns the cancellation stop reason of the budget's
+// context, or "" while the search may continue.
+func (b Budget) ContextStop() StopReason {
+	if b.Context == nil {
+		return ""
+	}
+	err := b.Context.Err()
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, context.DeadlineExceeded):
+		return StopDeadline
+	}
+	return StopInterrupted
+}
+
 // reason returns the budget bound that is exhausted, or "" while the search
-// may continue.
+// may continue. Cancellation is checked first so an interrupted search
+// stops promptly regardless of the deterministic bounds.
 func (b Budget) reason(ev Evaluator, suggested int) StopReason {
+	if r := b.ContextStop(); r != "" {
+		return r
+	}
 	if b.MaxSearchSec > 0 && ev.SearchTimeSec() >= b.MaxSearchSec {
 		return StopTimeBudget
 	}

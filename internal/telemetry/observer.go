@@ -11,6 +11,11 @@ package telemetry
 type Observer struct {
 	Sink    Sink
 	Metrics *Registry
+
+	// seq counts events forwarded to the sink; checkpoints record it so
+	// a resumed search knows how much of the replayed stream to
+	// suppress (see JSONLSink.Resume).
+	seq int
 }
 
 // Enabled reports whether events will actually be recorded. Callers use it
@@ -23,7 +28,17 @@ func (o *Observer) Emit(e Event) {
 	if o == nil || o.Sink == nil {
 		return
 	}
+	o.seq++
 	o.Sink.Emit(e)
+}
+
+// EventSeq returns the number of events emitted through this observer so
+// far; 0 on a nil observer.
+func (o *Observer) EventSeq() int {
+	if o == nil {
+		return 0
+	}
+	return o.seq
 }
 
 // Counter resolves a counter from the registry; nil (a no-op instrument)

@@ -3,8 +3,11 @@
 package telemetry
 
 import (
+	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
+	"os"
 )
 
 // Sink consumes the event stream. Implementations must preserve emission
@@ -14,6 +17,10 @@ type Sink interface {
 	Emit(Event)
 }
 
+// jsonlBufSize is the JSONLSink write buffer; batching lines keeps the
+// per-event cost of file-backed sinks off the search hot path.
+const jsonlBufSize = 1 << 15
+
 // JSONLSink writes one JSON object per event, one per line:
 //
 //	{"seq":3,"event":"new_best","data":{...}}
@@ -21,14 +28,35 @@ type Sink interface {
 // The seq counter makes truncated streams detectable and keeps lines unique.
 // Output is byte-deterministic: field order follows the event struct
 // definitions and no wall-clock values are ever written.
+//
+// Writes are buffered; callers must Flush (or Close) before reading the
+// underlying writer or exiting, or the buffered tail of the stream is
+// lost — exactly the failure mode on an uncontrolled interrupt.
 type JSONLSink struct {
-	w   io.Writer
-	seq int
-	err error
+	w    io.Writer
+	buf  bytes.Buffer
+	seq  int
+	skip int
+	err  error
 }
 
 // NewJSONLSink returns a sink writing to w.
 func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{w: w} }
+
+// Resume makes the sink suppress the first seq events it receives while
+// still counting them, so a search replayed from a checkpoint (see
+// internal/checkpoint) appends only the events the original run had not
+// yet emitted: prefix (the original event file, truncated to seq lines) +
+// suffix equals the uninterrupted stream byte for byte. Sequence numbers
+// continue from seq+1 as they would have.
+func (s *JSONLSink) Resume(seq int) {
+	if seq > s.skip {
+		s.skip = seq
+	}
+}
+
+// Seq returns the number of events received so far (written or suppressed).
+func (s *JSONLSink) Seq() int { return s.seq }
 
 // jsonlRecord is the JSONL envelope.
 type jsonlRecord struct {
@@ -37,26 +65,87 @@ type jsonlRecord struct {
 	Data  Event  `json:"data"`
 }
 
-// Emit writes e as one line. The first write or marshal error is retained
+// Emit buffers e as one line. The first write or marshal error is retained
 // (see Err) and subsequent events are dropped.
 func (s *JSONLSink) Emit(e Event) {
-	if s.err != nil {
+	s.seq++
+	if s.err != nil || s.seq <= s.skip {
 		return
 	}
-	s.seq++
 	b, err := json.Marshal(jsonlRecord{Seq: s.seq, Event: e.Kind(), Data: e})
 	if err != nil {
 		s.err = err
 		return
 	}
-	b = append(b, '\n')
-	if _, err := s.w.Write(b); err != nil {
+	s.buf.Write(b)
+	s.buf.WriteByte('\n')
+	if s.buf.Len() >= jsonlBufSize {
+		s.flushLocked()
+	}
+}
+
+// flushLocked drains the line buffer to the underlying writer, retaining
+// the first error.
+func (s *JSONLSink) flushLocked() {
+	if s.buf.Len() == 0 {
+		return
+	}
+	if _, err := s.w.Write(s.buf.Bytes()); err != nil && s.err == nil {
 		s.err = err
 	}
+	s.buf.Reset()
+}
+
+// Flush writes any buffered events to the underlying writer and returns
+// the first error encountered so far.
+func (s *JSONLSink) Flush() error {
+	s.flushLocked()
+	return s.err
+}
+
+// Close flushes buffered events, closes the underlying writer when it is
+// an io.Closer, and returns the first retained error — the error that was
+// previously lost when a process exited without consulting Err.
+func (s *JSONLSink) Close() error {
+	s.flushLocked()
+	if c, ok := s.w.(io.Closer); ok {
+		if err := c.Close(); err != nil && s.err == nil {
+			s.err = err
+		}
+	}
+	return s.err
 }
 
 // Err returns the first write or marshal error encountered, if any.
 func (s *JSONLSink) Err() error { return s.err }
+
+// TruncateJSONL truncates the JSONL event file at path to its first events
+// lines. A resume uses it to drop events the interrupted run emitted after
+// its final checkpoint (e.g. after a hard crash between checkpoints), so
+// the replayed suffix continues the file without duplicates or gaps. It is
+// an error for the file to hold fewer lines than requested — the file then
+// cannot be continued seamlessly. A missing file with events == 0 is fine.
+func TruncateJSONL(path string, events int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) && events == 0 {
+			return nil
+		}
+		return err
+	}
+	off := 0
+	for n := 0; n < events; n++ {
+		i := bytes.IndexByte(data[off:], '\n')
+		if i < 0 {
+			return fmt.Errorf("telemetry: %s holds %d events, cannot truncate to %d", path, n, events)
+		}
+		off += i + 1
+	}
+	if off == len(data) {
+		return nil
+	}
+	return os.Truncate(path, int64(off))
+}
 
 // MemorySink retains events in memory, for tests and for post-search
 // exports (viz.WriteSearchTrace).

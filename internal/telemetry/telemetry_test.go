@@ -3,6 +3,9 @@ package telemetry
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -23,7 +26,7 @@ func TestJSONLSinkFormat(t *testing.T) {
 	var buf bytes.Buffer
 	s := NewJSONLSink(&buf)
 	emitAll(s)
-	if err := s.Err(); err != nil {
+	if err := s.Flush(); err != nil {
 		t.Fatal(err)
 	}
 
@@ -67,18 +70,153 @@ func TestJSONLSinkFormat(t *testing.T) {
 
 func TestJSONLSinkDeterministic(t *testing.T) {
 	var a, b bytes.Buffer
-	emitAll(NewJSONLSink(&a))
-	emitAll(NewJSONLSink(&b))
+	sa, sb := NewJSONLSink(&a), NewJSONLSink(&b)
+	emitAll(sa)
+	emitAll(sb)
+	if err := sa.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.Close(); err != nil {
+		t.Fatal(err)
+	}
 	if !bytes.Equal(a.Bytes(), b.Bytes()) {
 		t.Fatalf("same events produced different bytes:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+// TestJSONLSinkBuffersUntilFlush pins the failure mode the Close method
+// exists for: without a flush, the tail of the stream never reaches the
+// underlying writer.
+func TestJSONLSinkBuffersUntilFlush(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	s.Emit(NewBest{Candidate: "k", BestSec: 1})
+	if buf.Len() != 0 {
+		t.Fatalf("short stream reached writer before Flush (%d bytes)", buf.Len())
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("Flush wrote nothing")
+	}
+}
+
+// errWriter fails every write.
+type errWriter struct{}
+
+func (errWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestJSONLSinkCloseSurfacesError(t *testing.T) {
+	s := NewJSONLSink(errWriter{})
+	s.Emit(NewBest{Candidate: "k", BestSec: 1})
+	if err := s.Close(); err == nil {
+		t.Fatal("Close swallowed the write error")
+	}
+	if err := s.Err(); err == nil {
+		t.Fatal("Err lost the write error")
+	}
+}
+
+func TestJSONLSinkResumeSkipsPrefix(t *testing.T) {
+	// Full stream.
+	var full bytes.Buffer
+	sf := NewJSONLSink(&full)
+	emitAll(sf)
+	sf.Close()
+
+	// Interrupted prefix: first 3 events only.
+	var pre bytes.Buffer
+	sp := NewJSONLSink(&pre)
+	sp.Emit(SearchStarted{Algorithm: "AM-CCD", Program: "stencil", Machine: "shepard", Tasks: 2, Collections: 7, Seed: 1})
+	sp.Emit(RotationStarted{Rotation: 1, ConstraintEdges: 4})
+	sp.Emit(Suggested{Coord: "stencil.arg0", Move: "proc=GPU mem=FB", Candidate: "k1", Source: "AM-CCD"})
+	sp.Close()
+	if sp.Seq() != 3 {
+		t.Fatalf("Seq = %d, want 3", sp.Seq())
+	}
+
+	// Resumed suffix: replay the whole stream, suppressing the prefix.
+	var suf bytes.Buffer
+	sr := NewJSONLSink(&suf)
+	sr.Resume(3)
+	emitAll(sr)
+	sr.Close()
+
+	got := append(pre.Bytes(), suf.Bytes()...)
+	if !bytes.Equal(got, full.Bytes()) {
+		t.Fatalf("prefix+suffix differs from uninterrupted stream:\n%s\nvs\n%s", got, full.Bytes())
+	}
+}
+
+func TestTruncateJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	emitAll(s)
+	s.Close()
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := TruncateJSONL(path, 3); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bytes.Count(data, []byte("\n")); got != 3 {
+		t.Fatalf("truncated file holds %d events, want 3", got)
+	}
+	// Truncating to the current length is a no-op; to more is an error.
+	if err := TruncateJSONL(path, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := TruncateJSONL(path, 5); err == nil {
+		t.Fatal("truncating beyond the file length should fail")
+	}
+	// A missing file is only acceptable for an empty prefix.
+	missing := filepath.Join(t.TempDir(), "none.jsonl")
+	if err := TruncateJSONL(missing, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := TruncateJSONL(missing, 1); err == nil {
+		t.Fatal("truncating a missing file to 1 event should fail")
+	}
+}
+
+func TestObserverEventSeq(t *testing.T) {
+	var o *Observer
+	if o.EventSeq() != 0 {
+		t.Error("nil observer EventSeq != 0")
+	}
+	o = &Observer{} // no sink: events drop, seq stays 0
+	o.Emit(NewBest{})
+	if o.EventSeq() != 0 {
+		t.Errorf("sinkless observer counted %d events", o.EventSeq())
+	}
+	o = &Observer{Sink: NewMemorySink()}
+	emitAll(o.Sink)
+	if o.EventSeq() != 0 {
+		t.Error("direct sink emission should not advance the observer seq")
+	}
+	o.Emit(NewBest{})
+	o.Emit(SearchFinished{})
+	if o.EventSeq() != 2 {
+		t.Errorf("EventSeq = %d, want 2", o.EventSeq())
 	}
 }
 
 func TestMemoryAndMultiSink(t *testing.T) {
 	mem := NewMemorySink()
 	var buf bytes.Buffer
-	multi := Multi(mem, NewJSONLSink(&buf))
+	js := NewJSONLSink(&buf)
+	multi := Multi(mem, js)
 	emitAll(multi)
+	if err := js.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	if len(mem.Events()) != 8 {
 		t.Fatalf("memory sink retained %d events, want 8", len(mem.Events()))
 	}

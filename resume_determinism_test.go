@@ -1,0 +1,200 @@
+// Crash-safety acceptance test for checkpoint/resume: a search interrupted
+// mid-run (context cancellation) and resumed from its checkpoint must
+// reproduce the uninterrupted run exactly — same report, same best mapping,
+// same trace, and a telemetry stream whose interrupted prefix plus resumed
+// suffix is byte-identical to the uninterrupted stream — even when the
+// interrupted and resumed runs use different worker counts.
+package automap_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"automap"
+	"automap/internal/taskir"
+)
+
+// cancelAfter forwards events to the wrapped sink and cancels a context
+// after a fixed number of them — a deterministic stand-in for SIGINT or a
+// wall-clock deadline landing mid-search.
+type cancelAfter struct {
+	inner  automap.TelemetrySink
+	remain int
+	cancel context.CancelFunc
+}
+
+func (s *cancelAfter) Emit(e automap.TelemetryEvent) {
+	s.inner.Emit(e)
+	s.remain--
+	if s.remain == 0 {
+		s.cancel()
+	}
+}
+
+func resumeOpts(workers int) automap.Options {
+	opts := automap.DefaultOptions()
+	opts.Seed = 11
+	opts.Repeats = 3
+	opts.FinalRepeats = 5
+	opts.Workers = workers
+	return opts
+}
+
+const resumeSuggestions = 150
+
+// checkResume runs the interrupt/resume cycle for one algorithm on one
+// program and asserts byte-identity against the uninterrupted run.
+func checkResume(t *testing.T, g *taskir.Graph, nodes int, alg automap.Algorithm) {
+	t.Helper()
+	m := automap.Shepard(nodes)
+
+	// Uninterrupted baseline at workers=1.
+	var full bytes.Buffer
+	jsonl0 := automap.NewJSONLSink(&full)
+	opts := resumeOpts(1)
+	opts.Observer = &automap.Observer{Sink: jsonl0, Metrics: automap.NewMetricsRegistry()}
+	rep0, err := automap.Search(m, g, alg, opts, automap.Budget{MaxSuggestions: resumeSuggestions})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jsonl0.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	totalEvents := bytes.Count(full.Bytes(), []byte("\n"))
+	if totalEvents < 8 {
+		t.Fatalf("baseline emitted only %d events", totalEvents)
+	}
+
+	// Interrupted run at workers=1: cancellation lands halfway through
+	// the baseline's event stream; the driver leaves a final checkpoint.
+	ckpt := filepath.Join(t.TempDir(), "search.ckpt")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var pre bytes.Buffer
+	jsonl1 := automap.NewJSONLSink(&pre)
+	opts = resumeOpts(1)
+	opts.CheckpointPath = ckpt
+	opts.CheckpointEvery = 5
+	opts.Observer = &automap.Observer{
+		Sink:    &cancelAfter{inner: jsonl1, remain: totalEvents / 2, cancel: cancel},
+		Metrics: automap.NewMetricsRegistry(),
+	}
+	rep1, err := automap.Search(m, g, alg, opts, automap.Budget{MaxSuggestions: resumeSuggestions, Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jsonl1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !rep1.Interrupted() {
+		t.Fatalf("interrupted run stopped with %q", rep1.StopReason)
+	}
+	if rep1.Best != nil {
+		t.Error("interrupted report carries a final Best")
+	}
+	if rep1.CheckpointErr != nil {
+		t.Fatal(rep1.CheckpointErr)
+	}
+	preEvents := bytes.Count(pre.Bytes(), []byte("\n"))
+	if preEvents >= totalEvents {
+		t.Fatalf("interrupt landed too late: %d of %d events", preEvents, totalEvents)
+	}
+
+	snap, err := automap.LoadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Evals) == 0 {
+		t.Fatal("checkpoint recorded no evaluations")
+	}
+	if snap.EventSeq > preEvents {
+		t.Errorf("checkpoint EventSeq %d exceeds the %d events emitted", snap.EventSeq, preEvents)
+	}
+
+	// Resumed run at workers=8: replay the snapshot, suppress the prefix
+	// the interrupted run already emitted, continue to completion.
+	var suf bytes.Buffer
+	jsonl2 := automap.NewJSONLSink(&suf)
+	jsonl2.Resume(preEvents)
+	opts = resumeOpts(8)
+	opts.ResumeFrom = snap
+	opts.Observer = &automap.Observer{Sink: jsonl2, Metrics: automap.NewMetricsRegistry()}
+	rep2, err := automap.Search(m, g, alg, opts, automap.Budget{MaxSuggestions: resumeSuggestions})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jsonl2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The resumed report is the uninterrupted report.
+	if k0, k2 := rep0.Best.Key(), rep2.Best.Key(); k0 != k2 {
+		t.Errorf("best mapping differs:\nuninterrupted: %s\nresumed:       %s", k0, k2)
+	}
+	if rep0.FinalSec != rep2.FinalSec {
+		t.Errorf("FinalSec differs: %v vs %v", rep0.FinalSec, rep2.FinalSec)
+	}
+	if rep0.SearchSec != rep2.SearchSec {
+		t.Errorf("SearchSec differs: %v vs %v", rep0.SearchSec, rep2.SearchSec)
+	}
+	if rep0.StopReason != rep2.StopReason {
+		t.Errorf("StopReason differs: %q vs %q", rep0.StopReason, rep2.StopReason)
+	}
+	if rep0.Suggested != rep2.Suggested || rep0.Evaluated != rep2.Evaluated {
+		t.Errorf("counters differ: suggested %d/%d evaluated %d/%d",
+			rep0.Suggested, rep2.Suggested, rep0.Evaluated, rep2.Evaluated)
+	}
+	if !reflect.DeepEqual(rep0.Trace, rep2.Trace) {
+		t.Errorf("trace differs:\nuninterrupted: %v\nresumed:       %v", rep0.Trace, rep2.Trace)
+	}
+
+	// The interrupted prefix plus the resumed suffix is the uninterrupted
+	// stream, byte for byte.
+	got := append(append([]byte(nil), pre.Bytes()...), suf.Bytes()...)
+	if !bytes.Equal(got, full.Bytes()) {
+		t.Error("prefix+suffix differs from the uninterrupted telemetry stream")
+	}
+}
+
+func TestResumeDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search test (TestResumeDeterminismShort covers -short)")
+	}
+	algs := []struct {
+		name string
+		alg  automap.Algorithm
+	}{
+		{"ccd", automap.NewCCD()},
+		{"cd", automap.NewCD()},
+		{"random", automap.NewRandom()},
+		{"anneal", automap.NewAnneal()},
+		{"opentuner", automap.NewOpenTuner()},
+	}
+	appsUnderTest := []struct {
+		name, size string
+		nodes      int
+	}{
+		{"stencil", "500x500", 1},
+		{"circuit", "n50w200", 2},
+	}
+	for _, ac := range appsUnderTest {
+		g := buildApp(t, ac.name, ac.size, ac.nodes)
+		for _, a := range algs {
+			t.Run(fmt.Sprintf("%s/%s", ac.name, a.name), func(t *testing.T) {
+				checkResume(t, g, ac.nodes, a.alg)
+			})
+		}
+	}
+}
+
+// TestResumeDeterminismShort is the -short slice of the matrix: one
+// algorithm, one program, so `make check`'s race pass exercises the
+// interrupt/replay cycle cheaply.
+func TestResumeDeterminismShort(t *testing.T) {
+	g := buildApp(t, "stencil", "500x500", 1)
+	checkResume(t, g, 1, automap.NewCCD())
+}

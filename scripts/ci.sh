@@ -53,4 +53,21 @@ echo "== worker-count determinism smoke"
 cmp "$tdir/w1.jsonl" "$tdir/w8.jsonl" || {
     echo "telemetry event stream differs between -workers 1 and -workers 8" >&2; exit 1; }
 
+echo "== checkpoint/resume smoke"
+# A search cut off by a wall-clock deadline must leave a checkpoint that
+# resumes to the same optimum, with the interrupted-plus-resumed event
+# stream byte-identical to an uninterrupted run. (If the deadline happens
+# to land after convergence the checkpoint covers the whole trajectory and
+# the resumed run redoes only the final phase — the comparison still holds.)
+./bin/automap search -app circuit -input n50w200 -nodes 2 -algo ccd -seed 7 -workers 2 \
+    -events "$tdir/r_full.jsonl" -o "$tdir/r_full.json" >/dev/null
+./bin/automap search -app circuit -input n50w200 -nodes 2 -algo ccd -seed 7 -workers 2 \
+    -events "$tdir/r_part.jsonl" -checkpoint "$tdir/r.ckpt" -deadline 15ms >/dev/null
+./bin/automap search -app circuit -input n50w200 -nodes 2 -algo ccd -seed 7 -workers 2 \
+    -events "$tdir/r_part.jsonl" -checkpoint "$tdir/r.ckpt" -resume -o "$tdir/r_part.json" >/dev/null
+cmp "$tdir/r_full.jsonl" "$tdir/r_part.jsonl" || {
+    echo "resumed event stream differs from the uninterrupted run" >&2; exit 1; }
+cmp "$tdir/r_full.json" "$tdir/r_part.json" || {
+    echo "resumed search found a different mapping" >&2; exit 1; }
+
 echo "ci: all checks passed"

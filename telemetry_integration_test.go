@@ -31,12 +31,16 @@ func searchWithTelemetry(t *testing.T, seed uint64) (*automap.Report, []byte) {
 	opts.Seed = seed
 	opts.Repeats = 3
 	opts.FinalRepeats = 7
+	jsonl := automap.NewJSONLSink(&buf)
 	opts.Observer = &automap.Observer{
-		Sink:    automap.NewJSONLSink(&buf),
+		Sink:    jsonl,
 		Metrics: automap.NewMetricsRegistry(),
 	}
 	rep, err := automap.Search(m, g, automap.NewCCD(), opts, automap.Budget{})
 	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jsonl.Flush(); err != nil {
 		t.Fatal(err)
 	}
 	return rep, buf.Bytes()

@@ -36,6 +36,7 @@ func runWorkers(t *testing.T, g *taskir.Graph, nodes int, alg automap.Algorithm,
 	t.Helper()
 	m := automap.Shepard(nodes)
 	var buf bytes.Buffer
+	jsonl := automap.NewJSONLSink(&buf)
 	opts := automap.DefaultOptions()
 	opts.Seed = 11
 	opts.Repeats = 3
@@ -43,11 +44,14 @@ func runWorkers(t *testing.T, g *taskir.Graph, nodes int, alg automap.Algorithm,
 	opts.PrePrune = prune
 	opts.Workers = workers
 	opts.Observer = &automap.Observer{
-		Sink:    automap.NewJSONLSink(&buf),
+		Sink:    jsonl,
 		Metrics: automap.NewMetricsRegistry(),
 	}
 	rep, err := automap.Search(m, g, alg, opts, automap.Budget{MaxSuggestions: 150})
 	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jsonl.Flush(); err != nil {
 		t.Fatal(err)
 	}
 	return rep, buf.Bytes()
