@@ -32,6 +32,7 @@ fuzz:
 	$(GO) test -fuzz FuzzCanonicalKey -fuzztime 20s ./internal/mapping
 	$(GO) test -fuzz FuzzLoad -fuzztime 20s ./internal/profile
 	$(GO) test -fuzz FuzzAnalyze -fuzztime 30s ./internal/analyze
+	$(GO) test -fuzz FuzzLoadCheckpoint -fuzztime 30s ./internal/checkpoint
 
 # Static gate: vet, race-enabled tests, and mapcheck over every bundled
 # application's default mapping on both machine models.

@@ -1,0 +1,75 @@
+// Cross-algorithm invariants: every search algorithm, given the same small
+// budget on the same problem, must hand back a report that stands on its
+// own — a non-nil best mapping with zero feasibility violations, a finite
+// positive final time, and a FinalSec that an independent re-measurement
+// reproduces exactly. The algorithms are free to find different mappings;
+// they are not free to report times their mappings don't earn.
+package automap_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"automap"
+)
+
+func TestAlgorithmsReportVerifiableResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search test")
+	}
+	algs := []struct {
+		name string
+		alg  automap.Algorithm
+	}{
+		{"ccd", automap.NewCCD()},
+		{"cd", automap.NewCD()},
+		{"opentuner", automap.NewOpenTuner()},
+		{"random", automap.NewRandom()},
+		{"anneal", automap.NewAnneal()},
+	}
+	problems := []struct {
+		app, size string
+		nodes     int
+	}{
+		{"stencil", "500x500", 1},
+		{"circuit", "n50w200", 2},
+	}
+	for _, pc := range problems {
+		g := buildApp(t, pc.app, pc.size, pc.nodes)
+		m := automap.Shepard(pc.nodes)
+		for _, a := range algs {
+			t.Run(fmt.Sprintf("%s/%s", pc.app, a.name), func(t *testing.T) {
+				opts := automap.DefaultOptions()
+				opts.Seed = 7
+				opts.Repeats = 3
+				opts.FinalRepeats = 5
+				rep, err := automap.Search(m, g, a.alg, opts, automap.Budget{MaxSuggestions: 120})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.Best == nil {
+					t.Fatal("report has no best mapping")
+				}
+				if v := rep.Best.Violations(g, m.Model()); len(v) != 0 {
+					t.Fatalf("best mapping has %d feasibility violations: %v", len(v), v)
+				}
+				if !(rep.FinalSec > 0) || math.IsInf(rep.FinalSec, 0) || math.IsNaN(rep.FinalSec) {
+					t.Fatalf("FinalSec = %v, want finite positive", rep.FinalSec)
+				}
+				// The report's final time must be reproducible by measuring
+				// the returned mapping independently under the driver's
+				// final-phase protocol: the user seed munged by the search
+				// entry (^0x9e37) and the final phase (^0xf17a).
+				again, err := automap.MeasureMapping(m, g, rep.Best,
+					opts.FinalRepeats, opts.NoiseSigma, opts.Seed^0x9e37^0xf17a)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if again != rep.FinalSec {
+					t.Fatalf("reported FinalSec %.12f != independent re-measurement %.12f", rep.FinalSec, again)
+				}
+			})
+		}
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"automap/internal/profile"
 	"automap/internal/rt"
 	"automap/internal/search"
+	"automap/internal/serve"
 	"automap/internal/sim"
 	"automap/internal/taskir"
 	"automap/internal/telemetry"
@@ -343,6 +344,23 @@ type (
 
 // LoadCheckpoint reads a snapshot saved by a checkpointing search.
 var LoadCheckpoint = checkpoint.Load
+
+// Serving (internal/serve): mapd, the mapping-as-a-service daemon. A
+// Server accepts search requests over HTTP/JSON, coalesces duplicates by
+// search fingerprint, persists completed results, and drains to a
+// resumable on-disk state on shutdown (see cmd/mapd).
+type (
+	// Server is the mapd daemon: HTTP handler plus search worker pool.
+	Server = serve.Server
+	// ServeRequest is one mapping-search request document.
+	ServeRequest = serve.Request
+	// ServeResult is the served outcome of one search.
+	ServeResult = serve.Result
+)
+
+// NewServer returns a daemon over a store directory running at most
+// `searches` concurrent searches (<= 0 picks a default).
+func NewServer(dir string, searches int) (*Server, error) { return serve.New(dir, searches) }
 
 // Real mini-runtime (internal/rt): actually execute task graphs on the
 // host with goroutine worker pools, real buffers and paced copies, and

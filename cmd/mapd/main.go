@@ -1,0 +1,68 @@
+// Command mapd is the AutoMap mapping daemon: a long-running HTTP/JSON
+// service that accepts search requests, runs them on a bounded worker
+// pool, and serves results from a fingerprint-keyed persistent store.
+//
+//	mapd -addr :8356 -dir mapd-data -searches 2
+//
+// Submitting a search:
+//
+//	curl -s localhost:8356/v1/search -d '{"app":"stencil","input":"1000x1000","algorithm":"ccd","budget_sec":600}'
+//
+// Identical requests coalesce onto the same search; completed results are
+// served from the store across restarts. SIGINT/SIGTERM drains cleanly:
+// in-flight searches checkpoint and suspend, and the next start resumes
+// them to the same final result an uninterrupted run would have produced.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"automap/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	addr := flag.String("addr", ":8356", "listen address")
+	dir := flag.String("dir", "mapd-data", "result store directory")
+	searches := flag.Int("searches", 0, "max concurrent searches (0 = half of GOMAXPROCS)")
+	flag.Parse()
+
+	srv, err := serve.New(*dir, *searches)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if n := srv.ResumePending(); n > 0 {
+		fmt.Printf("resuming %d interrupted search(es) from %s\n", n, *dir)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		// A second signal kills the process instead of waiting out the
+		// drain.
+		stop()
+		fmt.Println("draining: checkpointing in-flight searches")
+		srv.Drain()
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		hs.Shutdown(shCtx)
+	}()
+
+	fmt.Printf("mapd serving on %s (store: %s)\n", *addr, *dir)
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	// ListenAndServe returned because Shutdown ran; the drain already
+	// completed inside the signal goroutine.
+	fmt.Println("mapd stopped; store is restartable")
+}

@@ -23,6 +23,8 @@
 package checkpoint
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -94,6 +96,23 @@ type Snapshot struct {
 	// Evals is the ordered log of committed measurements — the
 	// profiles-database contents at full per-repeat resolution.
 	Evals []Eval `json:"evals"`
+}
+
+// Fingerprint returns a short stable hex digest of the snapshot's input
+// fingerprint — the fields Validate compares: algorithm, program, machine,
+// seed, measurement protocol, and budget. Two searches share a fingerprint
+// exactly when a snapshot of one is a valid resume point for the other, so
+// the digest doubles as a cache key for search results (the mapd daemon's
+// store keys on it). The digest does not cover the measurement log or
+// progress counters: a snapshot keeps its fingerprint as the search it
+// describes advances.
+func (s *Snapshot) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "v%d|alg=%s|prog=%s|mach=%s|seed=%d|rep=%d|noise=%g|prune=%t|maxsec=%g|maxsug=%d",
+		Version, s.Algorithm, s.Program, s.Machine, s.Seed,
+		s.Repeats, s.NoiseSigma, s.PrePrune,
+		s.Budget.MaxSearchSec, s.Budget.MaxSuggestions)
+	return hex.EncodeToString(h.Sum(nil)[:12])
 }
 
 // Save writes the snapshot atomically: marshal to a temporary file in the

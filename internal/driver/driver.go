@@ -678,6 +678,27 @@ func Search(m *machine.Machine, g *taskir.Graph, alg search.Algorithm, opts Opti
 	return SearchFromSpace(m, g, nil, alg, opts, budget)
 }
 
+// SnapshotTemplate returns the checkpoint fingerprint the driver binds to
+// a search over (m, g) with these options and budget: the snapshot fields
+// a resume validates, with no measurements recorded yet. opts.Seed must be
+// the user-facing seed (the one passed to Search). Callers outside the
+// driver — the mapd daemon's result store — use the template's Fingerprint
+// to key searches: two requests with equal templates are, by the resume
+// validation contract, the same search.
+func SnapshotTemplate(alg search.Algorithm, g *taskir.Graph, m *machine.Machine, opts Options, budget search.Budget) checkpoint.Snapshot {
+	return checkpoint.Snapshot{
+		Version:    checkpoint.Version,
+		Algorithm:  alg.Name(),
+		Program:    g.Name,
+		Machine:    m.Name,
+		Seed:       opts.Seed,
+		Repeats:    opts.Repeats,
+		NoiseSigma: opts.NoiseSigma,
+		PrePrune:   opts.PrePrune,
+		Budget:     checkpoint.BudgetInfo{MaxSearchSec: budget.MaxSearchSec, MaxSuggestions: budget.MaxSuggestions},
+	}
+}
+
 // SearchFromSpace is Search with a pre-computed search-space file (the
 // paper's usage model, Section 3.3: "the input is a file containing the
 // search space ... generated automatically by running and profiling the
@@ -688,6 +709,7 @@ func SearchFromSpace(m *machine.Machine, g *taskir.Graph, sp *profile.Space, alg
 	}
 	md := m.Model()
 	start := mapping.Default(g, md)
+	tmpl := SnapshotTemplate(alg, g, m, opts, budget)
 
 	// Profiling run (Section 3.3): generates the search-space
 	// representation from one execution of the application.
@@ -719,25 +741,14 @@ func SearchFromSpace(m *machine.Machine, g *taskir.Graph, sp *profile.Space, alg
 	// Resuming: the snapshot must describe this exact search — same
 	// algorithm, inputs, seed, protocol, and budget — or the replayed
 	// prefix would silently diverge from what the interrupted run did.
-	ckptBudget := checkpoint.BudgetInfo{MaxSearchSec: budget.MaxSearchSec, MaxSuggestions: budget.MaxSuggestions}
 	if snap := opts.ResumeFrom; snap != nil {
-		if err := snap.Validate(alg.Name(), g.Name, m.Name, userSeed, opts.Repeats, opts.NoiseSigma, opts.PrePrune, ckptBudget); err != nil {
+		if err := snap.Validate(tmpl.Algorithm, tmpl.Program, tmpl.Machine, userSeed, tmpl.Repeats, tmpl.NoiseSigma, tmpl.PrePrune, tmpl.Budget); err != nil {
 			return nil, fmt.Errorf("cannot resume: %w", err)
 		}
 	}
 
 	ev := NewEvaluator(m, g, opts)
-	ev.bindSearch(checkpoint.Snapshot{
-		Version:    checkpoint.Version,
-		Algorithm:  alg.Name(),
-		Program:    g.Name,
-		Machine:    m.Name,
-		Seed:       userSeed,
-		Repeats:    opts.Repeats,
-		NoiseSigma: opts.NoiseSigma,
-		PrePrune:   opts.PrePrune,
-		Budget:     ckptBudget,
-	}, budget, opts.Observer.EventSeq)
+	ev.bindSearch(tmpl, budget, opts.Observer.EventSeq)
 	prob := &search.Problem{
 		Graph:    g,
 		Model:    md,

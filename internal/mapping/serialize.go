@@ -27,8 +27,10 @@ type fileJSON struct {
 	Decisions   []decisionJSON `json:"decisions"`
 }
 
-// Save writes the mapping as JSON, annotated with task names from g.
-func (m *Mapping) Save(path string, g *taskir.Graph) error {
+// Marshal returns the mapping's serialized JSON, annotated with task names
+// from g — the byte form of the file Save writes, for callers that embed
+// mappings in larger documents (the mapd daemon's result records).
+func (m *Mapping) Marshal(g *taskir.Graph) ([]byte, error) {
 	f := fileJSON{Application: g.Name}
 	for i, d := range m.decisions {
 		dj := decisionJSON{
@@ -44,23 +46,24 @@ func (m *Mapping) Save(path string, g *taskir.Graph) error {
 		}
 		f.Decisions = append(f.Decisions, dj)
 	}
-	data, err := json.MarshalIndent(f, "", "  ")
+	return json.MarshalIndent(f, "", "  ")
+}
+
+// Save writes the mapping as JSON, annotated with task names from g.
+func (m *Mapping) Save(path string, g *taskir.Graph) error {
+	data, err := m.Marshal(g)
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, data, 0o644)
 }
 
-// Load reads a mapping file written by Save and binds it to g. Task count
-// and argument counts must match the graph.
-func Load(path string, g *taskir.Graph) (*Mapping, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
+// Unmarshal parses mapping JSON produced by Marshal (or Save) and binds it
+// to g. Task count and argument counts must match the graph.
+func Unmarshal(data []byte, g *taskir.Graph) (*Mapping, error) {
 	var f fileJSON
 	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("parsing mapping file %s: %w", path, err)
+		return nil, fmt.Errorf("parsing mapping: %w", err)
 	}
 	if len(f.Decisions) != len(g.Tasks) {
 		return nil, fmt.Errorf("mapping file has %d decisions, program has %d tasks", len(f.Decisions), len(g.Tasks))
@@ -92,6 +95,19 @@ func Load(path string, g *taskir.Graph) (*Mapping, error) {
 				d.Mems[a] = append(d.Mems[a], machine.MemKind(mk))
 			}
 		}
+	}
+	return m, nil
+}
+
+// Load reads a mapping file written by Save and binds it to g.
+func Load(path string, g *taskir.Graph) (*Mapping, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := Unmarshal(data, g)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return m, nil
 }

@@ -1,0 +1,454 @@
+// Package serve implements mapd: mapping-as-a-service over the AutoMap
+// search stack.
+//
+// The daemon accepts search requests over HTTP/JSON, runs them on a
+// bounded pool of concurrent searches, and keys every result by the
+// request's search fingerprint (see Request.Fingerprint). Because the
+// search stack is deterministic, the fingerprint fully determines the
+// result, which buys the daemon three properties for free:
+//
+//   - Duplicate requests coalesce: the first request for a fingerprint
+//     starts the search, every concurrent or later duplicate attaches to
+//     the same store entry and observes the same result bytes.
+//   - Results are cacheable forever: completed searches persist to the
+//     store directory and are served across restarts without recomputing.
+//   - Shutdown is a checkpoint, not a loss: draining cancels in-flight
+//     searches through their budget contexts, the driver writes its final
+//     snapshot, and a restarted daemon resumes each suspended search from
+//     that snapshot — converging to the byte-identical result an
+//     uninterrupted run would have produced.
+//
+// Endpoints:
+//
+//	POST /v1/search              submit (or coalesce onto) a search
+//	GET  /v1/search/{id}         status and, when finished, the result
+//	GET  /v1/search/{id}/events  live NDJSON telemetry stream
+//	GET  /v1/searches            all known searches
+//	GET  /metrics                daemon metrics (text form)
+//	GET  /healthz                liveness
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+
+	"automap/internal/checkpoint"
+	"automap/internal/driver"
+	"automap/internal/serve/store"
+	"automap/internal/telemetry"
+)
+
+// Server is the mapd daemon: an HTTP handler plus the search worker pool
+// behind it.
+type Server struct {
+	st  *store.Store
+	reg *telemetry.Registry
+	mux *http.ServeMux
+
+	// sem bounds concurrently running searches; queued searches hold a
+	// goroutine but no slot.
+	sem chan struct{}
+
+	// baseCtx flows into every search budget; baseCancel is the drain
+	// signal.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	mRequests  *telemetry.Counter
+	mStarted   *telemetry.Counter
+	mCoalesced *telemetry.Counter
+	mResumed   *telemetry.Counter
+	mCompleted *telemetry.Counter
+	mFailed    *telemetry.Counter
+	mSuspended *telemetry.Counter
+	mCkptSkew  *telemetry.Counter
+}
+
+// New returns a daemon over the store directory dir running at most
+// `searches` concurrent searches (<= 0: half of GOMAXPROCS, at least 1 —
+// each search has its own internal simulation worker pool).
+func New(dir string, searches int) (*Server, error) {
+	st, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	if searches <= 0 {
+		searches = runtime.GOMAXPROCS(0) / 2
+		if searches < 1 {
+			searches = 1
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	reg := telemetry.NewRegistry()
+	s := &Server{
+		st:         st,
+		reg:        reg,
+		sem:        make(chan struct{}, searches),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+
+		mRequests:  reg.Counter("serve.requests"),
+		mStarted:   reg.Counter("serve.searches.started"),
+		mCoalesced: reg.Counter("serve.searches.coalesced"),
+		mResumed:   reg.Counter("serve.searches.resumed"),
+		mCompleted: reg.Counter("serve.searches.completed"),
+		mFailed:    reg.Counter("serve.searches.failed"),
+		mSuspended: reg.Counter("serve.searches.suspended"),
+		mCkptSkew:  reg.Counter("serve.checkpoint.load_failures"),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/search", s.handleSubmit)
+	mux.HandleFunc("GET /v1/search/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/search/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/searches", s.handleList)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Store exposes the result store (tests and tooling).
+func (s *Server) Store() *store.Store { return s.st }
+
+// Metrics exposes the daemon's metrics registry.
+func (s *Server) Metrics() *telemetry.Registry { return s.reg }
+
+// ResumePending claims every suspended entry in the store and relaunches
+// it, returning how many searches were resumed. A daemon calls it once at
+// startup, after a restart following a drain or a crash.
+func (s *Server) ResumePending() int {
+	n := 0
+	for _, e := range s.st.List() {
+		e, owner := s.st.Resume(e.Key)
+		if !owner {
+			continue
+		}
+		var req Request
+		if err := json.Unmarshal(e.Request(), &req); err != nil {
+			e.Start()
+			e.Fail(fmt.Sprintf("stored request unreadable: %v", err))
+			s.mFailed.Add(1)
+			continue
+		}
+		s.mResumed.Add(1)
+		s.launch(e, &req)
+		n++
+	}
+	return n
+}
+
+// Drain cancels every in-flight search and waits for all of them to reach
+// a stable state: running searches stop cleanly at the driver's next
+// cancellation check, write their final checkpoint, and are marked
+// Suspended; queued searches suspend without starting. After Drain returns
+// the store directory is a complete, restartable image of the daemon.
+func (s *Server) Drain() {
+	s.baseCancel()
+	s.wg.Wait()
+}
+
+// launch runs the entry's search on a pool goroutine. The caller must own
+// the entry (Begin or Resume returned owner).
+func (s *Server) launch(e *store.Entry, req *Request) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.runSearch(e, req)
+	}()
+}
+
+// runSearch drives one owned entry through its lifecycle: wait for a
+// worker slot, run the driver search (resuming from the entry's checkpoint
+// when one exists), and finish as Done, Failed, or Suspended.
+func (s *Server) runSearch(e *store.Entry, req *Request) {
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-s.baseCtx.Done():
+		// Draining before the search ever got a slot: nothing ran, so
+		// there is nothing to checkpoint; the entry suspends as-is.
+		s.mSuspended.Add(1)
+		e.Suspend()
+		return
+	}
+	e.Start()
+	fail := func(format string, args ...any) {
+		s.mFailed.Add(1)
+		e.Fail(fmt.Sprintf(format, args...))
+	}
+
+	p, err := req.build()
+	if err != nil {
+		fail("building search: %v", err)
+		return
+	}
+	ckptPath := s.st.CheckpointPath(e.Key)
+	eventsPath := s.st.EventsPath(e.Key)
+
+	// Resume when an earlier run of this fingerprint left a checkpoint
+	// behind. The persisted event file is continued, exactly as the CLI
+	// does: truncate to the complete lines it holds (a crash can leave a
+	// partial tail), suppress that many replayed events, and append the
+	// suffix — the final file is byte-identical to an uninterrupted run's.
+	skip := 0
+	var f *os.File
+	if snap, lerr := checkpoint.Load(ckptPath); lerr == nil {
+		p.opts.ResumeFrom = snap
+		skip, err = countJSONLEvents(eventsPath)
+		if err != nil {
+			fail("reading %s: %v", eventsPath, err)
+			return
+		}
+		if skip > 0 {
+			if err := telemetry.TruncateJSONL(eventsPath, skip); err != nil {
+				fail("%v", err)
+				return
+			}
+		}
+		f, err = os.OpenFile(eventsPath, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+	} else {
+		if !errors.Is(lerr, fs.ErrNotExist) {
+			// Unreadable checkpoint (torn write survived the atomic
+			// rename discipline somehow, or version skew from an old
+			// build). Determinism makes this harmless: start over.
+			s.mCkptSkew.Add(1)
+		}
+		f, err = os.Create(eventsPath)
+	}
+	if err != nil {
+		fail("opening %s: %v", eventsPath, err)
+		return
+	}
+
+	// The live event log serves streaming clients; preload the replayed
+	// prefix so a client attaching mid-resume still sees the full stream.
+	log := e.Events()
+	if skip > 0 {
+		if prefix, err := os.ReadFile(eventsPath); err == nil {
+			log.Write(prefix)
+		}
+	}
+	sink := telemetry.NewJSONLSink(io.MultiWriter(f, log))
+	sink.SetAutoFlush(true)
+	sink.Resume(skip)
+
+	p.opts.Observer = &telemetry.Observer{Sink: sink, Metrics: telemetry.NewRegistry()}
+	p.opts.CheckpointPath = ckptPath
+	budget := p.budget
+	budget.Context = s.baseCtx
+
+	rep, err := driver.SearchFromSpace(p.m, p.g, nil, p.alg, p.opts, budget)
+
+	// Flush and close the event file before the entry transitions: its
+	// terminal state must never be visible before its stream is complete.
+	closeErr := sink.Flush()
+	if cerr := f.Close(); cerr != nil && closeErr == nil {
+		closeErr = cerr
+	}
+	switch {
+	case err != nil:
+		fail("%v", err)
+	case rep.Interrupted():
+		// Only the drain cancels a daemon search's context; the driver
+		// already wrote its final checkpoint, so the entry suspends
+		// ready for the next daemon to pick it up.
+		s.mSuspended.Add(1)
+		e.Suspend()
+	case closeErr != nil:
+		fail("writing %s: %v", eventsPath, closeErr)
+	default:
+		res, err := buildResult(e.Key, req, p, rep)
+		if err != nil {
+			fail("encoding result: %v", err)
+			return
+		}
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fail("encoding result: %v", err)
+			return
+		}
+		if err := e.Complete(data); err != nil {
+			// Persisting failed; leave the entry resumable rather than
+			// durable-looking.
+			s.mSuspended.Add(1)
+			e.Suspend()
+			return
+		}
+		s.mCompleted.Add(1)
+	}
+}
+
+// statusResponse is the wire form of an entry's state.
+type statusResponse struct {
+	ID        string          `json:"id"`
+	Status    store.Status    `json:"status"`
+	Coalesced bool            `json:"coalesced,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
+}
+
+// entryStatus snapshots an entry for the wire.
+func entryStatus(e *store.Entry) statusResponse {
+	resp := statusResponse{ID: e.Key, Status: e.Status()}
+	if result, errMsg, ok := e.Result(); ok {
+		resp.Error = errMsg
+		resp.Result = result
+	}
+	return resp
+}
+
+// maxRequestBody bounds a request document; real requests are a few
+// hundred bytes.
+const maxRequestBody = 1 << 20
+
+// handleSubmit accepts (or coalesces) a search request.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	s.mRequests.Add(1)
+	var req Request
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "parsing request: %v", err)
+		return
+	}
+	if err := req.Normalize(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key, err := req.Fingerprint()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	canonical, err := json.MarshalIndent(&req, "", "  ")
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	e, owner, err := s.st.Begin(key, canonical)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if owner {
+		s.mStarted.Add(1)
+		s.launch(e, &req)
+	} else {
+		s.mCoalesced.Add(1)
+	}
+	resp := entryStatus(e)
+	resp.Coalesced = !owner
+	code := http.StatusAccepted
+	if resp.Status.Finished() {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, resp)
+}
+
+// handleStatus reports one search.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.st.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown search %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, entryStatus(e))
+}
+
+// handleEvents streams a search's telemetry as NDJSON: everything emitted
+// so far immediately, then each new event as the search produces it, until
+// the search finishes (or is suspended) or the client disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.st.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown search %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	log := e.Events()
+	off := 0
+	for {
+		data, closed, changed := log.Next(off)
+		if len(data) > 0 {
+			if _, err := w.Write(data); err != nil {
+				return
+			}
+			off += len(data)
+			if flusher != nil {
+				flusher.Flush()
+			}
+			continue // re-check: more may have arrived while writing
+		}
+		if closed {
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleList reports every known search.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	entries := s.st.List()
+	out := make([]statusResponse, 0, len(entries))
+	for _, e := range entries {
+		st := entryStatus(e)
+		st.Result = nil // listings stay small; fetch results individually
+		out = append(out, st)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleMetrics dumps the daemon's metrics registry in text form.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.reg.WriteText(w)
+}
+
+// writeJSON writes v as an indented JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// httpError writes a JSON error body.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// countJSONLEvents counts the complete (newline-terminated) events in a
+// JSONL file; a missing file holds zero. A trailing partial line — a crash
+// mid-write — is not counted; TruncateJSONL drops it before appending.
+func countJSONLEvents(path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	return bytes.Count(data, []byte("\n")), nil
+}

@@ -1,0 +1,461 @@
+// End-to-end tests of the mapd daemon: coalescing, persistence across
+// restarts, drain/resume byte-identity, and the concurrent store stress.
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"automap/internal/apps"
+	"automap/internal/mapping"
+	"automap/internal/serve"
+	"automap/internal/serve/store"
+)
+
+// statusResponse mirrors the daemon's wire status (the handlers' output).
+type statusResponse struct {
+	ID        string          `json:"id"`
+	Status    store.Status    `json:"status"`
+	Coalesced bool            `json:"coalesced"`
+	Error     string          `json:"error"`
+	Result    json.RawMessage `json:"result"`
+}
+
+// quickRequest is a search small enough to finish in well under a second:
+// the resume-determinism suite's stencil configuration.
+func quickRequest(seed uint64) string {
+	return fmt.Sprintf(`{"app":"stencil","input":"500x500","algorithm":"ccd","seed":%d,"max_suggestions":150,"repeats":3,"final_repeats":3,"final_candidates":3}`, seed)
+}
+
+func submit(t *testing.T, url, body string) statusResponse {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/search", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr statusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/search = %d (%s)", resp.StatusCode, sr.Error)
+	}
+	return sr
+}
+
+func getStatus(t *testing.T, url, id string) statusResponse {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/search/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr statusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	return sr
+}
+
+// waitDone polls until the search reaches a terminal state.
+func waitDone(t *testing.T, url, id string) statusResponse {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		sr := getStatus(t, url, id)
+		if sr.Status.Finished() {
+			return sr
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("search %s still %s after 120s", id, sr.Status)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestDaemonEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := serve.New(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Submit; the first request owns the search.
+	sr := submit(t, ts.URL, quickRequest(7))
+	if sr.Coalesced {
+		t.Fatal("first request reported as coalesced")
+	}
+	id := sr.ID
+
+	// A duplicate request coalesces onto the same entry — same id, no new
+	// search.
+	dup := submit(t, ts.URL, quickRequest(7))
+	if !dup.Coalesced || dup.ID != id {
+		t.Fatalf("duplicate request: coalesced=%v id=%s (want %s)", dup.Coalesced, dup.ID, id)
+	}
+
+	final := waitDone(t, ts.URL, id)
+	if final.Status != store.StatusDone {
+		t.Fatalf("search ended %s: %s", final.Status, final.Error)
+	}
+	var res serve.Result
+	if err := json.Unmarshal(final.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Key != id || res.FinalSec <= 0 || res.Evaluated == 0 {
+		t.Fatalf("implausible result: key=%s final=%v evaluated=%d", res.Key, res.FinalSec, res.Evaluated)
+	}
+	if res.Metrics["search.eval.sim_runs"] == 0 {
+		t.Error("result metrics missing simulator counters")
+	}
+
+	// The served mapping replays against the same graph, violation-free.
+	app, err := apps.Get("stencil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := app.Build("500x500", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := mapping.Unmarshal(res.Mapping, g)
+	if err != nil {
+		t.Fatalf("served mapping does not unmarshal: %v", err)
+	}
+	if mp.Key() == "" {
+		t.Fatal("unmarshaled mapping has no key")
+	}
+
+	// The event stream ends (the log is closed) and matches the persisted
+	// event file byte for byte.
+	resp, err := http.Get(ts.URL + "/v1/search/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := os.ReadFile(srv.Store().EventsPath(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed, onDisk) {
+		t.Fatalf("streamed events (%d bytes) differ from persisted file (%d bytes)", len(streamed), len(onDisk))
+	}
+	if n := bytes.Count(streamed, []byte("\n")); n < 8 {
+		t.Fatalf("event stream holds only %d events", n)
+	}
+
+	// Daemon metrics: one search started, one coalesced duplicate.
+	snap := srv.Metrics().Snapshot()
+	if snap["serve.searches.started"] != 1 || snap["serve.searches.coalesced"] != 1 || snap["serve.searches.completed"] != 1 {
+		t.Fatalf("metrics = started %v, coalesced %v, completed %v",
+			snap["serve.searches.started"], snap["serve.searches.coalesced"], snap["serve.searches.completed"])
+	}
+	if _, ok := srv.Store().Get(id); !ok {
+		t.Fatal("store lost the entry")
+	}
+	srv.Drain()
+
+	// Restart over the same directory: the result is served from disk,
+	// byte-identical, with no search running.
+	srv2, err := serve.New(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := srv2.ResumePending(); n != 0 {
+		t.Fatalf("restart resumed %d searches, want 0 (all were complete)", n)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	again := getStatus(t, ts2.URL, id)
+	if again.Status != store.StatusDone {
+		t.Fatalf("restarted status = %s", again.Status)
+	}
+	if !bytes.Equal(again.Result, final.Result) {
+		t.Fatal("result differs after restart")
+	}
+	// Re-submitting the same request coalesces onto the stored result.
+	resub := submit(t, ts2.URL, quickRequest(7))
+	if !resub.Coalesced || resub.Status != store.StatusDone {
+		t.Fatalf("resubmit after restart: coalesced=%v status=%s", resub.Coalesced, resub.Status)
+	}
+	if snap := srv2.Metrics().Snapshot(); snap["serve.searches.started"] != 0 {
+		t.Fatalf("restart started %v searches for a cached result", snap["serve.searches.started"])
+	}
+}
+
+func TestDaemonRejectsBadRequests(t *testing.T) {
+	srv, err := serve.New(t.TempDir(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, body := range []string{
+		`not json`,
+		`{"app":"nope"}`,
+		`{"app":"stencil","algorithm":"gradient-descent"}`,
+		`{"app":"stencil","cluster":"frontier"}`,
+		`{"app":"stencil","unknown_field":1}`,
+		`{"app":"stencil","budget_sec":-1}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/search", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s = %d, want 400", body, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/search/deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown id = %d, want 404", resp.StatusCode)
+	}
+	srv.Drain()
+}
+
+// TestDrainResumeByteIdentity is the crash-safety acceptance test at the
+// daemon level: a search interrupted by a drain (the SIGTERM path) and
+// resumed by a restarted daemon must serve the byte-identical result and
+// event stream of an uninterrupted run.
+func TestDrainResumeByteIdentity(t *testing.T) {
+	req := quickRequest(11)
+
+	// Uninterrupted baseline in its own store.
+	dirA := t.TempDir()
+	srvA, err := serve.New(dirA, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsA := httptest.NewServer(srvA.Handler())
+	defer tsA.Close()
+	id := submit(t, tsA.URL, req).ID
+	baseline := waitDone(t, tsA.URL, id)
+	if baseline.Status != store.StatusDone {
+		t.Fatalf("baseline ended %s: %s", baseline.Status, baseline.Error)
+	}
+	srvA.Drain()
+	baselineEvents, err := os.ReadFile(srvA.Store().EventsPath(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: same request, fresh store; drain lands once the
+	// search has started emitting telemetry.
+	dirB := t.TempDir()
+	srvB, err := serve.New(dirB, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsB := httptest.NewServer(srvB.Handler())
+	// The search emits telemetry through its entry's event log, so a
+	// blocking write hook — installed on the store before the request
+	// arrives, hence covering the very first write — freezes the search
+	// goroutine at a mid-search write. With the search held still, the
+	// drain is issued and given ample time to cancel the base context;
+	// only then is the search released, to notice the cancellation at its
+	// next suggestion. This makes "SIGTERM lands mid-search" deterministic
+	// rather than a race against a millisecond search loop.
+	gate := make(chan struct{})
+	frozen := make(chan struct{})
+	var once sync.Once
+	srvB.Store().SetEventWriteHook(func() {
+		once.Do(func() { close(frozen) })
+		<-gate
+	})
+	id2 := submit(t, tsB.URL, req).ID
+	if id2 != id {
+		t.Fatalf("fingerprint differs across daemons: %s vs %s", id2, id)
+	}
+	e, _ := srvB.Store().Get(id)
+	select {
+	case <-frozen:
+	case <-e.Done():
+		t.Fatal("search finished before the write hook could freeze it")
+	case <-time.After(60 * time.Second):
+		t.Fatal("search never started emitting events")
+	}
+	drained := make(chan struct{})
+	go func() { srvB.Drain(); close(drained) }()
+	time.Sleep(300 * time.Millisecond) // the frozen search cannot finish meanwhile
+	close(gate)
+	<-drained
+	tsB.Close()
+	if st := e.Status(); st != store.StatusSuspended {
+		t.Fatalf("post-drain status = %s, want suspended (drain landed too late)", st)
+	}
+	if _, err := os.Stat(srvB.Store().CheckpointPath(id)); err != nil {
+		t.Fatalf("no checkpoint after drain: %v", err)
+	}
+	interruptedEvents, err := os.ReadFile(srvB.Store().EventsPath(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(interruptedEvents) == 0 || len(interruptedEvents) >= len(baselineEvents) {
+		t.Fatalf("interrupted stream has %d bytes of the baseline's %d; interrupt did not land mid-search",
+			len(interruptedEvents), len(baselineEvents))
+	}
+	if !bytes.HasPrefix(baselineEvents, interruptedEvents) {
+		t.Fatal("interrupted event stream is not a prefix of the uninterrupted stream")
+	}
+
+	// Restarted daemon: the suspended search resumes and converges to the
+	// baseline's bytes.
+	srvB2, err := serve.New(dirB, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := srvB2.ResumePending(); n != 1 {
+		t.Fatalf("restart resumed %d searches, want 1", n)
+	}
+	tsB2 := httptest.NewServer(srvB2.Handler())
+	defer tsB2.Close()
+	resumed := waitDone(t, tsB2.URL, id)
+	if resumed.Status != store.StatusDone {
+		t.Fatalf("resumed search ended %s: %s", resumed.Status, resumed.Error)
+	}
+	if !bytes.Equal(resumed.Result, baseline.Result) {
+		t.Errorf("resumed result differs from uninterrupted run:\nbaseline: %s\nresumed:  %s",
+			baseline.Result, resumed.Result)
+	}
+	resumedEvents, err := os.ReadFile(srvB2.Store().EventsPath(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resumedEvents, baselineEvents) {
+		t.Errorf("resumed event file differs from uninterrupted run (%d vs %d bytes)",
+			len(resumedEvents), len(baselineEvents))
+	}
+	// The live stream served the full (prefix-preloaded) log too.
+	resp, err := http.Get(tsB2.URL + "/v1/search/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed, baselineEvents) {
+		t.Error("resumed live stream differs from the uninterrupted stream")
+	}
+	if snap := srvB2.Metrics().Snapshot(); snap["serve.searches.resumed"] != 1 {
+		t.Errorf("serve.searches.resumed = %v, want 1", snap["serve.searches.resumed"])
+	}
+	srvB2.Drain()
+}
+
+// TestStoreStressCoalescing is the store race stress: 64 concurrent
+// clients over 8 distinct fingerprints. Exactly 8 searches may start, and
+// every client of a fingerprint must observe byte-identical result bytes.
+func TestStoreStressCoalescing(t *testing.T) {
+	srv, err := serve.New(t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const fingerprints = 8
+	const clientsPer = 8
+	results := make([][][]byte, fingerprints)
+	for i := range results {
+		results[i] = make([][]byte, clientsPer)
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, fingerprints*clientsPer)
+	for fp := 0; fp < fingerprints; fp++ {
+		for c := 0; c < clientsPer; c++ {
+			wg.Add(1)
+			go func(fp, c int) {
+				defer wg.Done()
+				// Distinct seeds are distinct fingerprints; tiny budget
+				// keeps 8 full searches cheap.
+				body := fmt.Sprintf(`{"app":"stencil","input":"200x200","seed":%d,"max_suggestions":25,"repeats":2,"final_repeats":2,"final_candidates":2}`, fp+1)
+				resp, err := http.Post(ts.URL+"/v1/search", "application/json", strings.NewReader(body))
+				if err != nil {
+					errc <- err
+					return
+				}
+				var sr statusResponse
+				err = json.NewDecoder(resp.Body).Decode(&sr)
+				resp.Body.Close()
+				if err != nil {
+					errc <- err
+					return
+				}
+				// Poll to terminal and record the result bytes this
+				// client observed.
+				deadline := time.Now().Add(120 * time.Second)
+				for !sr.Status.Finished() {
+					if time.Now().After(deadline) {
+						errc <- fmt.Errorf("fingerprint %d client %d: still %s", fp, c, sr.Status)
+						return
+					}
+					time.Sleep(10 * time.Millisecond)
+					r2, err := http.Get(ts.URL + "/v1/search/" + sr.ID)
+					if err != nil {
+						errc <- err
+						return
+					}
+					err = json.NewDecoder(r2.Body).Decode(&sr)
+					r2.Body.Close()
+					if err != nil {
+						errc <- err
+						return
+					}
+				}
+				if sr.Status != store.StatusDone {
+					errc <- fmt.Errorf("fingerprint %d ended %s: %s", fp, sr.Status, sr.Error)
+					return
+				}
+				results[fp][c] = sr.Result
+			}(fp, c)
+		}
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	for fp := range results {
+		for c := 1; c < clientsPer; c++ {
+			if !bytes.Equal(results[fp][c], results[fp][0]) {
+				t.Fatalf("fingerprint %d: client %d observed different result bytes", fp, c)
+			}
+		}
+	}
+	snap := srv.Metrics().Snapshot()
+	if snap["serve.searches.started"] != fingerprints {
+		t.Fatalf("serve.searches.started = %v, want exactly %d", snap["serve.searches.started"], fingerprints)
+	}
+	if snap["serve.searches.coalesced"] != fingerprints*(clientsPer-1) {
+		t.Fatalf("serve.searches.coalesced = %v, want %d", snap["serve.searches.coalesced"], fingerprints*(clientsPer-1))
+	}
+	if got := len(srv.Store().List()); got != fingerprints {
+		t.Fatalf("store holds %d entries, want %d", got, fingerprints)
+	}
+	srv.Drain()
+}

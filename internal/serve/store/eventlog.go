@@ -1,0 +1,103 @@
+// EventLog: the live, shared view of one search's telemetry stream.
+//
+// The search goroutine appends NDJSON lines through the io.Writer side
+// (behind a telemetry.JSONLSink with auto-flush, so every write is one or
+// more complete lines); any number of HTTP streaming handlers concurrently
+// read the log from arbitrary offsets and block for more. Closing the log
+// wakes every blocked reader and marks the stream complete — the daemon
+// closes it when the search finishes, fails, or is suspended by a drain,
+// which is what unblocks `GET /v1/search/{id}/events` clients.
+
+package store
+
+import "sync"
+
+// EventLog is an append-only, thread-safe byte log with change
+// notification. The zero value is not usable; use NewEventLog.
+type EventLog struct {
+	mu     sync.Mutex
+	buf    []byte
+	closed bool
+	// ch is closed and replaced on every append and on Close, so readers
+	// can select on "something changed" together with their own
+	// cancellation.
+	ch chan struct{}
+	// hook, when set, runs synchronously at the top of every Write, on the
+	// writer's goroutine and outside the log's lock. It is a testing seam:
+	// because the search goroutine writes its telemetry through this log, a
+	// blocking hook holds the search still at a known point, which is the
+	// only deterministic way to interrupt it "mid-search".
+	hook func()
+}
+
+// NewEventLog returns an empty, open log.
+func NewEventLog() *EventLog {
+	return &EventLog{ch: make(chan struct{})}
+}
+
+// Write appends p. It implements io.Writer so a telemetry sink can write
+// straight into the log; writing to a closed log is a silent no-op (the
+// search was already declared finished, nobody is listening).
+func (l *EventLog) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	hook := l.hook
+	l.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.closed && len(p) > 0 {
+		l.buf = append(l.buf, p...)
+		close(l.ch)
+		l.ch = make(chan struct{})
+	}
+	return len(p), nil
+}
+
+// SetWriteHook installs f to run at the top of every subsequent Write, on
+// the writer's goroutine, outside the log's lock (so a blocked hook stalls
+// only the writer, not readers). Testing seam; see the field comment.
+func (l *EventLog) SetWriteHook(f func()) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.hook = f
+}
+
+// Close marks the stream complete and wakes every blocked reader. Multiple
+// Closes are fine.
+func (l *EventLog) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.closed {
+		l.closed = true
+		close(l.ch)
+	}
+}
+
+// Next returns a copy of the bytes past off, whether the log is closed,
+// and a channel that signals the next change. When the returned data is
+// empty and closed is false, the reader should wait on the channel (or its
+// own cancellation) and call Next again.
+func (l *EventLog) Next(off int) (data []byte, closed bool, changed <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if off < len(l.buf) {
+		data = append([]byte(nil), l.buf[off:]...)
+	}
+	return data, l.closed, l.ch
+}
+
+// Bytes returns a copy of the full log contents.
+func (l *EventLog) Bytes() []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]byte(nil), l.buf...)
+}
+
+// Len returns the current length of the log.
+func (l *EventLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buf)
+}

@@ -1,0 +1,207 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestEntryLifecycleAndReload(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e, owner, err := st.Begin("k1", []byte(`{"app":"stencil"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !owner {
+		t.Fatal("first Begin not owner")
+	}
+	if e.Status() != StatusQueued {
+		t.Fatalf("status = %s, want queued", e.Status())
+	}
+
+	// A duplicate coalesces: same entry, not owner.
+	e2, owner2, err := st.Begin("k1", []byte(`ignored`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner2 || e2 != e {
+		t.Fatalf("duplicate Begin: owner=%v sameEntry=%v", owner2, e2 == e)
+	}
+	if string(e2.Request()) != `{"app":"stencil"}` {
+		t.Fatalf("coalesced request = %q, want the first request preserved", e2.Request())
+	}
+
+	e.Start()
+	e.Events().Write([]byte("{\"seq\":1}\n"))
+	if err := e.Complete([]byte(`{"final_sec":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-e.Done():
+	default:
+		t.Fatal("Done channel open after Complete")
+	}
+	result, errMsg, ok := e.Result()
+	if !ok || errMsg != "" || string(result) != `{"final_sec":1}` {
+		t.Fatalf("Result() = %q, %q, %v", result, errMsg, ok)
+	}
+
+	// Failures persist too.
+	f, owner, err := st.Begin("k2", []byte(`{}`))
+	if err != nil || !owner {
+		t.Fatalf("Begin k2: %v owner=%v", err, owner)
+	}
+	f.Start()
+	if err := f.Fail("boom"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A suspended entry persists only its request (and whatever the
+	// checkpoint left behind).
+	s, owner, err := st.Begin("k3", []byte(`{"seed":3}`))
+	if err != nil || !owner {
+		t.Fatalf("Begin k3: %v owner=%v", err, owner)
+	}
+	s.Start()
+	s.Suspend()
+	if s.Status() != StatusSuspended {
+		t.Fatalf("status = %s, want suspended", s.Status())
+	}
+
+	// Reload: terminal entries come back terminal, the in-flight one comes
+	// back suspended.
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, ok := st2.Get("k1")
+	if !ok || r1.Status() != StatusDone {
+		t.Fatalf("reloaded k1 status = %v", r1.Status())
+	}
+	result, _, _ = r1.Result()
+	if string(result) != `{"final_sec":1}` {
+		t.Fatalf("reloaded k1 result = %q", result)
+	}
+	r2, _ := st2.Get("k2")
+	if r2.Status() != StatusFailed {
+		t.Fatalf("reloaded k2 status = %v", r2.Status())
+	}
+	if _, errMsg, _ := r2.Result(); errMsg != "boom" {
+		t.Fatalf("reloaded k2 error = %q", errMsg)
+	}
+	r3, _ := st2.Get("k3")
+	if r3.Status() != StatusSuspended {
+		t.Fatalf("reloaded k3 status = %v", r3.Status())
+	}
+	if got := st2.List(); len(got) != 3 {
+		t.Fatalf("List() has %d entries, want 3", len(got))
+	}
+}
+
+func TestResumeClaimsExactlyOnce(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _, err := st.Begin("k", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Resume("k"); ok {
+		t.Fatal("Resume claimed a queued entry")
+	}
+	e.Suspend()
+
+	var wg sync.WaitGroup
+	claims := make(chan bool, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, ok := st.Resume("k")
+			claims <- ok
+		}()
+	}
+	wg.Wait()
+	close(claims)
+	n := 0
+	for ok := range claims {
+		if ok {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("%d concurrent Resume calls claimed the entry, want exactly 1", n)
+	}
+	if _, ok := st.Resume("missing"); ok {
+		t.Fatal("Resume claimed a missing key")
+	}
+}
+
+func TestEventLogStreaming(t *testing.T) {
+	l := NewEventLog()
+
+	// A reader that drains the log concurrently with writes sees every
+	// byte in order.
+	done := make(chan []byte)
+	go func() {
+		var got []byte
+		off := 0
+		for {
+			data, closed, changed := l.Next(off)
+			got = append(got, data...)
+			off += len(data)
+			if len(data) > 0 {
+				continue
+			}
+			if closed {
+				done <- got
+				return
+			}
+			<-changed
+		}
+	}()
+
+	var want []byte
+	for i := 0; i < 100; i++ {
+		line := []byte(fmt.Sprintf("{\"seq\":%d}\n", i))
+		want = append(want, line...)
+		if n, err := l.Write(line); n != len(line) || err != nil {
+			t.Fatalf("Write = %d, %v", n, err)
+		}
+	}
+	l.Close()
+	l.Close() // idempotent
+	if got := <-done; !bytes.Equal(got, want) {
+		t.Fatalf("streamed %d bytes, want %d", len(got), len(want))
+	}
+	if l.Len() != len(want) {
+		t.Fatalf("Len() = %d, want %d", l.Len(), len(want))
+	}
+	// Writes after Close are dropped.
+	l.Write([]byte("late\n"))
+	if !bytes.Equal(l.Bytes(), want) {
+		t.Fatal("write after Close mutated the log")
+	}
+}
+
+func TestOpenRejectsCorruptResult(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "k.req.json"), []byte(`{}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "k.result.json"), []byte(`{"status":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("Open accepted a torn result file")
+	}
+}

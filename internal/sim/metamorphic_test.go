@@ -1,0 +1,162 @@
+// Metamorphic properties of the simulator: relations between runs that
+// must hold for any application, machine, and mapping, checked across all
+// five benchmark applications at small shapes.
+//
+// The properties are deliberately the restricted, true ones. Broader
+// claims — "adding a node never slows any mapping down" — are false in
+// this machine model (a distributed mapping on a bigger machine moves more
+// halo traffic over the network while its parallelism is already
+// saturated), so the tests pin down exactly what does hold:
+//
+//  1. Scaling every communication channel's bandwidth up never increases
+//     the makespan (noise off, placement unchanged).
+//  2. A mapping that distributes nothing runs entirely on the leader node
+//     and is exactly invariant to the cluster size.
+//  3. The default (GPU-everything, distributed) mapping on Shepard never
+//     slows down as nodes are added, for a fixed task graph.
+package sim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"automap/internal/apps"
+	"automap/internal/cluster"
+	"automap/internal/mapper"
+	"automap/internal/mapping"
+	"automap/internal/sim"
+	"automap/internal/taskir"
+)
+
+// smallShapes is one small input per benchmark application.
+var smallShapes = []struct{ app, input string }{
+	{"circuit", "n50w200"},
+	{"htr", "8x8y9z"},
+	{"maestro", "r16k8"},
+	{"pennant", "320x90"},
+	{"stencil", "500x500"},
+}
+
+func buildSmall(t *testing.T, name, input string, nodes int) *taskir.Graph {
+	t.Helper()
+	app, err := apps.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := app.Build(input, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// leaderOnly returns mp with every task's distribution turned off.
+func leaderOnly(g *taskir.Graph, mp *mapping.Mapping) *mapping.Mapping {
+	lo := mp.Clone()
+	for _, t := range g.Tasks {
+		lo.SetDistribute(t.ID, false)
+	}
+	return lo
+}
+
+// TestBandwidthScalingNeverHurts: multiplying InterSocket, HostDevBW, and
+// NetworkBW by k >= 1 must never increase the simulated makespan. Checked
+// for every app, both paper machines, three mappings, three scale factors.
+func TestBandwidthScalingNeverHurts(t *testing.T) {
+	const nodes = 2
+	specs := []struct {
+		name string
+		spec cluster.NodeSpec
+	}{
+		{"shepard", cluster.ShepardNode()},
+		{"lassen", cluster.LassenNode()},
+	}
+	for _, sc := range smallShapes {
+		for _, ms := range specs {
+			t.Run(fmt.Sprintf("%s/%s", sc.app, ms.name), func(t *testing.T) {
+				g := buildSmall(t, sc.app, sc.input, nodes)
+				base := cluster.Build(ms.spec, nodes)
+				md := base.Model()
+				pool := []*mapping.Mapping{
+					mapper.Default(g, md),
+					mapper.AllZeroCopy(g, md),
+					leaderOnly(g, mapper.Default(g, md)),
+				}
+				for mi, mp := range pool {
+					r0, err := sim.Simulate(base, g, mp, sim.Config{})
+					if err != nil {
+						continue // infeasible here (e.g. 16 GB framebuffers): nothing to relate
+					}
+					for _, k := range []float64{1.5, 4, 16} {
+						spec := ms.spec
+						spec.InterSocket *= k
+						spec.HostDevBW *= k
+						spec.NetworkBW *= k
+						fast := cluster.Build(spec, nodes)
+						r1, err := sim.Simulate(fast, g, mp, sim.Config{})
+						if err != nil {
+							t.Fatalf("mapping %d became infeasible with bandwidth ×%g: %v", mi, k, err)
+						}
+						if r1.MakespanSec > r0.MakespanSec*(1+1e-12) {
+							t.Errorf("mapping %d: bandwidth ×%g increased makespan %.9f -> %.9f",
+								mi, k, r0.MakespanSec, r1.MakespanSec)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestLeaderOnlyMappingIsNodeCountInvariant: a mapping that distributes no
+// task uses only the leader node, so the makespan is exactly equal on a
+// 1-, 2-, and 4-node cluster.
+func TestLeaderOnlyMappingIsNodeCountInvariant(t *testing.T) {
+	for _, sc := range smallShapes {
+		t.Run(sc.app, func(t *testing.T) {
+			g := buildSmall(t, sc.app, sc.input, 1)
+			md := cluster.Shepard(1).Model()
+			mp := leaderOnly(g, mapper.Default(g, md))
+			var want float64
+			for i, n := range []int{1, 2, 4} {
+				m := cluster.Shepard(n)
+				r, err := sim.Simulate(m, g, mp, sim.Config{})
+				if err != nil {
+					t.Fatalf("nodes=%d: %v", n, err)
+				}
+				if i == 0 {
+					want = r.MakespanSec
+					continue
+				}
+				if r.MakespanSec != want {
+					t.Errorf("nodes=%d: makespan %.12f != 1-node %.12f", n, r.MakespanSec, want)
+				}
+			}
+		})
+	}
+}
+
+// TestDefaultMappingMonotoneOverShepardNodes: for a fixed task graph, the
+// distributed default mapping on Shepard never gets slower as the cluster
+// grows from 1 to 4 nodes.
+func TestDefaultMappingMonotoneOverShepardNodes(t *testing.T) {
+	for _, sc := range smallShapes {
+		t.Run(sc.app, func(t *testing.T) {
+			g := buildSmall(t, sc.app, sc.input, 1)
+			md := cluster.Shepard(1).Model()
+			mp := mapper.Default(g, md)
+			prev := 0.0
+			for i, n := range []int{1, 2, 3, 4} {
+				m := cluster.Shepard(n)
+				r, err := sim.Simulate(m, g, mp, sim.Config{})
+				if err != nil {
+					t.Fatalf("nodes=%d: %v", n, err)
+				}
+				if i > 0 && r.MakespanSec > prev*(1+1e-12) {
+					t.Errorf("nodes=%d: makespan %.9f > %d-node %.9f", n, r.MakespanSec, n-1, prev)
+				}
+				prev = r.MakespanSec
+			}
+		})
+	}
+}

@@ -37,11 +37,19 @@ type JSONLSink struct {
 	buf  bytes.Buffer
 	seq  int
 	skip int
+	auto bool
 	err  error
 }
 
 // NewJSONLSink returns a sink writing to w.
 func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{w: w} }
+
+// SetAutoFlush makes the sink forward every event to the underlying writer
+// as soon as it is emitted, instead of batching lines in the write buffer.
+// Streaming consumers — the mapd daemon's live event feeds — need each
+// complete line visible immediately; batch consumers (files read after the
+// search) should leave it off and keep the buffered fast path.
+func (s *JSONLSink) SetAutoFlush(on bool) { s.auto = on }
 
 // Resume makes the sink suppress the first seq events it receives while
 // still counting them, so a search replayed from a checkpoint (see
@@ -79,7 +87,7 @@ func (s *JSONLSink) Emit(e Event) {
 	}
 	s.buf.Write(b)
 	s.buf.WriteByte('\n')
-	if s.buf.Len() >= jsonlBufSize {
+	if s.auto || s.buf.Len() >= jsonlBufSize {
 		s.flushLocked()
 	}
 }

@@ -1,15 +1,18 @@
 #!/bin/sh
-# Static gate for the AutoMap reproduction: vet, race-enabled tests,
-# mapcheck over every bundled application's default mapping on both machine
-# models, and a telemetry smoke test (a short CCD search must emit a
-# parseable, deterministic event stream and metrics dump). Any failure
-# fails the gate. Run from the repository root, directly or via `make
-# check`.
+# Static gate for the AutoMap reproduction: vet, race-enabled tests, a
+# coverage ratchet, mapcheck over every bundled application's default
+# mapping on both machine models, and smoke tests for telemetry, worker
+# determinism, checkpoint/resume, checkpoint fuzzing, and the mapd daemon
+# binary. Any failure fails the gate. Run from the repository root,
+# directly or via `make check`.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 GO=${GO:-go}
+
+tdir=$(mktemp -d)
+trap 'rm -rf "$tdir"' EXIT
 
 echo "== go vet"
 $GO vet ./...
@@ -17,8 +20,24 @@ $GO vet ./...
 echo "== go test -race (short mode)"
 $GO test -race -short ./...
 
-echo "== go test (full, no race)"
-$GO test ./...
+echo "== go test (full, no race, with coverage)"
+$GO test -coverprofile="$tdir/cover.out" ./...
+
+echo "== coverage ratchet"
+# Total statement coverage must not regress below the recorded floor.
+# When coverage genuinely improves, raise scripts/coverage_floor.txt.
+total=$($GO tool cover -func="$tdir/cover.out" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+floor=$(cat scripts/coverage_floor.txt)
+awk -v t="$total" -v f="$floor" 'BEGIN {
+    if (t + 0 < f + 0) {
+        printf "coverage %.1f%% fell below the floor %.1f%% — add tests or lower scripts/coverage_floor.txt with justification\n", t, f
+        exit 1
+    }
+    printf "coverage %.1f%% (floor %.1f%%)\n", t, f
+}'
+
+echo "== checkpoint fuzz smoke"
+$GO test -fuzz FuzzLoadCheckpoint -fuzztime 5s -run '^$' ./internal/checkpoint
 
 echo "== mapcheck"
 $GO build -o bin/mapcheck ./cmd/mapcheck
@@ -31,8 +50,6 @@ done
 
 echo "== telemetry smoke"
 $GO build -o bin/automap ./cmd/automap
-tdir=$(mktemp -d)
-trap 'rm -rf "$tdir"' EXIT
 ./bin/automap search -app stencil -nodes 1 -seed 7 \
     -events "$tdir/e1.jsonl" -metrics "$tdir/m1.txt" >/dev/null
 ./bin/automap search -app stencil -nodes 1 -seed 7 \
@@ -69,5 +86,11 @@ cmp "$tdir/r_full.jsonl" "$tdir/r_part.jsonl" || {
     echo "resumed event stream differs from the uninterrupted run" >&2; exit 1; }
 cmp "$tdir/r_full.json" "$tdir/r_part.json" || {
     echo "resumed search found a different mapping" >&2; exit 1; }
+
+echo "== mapd daemon smoke"
+# Black-box exercise of the shipped daemon binary: coalescing, event
+# streaming, SIGTERM drain, and serving stored results across a restart.
+$GO build -o bin/mapd ./cmd/mapd
+$GO run ./scripts/mapdsmoke -mapd bin/mapd -dir "$tdir/mapd" -addr 127.0.0.1:18356
 
 echo "ci: all checks passed"
