@@ -28,7 +28,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"path/filepath"
+
+	"automap/internal/fsatomic"
 )
 
 // Version is the snapshot format version; Load rejects other versions
@@ -115,33 +116,15 @@ func (s *Snapshot) Fingerprint() string {
 	return hex.EncodeToString(h.Sum(nil)[:12])
 }
 
-// Save writes the snapshot atomically: marshal to a temporary file in the
-// destination directory, sync, then rename over the target, so a crash
-// mid-write never leaves a torn snapshot behind.
+// Save writes the snapshot atomically (fsatomic.WriteFile: temp + sync +
+// rename), so a crash mid-write never leaves a torn snapshot behind.
 func (s *Snapshot) Save(path string) error {
 	s.Version = Version
 	data, err := json.Marshal(s)
 	if err != nil {
 		return fmt.Errorf("checkpoint: marshal: %w", err)
 	}
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".ckpt-*.tmp")
-	if err != nil {
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return fmt.Errorf("checkpoint: write %s: %w", tmp.Name(), err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("checkpoint: sync %s: %w", tmp.Name(), err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("checkpoint: close %s: %w", tmp.Name(), err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := fsatomic.WriteFile(path, data); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	return nil

@@ -9,15 +9,18 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+
+	"automap/internal/fsatomic"
 )
 
-// SaveSpec writes a node specification as indented JSON.
+// SaveSpec writes a node specification as indented JSON. The write is
+// atomic (fsatomic.WriteFile) so a crash mid-save cannot tear a spec file.
 func SaveSpec(spec NodeSpec, path string) error {
 	data, err := json.MarshalIndent(spec, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	return fsatomic.WriteFile(path, data)
 }
 
 // LoadSpec reads a node specification written by SaveSpec (or authored by

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"os"
 
+	"automap/internal/fsatomic"
 	"automap/internal/machine"
 	"automap/internal/taskir"
 )
@@ -49,13 +50,15 @@ func (m *Mapping) Marshal(g *taskir.Graph) ([]byte, error) {
 	return json.MarshalIndent(f, "", "  ")
 }
 
-// Save writes the mapping as JSON, annotated with task names from g.
+// Save writes the mapping as JSON, annotated with task names from g. The
+// write is atomic (fsatomic.WriteFile): a saved mapping is the artifact a
+// search produces, and a crash mid-save must not tear a previous result.
 func (m *Mapping) Save(path string, g *taskir.Graph) error {
 	data, err := m.Marshal(g)
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	return fsatomic.WriteFile(path, data)
 }
 
 // Unmarshal parses mapping JSON produced by Marshal (or Save) and binds it

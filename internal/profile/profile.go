@@ -23,10 +23,10 @@ import (
 	"fmt"
 	"math"
 	"os"
-	"path/filepath"
 	"sort"
 	"sync"
 
+	"automap/internal/fsatomic"
 	"automap/internal/machine"
 	"automap/internal/mapping"
 	"automap/internal/sim"
@@ -174,38 +174,14 @@ func (sp *Space) ArgsBySize(t taskir.TaskID) []int {
 	return out
 }
 
-// Save writes the space file as indented JSON. The write is atomic: a
-// crash mid-save leaves any previous file intact.
+// Save writes the space file as indented JSON. The write is atomic
+// (fsatomic.WriteFile): a crash mid-save leaves any previous file intact.
 func (sp *Space) Save(path string) error {
 	data, err := json.MarshalIndent(sp, "", "  ")
 	if err != nil {
 		return err
 	}
-	return atomicWriteFile(path, data)
-}
-
-// atomicWriteFile writes data to a temporary file in path's directory,
-// syncs it, and renames it over path.
-func atomicWriteFile(path string, data []byte) error {
-	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	tmp := f.Name()
-	_, err = f.Write(data)
-	if err == nil {
-		err = f.Sync()
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err == nil {
-		err = os.Rename(tmp, path)
-	}
-	if err != nil {
-		os.Remove(tmp)
-	}
-	return err
+	return fsatomic.WriteFile(path, data)
 }
 
 // Load reads a space file previously written by Save.
@@ -330,7 +306,7 @@ func (db *DB) Save(path string) error {
 	if err != nil {
 		return err
 	}
-	return atomicWriteFile(path, data)
+	return fsatomic.WriteFile(path, data)
 }
 
 // LoadDB reads a profiles database written by Save.

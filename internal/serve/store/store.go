@@ -29,6 +29,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"automap/internal/fsatomic"
 )
 
 // Status is the lifecycle state of one entry.
@@ -365,28 +367,11 @@ func (s *Store) Resume(key string) (*Entry, bool) {
 	return e, true
 }
 
-// writeAtomic writes data to path via a temporary file in the same
-// directory, synced and renamed over the target — the same crash-safety
-// discipline as checkpoint.Snapshot.Save.
+// writeAtomic writes data to path with the shared crash-safety discipline
+// (fsatomic.WriteFile: temp + sync + rename), wrapping errors with the
+// store's prefix.
 func writeAtomic(path string, data []byte) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".store-*.tmp")
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return fmt.Errorf("store: write %s: %w", tmp.Name(), err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("store: sync %s: %w", tmp.Name(), err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("store: close %s: %w", tmp.Name(), err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := fsatomic.WriteFile(path, data); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	return nil
