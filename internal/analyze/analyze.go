@@ -64,6 +64,7 @@ func DefaultPasses() []Pass {
 		distributePass{},
 		deadNodePass{},
 		colocationPass{},
+		capacityPass{},
 		feasibilityPass{},
 	}
 }
@@ -99,8 +100,13 @@ func Check(m *machine.Machine, g *taskir.Graph, mp *mapping.Mapping) *Report {
 // would fail with an OOMError. The race and dead-node passes are excluded —
 // their findings are properties of the program, not of the candidate, so
 // pruning on them would veto every mapping of the program alike.
+// The capacity pass runs before feasibility: a lower-bound proof is
+// strictly contained in the exact placement verdict, so it never changes
+// the pruning set — it only explains provable misfits more cheaply (see
+// also analyze.ProvablyOOM, the allocation-free fast path the search's
+// PruningEvaluator consults first).
 func executabilityPasses() []Pass {
-	return []Pass{variantPass{}, legalityPass{}, feasibilityPass{}}
+	return []Pass{variantPass{}, legalityPass{}, capacityPass{}, feasibilityPass{}}
 }
 
 // Infeasible reports whether mapping mp is statically unexecutable on

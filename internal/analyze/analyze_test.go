@@ -174,6 +174,21 @@ func TestPassGolden(t *testing.T) {
 			},
 		},
 		{
+			name: "capacity",
+			pass: "capacity",
+			ctx: func(t *testing.T) *analyze.Context {
+				// 512 KiB of FrameBuffer and of Zero-Copy: the 2 MiB
+				// collection cannot fit the GPU-addressable kinds combined,
+				// so the lower-bound prover fires without a placement walk.
+				m := tinyGPUMachine(1 << 19)
+				g := taskir.NewGraph("capacity-demo")
+				c := g.AddCollection(taskir.Collection{Name: "data", Space: "d", Lo: 0, Hi: 2 << 20, Partitioned: true})
+				g.AddTask(taskir.GroupTask{Name: "kernel", Points: 4, Variants: bothVariants(),
+					Args: []taskir.Arg{{Collection: c.ID, Privilege: taskir.ReadWrite, BytesPerPoint: 64}}})
+				return &analyze.Context{Graph: g, Machine: m, Mapping: mapping.Default(g, m.Model())}
+			},
+		},
+		{
 			name: "feasibility_oom",
 			pass: "feasibility",
 			ctx: func(t *testing.T) *analyze.Context {

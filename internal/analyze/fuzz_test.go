@@ -17,6 +17,9 @@ import (
 //  2. soundness of Error severity — a mapping with Error diagnostics must
 //     actually be unexecutable: mapping.Validate rejects it or sim.Simulate
 //     fails. (The converse — completeness — is the cross-check test's job.)
+//  3. soundness of the capacity lower-bound prover — on a mapping that
+//     validates, a ProvablyOOM verdict must come with a placement failure,
+//     because the search prunes on that verdict without confirmation.
 func FuzzAnalyze(f *testing.F) {
 	f.Add(uint8(2), uint8(3), int64(1<<20), []byte{})
 	f.Add(uint8(3), uint8(2), int64(4<<20), []byte{0, 2})          // move a task to GPU
@@ -36,6 +39,14 @@ func FuzzAnalyze(f *testing.F) {
 			if err := mp.Validate(g, md); err == nil {
 				if _, simErr := sim.Simulate(m, g, mp, sim.Config{}); simErr == nil {
 					t.Fatalf("Error diagnostics on a mapping that validates and executes:\n%s", rep)
+				}
+			}
+		}
+
+		if analyze.ProvablyOOM(m, g, mp) { // must not panic either
+			if err := mp.Validate(g, md); err == nil {
+				if _, planErr := sim.PlanPlacement(m, g, mp); planErr == nil {
+					t.Fatalf("capacity prover unsound: ProvablyOOM=true but placement succeeded for %s", mp.Key())
 				}
 			}
 		}

@@ -34,6 +34,15 @@ const DefaultCheckCostSec = 0.01
 // inner evaluator would have failed with an OOMError (after executing it).
 // The search trajectory is therefore unchanged; only the wasted simulations
 // are saved.
+//
+// Checks are two-staged. The capacity lower-bound prover
+// (analyze.ProvablyOOM) runs first: a counting argument over irreducible
+// per-node footprints that needs no placement walk and no allocation-heavy
+// analysis, yet is sound — a positive verdict implies the feasibility pass
+// would reject the mapping too. Only candidates it cannot settle pay for the
+// full static analysis. The staging changes cost, never coverage: Checked
+// and Pruned move exactly as before, and PrunedLB records how many pruned
+// verdicts the cheap stage settled.
 type PruningEvaluator struct {
 	inner Evaluator
 	m     *machine.Machine
@@ -45,7 +54,7 @@ type PruningEvaluator struct {
 
 	// verdict caches infeasibility per canonical mapping key. It is the
 	// committed cache: only Evaluate writes it (and moves the counters).
-	verdict map[string]bool
+	verdict map[string]pruneVerdict
 
 	// spec caches verdicts computed speculatively by Prefetch, without
 	// the counter/overhead side effects; Evaluate consults it so a fresh
@@ -53,17 +62,43 @@ type PruningEvaluator struct {
 	// observable effects (Checked++, metrics, ChargeOverhead). specMu
 	// guards it against overlapping Prefetch calls.
 	specMu sync.Mutex
-	spec   map[string]bool
+	spec   map[string]pruneVerdict
 
 	// Checked counts fresh static checks; Pruned counts evaluations
 	// answered statically (including cached re-suggestions of pruned
-	// candidates).
-	Checked int
-	Pruned  int
+	// candidates). PrunedLB counts the subset of Pruned whose verdict
+	// came from the capacity lower-bound prover alone, without running
+	// the full analysis.
+	Checked  int
+	Pruned   int
+	PrunedLB int
 
 	// Metric instruments; nil (no-op) until SetObserver.
-	mChecked *telemetry.Counter
-	mPruned  *telemetry.Counter
+	mChecked  *telemetry.Counter
+	mPruned   *telemetry.Counter
+	mPrunedLB *telemetry.Counter
+}
+
+// pruneVerdict is one cached static verdict. lb records that the capacity
+// lower-bound prover alone settled the question — the full analysis never
+// ran — so the cheap path can be accounted separately (PrunedLB,
+// search.eval.pruned_lb) without perturbing the Checked/Pruned counters the
+// determinism goldens pin down.
+type pruneVerdict struct {
+	bad bool
+	lb  bool
+}
+
+// check runs the two-stage static verdict: the allocation-light capacity
+// lower-bound prover first (analyze.ProvablyOOM — sound, so a positive
+// answer needs no confirmation), then the full executability analysis.
+// Pruning stays exact either way: ProvablyOOM implies the feasibility pass
+// would report the same mapping out of memory.
+func (e *PruningEvaluator) check(mp *mapping.Mapping) pruneVerdict {
+	if analyze.ProvablyOOM(e.m, e.g, mp) {
+		return pruneVerdict{bad: true, lb: true}
+	}
+	return pruneVerdict{bad: analyze.Infeasible(e.m, e.g, mp)}
 }
 
 // NewPruningEvaluator wraps inner with static pre-pruning for program g on
@@ -74,48 +109,54 @@ func NewPruningEvaluator(inner Evaluator, m *machine.Machine, g *taskir.Graph) *
 		m:            m,
 		g:            g,
 		CheckCostSec: DefaultCheckCostSec,
-		verdict:      make(map[string]bool),
-		spec:         make(map[string]bool),
+		verdict:      make(map[string]pruneVerdict),
+		spec:         make(map[string]pruneVerdict),
 	}
 }
 
 // SetObserver attaches telemetry: fresh static checks and pruned verdicts
-// are counted as search.eval.prune_checks and search.eval.pruned.
+// are counted as search.eval.prune_checks and search.eval.pruned, with the
+// capacity-prover subset broken out as search.eval.pruned_lb.
 func (e *PruningEvaluator) SetObserver(obs *telemetry.Observer) {
 	e.mChecked = obs.Counter("search.eval.prune_checks")
 	e.mPruned = obs.Counter("search.eval.pruned")
+	e.mPrunedLB = obs.Counter("search.eval.pruned_lb")
 }
 
 // Evaluate returns an immediate failed verdict for statically infeasible
 // candidates and otherwise delegates to the inner evaluator.
 func (e *PruningEvaluator) Evaluate(mp *mapping.Mapping) Evaluation {
 	key := mp.Key()
-	bad, seen := e.verdict[key]
+	v, seen := e.verdict[key]
 	if !seen {
 		// A speculative verdict from Prefetch answers the analysis
 		// question, but the check's observable effects still commit
 		// here, exactly as if the analysis ran now.
 		e.specMu.Lock()
-		specBad, specSeen := e.spec[key]
+		specV, specSeen := e.spec[key]
 		if specSeen {
 			delete(e.spec, key)
 		}
 		e.specMu.Unlock()
 		if specSeen {
-			bad = specBad
+			v = specV
 		} else {
-			bad = analyze.Infeasible(e.m, e.g, mp)
+			v = e.check(mp)
 		}
-		e.verdict[key] = bad
+		e.verdict[key] = v
 		e.Checked++
 		e.mChecked.Add(1)
 		if e.CheckCostSec > 0 {
 			e.inner.ChargeOverhead(e.CheckCostSec)
 		}
 	}
-	if bad {
+	if v.bad {
 		e.Pruned++
 		e.mPruned.Add(1)
+		if v.lb {
+			e.PrunedLB++
+			e.mPrunedLB.Add(1)
+		}
 		return Evaluation{MeanSec: math.Inf(1), Failed: true, Cached: seen, Pruned: true}
 	}
 	return e.inner.Evaluate(mp)
@@ -131,22 +172,22 @@ func (e *PruningEvaluator) Prefetch(cands []*mapping.Mapping) {
 	feasible := cands[:0:0]
 	for _, mp := range cands {
 		key := mp.Key()
-		if bad, seen := e.verdict[key]; seen {
-			if !bad {
+		if v, seen := e.verdict[key]; seen {
+			if !v.bad {
 				feasible = append(feasible, mp)
 			}
 			continue
 		}
 		e.specMu.Lock()
-		bad, seen := e.spec[key]
+		v, seen := e.spec[key]
 		e.specMu.Unlock()
 		if !seen {
-			bad = analyze.Infeasible(e.m, e.g, mp)
+			v = e.check(mp)
 			e.specMu.Lock()
-			e.spec[key] = bad
+			e.spec[key] = v
 			e.specMu.Unlock()
 		}
-		if !bad {
+		if !v.bad {
 			feasible = append(feasible, mp)
 		}
 	}

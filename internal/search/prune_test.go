@@ -125,3 +125,92 @@ func TestCCDPrePruning(t *testing.T) {
 	t.Logf("best %.4gs; simulator calls %d → %d (%d statically pruned, %d fresh checks)",
 		outPruned.BestSec, baseInner.simCalls, prunedInner.simCalls, pruner.Pruned, pruner.Checked)
 }
+
+// TestCCDCapacityPruning pins the contract of the capacity lower-bound
+// prover inside the search: on memory-starved machines the two-stage check
+// settles some verdicts without the full analysis (PrunedLB > 0), pruning
+// strictly grows relative to an unpruned run (fewer simulator calls), and —
+// because the prover is sound and pruning exact — the optimum mapping is
+// byte-identical to the one the unpruned search finds.
+func TestCCDCapacityPruning(t *testing.T) {
+	cases := []struct {
+		app     string
+		input   string
+		fbBytes int64
+		zcBytes int64
+	}{
+		// Stencil commits ≈4 MB of grids and halos per sweep; 2.5 MiB of
+		// FrameBuffer + 1 MiB of Zero-Copy rules out all-GPU placements.
+		{"stencil", "500x500", 5 << 19, 1 << 20},
+		// Circuit's n6400w25600 wires/nodes state outgrows a 1 MiB device.
+		{"circuit", "n6400w25600", 1 << 19, 1 << 19},
+	}
+	for _, tc := range cases {
+		t.Run(tc.app, func(t *testing.T) {
+			app, err := apps.Get(tc.app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := app.Build(tc.input, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec := cluster.ShepardNode()
+			spec.FrameBufBytes = tc.fbBytes
+			spec.ZeroCopyBytes = tc.zcBytes
+			spec.Name = "shepard-starved"
+			m := cluster.Build(spec, 1)
+			md := m.Model()
+
+			start := mapping.Default(g, md)
+			for _, tk := range g.Tasks {
+				start.SetProc(tk.ID, machine.CPU)
+				start.RebuildPriorityLists(md, tk.ID)
+			}
+			sp, err := profile.Extract(m, g, start, sim.Config{})
+			if err != nil {
+				t.Fatalf("profiling the starting mapping: %v", err)
+			}
+			prob := &search.Problem{
+				Graph:   g,
+				Model:   md,
+				Space:   sp,
+				Overlap: overlap.Build(g),
+				Start:   start,
+			}
+			budget := search.Budget{}
+
+			baseInner := newCountingEval(m, g)
+			outBase := search.NewCCD().Search(prob, baseInner, budget)
+
+			prunedInner := newCountingEval(m, g)
+			pruner := search.NewPruningEvaluator(prunedInner, m, g)
+			outPruned := search.NewCCD().Search(prob, pruner, budget)
+
+			if outBase.Best == nil || outPruned.Best == nil {
+				t.Fatalf("search returned no best mapping: base=%v pruned=%v", outBase.Best, outPruned.Best)
+			}
+			if got, want := outPruned.Best.Key(), outBase.Best.Key(); got != want {
+				t.Errorf("pruning changed the optimum mapping:\n  base   %s\n  pruned %s", want, got)
+			}
+			if outPruned.BestSec != outBase.BestSec {
+				t.Errorf("pruning changed the optimum cost: base=%g pruned=%g", outBase.BestSec, outPruned.BestSec)
+			}
+			if pruner.Pruned == 0 {
+				t.Error("no candidates pruned; the starved machine should make some GPU placements infeasible")
+			}
+			if pruner.PrunedLB == 0 {
+				t.Error("capacity prover settled no verdicts (PrunedLB=0); the fixture should be provably over capacity")
+			}
+			if pruner.PrunedLB > pruner.Pruned {
+				t.Errorf("PrunedLB (%d) exceeds Pruned (%d)", pruner.PrunedLB, pruner.Pruned)
+			}
+			if prunedInner.simCalls >= baseInner.simCalls {
+				t.Errorf("pruning saved no simulator calls: base=%d pruned=%d", baseInner.simCalls, prunedInner.simCalls)
+			}
+			t.Logf("best %.4gs; sim calls %d → %d; pruned %d (%d by the capacity prover) over %d checks",
+				outPruned.BestSec, baseInner.simCalls, prunedInner.simCalls,
+				pruner.Pruned, pruner.PrunedLB, pruner.Checked)
+		})
+	}
+}
