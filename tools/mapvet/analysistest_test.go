@@ -1,0 +1,219 @@
+// A golden-comment test harness in the style of
+// golang.org/x/tools/go/analysis/analysistest: fixture files under
+// testdata/<analyzer>/ carry `// want "regexp"` comments on the lines where
+// the analyzer must report, and every diagnostic must be matched by exactly
+// one want comment. Clean fixtures (no want comments) prove the analyzer
+// stays silent on conforming code.
+
+package main
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// wantRe matches one expectation inside a want comment.
+var wantRe = regexp.MustCompile(`want (?:"((?:[^"\\]|\\.)*)")`)
+
+// expectation is one `// want "re"` comment.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// runAnalyzerTest type-checks the fixture package in dir and asserts the
+// analyzer's diagnostics equal the fixture's want comments. The analyzer's
+// Applies scoping is deliberately bypassed: fixtures state the invariant,
+// the driver states where it is in force.
+func runAnalyzerTest(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{Importer: fixtureImporter(fset)}
+	info := newInfo()
+	pkg, err := conf.Check("fixture", fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixtures: %v", err)
+	}
+
+	var diags []Diagnostic
+	runAnalyzer(a, &checkedPackage{
+		ImportPath: "fixture",
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+	}, &diags)
+	sortDiagnostics(diags)
+
+	wants := collectWants(t, fset, files)
+	for _, d := range diags {
+		if !matchWant(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// collectWants extracts every want expectation from the fixtures.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.Contains(c.Text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					wants = append(wants, &expectation{
+						file: pos.Filename,
+						line: pos.Line,
+						re:   re,
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// matchWant pairs a diagnostic with an unmatched expectation on its line.
+func matchWant(wants []*expectation, d Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.Msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// fixtureImporter resolves the stdlib imports fixtures are allowed to use.
+// Fixtures import only the standard library, so the fast export-data
+// importer suffices; no positions inside imported packages are reported.
+func fixtureImporter(fset *token.FileSet) types.Importer {
+	_ = fset
+	return importer.Default()
+}
+
+// TestAnalyzerDocs keeps the registry presentable: every analyzer must have
+// a name, a doc line, a scope, and a Run hook.
+func TestAnalyzerDocs(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, a := range analyzers {
+		switch {
+		case a.Name == "":
+			t.Error("analyzer with empty name")
+		case seen[a.Name]:
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		case a.Doc == "":
+			t.Errorf("%s: missing doc", a.Name)
+		case a.Applies == nil:
+			t.Errorf("%s: missing Applies scope", a.Name)
+		case a.Run == nil:
+			t.Errorf("%s: missing Run", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}
+
+// TestScopes pins each analyzer to the packages its invariant names, and
+// keeps every analyzer out of the packages that legitimately do what it
+// forbids (rt reads the wall clock for real execution; fsatomic opens raw
+// files; telemetry appends to event streams).
+func TestScopes(t *testing.T) {
+	cases := []struct {
+		analyzer *Analyzer
+		in       []string
+		out      []string
+	}{
+		{
+			nowallclockAnalyzer,
+			[]string{"automap/internal/sim", "automap/internal/search", "automap/internal/driver",
+				"automap/internal/checkpoint", "automap/internal/mapping", "automap/internal/overlap",
+				"automap/internal/xrand"},
+			[]string{"automap/internal/rt", "automap/cmd/automap", "automap/internal/telemetry"},
+		},
+		{
+			sortedmapsAnalyzer,
+			[]string{"automap/internal/machine", "automap/internal/rt", "automap/internal/telemetry",
+				"automap/internal/serve", "automap/internal/serve/store", "automap/internal/analyze"},
+			[]string{"automap/internal/apps", "automap/internal/search"},
+		},
+		{
+			atomicwriteAnalyzer,
+			[]string{"automap/internal/checkpoint", "automap/internal/mapping", "automap/internal/cluster",
+				"automap/internal/profile", "automap/internal/serve/store"},
+			[]string{"automap/internal/fsatomic", "automap/internal/serve", "automap/internal/telemetry"},
+		},
+		{
+			ctxgoroutineAnalyzer,
+			[]string{"automap/internal/serve", "automap/internal/driver"},
+			[]string{"automap/internal/rt", "automap/internal/search"},
+		},
+		{
+			errfactAnalyzer,
+			[]string{"automap/internal/rt", "automap/internal/serve", "automap/internal/serve/store",
+				"automap/internal/telemetry", "automap/internal/checkpoint", "automap/cmd/automap", "automap/cmd/mapd"},
+			[]string{"automap/internal/sim", "automap/internal/machine"},
+		},
+	}
+	for _, tc := range cases {
+		for _, p := range tc.in {
+			if !tc.analyzer.Applies(p) {
+				t.Errorf("%s: should apply to %s", tc.analyzer.Name, p)
+			}
+		}
+		for _, p := range tc.out {
+			if tc.analyzer.Applies(p) {
+				t.Errorf("%s: should NOT apply to %s", tc.analyzer.Name, p)
+			}
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// atomicwrite: persistence packages must write through the atomic
+// temp+sync+rename helper.
+
+package main
+
+import (
+	"go/ast"
+)
+
+// atomicwriteAnalyzer forbids direct os.WriteFile/os.Create calls in the
+// packages that persist crash-safe artifacts: checkpoints, mapping and
+// machine-spec files, profile databases, and the mapd result store. A torn
+// write in any of them corrupts state that a later run (or a resumed
+// search) trusts; internal/fsatomic.WriteFile is the single blessed path
+// (temp file in the destination directory, write, fsync, rename).
+//
+// fsatomic itself is deliberately outside the scope — it is the one place
+// allowed to open raw files. Append-only event streams (telemetry, search
+// event logs) are also out of scope: they are recoverable by design and an
+// atomic rewrite per event would be wrong.
+var atomicwriteAnalyzer = &Analyzer{
+	Name: "atomicwrite",
+	Doc: "forbid direct os.WriteFile/os.Create on persistence paths " +
+		"(checkpoint, mapping, cluster, profile, serve/store): use fsatomic.WriteFile",
+	Applies: scopedTo(
+		"automap/internal/checkpoint",
+		"automap/internal/mapping",
+		"automap/internal/cluster",
+		"automap/internal/profile",
+		"automap/internal/serve/store",
+	),
+	Run: runAtomicWrite,
+}
+
+func runAtomicWrite(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := pkgFunc(pass.Info, call)
+			if !ok || pkg != "os" {
+				return true
+			}
+			switch name {
+			case "WriteFile":
+				pass.Reportf(call.Pos(),
+					"os.WriteFile on a persistence path can tear on crash: use fsatomic.WriteFile (temp+sync+rename)")
+			case "Create":
+				pass.Reportf(call.Pos(),
+					"os.Create truncates in place; a crash mid-write corrupts the previous artifact: use fsatomic.WriteFile")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,7 @@
+package main
+
+import "testing"
+
+func TestAtomicWrite(t *testing.T) {
+	runAnalyzerTest(t, atomicwriteAnalyzer, "testdata/atomicwrite")
+}

@@ -1,0 +1,82 @@
+// ctxgoroutine: long-lived packages must not leak goroutines.
+
+package main
+
+import (
+	"go/ast"
+)
+
+// ctxgoroutineAnalyzer requires every goroutine spawned in the serving and
+// driving layers to be tied to a lifecycle: the spawned code (or its
+// arguments) must reference a context.Context, a sync.WaitGroup, or an
+// errgroup-style Group. An untied goroutine in mapd or the driver outlives
+// Close(), races the test harness, and turns clean shutdowns into hangs —
+// the -race serve e2e run exists to catch exactly the bugs this analyzer
+// rejects statically.
+//
+// A goroutine that is genuinely fire-and-forget must say so:
+// `//mapvet:detached <reason>` on the `go` statement (or the line above).
+var ctxgoroutineAnalyzer = &Analyzer{
+	Name: "ctxgoroutine",
+	Doc: "require goroutines in serve and driver to be tied to a context.Context or " +
+		"sync.WaitGroup (or annotated //mapvet:detached)",
+	Applies: scopedTo(
+		"automap/internal/serve",
+		"automap/internal/driver",
+	),
+	Run: runCtxGoroutine,
+}
+
+// lifecycleTypes are the types whose presence in the spawned expression
+// counts as tying the goroutine to a lifecycle.
+var lifecycleTypes = map[string]bool{
+	"context.Context": true,
+	"sync.WaitGroup":  true,
+}
+
+func runCtxGoroutine(pass *Pass) {
+	for _, file := range pass.Files {
+		directives := lineDirectives(pass.Fset, file, "detached")
+		ast.Inspect(file, func(n ast.Node) bool {
+			gostmt, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if reason, ok := directiveFor(pass.Fset, directives, gostmt.Go); ok {
+				if reason == "" {
+					pass.Reportf(gostmt.Go, "//mapvet:detached needs a reason: say who reaps this goroutine")
+				}
+				return true
+			}
+			if !referencesLifecycle(pass, gostmt) {
+				pass.Reportf(gostmt.Go,
+					"goroutine is not tied to a context.Context or sync.WaitGroup: it can outlive Close/shutdown (annotate //mapvet:detached if that is intended)")
+			}
+			return true
+		})
+	}
+}
+
+// referencesLifecycle reports whether any expression inside the go
+// statement (the callee, its arguments, or a function literal's body) has a
+// lifecycle type or selects a method on one.
+func referencesLifecycle(pass *Pass, gostmt *ast.GoStmt) bool {
+	found := false
+	ast.Inspect(gostmt.Call, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if tv, ok := pass.Info.Types[expr]; ok && tv.Type != nil {
+			if lifecycleTypes[namedType(tv.Type)] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

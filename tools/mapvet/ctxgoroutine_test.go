@@ -1,0 +1,7 @@
+package main
+
+import "testing"
+
+func TestCtxGoroutine(t *testing.T) {
+	runAnalyzerTest(t, ctxgoroutineAnalyzer, "testdata/ctxgoroutine")
+}

@@ -1,0 +1,95 @@
+// errfact: error classification must survive wrapping.
+
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// errfactAnalyzer enforces errors.Is/errors.As discipline on the paths that
+// classify failures: the runtime's retry/permanence decisions, the serving
+// stack's not-found handling, checkpoint/telemetry recovery, and the CLI.
+// Two patterns are flagged:
+//
+//   - `err == sentinel` / `err != sentinel` between two error-typed
+//     operands: the comparison silently turns false the day someone wraps
+//     the sentinel with fmt.Errorf("...: %w", ...), converting a permanent
+//     error into an infinitely retried one (or vice versa). Comparisons
+//     with nil stay idiomatic and allowed.
+//   - os.IsNotExist/IsExist/IsPermission/IsTimeout: these predate wrapping
+//     and do not unwrap; errors.Is(err, fs.ErrNotExist) is the correct
+//     spelling.
+var errfactAnalyzer = &Analyzer{
+	Name: "errfact",
+	Doc: "require errors.Is/errors.As on error-classification paths " +
+		"(rt, checkpoint, telemetry, serve, serve/store, cmd/automap, cmd/mapd)",
+	Applies: scopedTo(
+		"automap/internal/rt",
+		"automap/internal/checkpoint",
+		"automap/internal/telemetry",
+		"automap/internal/serve",
+		"automap/internal/serve/store",
+		"automap/cmd/automap",
+		"automap/cmd/mapd",
+	),
+	Run: runErrFact,
+}
+
+// legacyErrPredicates are the non-unwrapping os predicates and their
+// errors.Is replacements.
+var legacyErrPredicates = map[string]string{
+	"IsNotExist":   "errors.Is(err, fs.ErrNotExist)",
+	"IsExist":      "errors.Is(err, fs.ErrExist)",
+	"IsPermission": "errors.Is(err, fs.ErrPermission)",
+	"IsTimeout":    "errors.Is(err, os.ErrDeadlineExceeded)",
+}
+
+func runErrFact(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if isErrorTyped(pass.Info, n.X) && isErrorTyped(pass.Info, n.Y) &&
+					!isNil(pass.Info, n.X) && !isNil(pass.Info, n.Y) {
+					pass.Reportf(n.OpPos,
+						"error compared with %s breaks under wrapping: use errors.Is (or errors.As for typed inspection)", n.Op)
+				}
+			case *ast.CallExpr:
+				pkg, name, ok := pkgFunc(pass.Info, n)
+				if ok && pkg == "os" {
+					if repl, legacy := legacyErrPredicates[name]; legacy {
+						pass.Reportf(n.Pos(),
+							"os.%s does not unwrap wrapped errors: use %s", name, repl)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isErrorTyped reports whether e's static type is exactly the error
+// interface (concrete error implementations compare structurally and are
+// allowed).
+func isErrorTyped(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj() == types.Universe.Lookup("error")
+}
+
+// isNil reports whether e is the untyped nil.
+func isNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	return ok && tv.IsNil()
+}

@@ -1,0 +1,7 @@
+package main
+
+import "testing"
+
+func TestErrFact(t *testing.T) {
+	runAnalyzerTest(t, errfactAnalyzer, "testdata/errfact")
+}

@@ -1,0 +1,3 @@
+module automap/tools/mapvet
+
+go 1.22

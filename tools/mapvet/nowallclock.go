@@ -1,0 +1,69 @@
+// nowallclock: the deterministic core must not read the wall clock or the
+// global random source.
+
+package main
+
+import (
+	"go/ast"
+)
+
+// nowallclockAnalyzer forbids wall-clock reads and global math/rand use in
+// the packages whose outputs must be a pure function of their inputs: the
+// simulator (its clock is simulated), the search (reproducible trajectories
+// from a seed), the driver (golden-tested end to end), checkpointing
+// (resume must replay byte-identically), mapping (canonical keys are cache
+// and fingerprint identities), overlap, and xrand (the seeded generator
+// everything else must inject).
+//
+// time.Now in these packages silently couples results to the host; a global
+// rand call bypasses the seeded *xrand.Rand and breaks worker-count
+// invariance. Wall-clock use belongs in cmd/ and rt (real telemetry
+// timestamps), never here.
+var nowallclockAnalyzer = &Analyzer{
+	Name: "nowallclock",
+	Doc: "forbid time.Now/time.Since and global math/rand in the deterministic core " +
+		"(sim, search, driver, checkpoint, mapping, overlap, xrand)",
+	Applies: scopedTo(
+		"automap/internal/sim",
+		"automap/internal/search",
+		"automap/internal/driver",
+		"automap/internal/checkpoint",
+		"automap/internal/mapping",
+		"automap/internal/overlap",
+		"automap/internal/xrand",
+	),
+	Run: runNoWallClock,
+}
+
+// forbiddenTimeFuncs are the package-level time functions that read or wait
+// on the wall clock. Constructors like time.Duration arithmetic and
+// time.Unix (pure conversions) stay allowed.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+func runNoWallClock(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := pkgFunc(pass.Info, call)
+			if !ok {
+				return true
+			}
+			switch {
+			case pkg == "time" && forbiddenTimeFuncs[name]:
+				pass.Reportf(call.Pos(),
+					"time.%s reads the wall clock in a deterministic package: results must be a pure function of inputs (use the simulated clock or accept a timestamp parameter)", name)
+			case pkg == "math/rand" || pkg == "math/rand/v2":
+				pass.Reportf(call.Pos(),
+					"global %s.%s bypasses the seeded generator: inject a *xrand.Rand so runs reproduce from a seed", pkg, name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,7 @@
+package main
+
+import "testing"
+
+func TestNoWallClock(t *testing.T) {
+	runAnalyzerTest(t, nowallclockAnalyzer, "testdata/nowallclock")
+}

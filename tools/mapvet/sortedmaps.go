@@ -1,0 +1,165 @@
+// sortedmaps: map iteration must not leak nondeterministic order into
+// outputs.
+
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// sortedmapsAnalyzer guards the packages whose outputs are golden-tested,
+// fingerprinted, or served: a `range` over a map there is a latent
+// determinism bug, because Go randomizes iteration order per run. Every
+// map range in a scoped package must be one of:
+//
+//   - a sorted-keys idiom: the loop body only collects keys (or values)
+//     into a slice that the same function subsequently passes to
+//     sort.* / slices.Sort*, or
+//   - explicitly annotated `//mapvet:unordered <reason>` on the loop (or
+//     the line above), asserting that the loop is order-insensitive —
+//     a commutative fold, a set rebuild — with the reviewer-visible why.
+//
+// An annotation without a reason is still flagged: the reason is the
+// reviewable artifact.
+var sortedmapsAnalyzer = &Analyzer{
+	Name: "sortedmaps",
+	Doc: "require sorted-keys iteration (or a //mapvet:unordered annotation) for map ranges " +
+		"in output-producing packages (machine, rt, mapping, analyze, viz, telemetry, profile, serve, serve/store, checkpoint, cluster)",
+	Applies: scopedTo(
+		"automap/internal/machine",
+		"automap/internal/rt",
+		"automap/internal/mapping",
+		"automap/internal/analyze",
+		"automap/internal/viz",
+		"automap/internal/telemetry",
+		"automap/internal/profile",
+		"automap/internal/serve",
+		"automap/internal/serve/store",
+		"automap/internal/checkpoint",
+		"automap/internal/cluster",
+	),
+	Run: runSortedMaps,
+}
+
+func runSortedMaps(pass *Pass) {
+	for _, file := range pass.Files {
+		directives := lineDirectives(pass.Fset, file, "unordered")
+		walkWithStack(file, func(n ast.Node, stack []ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[ast.Unparen(rng.X)]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if reason, ok := directiveFor(pass.Fset, directives, rng.For); ok {
+				if reason == "" {
+					pass.Reportf(rng.For, "//mapvet:unordered needs a reason: say why iteration order cannot reach an output")
+				}
+				return true
+			}
+			if body := enclosingFuncBody(stack); body != nil && isSortedCollect(pass.Info, rng, body) {
+				return true
+			}
+			pass.Reportf(rng.For,
+				"map iteration order is randomized per run: collect keys and sort (sort.*/slices.Sort*), or annotate //mapvet:unordered with why order cannot matter")
+			return true
+		})
+	}
+}
+
+// sortFuncs are the callables accepted as "the collected slice gets sorted":
+// package-level sort/slices functions, or sort.Sort on an adapter.
+var sortFuncs = map[string]bool{
+	"sort.Strings": true, "sort.Ints": true, "sort.Float64s": true,
+	"sort.Slice": true, "sort.SliceStable": true, "sort.Sort": true,
+	"sort.Stable": true,
+	"slices.Sort": true, "slices.SortFunc": true, "slices.SortStableFunc": true,
+}
+
+// isSortedCollect recognizes the sorted-keys idiom: every statement of the
+// loop body is an append of loop variables into slice variables, and each
+// such slice is later (positionally after the loop) passed to a sort
+// function within the same enclosing function body.
+func isSortedCollect(info *types.Info, rng *ast.RangeStmt, funcBody *ast.BlockStmt) bool {
+	targets := collectAppendTargets(info, rng)
+	if len(targets) == 0 {
+		return false
+	}
+	for _, target := range targets {
+		if !sortedAfter(info, target, rng, funcBody) {
+			return false
+		}
+	}
+	return true
+}
+
+// collectAppendTargets returns the objects of the slice variables the loop
+// body appends into, or nil when the body does anything beyond pure
+// collection (so the idiom does not apply).
+func collectAppendTargets(info *types.Info, rng *ast.RangeStmt) []types.Object {
+	var targets []types.Object
+	for _, stmt := range rng.Body.List {
+		assign, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+			return nil
+		}
+		lhs, ok := ast.Unparen(assign.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || fn.Name != "append" {
+			return nil
+		}
+		if _, isBuiltin := info.Uses[fn].(*types.Builtin); !isBuiltin {
+			// A user-defined append shadows the builtin; not the idiom.
+			return nil
+		}
+		obj := info.Uses[lhs]
+		if obj == nil {
+			obj = info.Defs[lhs]
+		}
+		if obj == nil {
+			return nil
+		}
+		targets = append(targets, obj)
+	}
+	return targets
+}
+
+// sortedAfter reports whether a sort call mentioning obj as its first
+// argument appears in funcBody positionally after the range statement.
+func sortedAfter(info *types.Info, obj types.Object, rng *ast.RangeStmt, funcBody *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found || call.Pos() < rng.End() || len(call.Args) == 0 {
+			return !found
+		}
+		pkg, name, ok := pkgFunc(info, call)
+		if !ok || !sortFuncs[pkg+"."+name] {
+			return true
+		}
+		arg := ast.Unparen(call.Args[0])
+		// sort.Sort/Stable take an adapter like sort.StringSlice(keys);
+		// look through a single conversion/call layer.
+		if conv, ok := arg.(*ast.CallExpr); ok && len(conv.Args) == 1 {
+			arg = ast.Unparen(conv.Args[0])
+		}
+		if id, ok := arg.(*ast.Ident); ok && (info.Uses[id] == obj || info.Defs[id] == obj) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

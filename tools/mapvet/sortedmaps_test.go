@@ -1,0 +1,7 @@
+package main
+
+import "testing"
+
+func TestSortedMaps(t *testing.T) {
+	runAnalyzerTest(t, sortedmapsAnalyzer, "testdata/sortedmaps")
+}

@@ -1,0 +1,12 @@
+// Clean fixtures: reads are always fine; only in-place writes are the
+// hazard the analyzer polices.
+
+package fixture
+
+import "os"
+
+func load(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func openRead(path string) (*os.File, error) { return os.Open(path) }
+
+func drop(path string) error { return os.Remove(path) }

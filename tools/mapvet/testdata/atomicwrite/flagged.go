@@ -1,0 +1,14 @@
+// Flagged fixtures: direct writes that can tear on crash; persistence
+// packages must go through fsatomic.WriteFile instead.
+
+package fixture
+
+import "os"
+
+func saveState(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want "os.WriteFile on a persistence path can tear on crash"
+}
+
+func openFresh(path string) (*os.File, error) {
+	return os.Create(path) // want "os.Create truncates in place"
+}

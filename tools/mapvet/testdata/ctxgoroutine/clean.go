@@ -1,0 +1,38 @@
+// Clean fixtures: goroutines tied to a context or WaitGroup, or explicitly
+// annotated detached with a reviewer-visible reason.
+
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+func tiedCtx(ctx context.Context, work func(context.Context)) {
+	go work(ctx)
+}
+
+func tiedWG(wg *sync.WaitGroup, work func()) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+func tiedCtxLit(ctx context.Context, jobs chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-jobs:
+			}
+		}
+	}()
+}
+
+func detachedWithReason(work func()) {
+	//mapvet:detached process-lifetime metrics pump, reaped at exit
+	go work()
+}

@@ -1,0 +1,20 @@
+// Flagged fixtures: goroutines with no visible lifecycle — nothing stops
+// them at Close/shutdown — and the degenerate annotation without a reason.
+
+package fixture
+
+func leak(work func()) {
+	go work() // want "not tied to a context.Context or sync.WaitGroup"
+}
+
+func leakLoop(jobs chan int) {
+	go func() { // want "not tied to a context.Context or sync.WaitGroup"
+		for range jobs {
+		}
+	}()
+}
+
+func annotatedNoReason(work func()) {
+	//mapvet:detached
+	go work() // want "needs a reason"
+}

@@ -1,0 +1,31 @@
+// Clean fixtures: the wrapping-safe spellings, nil checks, and the
+// concrete-type comparisons the analyzer deliberately allows.
+
+package fixture
+
+import (
+	"errors"
+	"io/fs"
+)
+
+var errDone = errors.New("done")
+
+func isDone(err error) bool {
+	return errors.Is(err, errDone)
+}
+
+func isMissing(err error) bool {
+	return errors.Is(err, fs.ErrNotExist)
+}
+
+func failed(err error) bool {
+	return err != nil
+}
+
+func succeeded(err error) bool {
+	return err == nil
+}
+
+// Concrete error values compare structurally; only interface-typed
+// comparisons lose information under wrapping.
+func samePathErr(a, b *fs.PathError) bool { return a == b }

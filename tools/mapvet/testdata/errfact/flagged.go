@@ -1,0 +1,31 @@
+// Flagged fixtures: error classification that silently breaks the day a
+// sentinel gets wrapped.
+
+package fixture
+
+import (
+	"errors"
+	"os"
+)
+
+var errStop = errors.New("stop")
+
+func isStop(err error) bool {
+	return err == errStop // want "error compared with == breaks under wrapping"
+}
+
+func notStop(err error) bool {
+	return err != errStop // want "error compared with != breaks under wrapping"
+}
+
+func missing(err error) bool {
+	return os.IsNotExist(err) // want "os.IsNotExist does not unwrap wrapped errors"
+}
+
+func present(err error) bool {
+	return os.IsExist(err) // want "os.IsExist does not unwrap wrapped errors"
+}
+
+func denied(err error) bool {
+	return os.IsPermission(err) // want "os.IsPermission does not unwrap wrapped errors"
+}

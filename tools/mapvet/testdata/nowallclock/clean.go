@@ -1,0 +1,16 @@
+// Clean fixtures: pure time conversions and duration arithmetic never read
+// the wall clock and stay allowed in the deterministic core.
+
+package fixture
+
+import "time"
+
+func window(d time.Duration) time.Duration { return 2 * d }
+
+func epoch(sec int64) time.Time { return time.Unix(sec, 0) }
+
+func format(t time.Time) string { return t.Format(time.RFC3339) }
+
+func budget(sec float64) time.Duration {
+	return time.Duration(sec * float64(time.Second))
+}

@@ -1,0 +1,34 @@
+// Flagged fixtures: wall-clock reads and global rand calls that the
+// deterministic core must never make.
+
+package fixture
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+func stamp() time.Time {
+	return time.Now() // want "time.Now reads the wall clock in a deterministic package"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+func pause() {
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+}
+
+func timeoutChan() <-chan time.Time {
+	return time.After(time.Second) // want "time.After reads the wall clock"
+}
+
+func jitter() float64 {
+	return rand.Float64() // want "global math/rand.Float64 bypasses the seeded generator"
+}
+
+func pick(n int) int {
+	return randv2.IntN(n) // want "global math/rand/v2.IntN bypasses the seeded generator"
+}

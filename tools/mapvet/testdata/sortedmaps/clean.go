@@ -1,0 +1,60 @@
+// Clean fixtures: the blessed map-iteration idioms — collect then sort, or
+// annotate the loop as order-insensitive with a reason.
+
+package fixture
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+)
+
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedPairs(m map[string]int) []string {
+	var out []string
+	for k, v := range m {
+		out = append(out, fmt.Sprintf("%s=%d", k, v))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedVals(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	slices.Sort(vals)
+	return vals
+}
+
+func sum(m map[string]int) int {
+	total := 0
+	//mapvet:unordered addition is commutative
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func union(dst, src map[string]bool) {
+	for k := range src { //mapvet:unordered set insert is order-free
+		dst[k] = true
+	}
+}
+
+func overSlice(xs []int) int {
+	total := 0
+	for _, x := range xs { // slices iterate in order; nothing to flag
+		total += x
+	}
+	return total
+}

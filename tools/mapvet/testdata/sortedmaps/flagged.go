@@ -1,0 +1,45 @@
+// Flagged fixtures: map ranges whose iteration order can reach an output,
+// plus the degenerate annotation without a reason.
+
+package fixture
+
+import (
+	"fmt"
+	"sort"
+)
+
+func printAll(m map[string]int) {
+	for k, v := range m { // want "map iteration order is randomized per run"
+		fmt.Println(k, v)
+	}
+}
+
+func keysNeverSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "map iteration order is randomized per run"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func collectAndCount(m map[string]int) ([]string, int) {
+	var keys []string
+	n := 0
+	// The body does more than collect (n++ is a side effect), so the
+	// sorted-keys idiom does not apply even though keys gets sorted.
+	for k := range m { // want "map iteration order is randomized per run"
+		keys = append(keys, k)
+		n++
+	}
+	sort.Strings(keys)
+	return keys, n
+}
+
+func annotatedNoReason(m map[string]int) int {
+	total := 0
+	//mapvet:unordered
+	for _, v := range m { // want "needs a reason"
+		total += v
+	}
+	return total
+}
