@@ -389,10 +389,12 @@ func (m *Machine) Validate() error {
 			}
 		}
 	}
+	//mapvet:unordered validation: the success path visits every entry regardless of order, and any one violation is a sufficient error
 	for src, inner := range m.channels {
 		if int(src) < 0 || int(src) >= len(m.Mems) {
 			return fmt.Errorf("channel source memory %d does not exist", src)
 		}
+		//mapvet:unordered validation: same as the outer loop
 		for dst := range inner {
 			if int(dst) < 0 || int(dst) >= len(m.Mems) {
 				return fmt.Errorf("channel destination memory %d does not exist", dst)
@@ -432,6 +434,7 @@ func (m *Machine) Model() *Model {
 	}
 	sort.Slice(md.MemKinds, func(i, j int) bool { return md.MemKinds[i] < md.MemKinds[j] })
 	md.accessible = make(map[ProcKind][]MemKind)
+	//mapvet:unordered each key is handled independently and its list is sorted before assignment
 	for pk, mems := range kindMems {
 		var ks []MemKind
 		for mk := range mems {
@@ -466,9 +469,15 @@ type Model struct {
 func NewModel(name string, accessible map[ProcKind][]MemKind) *Model {
 	md := &Model{Name: name, accessible: make(map[ProcKind][]MemKind, len(accessible))}
 	memSeen := make(map[MemKind]bool)
+	//mapvet:unordered every collected slice (ProcKinds, MemKinds, each accessibility list) is sorted before the model escapes
 	for pk, mks := range accessible {
 		md.ProcKinds = append(md.ProcKinds, pk)
 		cp := append([]MemKind(nil), mks...)
+		// Sort the copied list: Accessible documents a deterministic
+		// order, and Machine.Model sorts its lists — a caller-ordered
+		// list here would make move enumeration depend on how the model
+		// was constructed.
+		sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
 		md.accessible[pk] = cp
 		for _, mk := range cp {
 			if !memSeen[mk] {

@@ -84,9 +84,19 @@ type Machine struct {
 // every arena except the conventional exclusions (CPU cannot address
 // Frame-Buffer; GPU cannot address System memory), mirroring the clusters.
 func (m *Machine) Model() *machine.Model {
+	// Iterate kinds in numeric order, not map order: the accessibility
+	// lists feed Model.Accessible, whose order drives the search's move
+	// enumeration — map iteration here made CCD trajectories depend on the
+	// run (caught by mapvet's sortedmaps analyzer).
 	acc := make(map[machine.ProcKind][]machine.MemKind)
-	for pk := range m.Pools {
-		for mk := range m.Arenas {
+	for pk := machine.ProcKind(0); int(pk) < machine.NumProcKinds; pk++ {
+		if _, ok := m.Pools[pk]; !ok {
+			continue
+		}
+		for mk := machine.MemKind(0); int(mk) < machine.NumMemKinds; mk++ {
+			if _, ok := m.Arenas[mk]; !ok {
+				continue
+			}
 			if pk == machine.CPU && mk == machine.FrameBuffer {
 				continue
 			}
@@ -186,6 +196,7 @@ func (e *Executor) ExecuteContext(ctx context.Context, mp *mapping.Mapping) (tim
 		valid:     make(map[taskir.CollectionID]machine.MemKind),
 		slots:     make(map[machine.ProcKind]chan struct{}),
 	}
+	//mapvet:unordered builds a map keyed by the same keys; no ordered output
 	for pk, pool := range e.M.Pools {
 		w := pool.Workers
 		if w < 1 {
@@ -194,6 +205,7 @@ func (e *Executor) ExecuteContext(ctx context.Context, mp *mapping.Mapping) (tim
 		run.slots[pk] = make(chan struct{}, w)
 	}
 	// Reset arena accounting for this run.
+	//mapvet:unordered independent per-arena reset; no ordered output
 	for _, a := range e.M.Arenas {
 		a.mu.Lock()
 		a.used = 0
