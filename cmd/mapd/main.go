@@ -16,6 +16,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -59,7 +60,7 @@ func main() {
 	}()
 
 	fmt.Printf("mapd serving on %s (store: %s)\n", *addr, *dir)
-	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
 	// ListenAndServe returned because Shutdown ran; the drain already

@@ -445,7 +445,7 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 func countJSONLEvents(path string) (int, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		if os.IsNotExist(err) {
+		if errors.Is(err, fs.ErrNotExist) {
 			return 0, nil
 		}
 		return 0, err

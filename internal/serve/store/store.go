@@ -23,7 +23,9 @@ package store
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -259,7 +261,7 @@ func Open(dir string) (*Store, error) {
 				e.events.Write(ev)
 			}
 			e.events.Close()
-		} else if !os.IsNotExist(err) {
+		} else if !errors.Is(err, fs.ErrNotExist) {
 			return nil, fmt.Errorf("store: %w", err)
 		}
 		s.entries[key] = e

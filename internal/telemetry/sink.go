@@ -5,8 +5,10 @@ package telemetry
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 )
 
@@ -136,7 +138,7 @@ func (s *JSONLSink) Err() error { return s.err }
 func TruncateJSONL(path string, events int) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		if os.IsNotExist(err) && events == 0 {
+		if errors.Is(err, fs.ErrNotExist) && events == 0 {
 			return nil
 		}
 		return err
