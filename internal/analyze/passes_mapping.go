@@ -149,9 +149,11 @@ func (colocationPass) Run(ctx *Context) []Diagnostic {
 	var out []Diagnostic
 	for _, e := range overlap.Build(g).Edges() {
 		union := make(map[machine.MemKind]bool)
+		//mapvet:unordered set union; only the union's size is consumed
 		for k := range primaries[e.A] {
 			union[k] = true
 		}
+		//mapvet:unordered set union; only the union's size is consumed
 		for k := range primaries[e.B] {
 			union[k] = true
 		}

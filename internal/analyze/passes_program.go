@@ -215,6 +215,7 @@ func (deadNodePass) Run(ctx *Context) []Diagnostic {
 				continue
 			}
 			writes++
+			//mapvet:unordered commutative any-match: sets a flag, order cannot matter
 			for reader := range readBy[a.Collection] {
 				if reader != t.ID {
 					consumed = true

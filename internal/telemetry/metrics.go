@@ -203,12 +203,15 @@ func (r *Registry) Snapshot() map[string]float64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make(map[string]float64, len(r.counts)+len(r.gauges)+2*len(r.hists))
+	//mapvet:unordered rekeying into a map; the caller sees a map, not an order
 	for name, c := range r.counts {
 		out[name] = float64(c.Value())
 	}
+	//mapvet:unordered rekeying into a map; the caller sees a map, not an order
 	for name, g := range r.gauges {
 		out[name] = g.Value()
 	}
+	//mapvet:unordered rekeying into a map; the caller sees a map, not an order
 	for name, h := range r.hists {
 		out[name+".count"] = float64(h.Count())
 		out[name+".sum"] = h.Sum()
@@ -235,6 +238,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 	for name, g := range r.gauges {
 		lines = append(lines, fmt.Sprintf("gauge %s %s", name, formatFloat(g.Value())))
 	}
+	//mapvet:unordered lines are sorted below before writing
 	for name, h := range r.hists {
 		h.mu.Lock()
 		line := fmt.Sprintf("histogram %s count=%d sum=%s", name, h.count, formatFloat(h.sum))
