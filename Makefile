@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-search fuzz check experiments experiments-quick cover clean
+.PHONY: all build test race vet bench bench-search fuzz check experiments experiments-quick cover clean
 
 all: build test
 
@@ -12,6 +12,15 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Static analysis: go vet plus the project's own mapvet suite
+# (tools/mapvet), which enforces the determinism, atomicity, and
+# goroutine-lifecycle invariants. See README "Static analysis".
+vet:
+	$(GO) vet ./...
+	$(GO) test -C tools/mapvet ./...
+	$(GO) build -C tools/mapvet -o ../../bin/mapvet .
+	./bin/mapvet -C . ./...
 
 race:
 	$(GO) test -race ./...

@@ -17,8 +17,20 @@ trap 'rm -rf "$tdir"' EXIT
 echo "== go vet"
 $GO vet ./...
 
+echo "== mapvet (project invariants: determinism, atomicity, goroutine lifecycle)"
+$GO test -C tools/mapvet ./...
+$GO build -C tools/mapvet -o "$tdir/mapvet" .
+"$tdir/mapvet" -C . ./...
+
 echo "== go test -race (short mode)"
 $GO test -race -short ./...
+
+echo "== go test -race (serve e2e)"
+# The daemon end-to-end tests are the concurrency stress surface
+# (coalescing, drain/resume, store races); run them under the race
+# detector explicitly so a future -short skip cannot silently drop them
+# from the race gate.
+$GO test -race -count=1 -run 'TestDaemon|TestDrainResume|TestStoreStress' ./internal/serve/...
 
 echo "== go test (full, no race, with coverage)"
 $GO test -coverprofile="$tdir/cover.out" ./...
