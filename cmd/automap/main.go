@@ -30,6 +30,7 @@ import (
 	"automap/internal/analyze"
 	"automap/internal/apps"
 	"automap/internal/checkpoint"
+	"automap/internal/explain"
 	"automap/internal/cluster"
 	"automap/internal/driver"
 	"automap/internal/machine"
@@ -162,6 +163,7 @@ func cmdSearch(args []string) {
 	ckptEvery := c.fs.Int("checkpoint-every", 0, "fresh measurements between periodic checkpoints (0 = default, 25)")
 	resume := c.fs.Bool("resume", false, "resume from the -checkpoint file: replay to the interrupted run's exact state, then continue")
 	deadline := c.fs.Duration("deadline", 0, "wall-clock time limit (e.g. 30s); on expiry the search checkpoints and stops cleanly")
+	explainTop := c.fs.Int("explain", 0, "print the top-N makespan attribution of the winning mapping (0 = off)")
 	c.fs.Parse(args)
 	m, g := c.build()
 	if *check {
@@ -374,6 +376,16 @@ func cmdSearch(args []string) {
 	fmt.Println()
 	fmt.Printf("  mapping shape: %s\n\n", rep.Best.ComputeStats(g))
 	fmt.Print(viz.RenderMapping(g, rep.Best))
+	if *explainTop > 0 {
+		erep, err := explain.Analyze(m, g, rep.Best)
+		if err != nil {
+			log.Fatalf("explain: %v", err)
+		}
+		fmt.Println()
+		if err := erep.Render(os.Stdout, *explainTop); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if *out != "" {
 		if err := rep.Best.Save(*out, g); err != nil {
 			log.Fatal(err)
@@ -432,6 +444,7 @@ func cmdEvaluate(args []string) {
 	gantt := c.fs.Bool("gantt", false, "render an execution timeline of one run")
 	traceFile := c.fs.String("trace", "", "write a chrome://tracing JSON of one run to this file")
 	check := c.fs.Bool("check", false, "statically lint the mapping before executing; exit on Error diagnostics")
+	explainTop := c.fs.Int("explain", 0, "print the top-N makespan attribution of the mapping (0 = off)")
 	c.fs.Parse(args)
 	m, g := c.build()
 	md := m.Model()
@@ -471,6 +484,15 @@ func cmdEvaluate(args []string) {
 	}
 	fmt.Printf("%s (%s) on %s ×%d: %.4fs (avg of %d runs, %.2f ms/iteration)\n",
 		*c.app, *c.input, *c.cluster, *c.nodes, sec, *repeats, sec/float64(g.Iterations)*1000)
+	if *explainTop > 0 {
+		erep, err := explain.Analyze(m, g, mp)
+		if err != nil {
+			log.Fatalf("explain: %v", err)
+		}
+		if err := erep.Render(os.Stdout, *explainTop); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if *gantt {
 		res, err := sim.Simulate(m, g, mp, sim.Config{Trace: true})
 		if err != nil {

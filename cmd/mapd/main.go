@@ -2,7 +2,7 @@
 // service that accepts search requests, runs them on a bounded worker
 // pool, and serves results from a fingerprint-keyed persistent store.
 //
-//	mapd -addr :8356 -dir mapd-data -searches 2
+//	mapd -addr :8356 -dir mapd-data -searches 2 [-debug-addr localhost:8357]
 //
 // Submitting a search:
 //
@@ -34,6 +34,7 @@ func main() {
 	addr := flag.String("addr", ":8356", "listen address")
 	dir := flag.String("dir", "mapd-data", "result store directory")
 	searches := flag.Int("searches", 0, "max concurrent searches (0 = half of GOMAXPROCS)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (e.g. localhost:8357); off when empty — keep it loopback-only, it is unauthenticated")
 	flag.Parse()
 
 	srv, err := serve.New(*dir, *searches)
@@ -42,6 +43,14 @@ func main() {
 	}
 	if n := srv.ResumePending(); n > 0 {
 		fmt.Printf("resuming %d interrupted search(es) from %s\n", n, *dir)
+	}
+	if *debugAddr != "" {
+		go func() {
+			fmt.Printf("pprof debug listener on %s\n", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, srv.DebugHandler()); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
 	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}

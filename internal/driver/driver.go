@@ -774,6 +774,15 @@ func SearchFromSpace(m *machine.Machine, g *taskir.Graph, sp *profile.Space, alg
 			Seed: userSeed,
 		})
 	}
+	// Span tree rooted at the whole search, all on the simulated search
+	// clock (never wall time): the tree is part of the deterministic
+	// stream, byte-identical across worker counts and checkpoint/resume.
+	// An interrupted run leaves its spans open; the resumed run, replaying
+	// the same trajectory, closes them at the positions the uninterrupted
+	// run would have.
+	rootSpan := obs.StartSpan(0, "search", alg.Name()+" "+g.Name+"@"+m.Name, 0)
+	searchSpan := obs.StartSpan(rootSpan, "search_phase", "", 0)
+	prob.Span = searchSpan
 	out := alg.Search(prob, searchEv, budget)
 
 	// A cancellation that lands after the algorithm's last budget check
@@ -826,6 +835,7 @@ func SearchFromSpace(m *machine.Machine, g *taskir.Graph, sp *profile.Space, alg
 		}
 		return rep, nil
 	}
+	obs.EndSpan(searchSpan, rep.SearchSec)
 	if obs.Enabled() {
 		bestSec := out.BestSec
 		if math.IsInf(bestSec, 1) {
@@ -833,7 +843,8 @@ func SearchFromSpace(m *machine.Machine, g *taskir.Graph, sp *profile.Space, alg
 		}
 		obs.Emit(telemetry.SearchFinished{
 			StopReason: string(out.StopReason), BestSec: bestSec,
-			SearchSec: rep.SearchSec, Suggested: rep.Suggested, Evaluated: rep.Evaluated,
+			SearchSec: rep.SearchSec, EvalSec: rep.EvalSec,
+			Suggested: rep.Suggested, Evaluated: rep.Evaluated,
 		})
 	}
 
@@ -865,17 +876,30 @@ func SearchFromSpace(m *machine.Machine, g *taskir.Graph, sp *profile.Space, alg
 	var bestTimes []float64
 	obj := opts.objective()
 	finalBase := opts.Seed ^ 0xf17a
+	// finalSec accumulates the simulated cost of the final re-measurement
+	// phase — the virtual clock the final_phase span is stamped with. Like
+	// the search clock it sums application makespans, including the runs a
+	// failed finalist completed before failing.
+	var finalSec float64
 	finalMeasure := func(mp *mapping.Mapping) ([]float64, bool) {
 		results, errs := measureRuns(ev.inst, mp.Key(), mp, opts.FinalRepeats, opts.NoiseSigma, finalBase, ev.sem)
 		times := make([]float64, 0, len(results))
+		ok := true
 		for i := range results {
 			if errs[i] != nil {
-				return nil, false
+				ok = false
+				continue
 			}
+			finalSec += results[i].MakespanSec
 			times = append(times, obj(results[i]))
+		}
+		if !ok {
+			return nil, false
 		}
 		return times, len(times) > 0
 	}
+	finalSpan := obs.StartSpan(rootSpan, "final_phase",
+		fmt.Sprintf("top %d x %d repeats", n, opts.FinalRepeats), rep.SearchSec)
 	for _, c := range cands[:n] {
 		mp, have := ev.Mapping(c.key)
 		if !have {
@@ -904,6 +928,8 @@ func SearchFromSpace(m *machine.Machine, g *taskir.Graph, sp *profile.Space, alg
 		rep.StartSec = stats.Mean(startTimes)
 		rep.Significance = stats.Compare(startTimes, bestTimes)
 	}
+	obs.EndSpan(finalSpan, rep.SearchSec+finalSec)
+	obs.EndSpan(rootSpan, rep.SearchSec+finalSec)
 	// Embed the final metrics snapshot so callers can persist or assert
 	// on it without holding the registry themselves.
 	if obs != nil && obs.Metrics != nil {

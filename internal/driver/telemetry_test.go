@@ -108,16 +108,66 @@ func TestSearchReportTelemetry(t *testing.T) {
 	if _, ok := events[0].(telemetry.SearchStarted); !ok {
 		t.Errorf("first event is %T, want SearchStarted", events[0])
 	}
-	last, ok := events[len(events)-1].(telemetry.SearchFinished)
-	if !ok {
-		t.Fatalf("last event is %T, want SearchFinished", events[len(events)-1])
+	var finished []telemetry.SearchFinished
+	for _, e := range events {
+		if sf, ok := e.(telemetry.SearchFinished); ok {
+			finished = append(finished, sf)
+		}
 	}
+	if len(finished) != 1 {
+		t.Fatalf("%d SearchFinished events, want 1", len(finished))
+	}
+	last := finished[0]
 	if last.StopReason != string(search.StopConverged) {
 		t.Errorf("SearchFinished.StopReason = %q", last.StopReason)
 	}
 	if last.Suggested != rep.Suggested || last.Evaluated != rep.Evaluated {
 		t.Errorf("SearchFinished counters %d/%d, report %d/%d",
 			last.Suggested, last.Evaluated, rep.Suggested, rep.Evaluated)
+	}
+	if last.EvalSec != rep.EvalSec {
+		t.Errorf("SearchFinished.EvalSec = %v, report says %v", last.EvalSec, rep.EvalSec)
+	}
+	// Span envelope: the root "search" span opens the tree and is the
+	// last thing closed (after the final re-measurement phase, which runs
+	// past SearchFinished); every opened span is closed exactly once, and
+	// parents always precede children.
+	open := make(map[int]telemetry.SpanStart)
+	closed := make(map[int]bool)
+	var rootID int
+	for _, e := range events {
+		switch s := e.(type) {
+		case telemetry.SpanStart:
+			if _, dup := open[s.ID]; dup {
+				t.Fatalf("span id %d started twice", s.ID)
+			}
+			if s.Parent != 0 && !func() bool { _, ok := open[s.Parent]; return ok }() {
+				t.Errorf("span %d (%s) starts before its parent %d", s.ID, s.Name, s.Parent)
+			}
+			if s.Name == "search" {
+				rootID = s.ID
+			}
+			open[s.ID] = s
+		case telemetry.SpanEnd:
+			if _, ok := open[s.ID]; !ok {
+				t.Fatalf("span id %d ended without starting", s.ID)
+			}
+			if closed[s.ID] {
+				t.Fatalf("span id %d ended twice", s.ID)
+			}
+			closed[s.ID] = true
+		}
+	}
+	if rootID == 0 {
+		t.Fatal("no root search span in the stream")
+	}
+	for id := range open {
+		if !closed[id] {
+			t.Errorf("span %d (%s) never closed", id, open[id].Name)
+		}
+	}
+	if end, ok := events[len(events)-1].(telemetry.SpanEnd); !ok || end.ID != rootID {
+		t.Errorf("last event is %T, want SpanEnd of the root search span", events[len(events)-1])
 	}
 	var suggested, evaluated, newBest int
 	for _, e := range events {

@@ -1,0 +1,262 @@
+// Package explain implements post-search makespan attribution: a
+// critical-path analysis over a mapping's simulated timeline that breaks
+// the reported makespan down into per-task execution, per-channel copy,
+// and network contributions — the "why is this mapping this fast" report
+// behind `automap -explain`, `GET /v1/search/{id}/explain`, and
+// `mapstat explain`.
+//
+// The analysis exploits a structural property of the simulator: every
+// schedule time is a math.Max over previously recorded completion times
+// (processor availability, copy-engine availability, the network
+// serialization point, dependence finish times), and every completion is
+// start + duration in float64 arithmetic. Max selects one of its
+// operands bit-exactly, so the segment that delayed any other segment
+// can be recovered after the fact by exact float equality between one
+// segment's start and another's finish — no tolerance, no re-execution,
+// no extra bookkeeping inside the hot path. Walking that chain backward
+// from the last-finishing segment yields the critical path, and the
+// per-segment durations telescope to exactly the makespan (minus the
+// mapping-independent serial overhead), which the report asserts.
+package explain
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"automap/internal/machine"
+	"automap/internal/mapping"
+	"automap/internal/sim"
+	"automap/internal/taskir"
+)
+
+// Component is one aggregated contributor to the makespan.
+type Component struct {
+	// Kind classifies the contribution: "exec" (task execution), "copy"
+	// (intra-node channel transfer), "network" (the cross-node
+	// serialization point), "overhead" (the runtime's serial
+	// per-iteration cost), or "residual" (critical-path time the walk
+	// could not attribute; 0 in practice).
+	Kind string `json:"kind"`
+	// Name identifies the contributor within its kind: the task name for
+	// exec, the channel ("FB->SysMem@n0") for copy, "network" for the
+	// network.
+	Name string `json:"name"`
+	// Sec is the contribution to the makespan in simulated seconds.
+	Sec float64 `json:"sec"`
+	// Segments counts the critical-path segments aggregated into this
+	// component.
+	Segments int `json:"segments,omitempty"`
+	// Bytes is the data volume the component's critical segments moved
+	// (copy and network components only).
+	Bytes int64 `json:"bytes,omitempty"`
+}
+
+// Report is the full makespan attribution of one mapping.
+type Report struct {
+	Program string `json:"program"`
+	Machine string `json:"machine"`
+	// MakespanSec is the noise-free simulated makespan being explained.
+	// It equals the sum of every component's Sec exactly (float64
+	// telescoping, see the package comment).
+	MakespanSec float64 `json:"makespan_sec"`
+	// CriticalSegments is the length of the recovered critical path.
+	CriticalSegments int `json:"critical_segments"`
+	// Components holds every contributor, sorted by descending Sec (ties
+	// by kind then name). Always includes the "overhead" component and,
+	// when non-zero, "residual".
+	Components []Component `json:"components"`
+}
+
+// segment is one timeline interval: a task execution or a copy.
+type segment struct {
+	start  float64
+	finish float64
+	kind   string // "exec", "copy", "network"
+	name   string
+	bytes  int64
+}
+
+// Analyze simulates mp noise-free with full tracing and returns the
+// critical-path attribution of its makespan. The mapping must be valid
+// for (g, m.Model()); an unexecutable mapping returns the simulator's
+// error (e.g. *sim.OOMError).
+func Analyze(m *machine.Machine, g *taskir.Graph, mp *mapping.Mapping) (*Report, error) {
+	res, err := sim.Simulate(m, g, mp, sim.Config{Trace: true, Explain: true})
+	if err != nil {
+		return nil, err
+	}
+	return attribute(m, g, res), nil
+}
+
+// attribute recovers the critical path from a traced simulation result
+// and aggregates it into components.
+func attribute(m *machine.Machine, g *taskir.Graph, res *sim.Result) *Report {
+	segs := make([]segment, 0, len(res.Events)+len(res.Copies))
+	for _, e := range res.Events {
+		segs = append(segs, segment{
+			start:  e.StartSec,
+			finish: e.StartSec + e.DurSec,
+			kind:   "exec",
+			name:   g.Task(e.Task).Name,
+		})
+	}
+	for _, c := range res.Copies {
+		s := segment{start: c.StartSec, finish: c.DoneSec, bytes: c.Bytes}
+		if c.Network {
+			s.kind, s.name = "network", "network"
+		} else {
+			s.kind = "copy"
+			s.name = fmt.Sprintf("%s->%s@n%d", c.SrcKind, c.DstKind, c.SrcNode)
+		}
+		segs = append(segs, s)
+	}
+
+	// The critical path ends at the last-finishing segment. Its finish is
+	// taken from the recorded segments rather than reconstructed as
+	// makespan − overhead: the simulator computes makespan by *adding*
+	// the serial overhead, and float subtraction does not exactly invert
+	// that addition, which would break the exact-equality chain. The
+	// overhead component is then defined as makespan − maxFinish, so the
+	// components still total the makespan.
+	var maxFinish float64
+	for _, s := range segs {
+		if s.finish > maxFinish {
+			maxFinish = s.finish
+		}
+	}
+
+	// byFinish indexes segments by their exact finish time. Multiple
+	// segments may share a finish (zero-duration copies, simultaneous
+	// completions); the walk consumes them lowest-index-first, which is
+	// deterministic because the simulator records segments in launch
+	// order.
+	byFinish := make(map[float64][]int, len(segs))
+	for i, s := range segs {
+		byFinish[s.finish] = append(byFinish[s.finish], i)
+	}
+
+	// pop returns the first unvisited segment finishing exactly at t.
+	visited := make([]bool, len(segs))
+	pop := func(t float64) int {
+		for _, i := range byFinish[t] {
+			if !visited[i] {
+				return i
+			}
+		}
+		return -1
+	}
+
+	agg := make(map[string]*Component)
+	add := func(kind, name string, sec float64, segments int, bytes int64) {
+		key := kind + "\x00" + name
+		c, ok := agg[key]
+		if !ok {
+			c = &Component{Kind: kind, Name: name}
+			agg[key] = c
+		}
+		c.Sec += sec
+		c.Segments += segments
+		c.Bytes += bytes
+	}
+
+	residual := maxFinish
+	pathLen := 0
+	if cur := pop(maxFinish); cur >= 0 && maxFinish > 0 {
+		for cur >= 0 {
+			visited[cur] = true
+			s := segs[cur]
+			pathLen++
+			add(s.kind, s.name, s.finish-s.start, 1, s.bytes)
+			residual = s.start
+			if s.start == 0 {
+				break
+			}
+			cur = pop(s.start)
+		}
+	}
+	// residual is whatever critical-path time the walk could not chain to
+	// a recorded segment: 0 when the walk reached time zero, the gap
+	// otherwise (a safety valve — the simulator's max-chaining makes it
+	// structurally zero today, and tests assert that).
+	add("overhead", "overhead", res.MakespanSec-maxFinish, 0, 0)
+	if residual != 0 {
+		add("residual", "residual", residual, 0, 0)
+	}
+
+	comps := make([]Component, 0, len(agg))
+	//mapvet:unordered components are sorted below before use
+	for _, c := range agg {
+		comps = append(comps, *c)
+	}
+	sort.Slice(comps, func(i, j int) bool {
+		if comps[i].Sec != comps[j].Sec {
+			return comps[i].Sec > comps[j].Sec
+		}
+		if comps[i].Kind != comps[j].Kind {
+			return comps[i].Kind < comps[j].Kind
+		}
+		return comps[i].Name < comps[j].Name
+	})
+	return &Report{
+		Program:          g.Name,
+		Machine:          m.Name,
+		MakespanSec:      res.MakespanSec,
+		CriticalSegments: pathLen,
+		Components:       comps,
+	}
+}
+
+// Sum returns the total of all component contributions; by construction
+// it equals MakespanSec exactly (modulo one float64 addition order —
+// tests compare with zero tolerance on the telescoped path and a
+// relative epsilon on the re-summed aggregate).
+func (r *Report) Sum() float64 {
+	var sum float64
+	for _, c := range r.Components {
+		sum += c.Sec
+	}
+	return sum
+}
+
+// Render writes the human-readable bottleneck report: the top-k
+// components by contribution, each with its share of the makespan, then
+// the roll-up line. topK <= 0 means all components.
+func (r *Report) Render(w io.Writer, topK int) error {
+	if _, err := fmt.Fprintf(w, "%s on %s: makespan %.6fs, critical path %d segments\n",
+		r.Program, r.Machine, r.MakespanSec, r.CriticalSegments); err != nil {
+		return err
+	}
+	n := len(r.Components)
+	if topK > 0 && topK < n {
+		n = topK
+	}
+	for i, c := range r.Components[:n] {
+		share := 0.0
+		if r.MakespanSec > 0 {
+			share = 100 * c.Sec / r.MakespanSec
+		}
+		line := fmt.Sprintf("%3d. %-8s %-24s %12.6fs %5.1f%%", i+1, c.Kind, c.Name, c.Sec, share)
+		if c.Segments > 0 {
+			line += fmt.Sprintf("  %d segs", c.Segments)
+		}
+		if c.Bytes > 0 {
+			line += fmt.Sprintf("  %d B", c.Bytes)
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	if n < len(r.Components) {
+		var rest float64
+		for _, c := range r.Components[n:] {
+			rest += c.Sec
+		}
+		if _, err := fmt.Fprintf(w, "     ... %d more components, %.6fs\n",
+			len(r.Components)-n, rest); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "sum %.6fs of %.6fs makespan\n", r.Sum(), r.MakespanSec)
+	return err
+}

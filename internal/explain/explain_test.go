@@ -1,0 +1,173 @@
+package explain
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"automap/internal/apps"
+	"automap/internal/cluster"
+	"automap/internal/machine"
+	"automap/internal/mapping"
+	"automap/internal/sim"
+	"automap/internal/taskir"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata")
+
+// stencilCase builds the canonical explain subject: the real stencil
+// application's default mapping on a 2-node Shepard.
+func stencilCase(t *testing.T) (*machine.Machine, *taskir.Graph, *mapping.Mapping) {
+	t.Helper()
+	app, err := apps.Get("stencil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cluster.Shepard(2)
+	g, err := app.Build(app.Inputs[1][0], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, g, mapping.Default(g, m.Model())
+}
+
+// TestContributionsSumToMakespan pins the acceptance criterion: every
+// component contribution, summed, equals the reported makespan. The
+// telescoping argument makes the path sum exact in float64; re-summing
+// the aggregated components reorders additions, so the assertion allows
+// only a relative epsilon at the level of float rounding.
+func TestContributionsSumToMakespan(t *testing.T) {
+	for _, name := range apps.Names() {
+		app, err := apps.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, nodes := range []int{1, 2} {
+			m := cluster.Shepard(nodes)
+			g, err := app.Build(app.Inputs[1][0], nodes)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			mp := mapping.Default(g, m.Model())
+			rep, err := Analyze(m, g, mp)
+			if err != nil {
+				t.Skipf("%s on %d nodes: default mapping does not execute: %v", name, nodes, err)
+			}
+			sum := rep.Sum()
+			if diff := math.Abs(sum - rep.MakespanSec); diff > 1e-9*rep.MakespanSec {
+				t.Errorf("%s/%d nodes: components sum to %v, makespan %v (diff %g)",
+					name, nodes, sum, rep.MakespanSec, diff)
+			}
+			for _, c := range rep.Components {
+				if c.Kind == "residual" {
+					t.Errorf("%s/%d nodes: non-zero residual %v — critical path broke",
+						name, nodes, c.Sec)
+				}
+				if c.Sec < 0 {
+					t.Errorf("%s/%d nodes: negative contribution %+v", name, nodes, c)
+				}
+			}
+			if rep.CriticalSegments == 0 {
+				t.Errorf("%s/%d nodes: empty critical path", name, nodes)
+			}
+		}
+	}
+}
+
+// TestAnalyzeMatchesSimulate: the explain run must describe the same
+// noise-free timeline Simulate produces — identical makespan.
+func TestAnalyzeMatchesSimulate(t *testing.T) {
+	m, g, mp := stencilCase(t)
+	rep, err := Analyze(m, g, mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Simulate(m, g, mp, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MakespanSec != res.MakespanSec {
+		t.Errorf("explain makespan %v != simulate makespan %v", rep.MakespanSec, res.MakespanSec)
+	}
+}
+
+// TestRenderGolden pins the bottleneck report's rendered form.
+func TestRenderGolden(t *testing.T) {
+	m, g, mp := stencilCase(t)
+	rep, err := Analyze(m, g, mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf, 5); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "stencil.golden.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("rendered report differs from golden:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestAnalyzeDeterministic: two analyses of the same mapping are
+// identical, component by component.
+func TestAnalyzeDeterministic(t *testing.T) {
+	m, g, mp := stencilCase(t)
+	a, err := Analyze(m, g, mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Analyze(m, g, mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Components) != len(b.Components) {
+		t.Fatalf("component counts differ: %d vs %d", len(a.Components), len(b.Components))
+	}
+	for i := range a.Components {
+		if a.Components[i] != b.Components[i] {
+			t.Errorf("component %d differs: %+v vs %+v", i, a.Components[i], b.Components[i])
+		}
+	}
+}
+
+// TestAnalyzeOOM: an unexecutable mapping surfaces the simulator's error.
+func TestAnalyzeOOM(t *testing.T) {
+	app, err := apps.Get("htr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cluster.Shepard(1)
+	g, err := app.Build(app.Inputs[1][len(app.Inputs[1])-1], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp := mapping.Default(g, m.Model())
+	// Force everything into the tiny framebuffer to provoke OOM.
+	for _, task := range g.Tasks {
+		if task.HasVariant(machine.GPU) {
+			mp.SetProc(task.ID, machine.GPU)
+			mp.RebuildPriorityLists(m.Model(), task.ID)
+			for a := range task.Args {
+				mp.SetArgMem(m.Model(), task.ID, a, machine.FrameBuffer)
+			}
+		}
+	}
+	if _, err := Analyze(m, g, mp); err == nil {
+		t.Skip("mapping unexpectedly fits; OOM path covered elsewhere")
+	}
+}

@@ -96,11 +96,21 @@ func (c *CCD) Search(p *Problem, ev Evaluator, budget Budget) *Outcome {
 			}
 			tr.obs.Emit(telemetry.RotationStarted{Rotation: r, ConstraintEdges: edges})
 		}
+		// The rotation span is stamped with the simulated search clock and
+		// closed only on deterministic exits (rotation done, time or
+		// suggestion budget): a cancellation is a wall-clock event outside
+		// the deterministic stream, so it leaves the span open and the
+		// resumed run — replaying the same trajectory — closes it at the
+		// position the uninterrupted run would have.
+		rotSpan := tr.obs.StartSpan(p.Span, "rotation", fmt.Sprintf("rotation %d", r), ev.SearchTimeSec())
 		for _, tid := range taskOrder {
 			if tunable != nil && !tunable[tid] {
 				continue
 			}
 			if reason := budget.reason(ev, tr.suggested); reason != "" {
+				if !reason.Stopped() {
+					tr.obs.EndSpan(rotSpan, ev.SearchTimeSec())
+				}
 				return tr.outcome(reason)
 			}
 			c.optimizeTask(p, tr, og, tid, budget)
@@ -128,6 +138,7 @@ func (c *CCD) Search(p *Problem, ev Evaluator, budget Budget) *Outcome {
 				}
 			}
 		}
+		tr.obs.EndSpan(rotSpan, ev.SearchTimeSec())
 	}
 	return tr.outcome(StopConverged)
 }

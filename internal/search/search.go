@@ -170,6 +170,10 @@ type Problem struct {
 	// observation at zero cost: no event values are built, no mapping
 	// keys are computed.
 	Observer *telemetry.Observer
+	// Span is the ID of the enclosing telemetry span (the driver's
+	// search_phase span); algorithms parent their own spans — e.g. CCD's
+	// per-rotation spans — under it. Zero means no enclosing span.
+	Span int
 }
 
 // tunableSet returns the tunable tasks as a set, or nil when all tasks are

@@ -23,9 +23,16 @@
 //	POST /v1/search              submit (or coalesce onto) a search
 //	GET  /v1/search/{id}         status and, when finished, the result
 //	GET  /v1/search/{id}/events  live NDJSON telemetry stream
+//	GET  /v1/search/{id}/spans   live NDJSON serve-side span stream
+//	GET  /v1/search/{id}/explain makespan attribution of the winning mapping
 //	GET  /v1/searches            all known searches
-//	GET  /metrics                daemon metrics (text form)
+//	GET  /metrics                daemon metrics (Prometheus text exposition;
+//	                             ?format=text for the legacy name=value form)
 //	GET  /healthz                liveness
+//
+// DebugHandler serves net/http/pprof on a separate, operator-only
+// listener (mapd -debug-addr); profiling endpoints never share the
+// public API mux.
 package serve
 
 import (
@@ -37,15 +44,23 @@ import (
 	"io"
 	"io/fs"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"automap/internal/checkpoint"
 	"automap/internal/driver"
+	"automap/internal/explain"
+	"automap/internal/mapping"
 	"automap/internal/serve/store"
 	"automap/internal/telemetry"
 )
+
+// Version identifies the daemon build in the build_info metric; release
+// tooling overrides it at link time (-ldflags "-X .../serve.Version=...").
+var Version = "dev"
 
 // Server is the mapd daemon: an HTTP handler plus the search worker pool
 // behind it.
@@ -64,6 +79,19 @@ type Server struct {
 	baseCancel context.CancelFunc
 	wg         sync.WaitGroup
 
+	// clock is the daemon's single wall-clock source; every serve-side
+	// span and latency observation reads it. Deterministic search spans
+	// never touch it — they carry the simulated search clock instead.
+	clock telemetry.Clock
+	// reqSeq numbers incoming requests for span trace-correlation IDs.
+	reqSeq atomic.Int64
+
+	// spans holds each entry's serve-side span stream (wall-clock spans:
+	// request handling, queue wait, the search run), kept out of the
+	// deterministic per-search event file.
+	spansMu sync.Mutex
+	spans   map[string]*spanLog
+
 	mRequests  *telemetry.Counter
 	mStarted   *telemetry.Counter
 	mCoalesced *telemetry.Counter
@@ -72,7 +100,24 @@ type Server struct {
 	mFailed    *telemetry.Counter
 	mSuspended *telemetry.Counter
 	mCkptSkew  *telemetry.Counter
+
+	hReqLatency *telemetry.Histogram
+	hQueueWait  *telemetry.Histogram
+	hSearchDur  *telemetry.Histogram
+	gOccupancy  *telemetry.Gauge
+	gCapacity   *telemetry.Gauge
+	gHitRatio   *telemetry.Gauge
 }
+
+// Histogram bucket bounds (seconds). Request latency spans sub-millisecond
+// cache hits through multi-second submissions; queue wait and search
+// duration stretch further right because a busy pool parks searches for
+// minutes.
+var (
+	reqLatencyBounds = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+	queueWaitBounds  = []float64{0.001, 0.01, 0.1, 0.5, 1, 5, 10, 60, 300, 1800}
+	searchDurBounds  = []float64{0.01, 0.1, 0.5, 1, 5, 10, 30, 60, 300, 1800, 7200}
+)
 
 // New returns a daemon over the store directory dir running at most
 // `searches` concurrent searches (<= 0: half of GOMAXPROCS, at least 1 —
@@ -96,6 +141,8 @@ func New(dir string, searches int) (*Server, error) {
 		sem:        make(chan struct{}, searches),
 		baseCtx:    ctx,
 		baseCancel: cancel,
+		clock:      telemetry.WallClock(),
+		spans:      make(map[string]*spanLog),
 
 		mRequests:  reg.Counter("serve.requests"),
 		mStarted:   reg.Counter("serve.searches.started"),
@@ -105,11 +152,24 @@ func New(dir string, searches int) (*Server, error) {
 		mFailed:    reg.Counter("serve.searches.failed"),
 		mSuspended: reg.Counter("serve.searches.suspended"),
 		mCkptSkew:  reg.Counter("serve.checkpoint.load_failures"),
+
+		hReqLatency: reg.Histogram("serve.request.latency_sec", reqLatencyBounds),
+		hQueueWait:  reg.Histogram("serve.queue.wait_sec", queueWaitBounds),
+		hSearchDur:  reg.Histogram("serve.search.duration_sec", searchDurBounds),
+		gOccupancy:  reg.Gauge("serve.pool.occupancy"),
+		gCapacity:   reg.Gauge("serve.pool.capacity"),
+		gHitRatio:   reg.Gauge("serve.coalesce.hit_ratio"),
 	}
+	s.gCapacity.Set(float64(searches))
+	// The embedded-label form survives promName's sanitizer verbatim, so
+	// the exposition carries build_info{version="...",goversion="..."} 1.
+	reg.Gauge(fmt.Sprintf("build_info{version=%q,goversion=%q}", Version, runtime.Version())).Set(1)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/search", s.handleSubmit)
 	mux.HandleFunc("GET /v1/search/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/search/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/search/{id}/spans", s.handleSpans)
+	mux.HandleFunc("GET /v1/search/{id}/explain", s.handleExplain)
 	mux.HandleFunc("GET /v1/searches", s.handleList)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -119,8 +179,29 @@ func New(dir string, searches int) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the daemon's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the daemon's HTTP handler: the API mux wrapped in the
+// request-latency middleware. Streaming endpoints record their latency at
+// disconnect, so the histogram's right tail is dominated by watchers —
+// use the rate of the low buckets for submit/status latency.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := s.clock()
+		s.mux.ServeHTTP(w, r)
+		s.hReqLatency.Observe(s.clock() - start)
+	})
+}
+
+// DebugHandler returns the profiling mux (net/http/pprof). It is served
+// only on mapd's -debug-addr listener, never registered on the API mux.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
 // Store exposes the result store (tests and tooling).
 func (s *Server) Store() *store.Store { return s.st }
@@ -146,7 +227,7 @@ func (s *Server) ResumePending() int {
 			continue
 		}
 		s.mResumed.Add(1)
-		s.launch(e, &req)
+		s.launch(e, &req, "resume")
 		n++
 	}
 	return n
@@ -163,26 +244,59 @@ func (s *Server) Drain() {
 }
 
 // launch runs the entry's search on a pool goroutine. The caller must own
-// the entry (Begin or Resume returned owner).
-func (s *Server) launch(e *store.Entry, req *Request) {
+// the entry (Begin or Resume returned owner). trace correlates the run's
+// serve-side spans with the request that started it ("resume" for
+// searches relaunched at startup).
+func (s *Server) launch(e *store.Entry, req *Request, trace string) {
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
-		s.runSearch(e, req)
+		s.runSearch(e, req, trace)
 	}()
+}
+
+// finishSpans closes the entry's serve span stream, waking streaming
+// readers. A finished search keeps its closed stream so the spans
+// endpoint can snapshot it; a suspended one forgets it (forget=true) so
+// the resumed run starts a fresh stream instead of writing into a closed
+// one.
+func (s *Server) finishSpans(key string, forget bool) {
+	s.spansMu.Lock()
+	sl, ok := s.spans[key]
+	if forget {
+		delete(s.spans, key)
+	}
+	s.spansMu.Unlock()
+	if ok {
+		sl.close()
+	}
 }
 
 // runSearch drives one owned entry through its lifecycle: wait for a
 // worker slot, run the driver search (resuming from the entry's checkpoint
 // when one exists), and finish as Done, Failed, or Suspended.
-func (s *Server) runSearch(e *store.Entry, req *Request) {
+func (s *Server) runSearch(e *store.Entry, req *Request, trace string) {
+	sl := s.spanLog(e.Key)
+	runSpan := sl.start(trace, 0, "search_run", req.App+"/"+req.Algorithm)
+	suspended := false
+	defer func() {
+		sl.end(runSpan)
+		s.finishSpans(e.Key, suspended)
+	}()
+
+	queueStart := s.clock()
+	queueSpan := sl.start(trace, runSpan, "queue_wait", "")
 	select {
 	case s.sem <- struct{}{}:
+		sl.end(queueSpan)
+		s.hQueueWait.Observe(s.clock() - queueStart)
 		defer func() { <-s.sem }()
 	case <-s.baseCtx.Done():
 		// Draining before the search ever got a slot: nothing ran, so
 		// there is nothing to checkpoint; the entry suspends as-is.
+		sl.end(queueSpan)
 		s.mSuspended.Add(1)
+		suspended = true
 		e.Suspend()
 		return
 	}
@@ -252,7 +366,17 @@ func (s *Server) runSearch(e *store.Entry, req *Request) {
 	budget := p.budget
 	budget.Context = s.baseCtx
 
+	searchStart := s.clock()
 	rep, err := driver.SearchFromSpace(p.m, p.g, nil, p.alg, p.opts, budget)
+	s.hSearchDur.Observe(s.clock() - searchStart)
+	// Fold the search's private metrics registry into the daemon's
+	// aggregate. Only terminal outcomes merge: a suspended search replays
+	// its counters from scratch on resume, and merging both runs would
+	// double-count. The per-search registry itself stays private so the
+	// result document's metrics snapshot remains deterministic.
+	if err == nil && !rep.Interrupted() {
+		s.reg.Merge(p.opts.Observer.Metrics)
+	}
 
 	// Flush and close the event file before the entry transitions: its
 	// terminal state must never be visible before its stream is complete.
@@ -268,6 +392,7 @@ func (s *Server) runSearch(e *store.Entry, req *Request) {
 		// already wrote its final checkpoint, so the entry suspends
 		// ready for the next daemon to pick it up.
 		s.mSuspended.Add(1)
+		suspended = true
 		e.Suspend()
 	case closeErr != nil:
 		fail("writing %s: %v", eventsPath, closeErr)
@@ -286,6 +411,7 @@ func (s *Server) runSearch(e *store.Entry, req *Request) {
 			// Persisting failed; leave the entry resumable rather than
 			// durable-looking.
 			s.mSuspended.Add(1)
+			suspended = true
 			e.Suspend()
 			return
 		}
@@ -345,10 +471,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	// Serve-side spans: one http_request span per submit that resolved to
+	// an entry, with the coalescing decision as an instant child, all
+	// correlated by a fresh request trace ID. A submit that coalesces onto
+	// a search finished in this process writes into its closed stream and
+	// drops silently — the stream's byte content is frozen once the run is
+	// over, and the spans endpoint serves it as a snapshot.
+	trace := fmt.Sprintf("req-%08d", s.reqSeq.Add(1))
+	sl := s.spanLog(key)
+	reqSpan := sl.start(trace, 0, "http_request", "POST /v1/search")
 	if owner {
+		sl.instant(trace, reqSpan, "coalesce", "miss")
 		s.mStarted.Add(1)
-		s.launch(e, &req)
+		s.launch(e, &req, trace)
 	} else {
+		sl.instant(trace, reqSpan, "coalesce", "hit")
 		s.mCoalesced.Add(1)
 	}
 	resp := entryStatus(e)
@@ -357,6 +494,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if resp.Status.Finished() {
 		code = http.StatusOK
 	}
+	sl.end(reqSpan)
 	writeJSON(w, code, resp)
 }
 
@@ -407,6 +545,90 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleSpans streams a search's serve-side spans as NDJSON. Live
+// searches stream until the run reaches a terminal state (the span log
+// closes) or the client disconnects; finished searches get whatever the
+// current stream holds as an immediate snapshot.
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.st.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown search %q", r.PathValue("id"))
+		return
+	}
+	sl := s.spanLog(e.Key)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	off := 0
+	for {
+		data, closed, changed := sl.log.Next(off)
+		if len(data) > 0 {
+			if _, err := w.Write(data); err != nil {
+				return
+			}
+			off += len(data)
+			if flusher != nil {
+				flusher.Flush()
+			}
+			continue
+		}
+		// A finished entry's stream never closes (it may be a fresh log
+		// created after the run's own stream was retired); serve it as a
+		// snapshot rather than blocking a reader forever.
+		if closed || e.Status().Finished() {
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleExplain runs the makespan attribution of a finished search's
+// winning mapping: the stored request is rebuilt into its machine and
+// graph, the stored mapping replayed, and the critical-path report
+// returned as JSON.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.st.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown search %q", r.PathValue("id"))
+		return
+	}
+	result, errMsg, done := e.Result()
+	if !done || errMsg != "" || len(result) == 0 {
+		httpError(w, http.StatusConflict, "search %s has no result to explain (status %s)", e.Key, e.Status())
+		return
+	}
+	var req Request
+	if err := json.Unmarshal(e.Request(), &req); err != nil {
+		httpError(w, http.StatusInternalServerError, "stored request unreadable: %v", err)
+		return
+	}
+	var res Result
+	if err := json.Unmarshal(result, &res); err != nil {
+		httpError(w, http.StatusInternalServerError, "stored result unreadable: %v", err)
+		return
+	}
+	p, err := req.build()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "rebuilding search: %v", err)
+		return
+	}
+	mp, err := mapping.Unmarshal(res.Mapping, p.g)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "replaying mapping: %v", err)
+		return
+	}
+	rep, err := explain.Analyze(p.m, p.g, mp)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "analyzing mapping: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
 // handleList reports every known search.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	entries := s.st.List()
@@ -419,10 +641,23 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// handleMetrics dumps the daemon's metrics registry in text form.
+// handleMetrics serves the daemon's metrics registry in Prometheus text
+// exposition format; ?format=text selects the legacy name=value dump.
+// Derived gauges (pool occupancy, coalesce hit ratio) are computed at
+// scrape time.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	s.reg.WriteText(w)
+	s.gOccupancy.Set(float64(len(s.sem)))
+	started, coalesced := s.mStarted.Value(), s.mCoalesced.Value()
+	if total := started + coalesced; total > 0 {
+		s.gHitRatio.Set(float64(coalesced) / float64(total))
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.reg.WriteText(w)
+		return
+	}
+	w.Header().Set("Content-Type", telemetry.PrometheusContentType)
+	s.reg.WritePrometheus(w)
 }
 
 // writeJSON writes v as an indented JSON response.

@@ -1,0 +1,88 @@
+// Serve-side span tracing: wall-clock spans describing the daemon's view
+// of each search — HTTP request handling, the coalescing decision, queue
+// wait, and the search run itself — correlated by a per-request trace ID.
+//
+// These spans are deliberately kept OUT of the deterministic per-search
+// event stream (/v1/search/{id}/events): that stream is part of the
+// fingerprint-keyed result contract and must stay byte-identical across
+// runs, while wall-clock spans differ every time. Each entry instead
+// carries a second, serve-only span log, streamed live from
+// GET /v1/search/{id}/spans and merged with the deterministic stream by
+// the trace tooling (viz, mapstat), never by the store.
+
+package serve
+
+import (
+	"sync"
+
+	"automap/internal/serve/store"
+	"automap/internal/telemetry"
+)
+
+// spanLog is one entry's serve-side span stream. All spans share the
+// daemon's wall clock; emission is serialized by the mutex because both
+// HTTP handlers and the search goroutine append to it.
+type spanLog struct {
+	mu    sync.Mutex
+	obs   *telemetry.Observer
+	sink  *telemetry.JSONLSink
+	log   *store.EventLog
+	clock telemetry.Clock
+}
+
+// newSpanLog returns an open span log on the given clock.
+func newSpanLog(clock telemetry.Clock) *spanLog {
+	log := store.NewEventLog()
+	sink := telemetry.NewJSONLSink(log)
+	sink.SetAutoFlush(true)
+	return &spanLog{
+		obs:   &telemetry.Observer{Sink: sink},
+		sink:  sink,
+		log:   log,
+		clock: clock,
+	}
+}
+
+// start opens a span under parent (0 for a root span), stamped with the
+// request-scoped trace ID, and returns its ID.
+func (sl *spanLog) start(trace string, parent int, name, detail string) int {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	sl.obs.Trace = trace
+	return sl.obs.StartSpan(parent, name, detail, sl.clock())
+}
+
+// end closes a span started earlier.
+func (sl *spanLog) end(id int) {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	sl.obs.EndSpan(id, sl.clock())
+}
+
+// instant records a zero-duration span — a point event like the
+// coalescing decision.
+func (sl *spanLog) instant(trace string, parent int, name, detail string) {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	sl.obs.Trace = trace
+	now := sl.clock()
+	id := sl.obs.StartSpan(parent, name, detail, now)
+	sl.obs.EndSpan(id, now)
+}
+
+// close marks the stream complete, waking streaming readers. Spans
+// arriving afterwards are dropped (the search is over; late cache-hit
+// requests are visible in the daemon metrics instead).
+func (sl *spanLog) close() { sl.log.Close() }
+
+// spanLog returns (creating if needed) the serve span log for key.
+func (s *Server) spanLog(key string) *spanLog {
+	s.spansMu.Lock()
+	defer s.spansMu.Unlock()
+	sl, ok := s.spans[key]
+	if !ok {
+		sl = newSpanLog(s.clock)
+		s.spans[key] = sl
+	}
+	return sl
+}

@@ -57,6 +57,11 @@ type Config struct {
 	// (one event per task × node × iteration), for timeline rendering
 	// and debugging. Off by default: event logs are large.
 	Trace bool
+	// Explain additionally records every copy operation in Result.Copies
+	// so a post-run critical-path analysis (internal/explain) can
+	// attribute the makespan to tasks, copies, and channels. Off by
+	// default: copy logs are large.
+	Explain bool
 }
 
 // Event is one recorded task execution on one node (Config.Trace).
@@ -71,6 +76,26 @@ type Event struct {
 	StartSec float64
 	CopySec  float64
 	DurSec   float64
+}
+
+// CopyEvent is one recorded copy operation (Config.Explain): an
+// intra-node channel transfer (SrcNode == DstNode, Network false) or the
+// network leg of a cross-node copy (Network true; the staging copies
+// through System memory on either end appear as their own intra-node
+// events). Start and Done bracket the transfer on the simulated clock;
+// because every schedule time in the simulator is a max over recorded
+// completion times, these floats chain exactly and the critical path can
+// be recovered by equality matching.
+type CopyEvent struct {
+	SrcNode int
+	DstNode int
+	SrcKind machine.MemKind
+	DstKind machine.MemKind
+	Network bool
+	Bytes   int64
+	// StartSec is when the transfer began; DoneSec when it completed.
+	StartSec float64
+	DoneSec  float64
 }
 
 // Result reports the outcome of a simulation.
@@ -94,6 +119,8 @@ type Result struct {
 	PeakMemBytes map[machine.MemKind]int64
 	// Events is the execution event log (only with Config.Trace).
 	Events []Event
+	// Copies is the copy-operation log (only with Config.Explain).
+	Copies []CopyEvent
 	// ProcBusySec is the total processor-occupied time per kind.
 	ProcBusySec map[machine.ProcKind]float64
 	// EnergyJoules estimates dynamic energy: processor busy time times
@@ -285,6 +312,12 @@ func (s *state) intraCopy(a, b machine.MemKind, n int, bytes int64, after float6
 	s.copyAvail[n] = done
 	s.result.BytesCopied += bytes
 	s.result.NumCopies++
+	if s.cfg.Explain {
+		s.result.Copies = append(s.result.Copies, CopyEvent{
+			SrcNode: n, DstNode: n, SrcKind: a, DstKind: b,
+			Bytes: bytes, StartSec: start, DoneSec: done,
+		})
+	}
 	return done
 }
 
@@ -306,6 +339,13 @@ func (s *state) netCopy(srcNode int, srcKind machine.MemKind, dstNode int, dstKi
 	s.result.BytesCopied += bytes
 	s.result.BytesOnNetwork += bytes
 	s.result.NumCopies++
+	if s.cfg.Explain {
+		s.result.Copies = append(s.result.Copies, CopyEvent{
+			SrcNode: srcNode, DstNode: dstNode,
+			SrcKind: machine.SysMem, DstKind: machine.SysMem, Network: true,
+			Bytes: bytes, StartSec: start, DoneSec: done,
+		})
+	}
 	t = done
 	if dstKind != machine.SysMem {
 		t = s.intraCopy(machine.SysMem, dstKind, dstNode, bytes, t)

@@ -131,6 +131,11 @@ type SearchFinished struct {
 	BestSec float64 `json:"best_sec,omitempty"`
 	// SearchSec is the total simulated search time consumed.
 	SearchSec float64 `json:"search_sec"`
+	// EvalSec is the total simulated cost of the evaluations themselves
+	// (candidate measurement time, excluding per-suggestion overheads) —
+	// the wall-clock-free virtual cost of the search, so a trace is
+	// self-describing without the report file.
+	EvalSec float64 `json:"eval_sec"`
 	// Suggested/Evaluated are the Section 5.3 counters.
 	Suggested int `json:"suggested"`
 	Evaluated int `json:"evaluated"`

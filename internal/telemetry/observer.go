@@ -12,10 +12,17 @@ type Observer struct {
 	Sink    Sink
 	Metrics *Registry
 
+	// Trace is an optional request-scoped correlation ID stamped into
+	// every SpanStart this observer emits (see span.go). Deterministic
+	// observers leave it empty; serve sets it per HTTP request.
+	Trace string
+
 	// seq counts events forwarded to the sink; checkpoints record it so
 	// a resumed search knows how much of the replayed stream to
 	// suppress (see JSONLSink.Resume).
 	seq int
+	// spanSeq assigns sequential span IDs (see StartSpan).
+	spanSeq int
 }
 
 // Enabled reports whether events will actually be recorded. Callers use it

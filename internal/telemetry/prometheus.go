@@ -1,0 +1,222 @@
+// Prometheus text exposition for the metrics registry. The daemon's
+// /metrics endpoint serves this format by default so a stock Prometheus
+// scraper works against mapd unmodified; the legacy sorted text dump
+// (WriteText) stays available behind ?format=text for golden tests.
+//
+// Name mapping: dotted registry names become underscore-separated
+// Prometheus names ("serve.request.latency_sec" →
+// "serve_request_latency_sec"); counters gain the conventional _total
+// suffix. A registered name may carry a literal label set —
+// `build_info{version="dev"}` — which is split off the base name and
+// re-attached to each sample line, letting stdlib-only callers attach
+// static labels without a label API.
+
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// PrometheusContentType is the Content-Type for the text exposition
+// format, per the Prometheus exposition format spec.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName sanitizes a dotted registry name into a valid Prometheus
+// metric name and splits off an embedded {label="value"} set, if any.
+func promName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		name, labels = name[:i], name[i:]
+	}
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String(), labels
+}
+
+// mergeLabels combines a metric's static label set with an extra label
+// (the histogram `le`), producing the {...} suffix for one sample line.
+func mergeLabels(labels, extra string) string {
+	if labels == "" {
+		if extra == "" {
+			return ""
+		}
+		return "{" + extra + "}"
+	}
+	if extra == "" {
+		return labels
+	}
+	return strings.TrimSuffix(labels, "}") + "," + extra + "}"
+}
+
+// WritePrometheus dumps every metric in Prometheus text exposition
+// format, sorted by metric name for determinism. Histograms are
+// rendered with cumulative buckets (per the format: each le bucket
+// counts all observations ≤ its bound, ending at le="+Inf") plus _sum
+// and _count series. Returns nil without writing on a nil registry.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	// Each chunk is one metric family: a # TYPE line plus its samples.
+	// Sorting chunks by family name gives a stable, diffable page.
+	type chunk struct {
+		family string
+		text   string
+	}
+	chunks := make([]chunk, 0, len(r.counts)+len(r.gauges)+len(r.hists))
+
+	//mapvet:unordered chunks are sorted by family name before writing
+	for name, c := range r.counts {
+		base, labels := promName(name)
+		if !strings.HasSuffix(base, "_total") {
+			base += "_total"
+		}
+		chunks = append(chunks, chunk{base, fmt.Sprintf(
+			"# TYPE %s counter\n%s%s %d\n", base, base, labels, c.Value())})
+	}
+	//mapvet:unordered chunks are sorted by family name before writing
+	for name, g := range r.gauges {
+		base, labels := promName(name)
+		chunks = append(chunks, chunk{base, fmt.Sprintf(
+			"# TYPE %s gauge\n%s%s %s\n", base, base, labels, formatFloat(g.Value()))})
+	}
+	//mapvet:unordered chunks are sorted by family name before writing
+	for name, h := range r.hists {
+		base, labels := promName(name)
+		var b strings.Builder
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", base)
+		h.mu.Lock()
+		cum := int64(0)
+		for i, bound := range h.bounds {
+			cum += h.counts[i]
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", base,
+				mergeLabels(labels, fmt.Sprintf("le=%q", formatFloat(bound))), cum)
+		}
+		cum += h.counts[len(h.bounds)]
+		fmt.Fprintf(&b, "%s_bucket%s %d\n", base, mergeLabels(labels, `le="+Inf"`), cum)
+		fmt.Fprintf(&b, "%s_sum%s %s\n", base, labels, formatFloat(h.sum))
+		fmt.Fprintf(&b, "%s_count%s %d\n", base, labels, h.count)
+		h.mu.Unlock()
+		chunks = append(chunks, chunk{base, b.String()})
+	}
+
+	sort.Slice(chunks, func(i, j int) bool {
+		if chunks[i].family != chunks[j].family {
+			return chunks[i].family < chunks[j].family
+		}
+		return chunks[i].text < chunks[j].text
+	})
+	// Duplicate families (two dotted names sanitizing to one Prometheus
+	// name, or the same family with different label sets) keep a single
+	// # TYPE header.
+	prev := ""
+	for _, c := range chunks {
+		text := c.text
+		if c.family == prev {
+			text = text[strings.IndexByte(text, '\n')+1:]
+		}
+		prev = c.family
+		if _, err := io.WriteString(w, text); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Merge folds every metric of other into r: counters add, histograms
+// with matching bounds add bucket-wise (a histogram new to r is created
+// with other's bounds), gauges are overwritten with other's value.
+// Histograms whose bounds disagree are skipped — merging them would
+// misattribute samples. The daemon uses this to aggregate each finished
+// search's private registry (which must stay per-search so stored
+// results remain deterministic) into the daemon-lifetime registry that
+// /metrics serves.
+func (r *Registry) Merge(other *Registry) {
+	if r == nil || other == nil {
+		return
+	}
+	// Snapshot other under its own lock, then apply under r's: no two
+	// registry locks are ever held together, so merging in either
+	// direction (or concurrently) cannot deadlock.
+	type histCopy struct {
+		bounds []float64
+		counts []int64
+		sum    float64
+		count  int64
+	}
+	other.mu.Lock()
+	counts := make(map[string]int64, len(other.counts))
+	//mapvet:unordered rekeying into a map; the caller sees a map, not an order
+	for name, c := range other.counts {
+		counts[name] = c.Value()
+	}
+	gauges := make(map[string]float64, len(other.gauges))
+	//mapvet:unordered rekeying into a map; the caller sees a map, not an order
+	for name, g := range other.gauges {
+		gauges[name] = g.Value()
+	}
+	hists := make(map[string]histCopy, len(other.hists))
+	//mapvet:unordered rekeying into a map; the caller sees a map, not an order
+	for name, h := range other.hists {
+		h.mu.Lock()
+		hists[name] = histCopy{
+			bounds: append([]float64(nil), h.bounds...),
+			counts: append([]int64(nil), h.counts...),
+			sum:    h.sum,
+			count:  h.count,
+		}
+		h.mu.Unlock()
+	}
+	other.mu.Unlock()
+
+	//mapvet:unordered counter addition is commutative; merge order is invisible
+	for name, v := range counts {
+		r.Counter(name).Add(v)
+	}
+	//mapvet:unordered gauge overwrite per distinct name; merge order is invisible
+	for name, v := range gauges {
+		r.Gauge(name).Set(v)
+	}
+	//mapvet:unordered bucket-wise addition is commutative; merge order is invisible
+	for name, hc := range hists {
+		h := r.Histogram(name, hc.bounds)
+		h.mu.Lock()
+		if len(h.bounds) == len(hc.bounds) && boundsEqual(h.bounds, hc.bounds) {
+			for i, n := range hc.counts {
+				h.counts[i] += n
+			}
+			h.sum += hc.sum
+			h.count += hc.count
+		}
+		h.mu.Unlock()
+	}
+}
+
+// boundsEqual reports whether two sorted bound slices are identical.
+func boundsEqual(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -35,6 +35,18 @@ type chromeCounter struct {
 	Args map[string]any `json:"args"`
 }
 
+// chromeAsync is one nestable async ("b"/"e") event — how telemetry spans
+// (search phases, rotations) render as a nested hierarchy in Perfetto.
+type chromeAsync struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	PID  int            `json:"pid"`
+	ID   int            `json:"id"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
 // WriteSearchTrace writes a search telemetry event stream (in emission
 // order, e.g. telemetry.MemorySink.Events) as a Chrome trace JSON array.
 // The time axis is the simulated search clock — one trace microsecond per
@@ -43,7 +55,10 @@ type chromeCounter struct {
 // for genome-wide proposers), evaluation spans annotated with candidate,
 // cost, and verdict, rotation boundaries and constraint drops as instant
 // markers on a control track, and the best-so-far cost as a counter
-// series. Load the file at chrome://tracing or ui.perfetto.dev.
+// series. Telemetry spans (the search/phase/rotation tree) render as
+// nestable async events, so Perfetto shows them as a nested hierarchy
+// above the evaluation tracks. Load the file at chrome://tracing or
+// ui.perfetto.dev.
 //
 // Output is a pure function of the event slice: a deterministic search
 // yields a byte-identical trace.
@@ -75,6 +90,9 @@ func WriteSearchTrace(w io.Writer, events []telemetry.Event) error {
 	// land where the search actually was.
 	var clock float64
 	var pending *telemetry.Suggested
+	// spanNames remembers open spans so the matching "e" record can carry
+	// the same name Perfetto pairs events by.
+	spanNames := map[int]string{}
 
 	for _, raw := range events {
 		switch e := raw.(type) {
@@ -147,6 +165,37 @@ func WriteSearchTrace(w io.Writer, events []telemetry.Event) error {
 				Args: map[string]any{
 					"rotation": e.Rotation, "weight_bytes": e.WeightBytes,
 				},
+			})
+		case telemetry.SpanStart:
+			spanNames[e.ID] = e.Name
+			args := map[string]any{}
+			if e.Detail != "" {
+				args["detail"] = e.Detail
+			}
+			if e.Trace != "" {
+				args["trace"] = e.Trace
+			}
+			if e.Parent != 0 {
+				args["parent"] = e.Parent
+			}
+			if len(args) == 0 {
+				args = nil
+			}
+			out = append(out, chromeAsync{
+				Name: e.Name, Cat: "span", Ph: "b",
+				Ts: e.StartSec * usec, ID: e.ID, Args: args,
+			})
+		case telemetry.SpanEnd:
+			name, ok := spanNames[e.ID]
+			if !ok {
+				// An end without a start (stream truncated mid-resume);
+				// skip rather than emit an unpairable record.
+				continue
+			}
+			delete(spanNames, e.ID)
+			out = append(out, chromeAsync{
+				Name: name, Cat: "span", Ph: "e",
+				Ts: e.EndSec * usec, ID: e.ID,
 			})
 		case telemetry.SearchFinished:
 			clock = e.SearchSec

@@ -14,6 +14,8 @@ func syntheticSearch() []telemetry.Event {
 	return []telemetry.Event{
 		telemetry.SearchStarted{Algorithm: "AM-CCD", Program: "stencil",
 			Machine: "shepard", Tasks: 2, Collections: 2, Seed: 7},
+		telemetry.SpanStart{ID: 1, Name: "search", Detail: "AM-CCD stencil@shepard"},
+		telemetry.SpanStart{ID: 2, Parent: 1, Name: "search_phase"},
 		telemetry.Suggested{Coord: "start", Candidate: "k0", Source: "AM-CCD"},
 		telemetry.Evaluated{Candidate: "k0", MeanSec: 3, StartSec: 0, EndSec: 9},
 		telemetry.NewBest{Candidate: "k0", BestSec: 3, SearchSec: 9},
@@ -34,6 +36,8 @@ func syntheticSearch() []telemetry.Event {
 			StartSec: 15.01, EndSec: 15.01},
 		telemetry.SearchFinished{StopReason: "converged", BestSec: 2,
 			SearchSec: 15.01, Suggested: 4, Evaluated: 4},
+		telemetry.SpanEnd{ID: 2, EndSec: 15.01},
+		telemetry.SpanEnd{ID: 1, EndSec: 15.01},
 	}
 }
 
@@ -50,6 +54,8 @@ func TestWriteSearchTrace(t *testing.T) {
 	tracks := map[string]bool{}
 	verdicts := map[string]int{}
 	var spans, instants, counters int
+	asyncOpen := map[float64]string{}
+	var asyncBegins, asyncEnds int
 	for _, e := range entries {
 		switch e["ph"] {
 		case "M":
@@ -65,7 +71,20 @@ func TestWriteSearchTrace(t *testing.T) {
 			instants++
 		case "C":
 			counters++
+		case "b":
+			asyncBegins++
+			asyncOpen[e["id"].(float64)] = e["name"].(string)
+		case "e":
+			asyncEnds++
+			if asyncOpen[e["id"].(float64)] != e["name"].(string) {
+				t.Errorf("async end name %q does not match its begin %q",
+					e["name"], asyncOpen[e["id"].(float64)])
+			}
 		}
+	}
+	// The telemetry span tree renders as paired nestable async events.
+	if asyncBegins != 2 || asyncEnds != 2 {
+		t.Errorf("async span events = %d begins / %d ends, want 2/2", asyncBegins, asyncEnds)
 	}
 	// One track per coordinate, plus the control track.
 	for _, want := range []string{"search control", "start", "stencil.arg0", "stencil.dist"} {

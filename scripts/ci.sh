@@ -81,6 +81,9 @@ echo "== worker-count determinism smoke"
     -events "$tdir/w8.jsonl" >/dev/null
 cmp "$tdir/w1.jsonl" "$tdir/w8.jsonl" || {
     echo "telemetry event stream differs between -workers 1 and -workers 8" >&2; exit 1; }
+# Span-specific invariance gate: even if non-span events ever legitimately
+# diverge by worker count, the span subsequences must stay byte-identical.
+$GO run ./scripts/telemetrycheck "$tdir/w1.jsonl" "$tdir/m1.txt" "$tdir/w8.jsonl"
 
 echo "== checkpoint/resume smoke"
 # A search cut off by a wall-clock deadline must leave a checkpoint that

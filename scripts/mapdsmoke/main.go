@@ -107,7 +107,7 @@ func waitDone(id string) status {
 }
 
 func metric(name string) float64 {
-	resp, err := http.Get(url("/metrics"))
+	resp, err := http.Get(url("/metrics?format=text"))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -123,6 +123,29 @@ func metric(name string) float64 {
 	}
 	log.Fatalf("metric %s not exported", name)
 	return 0
+}
+
+// checkPrometheus asserts the default /metrics surface is the Prometheus
+// text exposition: right content type, a _total counter, and build_info.
+func checkPrometheus() {
+	resp, err := http.Get(url("/metrics"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		log.Fatalf("/metrics Content-Type = %q, want Prometheus text exposition", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		"# TYPE serve_searches_started_total counter",
+		"serve_searches_started_total 1",
+		"build_info{",
+	} {
+		if !strings.Contains(string(body), want) {
+			log.Fatalf("/metrics exposition missing %q", want)
+		}
+	}
 }
 
 func main() {
@@ -158,6 +181,7 @@ func main() {
 	if n := metric("serve.searches.started"); n != 1 {
 		log.Fatalf("serve.searches.started = %g, want 1", n)
 	}
+	checkPrometheus()
 	stopDaemon(cmd)
 
 	// Second life: the same request must be served from the store without

@@ -177,8 +177,8 @@ func TestScopes(t *testing.T) {
 			nowallclockAnalyzer,
 			[]string{"automap/internal/sim", "automap/internal/search", "automap/internal/driver",
 				"automap/internal/checkpoint", "automap/internal/mapping", "automap/internal/overlap",
-				"automap/internal/xrand"},
-			[]string{"automap/internal/rt", "automap/cmd/automap", "automap/internal/telemetry"},
+				"automap/internal/xrand", "automap/internal/telemetry"},
+			[]string{"automap/internal/rt", "automap/cmd/automap", "automap/internal/serve"},
 		},
 		{
 			sortedmapsAnalyzer,

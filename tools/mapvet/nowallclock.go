@@ -12,17 +12,24 @@ import (
 // simulator (its clock is simulated), the search (reproducible trajectories
 // from a seed), the driver (golden-tested end to end), checkpointing
 // (resume must replay byte-identically), mapping (canonical keys are cache
-// and fingerprint identities), overlap, and xrand (the seeded generator
-// everything else must inject).
+// and fingerprint identities), overlap, xrand (the seeded generator
+// everything else must inject), and telemetry (event payloads carry the
+// simulated search clock so streams are byte-identical under a fixed seed).
 //
 // time.Now in these packages silently couples results to the host; a global
 // rand call bypasses the seeded *xrand.Rand and breaks worker-count
 // invariance. Wall-clock use belongs in cmd/ and rt (real telemetry
-// timestamps), never here.
+// timestamps), never here — with one sanctioned exception: the
+// telemetry.WallClock shim, which serve-side span streams inject
+// explicitly. Its two time calls are annotated `//mapvet:wallclock
+// <reason>`; the directive (on the flagged line or the line above)
+// suppresses the diagnostic, and an annotation without a reason is still
+// flagged, because the reason is the reviewable artifact.
 var nowallclockAnalyzer = &Analyzer{
 	Name: "nowallclock",
 	Doc: "forbid time.Now/time.Since and global math/rand in the deterministic core " +
-		"(sim, search, driver, checkpoint, mapping, overlap, xrand)",
+		"(sim, search, driver, checkpoint, mapping, overlap, xrand, telemetry); " +
+		"//mapvet:wallclock <reason> exempts a sanctioned wall-clock shim",
 	Applies: scopedTo(
 		"automap/internal/sim",
 		"automap/internal/search",
@@ -31,6 +38,7 @@ var nowallclockAnalyzer = &Analyzer{
 		"automap/internal/mapping",
 		"automap/internal/overlap",
 		"automap/internal/xrand",
+		"automap/internal/telemetry",
 	),
 	Run: runNoWallClock,
 }
@@ -46,6 +54,7 @@ var forbiddenTimeFuncs = map[string]bool{
 
 func runNoWallClock(pass *Pass) {
 	for _, file := range pass.Files {
+		directives := lineDirectives(pass.Fset, file, "wallclock")
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
@@ -57,8 +66,15 @@ func runNoWallClock(pass *Pass) {
 			}
 			switch {
 			case pkg == "time" && forbiddenTimeFuncs[name]:
+				if reason, ok := directiveFor(pass.Fset, directives, call.Pos()); ok {
+					if reason == "" {
+						pass.Reportf(call.Pos(),
+							"//mapvet:wallclock needs a reason: say why this call is a sanctioned wall-clock source")
+					}
+					return true
+				}
 				pass.Reportf(call.Pos(),
-					"time.%s reads the wall clock in a deterministic package: results must be a pure function of inputs (use the simulated clock or accept a timestamp parameter)", name)
+					"time.%s reads the wall clock in a deterministic package: results must be a pure function of inputs (use the simulated clock, accept a timestamp parameter, or go through telemetry.WallClock)", name)
 			case pkg == "math/rand" || pkg == "math/rand/v2":
 				pass.Reportf(call.Pos(),
 					"global %s.%s bypasses the seeded generator: inject a *xrand.Rand so runs reproduce from a seed", pkg, name)

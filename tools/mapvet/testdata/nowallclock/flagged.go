@@ -32,3 +32,8 @@ func jitter() float64 {
 func pick(n int) int {
 	return randv2.IntN(n) // want "global math/rand/v2.IntN bypasses the seeded generator"
 }
+
+func unexplained() time.Time {
+	//mapvet:wallclock
+	return time.Now() // want "//mapvet:wallclock needs a reason"
+}
