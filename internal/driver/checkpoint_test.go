@@ -26,6 +26,7 @@ func TestPrefetchSkipsWhenBudgetLeavesNoRoom(t *testing.T) {
 	ev := NewEvaluator(m, g, opts)
 	ev.bindSearch(checkpoint.Snapshot{}, search.Budget{}, nil)
 	ev.Prefetch(cands)
+	ev.flushPrefetch()
 	if len(ev.spec) != 1 {
 		t.Fatalf("unbounded prefetch speculated %d candidates, want 1", len(ev.spec))
 	}
@@ -35,6 +36,7 @@ func TestPrefetchSkipsWhenBudgetLeavesNoRoom(t *testing.T) {
 	ev.Suggested = 10
 	ev.bindSearch(checkpoint.Snapshot{}, search.Budget{MaxSuggestions: 10}, nil)
 	ev.Prefetch(cands)
+	ev.flushPrefetch()
 	if len(ev.spec) != 0 {
 		t.Fatal("prefetch speculated past an exhausted suggestion budget")
 	}
@@ -44,6 +46,7 @@ func TestPrefetchSkipsWhenBudgetLeavesNoRoom(t *testing.T) {
 	ev.searchSec = 2
 	ev.bindSearch(checkpoint.Snapshot{}, search.Budget{MaxSearchSec: 1}, nil)
 	ev.Prefetch(cands)
+	ev.flushPrefetch()
 	if len(ev.spec) != 0 {
 		t.Fatal("prefetch speculated past an exhausted time budget")
 	}
@@ -54,6 +57,7 @@ func TestPrefetchSkipsWhenBudgetLeavesNoRoom(t *testing.T) {
 	ev = NewEvaluator(m, g, opts)
 	ev.bindSearch(checkpoint.Snapshot{}, search.Budget{Context: ctx}, nil)
 	ev.Prefetch(cands)
+	ev.flushPrefetch()
 	if len(ev.spec) != 0 {
 		t.Fatal("prefetch speculated after cancellation")
 	}
@@ -74,6 +78,7 @@ func TestPrefetchCappedByRemainingSuggestions(t *testing.T) {
 	ev.Suggested = 9 // budget leaves room for exactly one more proposal
 	ev.bindSearch(checkpoint.Snapshot{}, search.Budget{MaxSuggestions: 10}, nil)
 	ev.Prefetch(cands)
+	ev.flushPrefetch()
 	if len(ev.spec) != 1 {
 		t.Fatalf("prefetch speculated %d candidates with room for 1", len(ev.spec))
 	}

@@ -79,10 +79,18 @@ type Options struct {
 	// across repeats and speculative batch evaluation. Zero or negative
 	// means GOMAXPROCS. The search trajectory, report, and telemetry
 	// stream are byte-identical at every worker count: noise seeds are
-	// derived from (Seed, mapping key, repeat index) rather than
-	// execution order, and all measurement side effects commit in
-	// enumeration order.
+	// derived from (Seed, repeat index) rather than execution order, and
+	// all measurement side effects commit in enumeration order.
 	Workers int
+	// DisableIncremental turns off incremental re-simulation (DESIGN
+	// §14): candidates are evaluated with full simulations instead of
+	// deltas against the search incumbent. Results are bit-identical
+	// either way — the incremental path is an exact optimization and the
+	// sim.eval.incremental / sim.eval.fallback attribution counters are
+	// computed on the commit path in both modes — so this exists for the
+	// CI differential gate and performance debugging, not as a semantic
+	// switch.
+	DisableIncremental bool
 	// CheckpointPath, when non-empty, makes the driver persist a search
 	// snapshot (internal/checkpoint) atomically to this path: every
 	// CheckpointEvery fresh measurements during the search, and once more
@@ -157,10 +165,26 @@ type Evaluator struct {
 
 	// inst amortizes simulator topology tables, placement plans, and
 	// run scratch across every simulation of the search; sem bounds all
-	// concurrently executing simulations to `workers`.
+	// concurrently executing simulations to `workers`. delta wraps inst
+	// with incremental re-simulation against the search incumbent
+	// (sim.DeltaInstance); runner is whichever of the two measurements go
+	// through (Options.DisableIncremental selects inst). delta is always
+	// constructed and classified against even when disabled, so the
+	// attribution counters — and with them every report and event byte —
+	// are identical in both modes.
 	inst    *sim.Instance
+	delta   *sim.DeltaInstance
+	runner  simRunner
 	sem     chan struct{}
 	workers int
+
+	// Commit-path attribution of evaluations to the incremental or the
+	// full path (guarded by mu): how many committed candidate
+	// measurements classified as bounded deltas against the incumbent at
+	// their commit point. Deterministic — unlike "which path actually
+	// served each speculative run", which can depend on prefetch timing.
+	incEvals int64
+	fbEvals  int64
 
 	// replay holds the measurements restored from Options.ResumeFrom,
 	// keyed by mapping key. When the replayed search re-suggests a key,
@@ -191,9 +215,23 @@ type Evaluator struct {
 	// shows up under -race instead of as silent corruption.
 	mu sync.Mutex
 	// spec holds speculative measurement results produced by Prefetch,
-	// keyed by mapping key, awaiting commit by Evaluate.
-	specMu sync.Mutex
-	spec   map[string]specResult
+	// keyed by mapping key, awaiting commit by Evaluate; inflight holds
+	// the jobs workers have claimed and are measuring right now. Both
+	// are guarded by specMu (never acquired while holding pfMu's critical
+	// work — lock order is pfMu before specMu).
+	specMu   sync.Mutex
+	spec     map[string]specResult
+	inflight map[string]*prefetchJob
+	// The prefetch pipeline (guarded by pfMu): Prefetch enqueues batches
+	// and returns immediately; up to `workers` pipeline goroutines drain
+	// the queue in order. A new batch replaces the queue — CCD re-batches
+	// from the new incumbent after every accept, superseding the stale
+	// candidates — and pfActive tracks live workers so re-batching never
+	// over-spawns. pfWG lets drainPrefetch wait the pipeline out.
+	pfMu     sync.Mutex
+	pfQueue  []*prefetchJob
+	pfActive int
+	pfWG     sync.WaitGroup
 
 	// Suggested counts Evaluate calls; Evaluated counts distinct
 	// mappings actually measured (Section 5.3's accounting).
@@ -205,6 +243,8 @@ type Evaluator struct {
 	mCacheHits *telemetry.Counter
 	mFailures  *telemetry.Counter
 	mSimRuns   *telemetry.Counter
+	mIncEvals  *telemetry.Counter
+	mFbEvals   *telemetry.Counter
 	mCopies    *telemetry.Counter
 	mCopyBytes *telemetry.Counter
 	mNetBytes  *telemetry.Counter
@@ -234,20 +274,31 @@ func NewEvaluator(m *machine.Machine, g *taskir.Graph, opts Options) *Evaluator 
 			replay[ce.Key] = ce.Runs
 		}
 	}
+	inst := sim.New(m, g)
+	delta := sim.NewDelta(inst)
+	var runner simRunner = delta
+	if opts.DisableIncremental {
+		runner = inst
+	}
 	return &Evaluator{
 		M: m, G: g, Opts: opts,
-		DB:      db,
-		byKey:   make(map[string]*mapping.Mapping),
-		model:   m.Model(),
-		inst:    sim.New(m, g),
-		sem:     make(chan struct{}, workers),
-		workers: workers,
-		spec:    make(map[string]specResult),
-		replay:  replay,
+		DB:       db,
+		byKey:    make(map[string]*mapping.Mapping),
+		model:    m.Model(),
+		inst:     inst,
+		delta:    delta,
+		runner:   runner,
+		sem:      make(chan struct{}, workers),
+		workers:  workers,
+		spec:     make(map[string]specResult),
+		inflight: make(map[string]*prefetchJob),
+		replay:   replay,
 
 		mCacheHits: obs.Counter("search.eval.cache_hits"),
 		mFailures:  obs.Counter("search.eval.failures"),
 		mSimRuns:   obs.Counter("search.eval.sim_runs"),
+		mIncEvals:  obs.Counter("sim.eval.incremental"),
+		mFbEvals:   obs.Counter("sim.eval.fallback"),
 		mCopies:    obs.Counter("sim.copies.count"),
 		mCopyBytes: obs.Counter("sim.copies.bytes"),
 		mNetBytes:  obs.Counter("sim.copies.network_bytes"),
@@ -309,9 +360,9 @@ func (e *Evaluator) Evaluate(mp *mapping.Mapping) search.Evaluation {
 		delete(e.replay, key)
 		return e.commitRuns(key, mp, runs)
 	}
-	results, errs := e.takeSpec(key)
+	results, errs := e.waitSpec(key)
 	if results == nil {
-		results, errs = measureRuns(e.inst, key, mp, e.repeats(), e.Opts.NoiseSigma, e.Opts.Seed, e.sem)
+		results, errs = measureRuns(e.runner, key, mp, e.repeats(), e.Opts.NoiseSigma, e.Opts.Seed, e.sem)
 	}
 	verdict := e.commitRuns(key, mp, toRuns(results, errs, e.Opts.objective()))
 	// Only fresh measurements advance the periodic-checkpoint counter:
@@ -350,6 +401,20 @@ func toRuns(results []*sim.Result, errs []error, obj func(*sim.Result) float64) 
 // for fresh measurements and checkpoint replays, which is what makes a
 // resumed search bit-identical to an uninterrupted one. Callers hold e.mu.
 func (e *Evaluator) commitRuns(key string, mp *mapping.Mapping, runs []checkpoint.Run) search.Evaluation {
+	// Attribute this evaluation to the incremental or the full simulation
+	// path, as classified against the incumbent at the commit point.
+	// Classification is pure and the commit sequence (including the
+	// SetDeltaBase calls interleaved by the search) is deterministic, so
+	// these counters — unlike "which path physically served a speculative
+	// run" — are identical across worker counts, prefetch timing, resume,
+	// and Options.DisableIncremental.
+	if e.delta.Classify(key, mp) {
+		e.incEvals++
+		e.mIncEvals.Add(1)
+	} else {
+		e.fbEvals++
+		e.mFbEvals.Add(1)
+	}
 	times := make([]float64, 0, len(runs))
 	var spent float64
 	failed := false
@@ -466,6 +531,16 @@ func (e *Evaluator) CheckpointErr() error {
 	return e.ckptErr
 }
 
+// prefetchJob is one queued speculative measurement. done is closed once
+// the job's results are in the speculative cache, so an Evaluate that
+// arrives while the job is in flight can wait for it instead of
+// re-measuring.
+type prefetchJob struct {
+	key  string
+	mp   *mapping.Mapping
+	done chan struct{}
+}
+
 // Prefetch speculatively measures candidates concurrently, bounded by the
 // worker pool. It has no observable side effects: no counters move, no
 // search time is charged, nothing is recorded or emitted. The results wait
@@ -474,6 +549,16 @@ func (e *Evaluator) CheckpointErr() error {
 // time, never the trajectory. With a single worker, speculation cannot
 // overlap anything and wasted speculative runs would cost real time, so
 // Prefetch is a no-op.
+//
+// Prefetch is asynchronous: it replaces the pipeline's queue with this
+// batch and returns without waiting. Pipeline workers (at most `workers`)
+// claim jobs in batch order and run them through the shared simulation
+// semaphore; the sequential Evaluate calls consume finished results,
+// wait for in-flight ones, and measure unclaimed ones synchronously —
+// so the search loop overlaps its commit work with speculation instead
+// of stalling behind the whole batch, and an accepted improvement (which
+// re-batches from the new incumbent) wastes only the jobs already in
+// flight, not a full batch of stale measurements.
 func (e *Evaluator) Prefetch(cands []*mapping.Mapping) {
 	if e.workers <= 1 {
 		return
@@ -516,11 +601,7 @@ func (e *Evaluator) Prefetch(cands []*mapping.Mapping) {
 			limit = rem
 		}
 	}
-	type job struct {
-		key string
-		mp  *mapping.Mapping
-	}
-	jobs := make([]job, 0, len(cands))
+	jobs := make([]*prefetchJob, 0, len(cands))
 	seen := make(map[string]bool, len(cands))
 	for _, mp := range cands {
 		if len(jobs) >= limit {
@@ -541,6 +622,9 @@ func (e *Evaluator) Prefetch(cands []*mapping.Mapping) {
 		}
 		e.specMu.Lock()
 		_, have := e.spec[key]
+		if !have {
+			_, have = e.inflight[key]
+		}
 		e.specMu.Unlock()
 		if have {
 			continue
@@ -548,34 +632,118 @@ func (e *Evaluator) Prefetch(cands []*mapping.Mapping) {
 		if mp.Validate(e.G, e.model) != nil {
 			continue
 		}
-		jobs = append(jobs, job{key: key, mp: mp})
+		jobs = append(jobs, &prefetchJob{key: key, mp: mp, done: make(chan struct{})})
 	}
-	if len(jobs) == 0 {
-		return
+	// Replace the queue (stale candidates are superseded) and top the
+	// worker pool up to min(workers, queue length). Dropped jobs were
+	// never claimed, so nothing waits on their done channels.
+	e.pfMu.Lock()
+	e.pfQueue = jobs
+	want := len(jobs)
+	if want > e.workers {
+		want = e.workers
 	}
-	var wg sync.WaitGroup
-	for _, j := range jobs {
-		wg.Add(1)
-		go func(j job) {
-			defer wg.Done()
-			results, errs := measureRuns(e.inst, j.key, j.mp, e.repeats(), e.Opts.NoiseSigma, e.Opts.Seed, e.sem)
-			e.specMu.Lock()
-			if len(e.spec) >= specCacheLimit {
-				e.spec = make(map[string]specResult)
-			}
-			e.spec[j.key] = specResult{results: results, errs: errs}
-			e.specMu.Unlock()
-		}(j)
+	if spawn := want - e.pfActive; spawn > 0 {
+		e.pfActive += spawn
+		e.pfWG.Add(spawn)
+		for i := 0; i < spawn; i++ {
+			go func(wg *sync.WaitGroup) {
+				defer wg.Done()
+				e.prefetchWorker()
+			}(&e.pfWG)
+		}
 	}
-	wg.Wait()
+	e.pfMu.Unlock()
 }
 
-// takeSpec consumes the speculative measurement for key, if present.
-func (e *Evaluator) takeSpec(key string) ([]*sim.Result, []error) {
+// claimJob pops the next unclaimed queue entry, registering it in
+// inflight. A nil return retires the calling worker (the decrement
+// happens here, under pfMu, so Prefetch's spawn accounting and worker
+// exits never race).
+func (e *Evaluator) claimJob() *prefetchJob {
+	e.pfMu.Lock()
+	defer e.pfMu.Unlock()
+	for len(e.pfQueue) > 0 {
+		j := e.pfQueue[0]
+		e.pfQueue = e.pfQueue[1:]
+		e.specMu.Lock()
+		_, have := e.spec[j.key]
+		if !have {
+			_, have = e.inflight[j.key]
+		}
+		if have {
+			e.specMu.Unlock()
+			continue
+		}
+		e.inflight[j.key] = j
+		e.specMu.Unlock()
+		return j
+	}
+	e.pfActive--
+	return nil
+}
+
+// prefetchWorker drains the prefetch queue: measure, publish to the
+// speculative cache, signal waiters, repeat until the queue is empty.
+// Callers run it on a goroutine registered with pfWG (Done is the
+// spawner's deferred call).
+func (e *Evaluator) prefetchWorker() {
+	for {
+		j := e.claimJob()
+		if j == nil {
+			return
+		}
+		results, errs := measureRuns(e.runner, j.key, j.mp, e.repeats(), e.Opts.NoiseSigma, e.Opts.Seed, e.sem)
+		e.specMu.Lock()
+		if len(e.spec) >= specCacheLimit {
+			e.spec = make(map[string]specResult)
+		}
+		e.spec[j.key] = specResult{results: results, errs: errs}
+		delete(e.inflight, j.key)
+		e.specMu.Unlock()
+		close(j.done)
+	}
+}
+
+// drainPrefetch empties the queue and waits for in-flight speculative
+// work to finish. SearchFromSpace calls it when the search phase ends so
+// the final phase never races pipeline workers; tests call it before
+// asserting on the speculative cache.
+func (e *Evaluator) drainPrefetch() {
+	e.pfMu.Lock()
+	e.pfQueue = nil
+	e.pfMu.Unlock()
+	e.pfWG.Wait()
+}
+
+// flushPrefetch waits for the pipeline to finish every queued job (test
+// hook; drainPrefetch instead abandons jobs no worker has claimed yet).
+func (e *Evaluator) flushPrefetch() { e.pfWG.Wait() }
+
+// waitSpec consumes the speculative measurement for key: immediately if
+// it is already in the cache, after a wait if a pipeline worker has it in
+// flight, and not at all (nil) if speculation never claimed it. The wait
+// is deadlock-free: workers publish without touching the evaluator's
+// commit lock.
+func (e *Evaluator) waitSpec(key string) ([]*sim.Result, []error) {
+	e.specMu.Lock()
+	if s, ok := e.spec[key]; ok {
+		delete(e.spec, key)
+		e.specMu.Unlock()
+		return s.results, s.errs
+	}
+	j := e.inflight[key]
+	e.specMu.Unlock()
+	if j == nil {
+		return nil, nil
+	}
+	<-j.done
 	e.specMu.Lock()
 	defer e.specMu.Unlock()
 	s, ok := e.spec[key]
 	if !ok {
+		// The cache was reset under pressure between publish and here;
+		// the caller re-measures (bit-identical, seeds are derived).
 		return nil, nil
 	}
 	delete(e.spec, key)
@@ -615,6 +783,22 @@ func (e *Evaluator) Mapping(key string) (*mapping.Mapping, bool) {
 
 // Workers returns the effective worker-pool width.
 func (e *Evaluator) Workers() int { return e.workers }
+
+// SetDeltaBase declares mp the incumbent that subsequent candidate
+// evaluations are deltas against (search.DeltaEvaluator). Search
+// algorithms call it on every accepted improvement; it always reaches the
+// delta simulator — even under Options.DisableIncremental — so the
+// commit-path attribution counters stay identical in both modes.
+func (e *Evaluator) SetDeltaBase(mp *mapping.Mapping) { e.delta.SetBase(mp) }
+
+// DeltaEvalStats returns the commit-path attribution counters: how many
+// committed evaluations classified as incremental deltas against the
+// incumbent, and how many required full simulation.
+func (e *Evaluator) DeltaEvalStats() (incremental, fallback int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.incEvals, e.fbEvals
+}
 
 // PlanCacheStats returns the simulator instance's placement-plan cache
 // hit/miss counters.
@@ -784,6 +968,9 @@ func SearchFromSpace(m *machine.Machine, g *taskir.Graph, sp *profile.Space, alg
 	searchSpan := obs.StartSpan(rootSpan, "search_phase", "", 0)
 	prob.Span = searchSpan
 	out := alg.Search(prob, searchEv, budget)
+	// Retire the speculative pipeline before anything else reads or
+	// mutates post-search state.
+	ev.drainPrefetch()
 
 	// A cancellation that lands after the algorithm's last budget check
 	// still counts: the user asked the run to stop, so skip the final
@@ -882,7 +1069,7 @@ func SearchFromSpace(m *machine.Machine, g *taskir.Graph, sp *profile.Space, alg
 	// failed finalist completed before failing.
 	var finalSec float64
 	finalMeasure := func(mp *mapping.Mapping) ([]float64, bool) {
-		results, errs := measureRuns(ev.inst, mp.Key(), mp, opts.FinalRepeats, opts.NoiseSigma, finalBase, ev.sem)
+		results, errs := measureRuns(ev.runner, mp.Key(), mp, opts.FinalRepeats, opts.NoiseSigma, finalBase, ev.sem)
 		times := make([]float64, 0, len(results))
 		ok := true
 		for i := range results {

@@ -4,15 +4,23 @@
 // repeats concurrently under a worker semaphore with order-independent
 // noise seeds.
 //
-// Seed derivation: each run's seed is a hash of (base seed, mapping key,
-// repeat index). This replaced a sequential runSeed++ counter, whose seeds
-// depended on how many runs had executed before — meaning the measurement
-// of a mapping changed with suggestion order, and concurrent or speculative
-// evaluation would have perturbed results. With key-derived seeds a
-// mapping's measurement is a pure function of (base seed, mapping), so
-// repeats may run in any order and on any number of workers, speculative
-// results are exactly the results a later sequential evaluation would
-// produce, and the search trajectory is identical at every worker count.
+// Seed derivation: each run's seed is a hash of (base seed, repeat index).
+// This replaced a sequential runSeed++ counter, whose seeds depended on how
+// many runs had executed before — meaning the measurement of a mapping
+// changed with suggestion order, and concurrent or speculative evaluation
+// would have perturbed results. With derived seeds a mapping's measurement
+// is a pure function of (base seed, mapping), so repeats may run in any
+// order and on any number of workers, speculative results are exactly the
+// results a later sequential evaluation would produce, and the search
+// trajectory is identical at every worker count.
+//
+// The seed deliberately does NOT include the mapping key: every candidate's
+// repeat i experiences the same noise draw sequence (common random numbers,
+// the standard variance-reduction protocol for comparing alternatives
+// under simulated noise), and the simulator can memoize the per-seed noise
+// tape across the thousands of candidate evaluations of a search instead
+// of re-deriving log-normal draws for every run (see sim's noise tapes and
+// DESIGN §14).
 
 package driver
 
@@ -27,13 +35,12 @@ import (
 )
 
 // runSeed derives the noise seed of one simulation run from the search's
-// base seed, the mapping's canonical key, and the repeat index (FNV-1a).
-func runSeed(base uint64, key string, repeat int) uint64 {
+// base seed and the repeat index (FNV-1a).
+func runSeed(base uint64, repeat int) uint64 {
 	h := fnv.New64a()
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], base)
 	h.Write(b[:])
-	h.Write([]byte(key))
 	binary.LittleEndian.PutUint64(b[:], uint64(repeat))
 	h.Write(b[:])
 	return h.Sum64()
@@ -48,12 +55,22 @@ func resolveWorkers(w int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// simRunner is the simulator surface the measurement path needs: a keyed
+// run. Satisfied by both *sim.Instance (full simulation with schedule
+// fold) and *sim.DeltaInstance (incremental re-simulation against the
+// search incumbent); both return bit-identical results for any input, so
+// which one backs an evaluator never affects what is measured — only how
+// fast.
+type simRunner interface {
+	RunKeyed(key string, mp *mapping.Mapping, cfg sim.Config) (*sim.Result, error)
+}
+
 // measureRuns executes `repeats` independent simulations of mp (whose
-// canonical key is key) with seeds runSeed(base, key, i), concurrently
+// canonical key is key) with seeds runSeed(base, i), concurrently
 // bounded by the semaphore sem. Results and errors are returned in repeat
 // order; both are deterministic regardless of scheduling. A non-positive
 // repeat count returns empty slices.
-func measureRuns(inst *sim.Instance, key string, mp *mapping.Mapping, repeats int, noise float64, base uint64, sem chan struct{}) ([]*sim.Result, []error) {
+func measureRuns(inst simRunner, key string, mp *mapping.Mapping, repeats int, noise float64, base uint64, sem chan struct{}) ([]*sim.Result, []error) {
 	if repeats < 1 {
 		return nil, nil
 	}
@@ -64,7 +81,7 @@ func measureRuns(inst *sim.Instance, key string, mp *mapping.Mapping, repeats in
 		// goroutine machinery.
 		for i := 0; i < repeats; i++ {
 			sem <- struct{}{}
-			results[i], errs[i] = inst.RunKeyed(key, mp, sim.Config{NoiseSigma: noise, Seed: runSeed(base, key, i)})
+			results[i], errs[i] = inst.RunKeyed(key, mp, sim.Config{NoiseSigma: noise, Seed: runSeed(base, i)})
 			<-sem
 		}
 		return results, errs
@@ -76,7 +93,7 @@ func measureRuns(inst *sim.Instance, key string, mp *mapping.Mapping, repeats in
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i], errs[i] = inst.RunKeyed(key, mp, sim.Config{NoiseSigma: noise, Seed: runSeed(base, key, i)})
+			results[i], errs[i] = inst.RunKeyed(key, mp, sim.Config{NoiseSigma: noise, Seed: runSeed(base, i)})
 		}(i)
 	}
 	wg.Wait()

@@ -349,10 +349,35 @@ func (m *Mapping) Validate(g *taskir.Graph, md *machine.Model) error {
 // Two mappings with identical decisions have equal keys. Used by the
 // profile database to recognize repeated suggestions (Section 5.3 reports
 // suggested vs. evaluated counts).
+//
+// The encoding is a compact byte serialization rather than the printable
+// canonicalString: Key is on the per-candidate hot path (plan-cache and
+// profile-database identity for every evaluation), and the byte form
+// hashes from a stack buffer with a single allocation for the returned
+// string. Kind values are single bytes well below the 0xFE/0xFF
+// terminators, so the encoding is unambiguous.
 func (m *Mapping) Key() string {
-	h := sha256.New()
-	fmt.Fprint(h, m.canonicalString())
-	return hex.EncodeToString(h.Sum(nil)[:16])
+	var buf [2048]byte
+	b := buf[:0]
+	for _, d := range m.decisions {
+		if d.Distribute {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = append(b, byte(d.Proc))
+		for _, ms := range d.Mems {
+			for _, mk := range ms {
+				b = append(b, byte(mk))
+			}
+			b = append(b, 0xFF) // argument terminator
+		}
+		b = append(b, 0xFE) // task terminator
+	}
+	sum := sha256.Sum256(b)
+	var out [32]byte
+	hex.Encode(out[:], sum[:16])
+	return string(out[:])
 }
 
 // canonicalString renders the mapping deterministically.

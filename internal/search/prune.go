@@ -196,6 +196,24 @@ func (e *PruningEvaluator) Prefetch(cands []*mapping.Mapping) {
 	}
 }
 
+// SetDeltaBase forwards the incumbent to the inner evaluator's incremental
+// re-simulation path when it has one; a no-op otherwise, so pruning
+// composes transparently with DeltaEvaluator inners.
+func (e *PruningEvaluator) SetDeltaBase(mp *mapping.Mapping) {
+	if d, ok := e.inner.(DeltaEvaluator); ok {
+		d.SetDeltaBase(mp)
+	}
+}
+
+// DeltaEvalStats forwards to the inner evaluator's attribution counters;
+// zero when the inner evaluator has no incremental path.
+func (e *PruningEvaluator) DeltaEvalStats() (incremental, fallback int64) {
+	if d, ok := e.inner.(DeltaEvaluator); ok {
+		return d.DeltaEvalStats()
+	}
+	return 0, 0
+}
+
 // SearchTimeSec returns the inner evaluator's search clock.
 func (e *PruningEvaluator) SearchTimeSec() float64 { return e.inner.SearchTimeSec() }
 

@@ -73,6 +73,21 @@ type BatchEvaluator interface {
 	Prefetch(cands []*mapping.Mapping)
 }
 
+// DeltaEvaluator is an optional Evaluator extension for evaluators backed
+// by incremental re-simulation (the driver's DeltaInstance path, DESIGN
+// §14). SetDeltaBase names the search incumbent candidates should be
+// re-simulated against; it is purely advisory — results are bit-identical
+// whatever the base — so algorithms call it on every accept and never on
+// rejects. DeltaEvalStats returns the evaluator's commit-time attribution
+// counters (how many committed evaluations classified as incremental vs
+// fallback); both are monotone, so per-phase figures are taken as deltas
+// between two reads.
+type DeltaEvaluator interface {
+	Evaluator
+	SetDeltaBase(mp *mapping.Mapping)
+	DeltaEvalStats() (incremental, fallback int64)
+}
+
 // Budget bounds a search.
 type Budget struct {
 	// MaxSearchSec stops the search once the evaluator's simulated
@@ -229,6 +244,11 @@ type tracker struct {
 	evaluated int
 	trace     []TracePoint
 
+	// delta is ev's incremental-re-simulation surface when it has one
+	// (nil otherwise): each accepted candidate becomes the delta base, so
+	// subsequent candidates patch against the current incumbent.
+	delta DeltaEvaluator
+
 	obs *telemetry.Observer
 	// source labels Suggested events with the proposing algorithm or
 	// ensemble technique; coord and move describe the coordinate the
@@ -245,8 +265,10 @@ type tracker struct {
 }
 
 func newTracker(p *Problem, ev Evaluator) *tracker {
+	delta, _ := ev.(DeltaEvaluator)
 	return &tracker{
 		ev:         ev,
+		delta:      delta,
 		bestSec:    math.Inf(1),
 		obs:        p.Observer,
 		mSuggested: p.Observer.Counter("search.suggested"),
@@ -296,6 +318,9 @@ func (tr *tracker) testEval(cand *mapping.Mapping) (Evaluation, bool) {
 	if res.MeanSec < tr.bestSec {
 		tr.best = cand
 		tr.bestSec = res.MeanSec
+		if tr.delta != nil {
+			tr.delta.SetDeltaBase(cand)
+		}
 		tr.trace = append(tr.trace, TracePoint{SearchSec: tr.ev.SearchTimeSec(), BestSec: tr.bestSec})
 		tr.mNewBest.Add(1)
 		if emit {
@@ -304,6 +329,30 @@ func (tr *tracker) testEval(cand *mapping.Mapping) (Evaluation, bool) {
 		return res, true
 	}
 	return res, false
+}
+
+// deltaAttrs returns span attributes attributing the evaluations committed
+// since the counter snapshot (incStart, fbStart) to the incremental or
+// fallback simulation path; nil when the evaluator has no incremental
+// surface, so spans of plain evaluators are unchanged.
+func (tr *tracker) deltaAttrs(incStart, fbStart int64) map[string]int64 {
+	if tr.delta == nil {
+		return nil
+	}
+	inc, fb := tr.delta.DeltaEvalStats()
+	return map[string]int64{
+		"sim.eval.incremental": inc - incStart,
+		"sim.eval.fallback":    fb - fbStart,
+	}
+}
+
+// deltaStats snapshots the evaluator's commit-time attribution counters
+// (zero without an incremental surface), for a later deltaAttrs call.
+func (tr *tracker) deltaStats() (int64, int64) {
+	if tr.delta == nil {
+		return 0, 0
+	}
+	return tr.delta.DeltaEvalStats()
 }
 
 func (tr *tracker) outcome(reason StopReason) *Outcome {

@@ -1,0 +1,418 @@
+// DeltaInstance: incremental re-simulation for coordinate-descent search
+// (DESIGN §14). CCD evaluates candidates that differ from the rotation's
+// incumbent in one (or a few) mapping coordinates; re-simulating the whole
+// program for each is almost entirely redundant. DeltaInstance caches a
+// deep-recorded schedule of the incumbent ("base") — every copy op, exec,
+// and per-launch coherence pre-state — and builds a candidate's schedule
+// by splicing: launches of unchanged tasks whose argument state matches
+// the base are copied verbatim; launches in the dirty region (changed
+// tasks plus everything their collections' coherence state reaches,
+// bounded by the overlap graph) are re-simulated against a coherence
+// overlay. The spliced schedule folds to a Result byte-identical to a
+// full simulation (the CI differential gate and the property tests in
+// delta_test.go enforce this).
+//
+// When the candidate is not a bounded delta — too many flipped decisions,
+// placement rows of unchanged tasks moved (capacity accounting is global,
+// so a spill elsewhere invalidates recorded durations), or the estimated
+// dirty frontier exceeds MaxDirtyFrac — RunKeyed falls back to the full
+// path. Classification is a pure function of (candidate, base), exposed
+// as Classify so the driver can count incremental/fallback evaluations
+// deterministically on its sequential commit path.
+package sim
+
+import (
+	"sync"
+
+	"automap/internal/mapping"
+	"automap/internal/overlap"
+	"automap/internal/taskir"
+)
+
+// DeltaInstance extends Instance with incremental re-simulation against a
+// movable base mapping. All Instance methods remain available; RunKeyed
+// is overridden to try the incremental path first. Concurrent RunKeyed
+// calls are safe.
+type DeltaInstance struct {
+	*Instance
+
+	// MaxFlips bounds how many task decisions may differ from the base
+	// for the incremental path (CCD flips one; a small budget covers
+	// compound moves).
+	MaxFlips int
+	// MaxDirtyFrac bounds the estimated dirty fraction of the collection
+	// alias space; beyond it a full re-simulation is assumed cheaper
+	// than patching.
+	MaxDirtyFrac float64
+
+	// neigh[alias] lists the overlap-graph neighbor aliases: the
+	// collections whose coherence state a change to `alias` can reach
+	// directly. Used to estimate the dirty frontier during
+	// classification (the patcher itself tracks exact dirtiness).
+	neigh [][]taskir.CollectionID
+
+	dmu  sync.Mutex
+	base *deltaBase
+}
+
+// deltaBase is one base-mapping snapshot. In-flight evaluations hold the
+// snapshot they started with, so a concurrent SetBase never mixes two
+// bases inside one patch (results are byte-identical either way; only
+// which path served them could differ).
+type deltaBase struct {
+	key string
+	mp  *mapping.Mapping
+
+	mu   sync.Mutex
+	done bool
+	plan *PlacementPlan
+	sch  *schedule // deep-recorded
+	err  error
+}
+
+// NewDelta wraps an Instance with incremental re-simulation state. The
+// overlap graph of the program bounds the classification frontier.
+func NewDelta(in *Instance) *DeltaInstance {
+	d := &DeltaInstance{Instance: in, MaxFlips: 3, MaxDirtyFrac: 0.8}
+	og := overlap.Build(in.g)
+	nc := len(in.g.Collections)
+	d.neigh = make([][]taskir.CollectionID, nc)
+	for c := 0; c < nc; c++ {
+		al := in.topo.alias[c]
+		for _, nb := range og.Neighbors(taskir.CollectionID(c)) {
+			nal := in.topo.alias[nb]
+			if nal == al {
+				continue
+			}
+			dup := false
+			for _, e := range d.neigh[al] {
+				if e == nal {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				d.neigh[al] = append(d.neigh[al], nal)
+			}
+		}
+	}
+	return d
+}
+
+// SetBase declares mp the base mapping deltas are evaluated against
+// (typically the search incumbent; the caller owns mp and must not
+// mutate it afterwards — search incumbents are immutable by convention).
+// The base's deep-recorded schedule is built lazily on first use and its
+// fold schedule is pinned in the schedule cache. Setting the same base
+// again is a no-op.
+func (d *DeltaInstance) SetBase(mp *mapping.Mapping) {
+	key := mp.Key()
+	d.dmu.Lock()
+	if d.base != nil && d.base.key == key {
+		d.dmu.Unlock()
+		return
+	}
+	d.base = &deltaBase{key: key, mp: mp}
+	d.dmu.Unlock()
+	d.pinSched(key)
+}
+
+// getBase returns the current base snapshot, or nil.
+func (d *DeltaInstance) getBase() *deltaBase {
+	d.dmu.Lock()
+	b := d.base
+	d.dmu.Unlock()
+	return b
+}
+
+// ensure lazily plans and deep-records the base, memoizing the outcome
+// (including placement failure) on the snapshot.
+func (d *DeltaInstance) ensure(b *deltaBase) (*PlacementPlan, *schedule, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.done {
+		b.plan, b.err = d.planFor(b.key, b.mp)
+		if b.err == nil {
+			// Structure is config-independent: record once, fold under
+			// any (noise, trace) config.
+			_, sch := d.runRecorded(b.plan, Config{}, true)
+			sch.finalize()
+			b.sch = sch
+			d.storeSched(b.key, sch)
+		}
+		b.done = true
+	}
+	return b.plan, b.sch, b.err
+}
+
+// RunKeyed evaluates mp like Instance.RunKeyed but serves bounded deltas
+// against the base incrementally. Results are byte-identical to the full
+// path in every case, including *OOMError outcomes (the plan cache stores
+// one error object per key, shared by both paths).
+func (d *DeltaInstance) RunKeyed(key string, mp *mapping.Mapping, cfg Config) (*Result, error) {
+	plan, err := d.planFor(key, mp)
+	if err != nil {
+		return nil, err
+	}
+	if sch := d.schedFor(key); sch != nil {
+		return d.fold(sch, plan, cfg), nil
+	}
+	if sch := d.tryPatch(key, mp, plan); sch != nil {
+		return d.fold(sch, plan, cfg), nil
+	}
+	return d.Instance.RunKeyed(key, mp, cfg)
+}
+
+// Classify reports whether an evaluation of (key, mp) would be served
+// incrementally against the current base: a pure, cheap function of
+// (candidate, base) that never builds a schedule. The driver calls it on
+// the sequential commit path to attribute evaluations to the
+// sim.eval.incremental / sim.eval.fallback counters deterministically.
+func (d *DeltaInstance) Classify(key string, mp *mapping.Mapping) bool {
+	b := d.getBase()
+	if b == nil {
+		return false
+	}
+	plan, err := d.planFor(key, mp)
+	if err != nil {
+		return false
+	}
+	changed := make([]bool, len(d.g.Tasks))
+	return d.classifyAgainst(mp, b, plan, changed)
+}
+
+// tryPatch classifies (key, mp) against the current base and, when it is
+// a bounded delta, builds, finalizes, and caches its spliced schedule.
+// Returns nil when the candidate must take the full path.
+func (d *DeltaInstance) tryPatch(key string, mp *mapping.Mapping, plan *PlacementPlan) *schedule {
+	b := d.getBase()
+	if b == nil {
+		return nil
+	}
+	changed := make([]bool, len(d.g.Tasks))
+	if !d.classifyAgainst(mp, b, plan, changed) {
+		return nil
+	}
+	_, baseSched, err := d.ensure(b)
+	if err != nil {
+		return nil
+	}
+	sch := d.patch(plan, baseSched, changed)
+	sch.finalize()
+	d.storeSched(key, sch)
+	return sch
+}
+
+// decisionsEqual reports whether two task decisions are identical,
+// including fallback priority lists (fallbacks steer placement, so they
+// are part of the delta). The pointer compare is the COW fast path: a
+// CloneCOW candidate shares all unchanged decisions with its parent.
+func decisionsEqual(a, b *mapping.Decision) bool {
+	if a == b {
+		return true
+	}
+	if a.Distribute != b.Distribute || a.Proc != b.Proc || len(a.Mems) != len(b.Mems) {
+		return false
+	}
+	for i := range a.Mems {
+		if len(a.Mems[i]) != len(b.Mems[i]) {
+			return false
+		}
+		for j := range a.Mems[i] {
+			if a.Mems[i][j] != b.Mems[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// classifyAgainst applies the three fallback conditions, filling
+// changed[tid] for flipped tasks: (1) more than MaxFlips flipped
+// decisions; (2) a placement row of an UNCHANGED task differs between
+// the plans — capacity accounting is global, so a changed task's
+// footprint can move another task's instances (spills), invalidating the
+// recorded ops and durations the patcher would copy; (3) the estimated
+// dirty frontier (changed tasks' aliases plus their overlap neighbors)
+// exceeds MaxDirtyFrac of the alias space.
+func (d *DeltaInstance) classifyAgainst(mp *mapping.Mapping, b *deltaBase, plan *PlacementPlan, changed []bool) bool {
+	basePlan, err := d.planFor(b.key, b.mp)
+	if err != nil {
+		return false
+	}
+	flips := 0
+	for tid := range changed {
+		if !decisionsEqual(mp.Decision(taskir.TaskID(tid)), b.mp.Decision(taskir.TaskID(tid))) {
+			changed[tid] = true
+			flips++
+			if flips > d.MaxFlips {
+				return false
+			}
+		}
+	}
+	for tid := range changed {
+		if !changed[tid] && !planRowsEqual(plan, basePlan, tid) {
+			return false
+		}
+	}
+	nAliases := len(d.g.Collections)
+	marked := make([]bool, nAliases)
+	dirty := 0
+	for tid := range changed {
+		if !changed[tid] {
+			continue
+		}
+		for _, dp := range d.topo.argDeps[tid] {
+			if !marked[dp.alias] {
+				marked[dp.alias] = true
+				dirty++
+			}
+			for _, nb := range d.neigh[dp.alias] {
+				if !marked[nb] {
+					marked[nb] = true
+					dirty++
+				}
+			}
+		}
+	}
+	return float64(dirty) <= d.MaxDirtyFrac*float64(nAliases)
+}
+
+// planRowsEqual compares the placement rows of task tid between two
+// plans: node set, placed flags, and per-(arg, node) placements.
+func planRowsEqual(a, b *PlacementPlan, tid int) bool {
+	an, bn := a.taskNodes[tid], b.taskNodes[tid]
+	if len(an) != len(bn) {
+		return false
+	}
+	for i := range an {
+		if an[i] != bn[i] {
+			return false
+		}
+	}
+	for ai := range a.placement[tid] {
+		ap, bp := a.placed[tid][ai], b.placed[tid][ai]
+		for n := range ap {
+			if ap[n] != bp[n] {
+				return false
+			}
+			if ap[n] && a.placement[tid][ai][n] != b.placement[tid][ai][n] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// patch builds the candidate's schedule by walking the base's launches in
+// order: clean launches (unchanged task, no unhealed dirty argument
+// alias) are copied verbatim; dirty launches are re-simulated against a
+// coherence overlay seeded from the base's recorded pre-states. The
+// overlay's timelines are garbage — only validity sets steer structure —
+// and the fold recomputes all times from the spliced records.
+func (d *DeltaInstance) patch(plan *PlacementPlan, base *schedule, changed []bool) *schedule {
+	s, _ := d.pool.Get().(*state)
+	if s == nil {
+		s = &state{}
+	}
+	s.init(plan, Config{})
+	rec := newRecorder(false)
+	rec.sch.ops = make([]copyOp, 0, len(base.ops)+16)
+	rec.sch.execs = make([]execRec, 0, len(base.execs)+16)
+	rec.sch.launches = make([]launchRec, 0, len(base.launches))
+
+	topo := d.topo
+	aliasDirty := make([]bool, len(d.g.Collections))
+	perIter := len(topo.launch)
+	for li := range base.launches {
+		tid := topo.launch[li%perIter]
+		deps := topo.argDeps[tid]
+		dirty := changed[tid]
+		if !dirty {
+			for ai := range deps {
+				al := deps[ai].alias
+				if !aliasDirty[al] {
+					continue
+				}
+				if launchPreMatches(s, base, li, ai, deps[ai]) {
+					// The candidate's coherence state for this alias
+					// converged back to the base's — the delta healed;
+					// the base records are authoritative again.
+					aliasDirty[al] = false
+				} else {
+					dirty = true
+				}
+			}
+		}
+		if !dirty {
+			rec.copyLaunch(base, li)
+			continue
+		}
+		// Seed the overlay from the base pre-state for aliases the
+		// dirty region hasn't touched (for touched ones the overlay is
+		// already current).
+		for ai := range deps {
+			if !aliasDirty[deps[ai].alias] {
+				loadLaunchPre(s, base, li, ai, deps[ai])
+			}
+		}
+		s.rec = rec
+		s.runTask(tid)
+		s.rec = nil
+		rec.endLaunch()
+		// Even read-only access mutates coherence state (a read makes a
+		// new location valid), so every argument alias is now
+		// candidate-divergent.
+		for ai := range deps {
+			aliasDirty[deps[ai].alias] = true
+		}
+	}
+	s.result = nil
+	s.PlacementPlan = nil
+	d.pool.Put(s)
+	return rec.sch
+}
+
+// launchPreMatches reports whether the overlay's coherence state for
+// launch li's argument ai equals the base's recorded pre-state
+// (order-sensitive: a conservative subset of semantic equality — a false
+// negative only costs a re-simulated launch, never correctness).
+func launchPreMatches(s *state, base *schedule, li, ai int, dp argDep) bool {
+	p := base.pres[int(base.preOff[li])+ai]
+	locs := base.preLocs[p.locOff : p.locOff+p.locLen]
+	if p.shard {
+		cur := s.shardValid[dp.alias]
+		if len(cur) != len(locs) {
+			return false
+		}
+		for i := range cur {
+			if cur[i] != locs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cur := s.sharedValid[dp.alias]
+	if len(cur) != len(locs) {
+		return false
+	}
+	for i := range cur {
+		if cur[i] != locs[i] {
+			return false
+		}
+	}
+	return s.partial[dp.alias] == p.partial
+}
+
+// loadLaunchPre overwrites the overlay's coherence state for launch li's
+// argument ai with the base's recorded pre-state.
+func loadLaunchPre(s *state, base *schedule, li, ai int, dp argDep) {
+	p := base.pres[int(base.preOff[li])+ai]
+	locs := base.preLocs[p.locOff : p.locOff+p.locLen]
+	if p.shard {
+		copy(s.shardValid[dp.alias], locs)
+		return
+	}
+	s.sharedValid[dp.alias] = append(s.sharedValid[dp.alias][:0], locs...)
+	s.partial[dp.alias] = p.partial
+}

@@ -24,12 +24,21 @@ import (
 	"automap/internal/machine"
 	"automap/internal/mapping"
 	"automap/internal/taskir"
+	"automap/internal/xrand"
 )
 
 // planCacheLimit bounds the plan cache; when full the whole cache is
 // dropped (searches revisit recent mappings heavily, so an occasional full
 // reset is cheaper than tracking recency).
 const planCacheLimit = 8192
+
+// schedCacheLimit bounds the recorded-schedule cache (schedule.go).
+// Schedules are much larger than plans — every copy op and exec of a run
+// — so the cache is kept small: the paper's measurement protocol repeats
+// each candidate several times back to back, which is the reuse that
+// matters. When full the cache is reset, keeping only the pinned delta
+// base.
+const schedCacheLimit = 64
 
 // planEntry is one cached placement outcome: the committed plan, or the
 // *OOMError placement failed with.
@@ -51,17 +60,79 @@ type Instance struct {
 
 	pool sync.Pool // *state
 
+	// Recorded schedules by mapping key: a full run records its
+	// structure as a byproduct, and repeats of the same key replay it
+	// with the timing fold instead of re-simulating (bit-identical
+	// results, see schedule.go). schedPin names the delta base key,
+	// which survives cache resets.
+	schedMu  sync.Mutex
+	scheds   map[string]*schedule
+	schedPin string
+
+	foldPool sync.Pool // *foldScratch
+
+	// Noise tapes by (seed, sigma): the simulator's noise stream is a
+	// pure function of the config, not of the mapping, so folds replay a
+	// cached tape of draw values instead of re-deriving the log-normal
+	// transcendentals (two thirds of a fold's cost otherwise). The live
+	// path draws the same values from the same seeded RNG, so tapes
+	// change nothing observable.
+	noiseMu sync.Mutex
+	noise   map[noiseKey]*noiseTape
+
 	planHits   atomic.Int64
 	planMisses atomic.Int64
+}
+
+// noiseCacheLimit bounds the noise-tape cache; the driver derives seeds
+// from (base seed, repeat index) alone, so a search touches only a
+// handful of distinct tapes.
+const noiseCacheLimit = 64
+
+// noiseKey identifies one noise stream.
+type noiseKey struct {
+	seed  uint64
+	sigma float64
+}
+
+// noiseTape is the memoized prefix of one noise stream, with the RNG
+// parked after the last drawn value so the tape extends on demand.
+type noiseTape struct {
+	rng     xrand.RNG
+	factors []float64
+}
+
+// noiseFactors returns the first n draws of the (seed, sigma) noise
+// stream, extending the cached tape as needed. The returned slice is a
+// stable snapshot: later extensions may reallocate but never mutate it.
+func (in *Instance) noiseFactors(seed uint64, sigma float64, n int) []float64 {
+	k := noiseKey{seed: seed, sigma: sigma}
+	in.noiseMu.Lock()
+	tp := in.noise[k]
+	if tp == nil {
+		if len(in.noise) >= noiseCacheLimit {
+			in.noise = make(map[noiseKey]*noiseTape)
+		}
+		tp = &noiseTape{rng: *xrand.New(seed ^ 0x5bd1e995)}
+		in.noise[k] = tp
+	}
+	for len(tp.factors) < n {
+		tp.factors = append(tp.factors, tp.rng.UnitMeanLogNormal(sigma))
+	}
+	f := tp.factors[:n:n]
+	in.noiseMu.Unlock()
+	return f
 }
 
 // New builds a reusable simulator instance for program g on machine m.
 func New(m *machine.Machine, g *taskir.Graph) *Instance {
 	return &Instance{
-		m:     m,
-		g:     g,
-		topo:  newTopology(m, g),
-		plans: make(map[string]planEntry),
+		m:      m,
+		g:      g,
+		topo:   newTopology(m, g),
+		plans:  make(map[string]planEntry),
+		scheds: make(map[string]*schedule),
+		noise:  make(map[noiseKey]*noiseTape),
 	}
 }
 
@@ -82,17 +153,91 @@ func (in *Instance) RunKeyed(key string, mp *mapping.Mapping, cfg Config) (*Resu
 	if err != nil {
 		return nil, err
 	}
+	if sch := in.schedFor(key); sch != nil {
+		return in.fold(sch, plan, cfg), nil
+	}
+	res, sch := in.runRecorded(plan, cfg, false)
+	sch.finalize()
+	in.storeSched(key, sch)
+	return res, nil
+}
+
+// runRecorded executes a full simulation of plan with schedule recording
+// on and returns the run's result plus the recorded (un-finalized)
+// schedule. deep additionally captures coherence pre-states (delta
+// bases).
+func (in *Instance) runRecorded(plan *PlacementPlan, cfg Config, deep bool) (*Result, *schedule) {
 	s, _ := in.pool.Get().(*state)
 	if s == nil {
 		s = &state{}
 	}
 	s.init(plan, cfg)
+	rec := newRecorder(deep)
+	s.rec = rec
 	s.run()
+	s.rec = nil
 	res := s.result
 	s.result = nil
 	s.PlacementPlan = nil
 	in.pool.Put(s)
-	return res, nil
+	return res, rec.sch
+}
+
+// fold replays a recorded schedule under cfg with pooled scratch and the
+// config's cached noise tape.
+func (in *Instance) fold(sch *schedule, plan *PlacementPlan, cfg Config) *Result {
+	var noise []float64
+	if cfg.NoiseSigma > 0 {
+		noise = in.noiseFactors(cfg.Seed, cfg.NoiseSigma, len(sch.execs))
+	}
+	fs, _ := in.foldPool.Get().(*foldScratch)
+	if fs == nil {
+		fs = &foldScratch{}
+	}
+	res := foldSchedule(in.topo, plan, sch, cfg, noise, fs)
+	in.foldPool.Put(fs)
+	return res
+}
+
+// schedFor returns the cached schedule for key, or nil.
+func (in *Instance) schedFor(key string) *schedule {
+	in.schedMu.Lock()
+	sch := in.scheds[key]
+	in.schedMu.Unlock()
+	return sch
+}
+
+// storeSched caches a finalized schedule under key, resetting the cache
+// (minus the pinned delta base) when full. Racing duplicate stores are
+// harmless: recording is deterministic, so both record identical
+// schedules.
+func (in *Instance) storeSched(key string, sch *schedule) {
+	in.schedMu.Lock()
+	if len(in.scheds) >= schedCacheLimit {
+		pin := in.scheds[in.schedPin]
+		in.scheds = make(map[string]*schedule, schedCacheLimit)
+		if pin != nil {
+			in.scheds[in.schedPin] = pin
+		}
+	}
+	in.scheds[key] = sch
+	in.schedMu.Unlock()
+}
+
+// pinSched marks key's schedule as the delta base, exempt from cache
+// resets.
+func (in *Instance) pinSched(key string) {
+	in.schedMu.Lock()
+	in.schedPin = key
+	in.schedMu.Unlock()
+}
+
+// dropSchedule forgets key's cached schedule (test/bench hook: forces
+// RunKeyed back onto the recording path).
+func (in *Instance) dropSchedule(key string) {
+	in.schedMu.Lock()
+	delete(in.scheds, key)
+	in.schedMu.Unlock()
 }
 
 // PlanPlacement returns the (possibly cached) placement plan for mp, or

@@ -1,0 +1,402 @@
+// Recorded schedules: the structure/timing split behind incremental
+// re-simulation (DESIGN §14).
+//
+// A simulation factors into two passes:
+//
+//   - a STRUCTURE pass that decides which copy operations and task
+//     executions occur, with what durations — a pure function of the
+//     placement plan and the coherence (validity-set) state, never of
+//     the simulated clock; and
+//   - a TIMING fold that replays those records in order, carrying only
+//     the availability timelines (processors, copy engines, network) and
+//     the per-collection ready times, reproducing every float operation
+//     of the live path in the same order.
+//
+// The live run/runTask path is instrumented (state.rec, nil when off) to
+// emit a schedule as a byproduct; foldSchedule then re-derives the exact
+// same Result from the records. Incremental re-simulation (delta.go)
+// splices recorded launch ranges of a base schedule with freshly
+// simulated dirty launches and folds the spliced schedule.
+package sim
+
+import (
+
+	"automap/internal/machine"
+	"automap/internal/taskir"
+)
+
+// copyOp is one recorded copy operation. Durations are stored in the two
+// components the live path adds separately (durA = latency term, durB =
+// bandwidth term) so the fold's start + durA + durB reproduces the live
+// float expression bit for bit. chainFirst marks the first op of an
+// ensure* call: ops within a chain gate on each other, chains within a
+// launch all start from the launch's ready time.
+type copyOp struct {
+	durA, durB float64
+	bytes      int64
+	srcNode    int32
+	dstNode    int32
+	srcKind    machine.MemKind
+	dstKind    machine.MemKind
+	network    bool
+	chainFirst bool
+}
+
+// execRec is one recorded task execution on one node. durBase is the
+// pre-noise duration; the fold applies the noise draw (same RNG, same
+// draw order as the live path). Ops [opOff, opEnd) are the coherence
+// copies that precede this execution.
+type execRec struct {
+	durBase float64
+	activeF float64 // float64(active) at record time
+	powerW  float64
+	opOff   int32
+	opEnd   int32
+	node    int32
+	kind    machine.ProcKind
+}
+
+// launchRec closes one task launch: cumulative op/exec counts. The
+// launch's records are the ranges since the previous launch's ends.
+type launchRec struct {
+	opEnd   int32
+	execEnd int32
+}
+
+// argPre snapshots the coherence pre-state of one launch argument
+// (deep-recorded base schedules only): the validity set of the argument's
+// alias — sharedValid for shared collections (plus the partial-write
+// marker), shardValid (nodes entries) for partitioned ones — exactly as
+// it stood when the launch began. The delta patcher compares these
+// against its overlay state to detect healed aliases, and loads them to
+// re-seed the overlay before re-simulating a dirty launch.
+type argPre struct {
+	locOff  int32
+	locLen  int32
+	partial partialInfo
+	shard   bool
+}
+
+// schedule is the recorded structure of one full simulation: every copy
+// op, execution, and launch boundary in commit order, plus copy totals.
+// Deep-recorded schedules (base mappings of a DeltaInstance) additionally
+// carry per-launch-argument coherence pre-states.
+type schedule struct {
+	ops      []copyOp
+	execs    []execRec
+	launches []launchRec
+
+	bytesCopied int64
+	netBytes    int64
+	numCopies   int
+
+	// Deep-recording extras (delta bases only).
+	deep    bool
+	pres    []argPre
+	preLocs []sharedLoc
+	preOff  []int32 // per launch: offset of its first argPre in pres
+}
+
+// launchOpRange returns the [lo, hi) op range of launch li.
+func (sch *schedule) launchOpRange(li int) (int, int) {
+	lo := 0
+	if li > 0 {
+		lo = int(sch.launches[li-1].opEnd)
+	}
+	return lo, int(sch.launches[li].opEnd)
+}
+
+// launchExecRange returns the [lo, hi) exec range of launch li.
+func (sch *schedule) launchExecRange(li int) (int, int) {
+	lo := 0
+	if li > 0 {
+		lo = int(sch.launches[li-1].execEnd)
+	}
+	return lo, int(sch.launches[li].execEnd)
+}
+
+// finalize computes the copy totals from the recorded ops.
+func (sch *schedule) finalize() {
+	var total, net int64
+	for i := range sch.ops {
+		total += sch.ops[i].bytes
+		if sch.ops[i].network {
+			net += sch.ops[i].bytes
+		}
+	}
+	sch.bytesCopied = total
+	sch.netBytes = net
+	sch.numCopies = len(sch.ops)
+}
+
+// recorder captures a schedule as a byproduct of a live simulation (or of
+// the delta patcher's dirty-launch re-simulation). It is attached to a
+// state via state.rec; the hooks in sim.go feed it.
+type recorder struct {
+	sch *schedule
+
+	// newChain marks that the next recorded op begins a new ensure*
+	// chain (set by state.recChain at each ensure call site).
+	newChain bool
+	// opCursor is the op count consumed by previous exec records; the
+	// ops since it belong to the next exec.
+	opCursor int
+}
+
+// newRecorder returns a recorder with an empty schedule; deep enables
+// per-launch-argument pre-state capture (delta bases).
+func newRecorder(deep bool) *recorder {
+	return &recorder{sch: &schedule{deep: deep}}
+}
+
+// op records one copy operation, consuming a pending chain marker.
+func (r *recorder) op(durA, durB float64, bytes int64, srcNode, dstNode int, srcKind, dstKind machine.MemKind, network bool) {
+	r.sch.ops = append(r.sch.ops, copyOp{
+		durA: durA, durB: durB, bytes: bytes,
+		srcNode: int32(srcNode), dstNode: int32(dstNode),
+		srcKind: srcKind, dstKind: dstKind,
+		network: network, chainFirst: r.newChain,
+	})
+	r.newChain = false
+}
+
+// exec records one task execution; the ops recorded since the previous
+// exec are its coherence-copy range.
+func (r *recorder) exec(durBase, activeF, powerW float64, node int, kind machine.ProcKind) {
+	r.sch.execs = append(r.sch.execs, execRec{
+		durBase: durBase, activeF: activeF, powerW: powerW,
+		opOff: int32(r.opCursor), opEnd: int32(len(r.sch.ops)),
+		node: int32(node), kind: kind,
+	})
+	r.opCursor = len(r.sch.ops)
+}
+
+// beginLaunch snapshots (deep mode only) the coherence pre-state of every
+// argument of the launch about to run.
+func (r *recorder) beginLaunch(s *state, tid taskir.TaskID) {
+	if !r.sch.deep {
+		return
+	}
+	r.sch.preOff = append(r.sch.preOff, int32(len(r.sch.pres)))
+	for _, dp := range s.topo.argDeps[tid] {
+		p := argPre{locOff: int32(len(r.sch.preLocs)), shard: dp.part}
+		if dp.part {
+			r.sch.preLocs = append(r.sch.preLocs, s.shardValid[dp.alias]...)
+		} else {
+			r.sch.preLocs = append(r.sch.preLocs, s.sharedValid[dp.alias]...)
+			p.partial = s.partial[dp.alias]
+		}
+		p.locLen = int32(len(r.sch.preLocs)) - p.locOff
+		r.sch.pres = append(r.sch.pres, p)
+	}
+}
+
+// endLaunch closes the current launch's record ranges.
+func (r *recorder) endLaunch() {
+	r.sch.launches = append(r.sch.launches, launchRec{
+		opEnd:   int32(len(r.sch.ops)),
+		execEnd: int32(len(r.sch.execs)),
+	})
+	r.opCursor = len(r.sch.ops)
+	r.newChain = false
+}
+
+// copyLaunch splices launch li of base verbatim into the output schedule,
+// rebasing exec op ranges onto the output's op stream (clean launches of
+// the delta patcher).
+func (r *recorder) copyLaunch(base *schedule, li int) {
+	out := r.sch
+	opLo, opHi := base.launchOpRange(li)
+	exLo, exHi := base.launchExecRange(li)
+	shift := int32(len(out.ops) - opLo)
+	out.ops = append(out.ops, base.ops[opLo:opHi]...)
+	for i := exLo; i < exHi; i++ {
+		x := base.execs[i]
+		x.opOff += shift
+		x.opEnd += shift
+		out.execs = append(out.execs, x)
+	}
+	out.launches = append(out.launches, launchRec{
+		opEnd:   int32(len(out.ops)),
+		execEnd: int32(len(out.execs)),
+	})
+	r.opCursor = len(out.ops)
+	r.newChain = false
+}
+
+// foldScratch is the pooled working set of foldSchedule: the availability
+// timelines and dependence clocks of a timing replay.
+type foldScratch struct {
+	procAvail  []float64 // [node*NumProcKinds + kind]
+	copyAvail  []float64 // per node
+	writeDone  []float64 // per collection alias
+	accessDone []float64 // per collection alias
+	taskWall   []float64 // per task, summed into TaskWallSec at the end
+	busy       [machine.NumProcKinds]float64
+	seen       [machine.NumProcKinds]bool
+}
+
+// resetZero returns s resized to n with every element zeroed.
+func resetZero(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// foldSchedule replays a recorded schedule and produces the Result a live
+// simulation of the same structure would: every float operation of the
+// live path is reproduced in the same order (max/add replay, noise draws
+// in exec order from the same seeded RNG), so the result is bit-identical
+// to state.run on the run that recorded sch.
+func foldSchedule(topo *topology, plan *PlacementPlan, sch *schedule, cfg Config, noise []float64, fs *foldScratch) *Result {
+	g := topo.g
+	nc := len(g.Collections)
+	fs.procAvail = resetZero(fs.procAvail, topo.nodes*machine.NumProcKinds)
+	fs.copyAvail = resetZero(fs.copyAvail, topo.nodes)
+	fs.writeDone = resetZero(fs.writeDone, nc)
+	fs.accessDone = resetZero(fs.accessDone, nc)
+	fs.taskWall = resetZero(fs.taskWall, len(g.Tasks))
+
+	for k := range fs.busy {
+		fs.busy[k] = 0
+		fs.seen[k] = false
+	}
+
+	res := &Result{
+		TaskWallSec:  make(map[taskir.TaskID]float64, len(g.Tasks)),
+		PeakMemBytes: plan.PeakMemBytes(),
+		ProcBusySec:  make(map[machine.ProcKind]float64),
+		Spills:       plan.Spills,
+	}
+	// Preallocate the logs only when non-empty so empty logs stay nil,
+	// exactly like the live path's never-appended slices.
+	if cfg.Trace && len(sch.execs) > 0 {
+		res.Events = make([]Event, 0, len(sch.execs))
+	}
+	if cfg.Explain && len(sch.ops) > 0 {
+		res.Copies = make([]CopyEvent, 0, len(sch.ops))
+	}
+
+	var netAvail, energy, makespan float64
+	perIter := len(topo.launch)
+	opIdx, exIdx := 0, 0
+	for li := range sch.launches {
+		tid := topo.launch[li%perIter]
+		deps := topo.argDeps[tid]
+		ready := 0.0
+		for _, dp := range deps {
+			if dp.reads && fs.writeDone[dp.alias] > ready {
+				ready = fs.writeDone[dp.alias]
+			}
+			if dp.writes && fs.accessDone[dp.alias] > ready {
+				ready = fs.accessDone[dp.alias]
+			}
+		}
+		taskFinish := ready
+		var execWall float64
+		exEnd := int(sch.launches[li].execEnd)
+		for ; exIdx < exEnd; exIdx++ {
+			x := &sch.execs[exIdx]
+			t := ready
+			copyDone := ready
+			for ; opIdx < int(x.opEnd); opIdx++ {
+				o := &sch.ops[opIdx]
+				if o.chainFirst {
+					copyDone = fmax(copyDone, t)
+					t = ready
+				}
+				var start, done float64
+				if o.network {
+					start = fmax(t, netAvail)
+					done = start + o.durA + o.durB
+					netAvail = done
+				} else {
+					start = fmax(t, fs.copyAvail[o.srcNode])
+					done = start + o.durA + o.durB
+					fs.copyAvail[o.srcNode] = done
+				}
+				if cfg.Explain {
+					res.Copies = append(res.Copies, CopyEvent{
+						SrcNode: int(o.srcNode), DstNode: int(o.dstNode),
+						SrcKind: o.srcKind, DstKind: o.dstKind, Network: o.network,
+						Bytes: o.bytes, StartSec: start, DoneSec: done,
+					})
+				}
+				t = done
+			}
+			copyDone = fmax(copyDone, t)
+			dur := x.durBase
+			if noise != nil {
+				// noise[exIdx] is the exIdx-th draw of the config's
+				// stream — exactly what the live path's RNG produces
+				// for this execution (draws happen once per exec, in
+				// exec order).
+				dur *= noise[exIdx]
+			}
+			pa := &fs.procAvail[int(x.node)*machine.NumProcKinds+int(x.kind)]
+			start := fmax(copyDone, *pa)
+			fin := start + dur
+			*pa = fin
+			a := x.activeF * dur
+			fs.busy[x.kind] += a
+			fs.seen[x.kind] = true
+			energy += a * x.powerW
+			if cfg.Trace {
+				res.Events = append(res.Events, Event{
+					Task: tid, Node: int(x.node), Kind: x.kind, Iteration: li / perIter,
+					StartSec: start, CopySec: copyDone - ready, DurSec: dur,
+				})
+			}
+			if fin > taskFinish {
+				taskFinish = fin
+			}
+			if dur > execWall {
+				execWall = dur
+			}
+		}
+		opIdx = int(sch.launches[li].opEnd)
+
+		for _, dp := range deps {
+			if !dp.writes {
+				if dp.reads && taskFinish > fs.accessDone[dp.alias] {
+					fs.accessDone[dp.alias] = taskFinish
+				}
+				continue
+			}
+			if taskFinish > fs.writeDone[dp.alias] {
+				fs.writeDone[dp.alias] = taskFinish
+			}
+			if taskFinish > fs.accessDone[dp.alias] {
+				fs.accessDone[dp.alias] = taskFinish
+			}
+		}
+		fs.taskWall[tid] += execWall
+		if taskFinish > makespan {
+			makespan = taskFinish
+		}
+	}
+	// The live path creates a TaskWallSec entry for every launch it
+	// commits (even all-zero ones); every task in the launch order
+	// launches once per iteration, so the entry set is exactly the
+	// launch-order task set.
+	for _, tid := range topo.launch {
+		res.TaskWallSec[tid] = fs.taskWall[tid]
+	}
+	makespan += float64(g.Iterations) * g.SerialOverheadSec
+	res.MakespanSec = makespan
+	res.BytesCopied = sch.bytesCopied
+	res.BytesOnNetwork = sch.netBytes
+	res.NumCopies = sch.numCopies
+	for k := range fs.busy {
+		if fs.seen[k] {
+			res.ProcBusySec[machine.ProcKind(k)] = fs.busy[k]
+		}
+	}
+	res.EnergyJoules = energy + float64(res.BytesCopied)*topo.m.CopyEnergyPerByte
+	return res
+}

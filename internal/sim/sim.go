@@ -210,6 +210,10 @@ type state struct {
 	taskFinish []float64
 	iteration  int
 
+	// rec, when non-nil, records the run's schedule (schedule.go) as a
+	// byproduct; it never changes any computed value.
+	rec *recorder
+
 	// writerScratch[a] is the per-launch writer-location scratch, sized
 	// to the widest task so runTask never allocates it.
 	writerScratch [][]sharedLoc
@@ -229,6 +233,7 @@ func (s *state) init(plan *PlacementPlan, cfg Config) {
 	s.rng = *xrand.New(cfg.Seed ^ 0x5bd1e995)
 	s.netAvail = 0
 	s.iteration = 0
+	s.rec = nil
 	s.result = &Result{
 		TaskWallSec:  make(map[taskir.TaskID]float64, len(g.Tasks)),
 		PeakMemBytes: plan.PeakMemBytes(),
@@ -287,6 +292,18 @@ func (s *state) init(plan *PlacementPlan, cfg Config) {
 	}
 }
 
+// fmax is max over the simulator's times. All operands are finite and
+// non-negative, so it is equivalent to math.Max — but unlike math.Max it
+// inlines, and it sits on the innermost scheduling loops. The live path
+// and the timing fold (schedule.go) both use it, so the two replays share
+// identical float semantics.
+func fmax(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
 // chanBW returns the copy bandwidth and latency between memory kinds a and
 // b on node n from the topology's precomputed channel table.
 func (s *state) chanBW(a, b machine.MemKind, n int) (float64, float64) {
@@ -307,9 +324,12 @@ func (s *state) intraCopy(a, b machine.MemKind, n int, bytes int64, after float6
 	} else {
 		dur = lat + float64(bytes)/bw
 	}
-	start := math.Max(after, s.copyAvail[n])
+	start := fmax(after, s.copyAvail[n])
 	done := start + dur
 	s.copyAvail[n] = done
+	if s.rec != nil {
+		s.rec.op(dur, 0, bytes, n, n, a, b, false)
+	}
 	s.result.BytesCopied += bytes
 	s.result.NumCopies++
 	if s.cfg.Explain {
@@ -333,9 +353,14 @@ func (s *state) netCopy(srcNode int, srcKind machine.MemKind, dstNode int, dstKi
 	if bw <= 0 {
 		bw = 1e9
 	}
-	start := math.Max(t, s.netAvail)
-	done := start + s.m.NetworkLatencySec + float64(bytes)/bw
+	durA := s.m.NetworkLatencySec
+	durB := float64(bytes) / bw
+	start := fmax(t, s.netAvail)
+	done := start + durA + durB
 	s.netAvail = done
+	if s.rec != nil {
+		s.rec.op(durA, durB, bytes, srcNode, dstNode, machine.SysMem, machine.SysMem, true)
+	}
 	s.result.BytesCopied += bytes
 	s.result.BytesOnNetwork += bytes
 	s.result.NumCopies++
@@ -351,6 +376,15 @@ func (s *state) netCopy(srcNode int, srcKind machine.MemKind, dstNode int, dstKi
 		t = s.intraCopy(machine.SysMem, dstKind, dstNode, bytes, t)
 	}
 	return t
+}
+
+// recChain marks the next recorded copy op as the first of an ensure*
+// chain: chains gate internally on each other's completion but all start
+// from the launch's ready time.
+func (s *state) recChain() {
+	if s.rec != nil {
+		s.rec.newChain = true
+	}
 }
 
 // containsLoc reports whether locs contains want.
@@ -452,7 +486,13 @@ func (s *state) run() {
 	for iter := 0; iter < s.g.Iterations; iter++ {
 		s.iteration = iter
 		for _, tid := range order {
+			if s.rec != nil {
+				s.rec.beginLaunch(s, tid)
+			}
 			finish := s.runTask(tid)
+			if s.rec != nil {
+				s.rec.endLaunch()
+			}
 			if finish > makespan {
 				makespan = finish
 			}
@@ -513,16 +553,19 @@ func (s *state) runTask(tid taskir.TaskID) float64 {
 				if c.Partitioned {
 					sb := ShardBytes(c, pts, t.Points)
 					if d.Distribute {
-						copyDone = math.Max(copyDone, s.ensureShard(c, n, n, pl.kind, sb, ready))
+						s.recChain()
+						copyDone = fmax(copyDone, s.ensureShard(c, n, n, pl.kind, sb, ready))
 					} else {
 						// Leader gathers every shard.
 						for sh := 0; sh < s.nodes; sh++ {
 							shb := c.SizeBytes() / int64(s.nodes)
-							copyDone = math.Max(copyDone, s.ensureShard(c, sh, 0, pl.kind, shb, ready))
+							s.recChain()
+							copyDone = fmax(copyDone, s.ensureShard(c, sh, 0, pl.kind, shb, ready))
 						}
 					}
 				} else {
-					copyDone = math.Max(copyDone, s.ensureShared(c, n, pl.kind, pl.units, ready))
+					s.recChain()
+					copyDone = fmax(copyDone, s.ensureShared(c, n, pl.kind, pl.units, ready))
 				}
 			}
 			if arg.Privilege.Writes() {
@@ -582,10 +625,13 @@ func (s *state) runTask(tid taskir.TaskID) float64 {
 			}
 		}
 		dur := float64(waves) * perPoint
+		if s.rec != nil {
+			s.rec.exec(dur, float64(active), proc.PowerW, n, d.Proc)
+		}
 		if s.cfg.NoiseSigma > 0 {
 			dur *= s.rng.UnitMeanLogNormal(s.cfg.NoiseSigma)
 		}
-		start := math.Max(copyDone, s.procAvail[n][d.Proc])
+		start := fmax(copyDone, s.procAvail[n][d.Proc])
 		fin := start + dur
 		s.procAvail[n][d.Proc] = fin
 		// Energy: `active` processors of this kind are busy for dur.

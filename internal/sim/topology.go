@@ -51,6 +51,22 @@ type topology struct {
 	// maxArgs is the largest argument count of any task, sizing the
 	// timing pass's per-launch scratch.
 	maxArgs int
+
+	// argDeps[task] caches, per argument in order, the alias and
+	// privilege bits the readiness/commit passes consult; the schedule
+	// fold (schedule.go) replays dependences from it without touching
+	// the graph.
+	argDeps [][]argDep
+}
+
+// argDep is one task argument's dependence signature: the collection
+// alias it resolves to, its privilege bits, and whether the collection is
+// partitioned.
+type argDep struct {
+	alias  taskir.CollectionID
+	reads  bool
+	writes bool
+	part   bool
 }
 
 // newTopology builds the lookup tables for (m, g).
@@ -100,6 +116,22 @@ func newTopology(m *machine.Machine, g *taskir.Graph) *topology {
 		if len(task.Args) > t.maxArgs {
 			t.maxArgs = len(task.Args)
 		}
+	}
+
+	t.argDeps = make([][]argDep, len(g.Tasks))
+	for i := range g.Tasks {
+		task := g.Tasks[i]
+		deps := make([]argDep, len(task.Args))
+		for a := range task.Args {
+			arg := &task.Args[a]
+			deps[a] = argDep{
+				alias:  t.alias[arg.Collection],
+				reads:  arg.Privilege.Reads(),
+				writes: arg.Privilege.Writes(),
+				part:   g.Collections[arg.Collection].Partitioned,
+			}
+		}
+		t.argDeps[task.ID] = deps
 	}
 	return t
 }

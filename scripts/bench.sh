@@ -21,7 +21,7 @@ trap 'rm -rf "$tmp"' EXIT
 
 echo "== micro-benchmarks (-benchtime $BENCHTIME)"
 $GO test ./internal/sim/ -run xxx -benchmem -benchtime "$BENCHTIME" \
-    -bench 'SimulateOneShot|InstanceRun|PlanCacheHit|PlanCacheMiss' \
+    -bench 'SimulateOneShot|InstanceRun|DeltaRunOneFlip|DeltaRunFallback|PlanCacheHit|PlanCacheMiss' \
     | grep '^Benchmark' | tee -a "$tmp/micro.txt"
 $GO test ./internal/search/ -run xxx -benchmem -benchtime "$BENCHTIME" \
     -bench 'CCDCandidateConstruction' \
@@ -43,26 +43,31 @@ awk '{
 echo "== end-to-end searches"
 $GO build -o bin/automap ./cmd/automap
 
-run_search() { # app input nodes workers -> prints wall seconds
+run_search() { # app input nodes workers incremental -> prints wall seconds
     start=$(date +%s%N)
     ./bin/automap search -app "$1" -input "$2" -nodes "$3" -seed 7 \
-        -workers "$4" >/dev/null
+        -workers "$4" -incremental="$5" >/dev/null
     end=$(date +%s%N)
     awk "BEGIN { printf \"%.3f\", ($end - $start) / 1e9 }"
 }
 
+# Each configuration runs twice — on the incremental re-simulation path
+# (the default) and forced onto full simulation — so the JSON carries the
+# end-to-end effect of DESIGN §14, not just the micro-benchmarks.
 : > "$tmp/e2e.json"
 first=1
-for cfg in "htr 32x256y36z 2" "pennant 320x90 1"; do
+for cfg in "htr 32x256y36z 2" "pennant 320x90 1" "circuit n50w200 2"; do
     set -- $cfg
     app=$1; input=$2; nodes=$3
     for w in 1 4 8; do
-        secs=$(run_search "$app" "$input" "$nodes" "$w")
-        echo "-- $app $input x$nodes workers=$w: ${secs}s"
-        [ "$first" = 1 ] || printf ',\n' >> "$tmp/e2e.json"
-        first=0
-        printf '    {"app": "%s", "input": "%s", "nodes": %s, "workers": %s, "seconds": %s}' \
-            "$app" "$input" "$nodes" "$w" "$secs" >> "$tmp/e2e.json"
+        for inc in true false; do
+            secs=$(run_search "$app" "$input" "$nodes" "$w" "$inc")
+            echo "-- $app $input x$nodes workers=$w incremental=$inc: ${secs}s"
+            [ "$first" = 1 ] || printf ',\n' >> "$tmp/e2e.json"
+            first=0
+            printf '    {"app": "%s", "input": "%s", "nodes": %s, "workers": %s, "incremental": %s, "seconds": %s}' \
+                "$app" "$input" "$nodes" "$w" "$inc" "$secs" >> "$tmp/e2e.json"
+        done
     done
 done
 printf '\n' >> "$tmp/e2e.json"

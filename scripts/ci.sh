@@ -85,6 +85,68 @@ cmp "$tdir/w1.jsonl" "$tdir/w8.jsonl" || {
 # diverge by worker count, the span subsequences must stay byte-identical.
 $GO run ./scripts/telemetrycheck "$tdir/w1.jsonl" "$tdir/m1.txt" "$tdir/w8.jsonl"
 
+echo "== incremental-vs-full differential smoke"
+# The incremental re-simulation path (DESIGN §14) is a pure optimization:
+# with a fixed seed the report, mapping, and full event stream (including
+# the sim.eval.* counters and rotation-span attrs, which are attributed on
+# the commit path in both modes) must be byte-identical to a run forced
+# onto the full-simulation path with -incremental=false.
+for case in "stencil:" "circuit:n50w200"; do
+    app=${case%%:*}; input=${case#*:}
+    input_flag=""
+    [ -n "$input" ] && input_flag="-input $input"
+    # shellcheck disable=SC2086
+    ./bin/automap search -app "$app" $input_flag -nodes 2 -algo ccd -seed 7 \
+        -events "$tdir/d_inc.jsonl" -metrics "$tdir/d_inc_m.txt" \
+        -o "$tdir/d_inc.json" >"$tdir/d_inc.txt"
+    # shellcheck disable=SC2086
+    ./bin/automap search -app "$app" $input_flag -nodes 2 -algo ccd -seed 7 \
+        -incremental=false \
+        -events "$tdir/d_full.jsonl" -metrics "$tdir/d_full_m.txt" \
+        -o "$tdir/d_full.json" >"$tdir/d_full.txt"
+    cmp "$tdir/d_inc.jsonl" "$tdir/d_full.jsonl" || {
+        echo "$app: event stream differs between incremental and full simulation" >&2; exit 1; }
+    cmp "$tdir/d_inc_m.txt" "$tdir/d_full_m.txt" || {
+        echo "$app: metrics differ between incremental and full simulation" >&2; exit 1; }
+    cmp "$tdir/d_inc.json" "$tdir/d_full.json" || {
+        echo "$app: best mapping differs between incremental and full simulation" >&2; exit 1; }
+done
+
+echo "== worker scaling smoke"
+# The async prefetch pipeline must actually scale: on a multi-core host an
+# 8-worker htr search must beat a 1-worker one by >= 1.3x wall-clock. A
+# single-core host (nproc 1) cannot exhibit parallel speedup, so there the
+# gate only bounds the pipeline's overhead: 8 workers may cost at most 40%
+# over 1 worker (measured ~15% of goroutine/channel overhead on a 1-core
+# container; the slack absorbs timer noise). Both runs already proved
+# trajectory invariance above; this gate is purely about wall-clock.
+cores=$( (nproc || sysctl -n hw.ncpu || echo 1) 2>/dev/null | head -n1 )
+# No `time` builtin in POSIX sh; nanosecond wall-clock via GNU date.
+wall() {
+    s=$(date +%s%N)
+    "$@" >/dev/null
+    e=$(date +%s%N)
+    awk -v s="$s" -v e="$e" 'BEGIN { printf "%.3f", (e - s) / 1e9 }'
+}
+t1=$(wall ./bin/automap search -app htr -input 32x256y36z -nodes 2 -algo ccd -seed 7 -workers 1)
+t8=$(wall ./bin/automap search -app htr -input 32x256y36z -nodes 2 -algo ccd -seed 7 -workers 8)
+awk -v t1="$t1" -v t8="$t8" -v cores="$cores" 'BEGIN {
+    speedup = (t8 > 0) ? t1 / t8 : 0
+    if (cores + 0 >= 4) {
+        if (speedup < 1.3) {
+            printf "htr -workers 8 (%.2fs) not >=1.3x faster than -workers 1 (%.2fs) on %d cores (speedup %.2fx)\n", t8, t1, cores, speedup
+            exit 1
+        }
+        printf "htr scaling: w1 %.2fs, w8 %.2fs, speedup %.2fx on %d cores\n", t1, t8, speedup, cores
+    } else {
+        if (t8 > t1 * 1.4) {
+            printf "htr -workers 8 (%.2fs) costs >40%% over -workers 1 (%.2fs) on a %d-core host\n", t8, t1, cores
+            exit 1
+        }
+        printf "htr scaling (single-core host, overhead bound only): w1 %.2fs, w8 %.2fs\n", t1, t8
+    }
+}'
+
 echo "== checkpoint/resume smoke"
 # A search cut off by a wall-clock deadline must leave a checkpoint that
 # resumes to the same optimum, with the interrupted-plus-resumed event
