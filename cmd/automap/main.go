@@ -25,14 +25,15 @@ import (
 	"math"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 
 	"automap/internal/analyze"
 	"automap/internal/apps"
 	"automap/internal/checkpoint"
-	"automap/internal/explain"
 	"automap/internal/cluster"
 	"automap/internal/driver"
+	"automap/internal/explain"
 	"automap/internal/machine"
 	"automap/internal/mapper"
 	"automap/internal/mapping"
@@ -63,6 +64,8 @@ func main() {
 		cmdMachine(os.Args[2:])
 	case "online":
 		cmdOnline(os.Args[2:])
+	case "env":
+		cmdEnv()
 	default:
 		usage()
 		os.Exit(2)
@@ -70,7 +73,18 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: automap <profile|search|evaluate|online|apps|machine> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: automap <profile|search|evaluate|online|apps|machine|env> [flags]")
+}
+
+// cmdEnv prints the execution environment as the process itself sees it —
+// one "key value" pair per line. The bench harness records gomaxprocs from
+// here rather than nproc: the two differ under cgroup CPU limits or an
+// explicit GOMAXPROCS, and the value that shaped the measurements is the
+// one the runtime used.
+func cmdEnv() {
+	fmt.Printf("gomaxprocs %d\n", runtime.GOMAXPROCS(0))
+	fmt.Printf("numcpu %d\n", runtime.NumCPU())
+	fmt.Printf("goversion %s\n", runtime.Version())
 }
 
 // commonFlags registers the flags shared by all subcommands.

@@ -23,6 +23,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -45,6 +46,13 @@ func main() {
 		fmt.Printf("resuming %d interrupted search(es) from %s\n", n, *dir)
 	}
 	if *debugAddr != "" {
+		// Mutex and block profiling are off in the runtime by default;
+		// sample them whenever the pprof listener is up, so worker-pool
+		// contention regressions (DESIGN §15) are diagnosable against a
+		// live daemon without a rebuild. One mutex event in 100 and one
+		// block sample per 100µs blocked are noise next to a simulation.
+		runtime.SetMutexProfileFraction(100)
+		runtime.SetBlockProfileRate(100 * 1000)
 		go func() {
 			fmt.Printf("pprof debug listener on %s\n", *debugAddr)
 			if err := http.ListenAndServe(*debugAddr, srv.DebugHandler()); err != nil {

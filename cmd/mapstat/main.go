@@ -140,15 +140,33 @@ func cmdTop(base string) {
 		"serve.coalesce.hit_ratio": true,
 	}
 	fmt.Println("daemon:")
+	// Wall-clock pipeline telemetry (driver.* — per-worker throughput,
+	// commit-queue wait, superseded speculation) is collected by prefix:
+	// the per-worker series are labeled, so their names are open-ended.
+	var workerLines []string
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
-		if len(fields) >= 3 && want[fields[1]] {
+		if len(fields) < 3 {
+			continue
+		}
+		switch {
+		case want[fields[1]]:
 			fmt.Printf("  %-26s %s\n", fields[1], fields[2])
+		case strings.HasPrefix(fields[1], "driver.worker.") ||
+			strings.HasPrefix(fields[1], "driver.commit.") ||
+			strings.HasPrefix(fields[1], "driver.prefetch."):
+			workerLines = append(workerLines, fmt.Sprintf("  %-38s %s", fields[1], fields[2]))
 		}
 	}
 	if err := sc.Err(); err != nil {
 		log.Fatal(err)
+	}
+	if len(workerLines) > 0 {
+		fmt.Println("workers:")
+		for _, l := range workerLines {
+			fmt.Println(l)
+		}
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 )
 
 func TestPrefetchSkipsWhenBudgetLeavesNoRoom(t *testing.T) {
+	forceParallel(t, 4)
 	m := cluster.Shepard(1)
 	g := driverGraph(t)
 	opts := quickOpts()
@@ -64,6 +65,7 @@ func TestPrefetchSkipsWhenBudgetLeavesNoRoom(t *testing.T) {
 }
 
 func TestPrefetchCappedByRemainingSuggestions(t *testing.T) {
+	forceParallel(t, 4)
 	m := cluster.Shepard(1)
 	g := driverGraph(t)
 	opts := quickOpts()

@@ -20,6 +20,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"automap/internal/checkpoint"
 	"automap/internal/machine"
@@ -77,11 +78,25 @@ type Options struct {
 	Observer *telemetry.Observer
 	// Workers bounds the number of concurrently executing simulations
 	// across repeats and speculative batch evaluation. Zero or negative
-	// means GOMAXPROCS. The search trajectory, report, and telemetry
-	// stream are byte-identical at every worker count: noise seeds are
-	// derived from (Seed, repeat index) rather than execution order, and
-	// all measurement side effects commit in enumeration order.
+	// means GOMAXPROCS; positive values are clamped to GOMAXPROCS, since
+	// simulations are CPU-bound and workers beyond the scheduler's
+	// parallelism can only add context-switch overhead and wasted
+	// speculation (on a single-core host, -workers 8 therefore behaves
+	// exactly like -workers 1). The search trajectory, report, and
+	// telemetry stream are byte-identical at every worker count: noise
+	// seeds are derived from (Seed, repeat index) rather than execution
+	// order, and all measurement side effects commit in enumeration
+	// order.
 	Workers int
+	// WallMetrics optionally receives wall-clock operational telemetry:
+	// per-worker evaluation throughput, commit-queue wait, superseded
+	// speculation (see wallstats.go). These measure real time and
+	// scheduling, so they are deliberately kept OUT of the deterministic
+	// Observer registry — two byte-identical searches will report
+	// different wall metrics. The mapd daemon passes its serve registry
+	// here so `mapstat top` and /metrics surface them; nil disables the
+	// instrumentation at zero cost.
+	WallMetrics *telemetry.Registry
 	// DisableIncremental turns off incremental re-simulation (DESIGN
 	// §14): candidates are evaluated with full simulations instead of
 	// deltas against the search incumbent. Results are bit-identical
@@ -210,9 +225,11 @@ type Evaluator struct {
 	budget    search.Budget
 
 	// mu guards the sequential-commit state above (byKey, counters,
-	// clocks). Uncontended in normal operation — Evaluate and the clock
-	// accessors all run on the search goroutine — it exists so misuse
-	// shows up under -race instead of as silent corruption.
+	// clocks). It orders results; it is NEVER held across a simulation —
+	// Evaluate measures (or waits for a speculative result) unlocked and
+	// re-acquires only to commit, so metric scrapes and clock reads stay
+	// responsive while candidates execute, and misuse of the commit
+	// contract shows up under -race instead of as silent corruption.
 	mu sync.Mutex
 	// spec holds speculative measurement results produced by Prefetch,
 	// keyed by mapping key, awaiting commit by Evaluate; inflight holds
@@ -228,15 +245,27 @@ type Evaluator struct {
 	// from the new incumbent after every accept, superseding the stale
 	// candidates — and pfActive tracks live workers so re-batching never
 	// over-spawns. pfWG lets drainPrefetch wait the pipeline out.
-	pfMu     sync.Mutex
-	pfQueue  []*prefetchJob
-	pfActive int
-	pfWG     sync.WaitGroup
+	// freeSlots recycles worker slot indices so the per-worker wall
+	// telemetry keys stay in [0, workers). pfGen is the batch generation:
+	// Prefetch bumps it, and an in-flight job whose generation is stale —
+	// and that no Evaluate is waiting on — abandons its remaining repeats
+	// instead of finishing a superseded measurement.
+	pfMu      sync.Mutex
+	pfQueue   []*prefetchJob
+	pfActive  int
+	freeSlots []int
+	pfWG      sync.WaitGroup
+	pfGen     atomic.Uint64
 
 	// Suggested counts Evaluate calls; Evaluated counts distinct
 	// mappings actually measured (Section 5.3's accounting).
 	Suggested int
 	Evaluated int
+
+	// noiseSeen is the deepest repeat index committed so far: the commit
+	// path's logical model of the simulator's noise-tape cache (tape i
+	// exists once any commit used repeat index i). Guarded by mu.
+	noiseSeen int
 
 	// Metric instruments, pre-resolved at construction so the per-call
 	// cost with no observer is a nil check (nil instruments no-op).
@@ -245,13 +274,26 @@ type Evaluator struct {
 	mSimRuns   *telemetry.Counter
 	mIncEvals  *telemetry.Counter
 	mFbEvals   *telemetry.Counter
-	mCopies    *telemetry.Counter
-	mCopyBytes *telemetry.Counter
-	mNetBytes  *telemetry.Counter
-	mSpills    *telemetry.Counter
-	gEnergy    *telemetry.Gauge
-	gOverhead  *telemetry.Gauge
-	hEvalSec   *telemetry.Histogram
+	// Logical cache counters, attributed on the sequential commit path —
+	// a pure function of the commit sequence, so byte-identical at any
+	// worker count, across incremental/full mode, and across resume
+	// (unlike the Instance's physical probe counters, which speculative
+	// evaluation perturbs).
+	mPlanHits    *telemetry.Counter
+	mPlanMisses  *telemetry.Counter
+	mNoiseHits   *telemetry.Counter
+	mNoiseMisses *telemetry.Counter
+	mCopies      *telemetry.Counter
+	mCopyBytes   *telemetry.Counter
+	mNetBytes    *telemetry.Counter
+	mSpills      *telemetry.Counter
+	gEnergy      *telemetry.Gauge
+	gOverhead    *telemetry.Gauge
+	hEvalSec     *telemetry.Histogram
+
+	// Wall-clock side instrumentation (wallstats.go); all fields nil
+	// without Options.WallMetrics.
+	wall *wallStats
 }
 
 // evalSecBuckets are the histogram bucket bounds for candidate mean
@@ -280,32 +322,45 @@ func NewEvaluator(m *machine.Machine, g *taskir.Graph, opts Options) *Evaluator 
 	if opts.DisableIncremental {
 		runner = inst
 	}
+	// Slot stack for per-worker wall telemetry; pushed in reverse so the
+	// first spawned worker pops slot 0.
+	freeSlots := make([]int, 0, workers)
+	for i := workers - 1; i >= 0; i-- {
+		freeSlots = append(freeSlots, i)
+	}
 	return &Evaluator{
 		M: m, G: g, Opts: opts,
-		DB:       db,
-		byKey:    make(map[string]*mapping.Mapping),
-		model:    m.Model(),
-		inst:     inst,
-		delta:    delta,
-		runner:   runner,
-		sem:      make(chan struct{}, workers),
-		workers:  workers,
-		spec:     make(map[string]specResult),
-		inflight: make(map[string]*prefetchJob),
-		replay:   replay,
+		DB:        db,
+		byKey:     make(map[string]*mapping.Mapping),
+		model:     m.Model(),
+		inst:      inst,
+		delta:     delta,
+		runner:    runner,
+		sem:       make(chan struct{}, workers),
+		workers:   workers,
+		freeSlots: freeSlots,
+		spec:      make(map[string]specResult),
+		inflight:  make(map[string]*prefetchJob),
+		replay:    replay,
 
-		mCacheHits: obs.Counter("search.eval.cache_hits"),
-		mFailures:  obs.Counter("search.eval.failures"),
-		mSimRuns:   obs.Counter("search.eval.sim_runs"),
-		mIncEvals:  obs.Counter("sim.eval.incremental"),
-		mFbEvals:   obs.Counter("sim.eval.fallback"),
-		mCopies:    obs.Counter("sim.copies.count"),
-		mCopyBytes: obs.Counter("sim.copies.bytes"),
-		mNetBytes:  obs.Counter("sim.copies.network_bytes"),
-		mSpills:    obs.Counter("sim.spills"),
-		gEnergy:    obs.Gauge("sim.energy_joules"),
-		gOverhead:  obs.Gauge("search.overhead_sec"),
-		hEvalSec:   obs.Histogram("search.eval.mean_sec", evalSecBuckets),
+		mCacheHits:   obs.Counter("search.eval.cache_hits"),
+		mFailures:    obs.Counter("search.eval.failures"),
+		mSimRuns:     obs.Counter("search.eval.sim_runs"),
+		mIncEvals:    obs.Counter("sim.eval.incremental"),
+		mFbEvals:     obs.Counter("sim.eval.fallback"),
+		mPlanHits:    obs.Counter("sim.plan_cache.hits"),
+		mPlanMisses:  obs.Counter("sim.plan_cache.misses"),
+		mNoiseHits:   obs.Counter("sim.noise_tape.hits"),
+		mNoiseMisses: obs.Counter("sim.noise_tape.misses"),
+		mCopies:      obs.Counter("sim.copies.count"),
+		mCopyBytes:   obs.Counter("sim.copies.bytes"),
+		mNetBytes:    obs.Counter("sim.copies.network_bytes"),
+		mSpills:      obs.Counter("sim.spills"),
+		gEnergy:      obs.Gauge("sim.energy_joules"),
+		gOverhead:    obs.Gauge("search.overhead_sec"),
+		hEvalSec:     obs.Histogram("search.eval.mean_sec", evalSecBuckets),
+
+		wall: newWallStats(opts.WallMetrics, workers),
 	}
 }
 
@@ -339,11 +394,11 @@ func (e *Evaluator) repeats() int {
 // are committed instead of re-simulating.
 func (e *Evaluator) Evaluate(mp *mapping.Mapping) search.Evaluation {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.Suggested++
 	key := mp.Key()
 	if s, ok := e.DB.Lookup(key); ok {
 		e.mCacheHits.Add(1)
+		e.mu.Unlock()
 		return search.Evaluation{MeanSec: s.Mean(), Cached: true, Failed: s.Failed}
 	}
 	if err := mp.Validate(e.G, e.model); err != nil {
@@ -354,20 +409,32 @@ func (e *Evaluator) Evaluate(mp *mapping.Mapping) search.Evaluation {
 		e.DB.RecordFailure(key)
 		e.byKey[key] = mp.Clone()
 		e.mFailures.Add(1)
+		e.mu.Unlock()
 		return search.Evaluation{MeanSec: inf(), Failed: true}
 	}
 	if runs, ok := e.replay[key]; ok {
 		delete(e.replay, key)
-		return e.commitRuns(key, mp, runs)
+		verdict := e.commitRuns(key, mp, runs)
+		e.mu.Unlock()
+		return verdict
 	}
+	// Measure with the commit lock RELEASED: the lock orders results, it
+	// never serializes simulation. Evaluate remains single-goroutine (the
+	// search loop), so dropping and re-acquiring cannot interleave
+	// commits; it only keeps clock/metric readers and checkpoint writers
+	// responsive while a candidate executes.
+	e.mu.Unlock()
 	results, errs := e.waitSpec(key)
 	if results == nil {
+		e.wall.syncEval()
 		results, errs = measureRuns(e.runner, key, mp, e.repeats(), e.Opts.NoiseSigma, e.Opts.Seed, e.sem)
 	}
+	e.mu.Lock()
 	verdict := e.commitRuns(key, mp, toRuns(results, errs, e.Opts.objective()))
 	// Only fresh measurements advance the periodic-checkpoint counter:
 	// replayed commits re-cover ground an earlier snapshot already holds.
 	e.maybeCheckpointLocked()
+	e.mu.Unlock()
 	return verdict
 }
 
@@ -414,6 +481,33 @@ func (e *Evaluator) commitRuns(key string, mp *mapping.Mapping, runs []checkpoin
 	} else {
 		e.fbEvals++
 		e.mFbEvals.Add(1)
+	}
+	// Logical cache attribution (same discipline as the delta counters
+	// above): placement is a pure function of the key, so a committed
+	// candidate's first repeat planned it and the rest hit the cache; the
+	// noise stream is a pure function of the repeat index, so a repeat
+	// index draws its tape the first time any committed candidate reaches
+	// it (noiseSeen is that high-water mark) and replays it thereafter.
+	if n := len(runs); n > 0 {
+		e.mPlanMisses.Add(1)
+		e.mPlanHits.Add(int64(n - 1))
+	}
+	if e.Opts.NoiseSigma > 0 {
+		nOK := 0
+		for _, r := range runs {
+			if r.OK {
+				nOK++
+			}
+		}
+		miss := nOK - e.noiseSeen
+		if miss < 0 {
+			miss = 0
+		}
+		e.mNoiseMisses.Add(int64(miss))
+		e.mNoiseHits.Add(int64(nOK - miss))
+		if nOK > e.noiseSeen {
+			e.noiseSeen = nOK
+		}
 	}
 	times := make([]float64, 0, len(runs))
 	var spent float64
@@ -539,6 +633,16 @@ type prefetchJob struct {
 	key  string
 	mp   *mapping.Mapping
 	done chan struct{}
+	// gen is the batch generation the job most recently appeared in
+	// (Prefetch refreshes it when a re-batch re-requests an in-flight
+	// key). A worker whose job is behind the evaluator's pfGen knows the
+	// batch was superseded and abandons the remaining repeats — unless
+	// wanted is set, which an Evaluate blocked on done uses to say the
+	// result will commit immediately. wanted is best-effort: a worker
+	// that already decided to abandon closes done without publishing,
+	// and the waiter re-measures (bit-identical, seeds are key-derived).
+	gen    atomic.Uint64
+	wanted atomic.Bool
 }
 
 // Prefetch speculatively measures candidates concurrently, bounded by the
@@ -601,6 +705,11 @@ func (e *Evaluator) Prefetch(cands []*mapping.Mapping) {
 			limit = rem
 		}
 	}
+	// This batch starts a new generation: in-flight jobs not re-requested
+	// below become stale and abandon their remaining repeats at the next
+	// between-repeat check, so a replaced batch costs at most one repeat
+	// per worker instead of a full superseded measurement each.
+	gen := e.pfGen.Add(1)
 	jobs := make([]*prefetchJob, 0, len(cands))
 	seen := make(map[string]bool, len(cands))
 	for _, mp := range cands {
@@ -623,7 +732,12 @@ func (e *Evaluator) Prefetch(cands []*mapping.Mapping) {
 		e.specMu.Lock()
 		_, have := e.spec[key]
 		if !have {
-			_, have = e.inflight[key]
+			if j := e.inflight[key]; j != nil {
+				// Still wanted by the new batch: refresh its
+				// generation so the in-flight worker finishes it.
+				j.gen.Store(gen)
+				have = true
+			}
 		}
 		e.specMu.Unlock()
 		if have {
@@ -632,11 +746,14 @@ func (e *Evaluator) Prefetch(cands []*mapping.Mapping) {
 		if mp.Validate(e.G, e.model) != nil {
 			continue
 		}
-		jobs = append(jobs, &prefetchJob{key: key, mp: mp, done: make(chan struct{})})
+		j := &prefetchJob{key: key, mp: mp, done: make(chan struct{})}
+		j.gen.Store(gen)
+		jobs = append(jobs, j)
 	}
 	// Replace the queue (stale candidates are superseded) and top the
 	// worker pool up to min(workers, queue length). Dropped jobs were
-	// never claimed, so nothing waits on their done channels.
+	// never claimed, so nothing waits on their done channels. Each worker
+	// takes a recycled slot index for its per-worker wall telemetry.
 	e.pfMu.Lock()
 	e.pfQueue = jobs
 	want := len(jobs)
@@ -647,20 +764,25 @@ func (e *Evaluator) Prefetch(cands []*mapping.Mapping) {
 		e.pfActive += spawn
 		e.pfWG.Add(spawn)
 		for i := 0; i < spawn; i++ {
-			go func(wg *sync.WaitGroup) {
+			slot := -1
+			if n := len(e.freeSlots); n > 0 {
+				slot = e.freeSlots[n-1]
+				e.freeSlots = e.freeSlots[:n-1]
+			}
+			go func(wg *sync.WaitGroup, slot int) {
 				defer wg.Done()
-				e.prefetchWorker()
-			}(&e.pfWG)
+				e.prefetchWorker(slot)
+			}(&e.pfWG, slot)
 		}
 	}
 	e.pfMu.Unlock()
 }
 
 // claimJob pops the next unclaimed queue entry, registering it in
-// inflight. A nil return retires the calling worker (the decrement
-// happens here, under pfMu, so Prefetch's spawn accounting and worker
-// exits never race).
-func (e *Evaluator) claimJob() *prefetchJob {
+// inflight. A nil return retires the calling worker (the decrement and
+// the slot recycle happen here, under pfMu, so Prefetch's spawn
+// accounting and worker exits never race).
+func (e *Evaluator) claimJob(slot int) *prefetchJob {
 	e.pfMu.Lock()
 	defer e.pfMu.Unlock()
 	for len(e.pfQueue) > 0 {
@@ -680,6 +802,9 @@ func (e *Evaluator) claimJob() *prefetchJob {
 		return j
 	}
 	e.pfActive--
+	if slot >= 0 {
+		e.freeSlots = append(e.freeSlots, slot)
+	}
 	return nil
 }
 
@@ -687,13 +812,48 @@ func (e *Evaluator) claimJob() *prefetchJob {
 // speculative cache, signal waiters, repeat until the queue is empty.
 // Callers run it on a goroutine registered with pfWG (Done is the
 // spawner's deferred call).
-func (e *Evaluator) prefetchWorker() {
+//
+// A worker runs its job's repeats SEQUENTIALLY (under the shared
+// semaphore): the worker pool itself is the parallelism — `workers`
+// candidates measure concurrently, one goroutine each — so fanning each
+// job out into per-repeat goroutines would only multiply scheduler load
+// without adding throughput. Sequential repeats are also what makes
+// supersede cheap: between repeats the worker checks whether its batch
+// generation is stale and, if no Evaluate is blocked on the job, abandons
+// it — publishing nothing, so abandonment is invisible to the trajectory.
+func (e *Evaluator) prefetchWorker(slot int) {
 	for {
-		j := e.claimJob()
+		j := e.claimJob(slot)
 		if j == nil {
 			return
 		}
-		results, errs := measureRuns(e.runner, j.key, j.mp, e.repeats(), e.Opts.NoiseSigma, e.Opts.Seed, e.sem)
+		repeats := e.repeats()
+		results := make([]*sim.Result, repeats)
+		errs := make([]error, repeats)
+		abandoned := false
+		start := e.wall.now()
+		for i := 0; i < repeats; i++ {
+			if i > 0 && j.gen.Load() != e.pfGen.Load() && !j.wanted.Load() {
+				abandoned = true
+				break
+			}
+			e.sem <- struct{}{}
+			results[i], errs[i] = e.runner.RunKeyed(j.key, j.mp, sim.Config{NoiseSigma: e.Opts.NoiseSigma, Seed: runSeed(e.Opts.Seed, i)})
+			<-e.sem
+		}
+		if abandoned {
+			// Retract the claim before signaling: a waiter that raced
+			// the wanted check wakes, finds no published result, and
+			// re-measures synchronously (bit-identical by seed
+			// derivation).
+			e.specMu.Lock()
+			delete(e.inflight, j.key)
+			e.specMu.Unlock()
+			close(j.done)
+			e.wall.supersede()
+			continue
+		}
+		e.wall.workerEval(slot, e.wall.now()-start)
 		e.specMu.Lock()
 		if len(e.spec) >= specCacheLimit {
 			e.spec = make(map[string]specResult)
@@ -737,7 +897,13 @@ func (e *Evaluator) waitSpec(key string) ([]*sim.Result, []error) {
 	if j == nil {
 		return nil, nil
 	}
+	// Mark the job wanted before blocking so a superseded batch doesn't
+	// abandon the one job the search is actually waiting for. Best
+	// effort — see prefetchJob.wanted.
+	j.wanted.Store(true)
+	start := e.wall.now()
 	<-j.done
+	e.wall.commitWaitSince(start)
 	e.specMu.Lock()
 	defer e.specMu.Unlock()
 	s, ok := e.spec[key]

@@ -47,12 +47,20 @@ func runSeed(base uint64, repeat int) uint64 {
 }
 
 // resolveWorkers maps an Options.Workers value to the effective pool width:
-// non-positive means GOMAXPROCS.
+// non-positive means GOMAXPROCS, and positive values are clamped to
+// GOMAXPROCS. Simulations are pure CPU work, so workers beyond the
+// scheduler's parallelism cannot add throughput — they only add context
+// switches and, worse, wasted speculation: on a single-core host an
+// unclamped `-workers 8` made every search SLOWER than `-workers 1`
+// because eight prefetch goroutines took turns burning the one core on
+// candidates that re-batching then threw away. The clamp makes
+// `-workers N` mean "up to N", never "pretend you have N cores".
 func resolveWorkers(w int) int {
-	if w > 0 {
-		return w
+	max := runtime.GOMAXPROCS(0)
+	if w <= 0 || w > max {
+		return max
 	}
-	return runtime.GOMAXPROCS(0)
+	return w
 }
 
 // simRunner is the simulator surface the measurement path needs: a keyed

@@ -1,6 +1,9 @@
 package driver
 
 import (
+	"math"
+	"reflect"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -8,7 +11,19 @@ import (
 	"automap/internal/machine"
 	"automap/internal/mapping"
 	"automap/internal/profile"
+	"automap/internal/telemetry"
 )
+
+// forceParallel raises GOMAXPROCS so resolveWorkers does not clamp
+// multi-worker configurations to 1 on a single-core CI host; restored on
+// cleanup. GOMAXPROCS above the physical core count is valid — the
+// runtime preemptively interleaves the goroutines — so -race still
+// exercises the real concurrent paths.
+func forceParallel(t *testing.T, n int) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
 
 // TestConcurrentPrefetchAndDB hammers the evaluator's Prefetch path and the
 // profiles database from many goroutines at once while Evaluate commits
@@ -16,6 +31,7 @@ import (
 // pins the locking of profile.DB, the speculative cache, and the simulator
 // instance's plan cache and state pool.
 func TestConcurrentPrefetchAndDB(t *testing.T) {
+	forceParallel(t, 8)
 	m := cluster.Shepard(2)
 	g := driverGraph(t)
 	md := m.Model()
@@ -89,6 +105,84 @@ func TestConcurrentPrefetchAndDB(t *testing.T) {
 		}
 		if len(s.Times) != opts.Repeats {
 			t.Fatalf("candidate has %d samples, want %d (double commit?)", len(s.Times), opts.Repeats)
+		}
+	}
+}
+
+// TestConcurrentBasePublish pins the incumbent/delta-base publish path:
+// the search loop accepts improvements (SetDeltaBase) while eight prefetch
+// workers are still evaluating candidates against the OLD base — the exact
+// moment publish-by-pointer must protect. Under -race this catches any
+// mutation of a base snapshot a worker may still be reading, and the final
+// database must be byte-identical to the same trajectory at workers=1
+// (speculation and base swaps may change wall-clock time only).
+func TestConcurrentBasePublish(t *testing.T) {
+	forceParallel(t, 8)
+	m := cluster.Shepard(2)
+	g := driverGraph(t)
+	md := m.Model()
+
+	var cands []*mapping.Mapping
+	for _, k := range []machine.ProcKind{machine.CPU, machine.GPU} {
+		for _, k2 := range []machine.ProcKind{machine.CPU, machine.GPU} {
+			for _, dist := range []bool{true, false} {
+				for _, dist2 := range []bool{true, false} {
+					mp := mapping.Default(g, md)
+					mp.SetProc(0, k)
+					mp.RebuildPriorityLists(md, 0)
+					mp.SetProc(1, k2)
+					mp.RebuildPriorityLists(md, 1)
+					mp.SetDistribute(0, dist)
+					mp.SetDistribute(1, dist2)
+					cands = append(cands, mp)
+				}
+			}
+		}
+	}
+
+	run := func(workers int) *profile.DB {
+		opts := quickOpts()
+		opts.Workers = workers
+		opts.WallMetrics = telemetry.NewRegistry()
+		ev := NewEvaluator(m, g, opts)
+		best := math.Inf(1)
+		for i, mp := range cands {
+			// Re-batch from the remaining pool before every commit —
+			// the CCD pattern that supersedes in-flight speculation on
+			// each accept.
+			ev.Prefetch(cands[i:])
+			v := ev.Evaluate(mp)
+			if !v.Failed && v.MeanSec < best {
+				best = v.MeanSec
+				// Publish a new incumbent while workers may still be
+				// folding deltas against the old one.
+				ev.SetDeltaBase(mp)
+			}
+		}
+		ev.drainPrefetch()
+		return ev.DB
+	}
+
+	db1 := run(1)
+	db8 := run(8)
+	if db1.Len() != db8.Len() {
+		t.Fatalf("DB.Len() differs: workers=1 %d, workers=8 %d", db1.Len(), db8.Len())
+	}
+	for _, mp := range cands {
+		key := mp.Key()
+		s1, ok1 := db1.Lookup(key)
+		s8, ok8 := db8.Lookup(key)
+		if ok1 != ok8 {
+			t.Fatalf("key %s present=%v at workers=1 but %v at workers=8", key, ok1, ok8)
+		}
+		if !ok1 {
+			continue
+		}
+		if s1.Failed != s8.Failed {
+			t.Fatalf("key %s failed=%v vs %v", key, s1.Failed, s8.Failed)
+		}
+		if !reflect.DeepEqual(s1.Times, s8.Times) {
+			t.Fatalf("key %s measured %v at workers=1 but %v at workers=8", key, s1.Times, s8.Times)
 		}
 	}
 }

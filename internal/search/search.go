@@ -68,6 +68,16 @@ type Evaluator interface {
 // batch and then evaluates its members in enumeration order produces a
 // trajectory byte-identical to not prefetching at all. Implementations are
 // free to ignore any or all candidates (Prefetch is purely advisory).
+//
+// Supersede semantics: each Prefetch call REPLACES any previous batch —
+// the contract algorithms rely on when they re-batch from a new incumbent
+// after an accept (see CCD.optimizeTask). Speculative work for candidates
+// that appear in neither the new batch nor a waiting Evaluate may be
+// abandoned mid-measurement; because speculation has no observable
+// effects, abandonment is invisible to the trajectory and shows up only
+// as reclaimed wall-clock time. Algorithms should therefore prefetch the
+// full remaining enumeration each time rather than rationing batches —
+// stale entries cost at most the work already in flight.
 type BatchEvaluator interface {
 	Evaluator
 	Prefetch(cands []*mapping.Mapping)

@@ -23,6 +23,7 @@ package sim
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"automap/internal/mapping"
 	"automap/internal/overlap"
@@ -51,20 +52,26 @@ type DeltaInstance struct {
 	// classification (the patcher itself tracks exact dirtiness).
 	neigh [][]taskir.CollectionID
 
-	dmu  sync.Mutex
-	base *deltaBase
+	// base is published by pointer: an accept swaps in a fresh immutable
+	// snapshot with one atomic store, and in-flight workers keep patching
+	// against the snapshot they loaded — a superseded base is never
+	// mutated, only unreferenced. SetBase on the search goroutine
+	// therefore never blocks behind (or stalls) a worker mid-patch.
+	base atomic.Pointer[deltaBase]
 }
 
 // deltaBase is one base-mapping snapshot. In-flight evaluations hold the
 // snapshot they started with, so a concurrent SetBase never mixes two
 // bases inside one patch (results are byte-identical either way; only
-// which path served them could differ).
+// which path served them could differ). All fields except the lazily
+// memoized record are immutable after publication.
 type deltaBase struct {
 	key string
 	mp  *mapping.Mapping
 
-	mu   sync.Mutex
-	done bool
+	// once guards the lazy deep-record; the results below are written
+	// exactly once, before any reader returns from ensure.
+	once sync.Once
 	plan *PlacementPlan
 	sch  *schedule // deep-recorded
 	err  error
@@ -107,30 +114,24 @@ func NewDelta(in *Instance) *DeltaInstance {
 // again is a no-op.
 func (d *DeltaInstance) SetBase(mp *mapping.Mapping) {
 	key := mp.Key()
-	d.dmu.Lock()
-	if d.base != nil && d.base.key == key {
-		d.dmu.Unlock()
+	if b := d.base.Load(); b != nil && b.key == key {
 		return
 	}
-	d.base = &deltaBase{key: key, mp: mp}
-	d.dmu.Unlock()
+	d.base.Store(&deltaBase{key: key, mp: mp})
 	d.pinSched(key)
 }
 
 // getBase returns the current base snapshot, or nil.
 func (d *DeltaInstance) getBase() *deltaBase {
-	d.dmu.Lock()
-	b := d.base
-	d.dmu.Unlock()
-	return b
+	return d.base.Load()
 }
 
 // ensure lazily plans and deep-records the base, memoizing the outcome
-// (including placement failure) on the snapshot.
+// (including placement failure) on the snapshot. Concurrent callers of a
+// cold base block on the one recording run; a warmed base costs one
+// sync.Once fast-path load.
 func (d *DeltaInstance) ensure(b *deltaBase) (*PlacementPlan, *schedule, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if !b.done {
+	b.once.Do(func() {
 		b.plan, b.err = d.planFor(b.key, b.mp)
 		if b.err == nil {
 			// Structure is config-independent: record once, fold under
@@ -140,8 +141,7 @@ func (d *DeltaInstance) ensure(b *deltaBase) (*PlacementPlan, *schedule, error) 
 			b.sch = sch
 			d.storeSched(b.key, sch)
 		}
-		b.done = true
-	}
+	})
 	return b.plan, b.sch, b.err
 }
 

@@ -14,10 +14,32 @@
 //     a sync.Pool instead of reallocated per run.
 //
 // Run is safe for concurrent use; results are bit-identical to Simulate.
+//
+// Concurrency design (DESIGN §15): the worker pool evaluates independent
+// candidates, so the hot path is built to share nothing mutable between
+// concurrent runs. Shared state is read-mostly and partitioned:
+//
+//   - the plan and schedule caches are sharded by key hash — concurrent
+//     runs of different candidates touch different shards, so a cache
+//     probe is an uncontended RLock instead of a fight over one global
+//     mutex;
+//   - noise tapes publish their draw prefix by pointer (copy-on-publish):
+//     the fold's read is one atomic load, and the tape mutex is taken
+//     only to extend the prefix — which happens O(distinct lengths) times
+//     per search, not O(runs). Each pooled fold scratch additionally
+//     memoizes its own (seed, sigma) → tape table, so steady-state folds
+//     resolve their tape without touching any shared map;
+//   - run scratch and fold scratch come from sync.Pools, which are per-P
+//     free lists — effectively per-worker run state with no coordination.
+//
+// Every cache stays a pure function of its key, so a worker can never
+// observe a stale-but-wrong entry; duplicate computation under races is
+// byte-identical and the second store is harmless.
 
 package sim
 
 import (
+	"hash/maphash"
 	"sync"
 	"sync/atomic"
 
@@ -27,24 +49,57 @@ import (
 	"automap/internal/xrand"
 )
 
-// planCacheLimit bounds the plan cache; when full the whole cache is
-// dropped (searches revisit recent mappings heavily, so an occasional full
-// reset is cheaper than tracking recency).
+// planCacheLimit bounds the plan cache; when a shard fills, that shard is
+// dropped (searches revisit recent mappings heavily, so an occasional
+// partial reset is cheaper than tracking recency).
 const planCacheLimit = 8192
+
+// planShardCount partitions the plan cache by key hash. 64 shards make a
+// concurrent probe by 8–16 workers effectively collision-free while
+// keeping the per-Instance footprint trivial. Must be a power of two.
+const planShardCount = 64
 
 // schedCacheLimit bounds the recorded-schedule cache (schedule.go).
 // Schedules are much larger than plans — every copy op and exec of a run
 // — so the cache is kept small: the paper's measurement protocol repeats
 // each candidate several times back to back, which is the reuse that
-// matters. When full the cache is reset, keeping only the pinned delta
+// matters. When a shard fills it is reset, keeping only the pinned delta
 // base.
 const schedCacheLimit = 64
+
+// schedShardCount partitions the schedule cache. Fewer shards than the
+// plan cache: the cache itself is small, so the per-shard capacity must
+// stay large enough for the repeat-locality pattern to survive resets.
+const schedShardCount = 8
 
 // planEntry is one cached placement outcome: the committed plan, or the
 // *OOMError placement failed with.
 type planEntry struct {
 	plan *PlacementPlan
 	err  error
+}
+
+// planShard is one partition of the plan cache.
+type planShard struct {
+	mu sync.RWMutex
+	m  map[string]planEntry
+}
+
+// schedShard is one partition of the recorded-schedule cache.
+type schedShard struct {
+	mu sync.RWMutex
+	m  map[string]*schedule
+}
+
+// shardSeed keys the shard hash. One process-wide seed is fine: sharding
+// is a performance partition, not a security boundary, and a fixed seed
+// keeps shard assignment deterministic within a process.
+var shardSeed = maphash.MakeSeed()
+
+// shardIndex maps a cache key to a shard slot in [0, n). n must be a
+// power of two.
+func shardIndex(key string, n int) int {
+	return int(maphash.String(shardSeed, key) & uint64(n-1))
 }
 
 // Instance is a reusable simulator for one (machine, program) pair. Create
@@ -55,8 +110,7 @@ type Instance struct {
 	g    *taskir.Graph
 	topo *topology
 
-	mu    sync.RWMutex
-	plans map[string]planEntry
+	plans [planShardCount]planShard
 
 	pool sync.Pool // *state
 
@@ -64,9 +118,9 @@ type Instance struct {
 	// structure as a byproduct, and repeats of the same key replay it
 	// with the timing fold instead of re-simulating (bit-identical
 	// results, see schedule.go). schedPin names the delta base key,
-	// which survives cache resets.
-	schedMu  sync.Mutex
-	scheds   map[string]*schedule
+	// which survives shard resets.
+	scheds   [schedShardCount]schedShard
+	pinMu    sync.Mutex
 	schedPin string
 
 	foldPool sync.Pool // *foldScratch
@@ -76,8 +130,10 @@ type Instance struct {
 	// cached tape of draw values instead of re-deriving the log-normal
 	// transcendentals (two thirds of a fold's cost otherwise). The live
 	// path draws the same values from the same seeded RNG, so tapes
-	// change nothing observable.
-	noiseMu sync.Mutex
+	// change nothing observable. The map is read-mostly (a search uses a
+	// few dozen distinct seeds) and each fold scratch carries its own L1
+	// over it, so the RWMutex is a cold-path cost only.
+	noiseMu sync.RWMutex
 	noise   map[noiseKey]*noiseTape
 
 	planHits   atomic.Int64
@@ -95,45 +151,104 @@ type noiseKey struct {
 	sigma float64
 }
 
-// noiseTape is the memoized prefix of one noise stream, with the RNG
-// parked after the last drawn value so the tape extends on demand.
+// noiseTape is the memoized prefix of one noise stream. The drawn prefix
+// is published by pointer as an immutable snapshot: readers take one
+// atomic load; the mutex guards only the parked RNG and the
+// copy-on-publish extension, so concurrent folds of warmed tapes never
+// serialize.
 type noiseTape struct {
-	rng     xrand.RNG
-	factors []float64
+	factors atomic.Pointer[[]float64]
+	sigma   float64
+
+	mu  sync.Mutex
+	rng xrand.RNG
+}
+
+// prefix returns the first n draws of the tape, extending it as needed.
+// The returned slice is immutable: extensions publish a fresh copy and
+// never touch a snapshot readers may hold.
+func (tp *noiseTape) prefix(n int) []float64 {
+	if f := tp.factors.Load(); f != nil && len(*f) >= n {
+		return (*f)[:n:n]
+	}
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	var cur []float64
+	if f := tp.factors.Load(); f != nil {
+		cur = *f
+	}
+	if len(cur) < n {
+		next := make([]float64, len(cur), n)
+		copy(next, cur)
+		for len(next) < n {
+			next = append(next, tp.rng.UnitMeanLogNormal(tp.sigma))
+		}
+		tp.factors.Store(&next)
+		cur = next
+	}
+	return cur[:n:n]
 }
 
 // noiseFactors returns the first n draws of the (seed, sigma) noise
-// stream, extending the cached tape as needed. The returned slice is a
-// stable snapshot: later extensions may reallocate but never mutate it.
-func (in *Instance) noiseFactors(seed uint64, sigma float64, n int) []float64 {
+// stream. The returned slice is a stable snapshot: later extensions
+// publish new slices and never mutate it. fs, when non-nil, is the
+// caller's fold scratch whose local tape table short-circuits the shared
+// map.
+func (in *Instance) noiseFactors(fs *foldScratch, seed uint64, sigma float64, n int) []float64 {
 	k := noiseKey{seed: seed, sigma: sigma}
-	in.noiseMu.Lock()
-	tp := in.noise[k]
-	if tp == nil {
-		if len(in.noise) >= noiseCacheLimit {
-			in.noise = make(map[noiseKey]*noiseTape)
+	if fs != nil {
+		if tp, ok := fs.noise[k]; ok {
+			return tp.prefix(n)
 		}
-		tp = &noiseTape{rng: *xrand.New(seed ^ 0x5bd1e995)}
-		in.noise[k] = tp
 	}
-	for len(tp.factors) < n {
-		tp.factors = append(tp.factors, tp.rng.UnitMeanLogNormal(sigma))
+	tp := in.noiseTape(k)
+	if fs != nil {
+		if fs.noise == nil {
+			fs.noise = make(map[noiseKey]*noiseTape, 8)
+		}
+		fs.noise[k] = tp
 	}
-	f := tp.factors[:n:n]
-	in.noiseMu.Unlock()
-	return f
+	return tp.prefix(n)
+}
+
+// noiseTape resolves (and on first use registers) the tape for k in the
+// shared table.
+func (in *Instance) noiseTape(k noiseKey) *noiseTape {
+	in.noiseMu.RLock()
+	tp := in.noise[k]
+	in.noiseMu.RUnlock()
+	if tp != nil {
+		return tp
+	}
+	in.noiseMu.Lock()
+	defer in.noiseMu.Unlock()
+	if tp = in.noise[k]; tp != nil {
+		return tp
+	}
+	if len(in.noise) >= noiseCacheLimit {
+		in.noise = make(map[noiseKey]*noiseTape)
+	}
+	tp = &noiseTape{rng: *xrand.New(k.seed ^ 0x5bd1e995)}
+	tp.sigma = k.sigma
+	in.noise[k] = tp
+	return tp
 }
 
 // New builds a reusable simulator instance for program g on machine m.
 func New(m *machine.Machine, g *taskir.Graph) *Instance {
-	return &Instance{
-		m:      m,
-		g:      g,
-		topo:   newTopology(m, g),
-		plans:  make(map[string]planEntry),
-		scheds: make(map[string]*schedule),
-		noise:  make(map[noiseKey]*noiseTape),
+	in := &Instance{
+		m:     m,
+		g:     g,
+		topo:  newTopology(m, g),
+		noise: make(map[noiseKey]*noiseTape),
 	}
+	for i := range in.plans {
+		in.plans[i].m = make(map[string]planEntry)
+	}
+	for i := range in.scheds {
+		in.scheds[i].m = make(map[string]*schedule)
+	}
+	return in
 }
 
 // Run executes g under mapping mp and returns the execution result, or an
@@ -186,13 +301,13 @@ func (in *Instance) runRecorded(plan *PlacementPlan, cfg Config, deep bool) (*Re
 // fold replays a recorded schedule under cfg with pooled scratch and the
 // config's cached noise tape.
 func (in *Instance) fold(sch *schedule, plan *PlacementPlan, cfg Config) *Result {
-	var noise []float64
-	if cfg.NoiseSigma > 0 {
-		noise = in.noiseFactors(cfg.Seed, cfg.NoiseSigma, len(sch.execs))
-	}
 	fs, _ := in.foldPool.Get().(*foldScratch)
 	if fs == nil {
 		fs = &foldScratch{}
+	}
+	var noise []float64
+	if cfg.NoiseSigma > 0 {
+		noise = in.noiseFactors(fs, cfg.Seed, cfg.NoiseSigma, len(sch.execs))
 	}
 	res := foldSchedule(in.topo, plan, sch, cfg, noise, fs)
 	in.foldPool.Put(fs)
@@ -201,43 +316,49 @@ func (in *Instance) fold(sch *schedule, plan *PlacementPlan, cfg Config) *Result
 
 // schedFor returns the cached schedule for key, or nil.
 func (in *Instance) schedFor(key string) *schedule {
-	in.schedMu.Lock()
-	sch := in.scheds[key]
-	in.schedMu.Unlock()
+	sh := &in.scheds[shardIndex(key, schedShardCount)]
+	sh.mu.RLock()
+	sch := sh.m[key]
+	sh.mu.RUnlock()
 	return sch
 }
 
-// storeSched caches a finalized schedule under key, resetting the cache
+// storeSched caches a finalized schedule under key, resetting the shard
 // (minus the pinned delta base) when full. Racing duplicate stores are
 // harmless: recording is deterministic, so both record identical
 // schedules.
 func (in *Instance) storeSched(key string, sch *schedule) {
-	in.schedMu.Lock()
-	if len(in.scheds) >= schedCacheLimit {
-		pin := in.scheds[in.schedPin]
-		in.scheds = make(map[string]*schedule, schedCacheLimit)
+	sh := &in.scheds[shardIndex(key, schedShardCount)]
+	sh.mu.Lock()
+	if len(sh.m) >= schedCacheLimit/schedShardCount {
+		in.pinMu.Lock()
+		pinKey := in.schedPin
+		in.pinMu.Unlock()
+		pin := sh.m[pinKey]
+		sh.m = make(map[string]*schedule, schedCacheLimit/schedShardCount)
 		if pin != nil {
-			in.scheds[in.schedPin] = pin
+			sh.m[pinKey] = pin
 		}
 	}
-	in.scheds[key] = sch
-	in.schedMu.Unlock()
+	sh.m[key] = sch
+	sh.mu.Unlock()
 }
 
 // pinSched marks key's schedule as the delta base, exempt from cache
 // resets.
 func (in *Instance) pinSched(key string) {
-	in.schedMu.Lock()
+	in.pinMu.Lock()
 	in.schedPin = key
-	in.schedMu.Unlock()
+	in.pinMu.Unlock()
 }
 
 // dropSchedule forgets key's cached schedule (test/bench hook: forces
 // RunKeyed back onto the recording path).
 func (in *Instance) dropSchedule(key string) {
-	in.schedMu.Lock()
-	delete(in.scheds, key)
-	in.schedMu.Unlock()
+	sh := &in.scheds[shardIndex(key, schedShardCount)]
+	sh.mu.Lock()
+	delete(sh.m, key)
+	sh.mu.Unlock()
 }
 
 // PlanPlacement returns the (possibly cached) placement plan for mp, or
@@ -248,6 +369,9 @@ func (in *Instance) PlanPlacement(mp *mapping.Mapping) (*PlacementPlan, error) {
 }
 
 // PlanCacheStats returns how many plan lookups hit and missed the cache.
+// These are physical probe counters: under speculative evaluation they
+// depend on scheduling (the driver exposes commit-path logical counters
+// that do not).
 func (in *Instance) PlanCacheStats() (hits, misses int64) {
 	return in.planHits.Load(), in.planMisses.Load()
 }
@@ -255,9 +379,10 @@ func (in *Instance) PlanCacheStats() (hits, misses int64) {
 // planFor returns the cached placement outcome for key, planning (and
 // caching) it on a miss.
 func (in *Instance) planFor(key string, mp *mapping.Mapping) (*PlacementPlan, error) {
-	in.mu.RLock()
-	e, ok := in.plans[key]
-	in.mu.RUnlock()
+	sh := &in.plans[shardIndex(key, planShardCount)]
+	sh.mu.RLock()
+	e, ok := sh.m[key]
+	sh.mu.RUnlock()
 	if ok {
 		in.planHits.Add(1)
 		return e.plan, e.err
@@ -267,11 +392,11 @@ func (in *Instance) planFor(key string, mp *mapping.Mapping) (*PlacementPlan, er
 	// computes an identical entry and the second store is harmless.
 	plan, err := planPlacement(in.topo, mp)
 	e = planEntry{plan: plan, err: err}
-	in.mu.Lock()
-	if len(in.plans) >= planCacheLimit {
-		in.plans = make(map[string]planEntry)
+	sh.mu.Lock()
+	if len(sh.m) >= planCacheLimit/planShardCount {
+		sh.m = make(map[string]planEntry)
 	}
-	in.plans[key] = e
-	in.mu.Unlock()
+	sh.m[key] = e
+	sh.mu.Unlock()
 	return e.plan, e.err
 }

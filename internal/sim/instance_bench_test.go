@@ -57,6 +57,35 @@ func BenchmarkInstanceRun(b *testing.B) {
 	}
 }
 
+// BenchmarkInstanceRunParallel is BenchmarkInstanceRun with concurrent
+// runners sharing one Instance — the worker-pool shape the driver creates.
+// Run with -cpu 1,4,8: near-flat ns/op across the -cpu values means the
+// shared caches (sharded plan/schedule maps, copy-on-publish noise tapes,
+// pooled scratch) are not serializing independent candidate evaluations;
+// ns/op growing with -cpu is the contention regression this benchmark
+// exists to catch.
+func BenchmarkInstanceRunParallel(b *testing.B) {
+	m, g, mp := benchProblem(b)
+	inst := New(m, g)
+	key := mp.Key()
+	// Warm the plan and schedule caches so the parallel section measures
+	// the steady-state fold path, as a mid-search worker pool would.
+	if _, err := inst.RunKeyed(key, mp, Config{NoiseSigma: 0.04, Seed: 0}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var i uint64
+		for pb.Next() {
+			i++
+			if _, err := inst.RunKeyed(key, mp, Config{NoiseSigma: 0.04, Seed: i % 7}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkDeltaRunOneFlip measures the steady-state cost of one CCD
 // candidate evaluation on the incremental path, amortized over the
 // driver's 7-repeat protocol: every 7th iteration the candidate's cached

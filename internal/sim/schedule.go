@@ -20,7 +20,6 @@
 package sim
 
 import (
-
 	"automap/internal/machine"
 	"automap/internal/taskir"
 )
@@ -225,8 +224,16 @@ func (r *recorder) copyLaunch(base *schedule, li int) {
 }
 
 // foldScratch is the pooled working set of foldSchedule: the availability
-// timelines and dependence clocks of a timing replay.
+// timelines and dependence clocks of a timing replay. It doubles as the
+// per-worker noise-tape memo: sync.Pool hands scratches out per-P, so the
+// noise table below gives each worker its own (seed, sigma) → tape map and
+// steady-state folds never touch the Instance's shared noise map.
 type foldScratch struct {
+	// noise is the local L1 over Instance.noise. Entries are never stale:
+	// a tape is a pure function of its key, valid for the life of the
+	// Instance.
+	noise map[noiseKey]*noiseTape
+
 	procAvail  []float64 // [node*NumProcKinds + kind]
 	copyAvail  []float64 // per node
 	writeDone  []float64 // per collection alias

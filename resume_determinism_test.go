@@ -50,6 +50,9 @@ const resumeSuggestions = 150
 // program and asserts byte-identity against the uninterrupted run.
 func checkResume(t *testing.T, g *taskir.Graph, nodes int, alg automap.Algorithm) {
 	t.Helper()
+	// The resumed run uses workers=8; keep the clamp from flattening it
+	// to 1 on a single-core host (helper in workers_determinism_test.go).
+	forceParallel(t, 8)
 	m := automap.Shepard(nodes)
 
 	// Uninterrupted baseline at workers=1.

@@ -9,12 +9,24 @@ import (
 	"bytes"
 	"fmt"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"automap"
 	"automap/internal/apps"
 	"automap/internal/taskir"
 )
+
+// forceParallel raises GOMAXPROCS so the driver's worker clamp does not
+// flatten Workers=8 to 1 on a single-core CI host — the invariance claim
+// is only interesting when the worker pool really runs concurrently.
+// GOMAXPROCS above the physical core count is valid; the runtime
+// preemptively interleaves the goroutines.
+func forceParallel(t *testing.T, n int) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
 
 // buildApp materializes a small benchmark program.
 func buildApp(t *testing.T, name, size string, nodes int) *taskir.Graph {
@@ -84,6 +96,7 @@ func TestWorkerCountInvariance(t *testing.T) {
 		g := buildApp(t, ac.name, ac.size, ac.nodes)
 		for _, a := range algs {
 			t.Run(fmt.Sprintf("%s/%s", ac.name, a.name), func(t *testing.T) {
+				forceParallel(t, 8)
 				rep1, stream1 := runWorkers(t, g, ac.nodes, a.alg, a.prune, 1)
 				rep8, stream8 := runWorkers(t, g, ac.nodes, a.alg, a.prune, 8)
 
@@ -108,6 +121,27 @@ func TestWorkerCountInvariance(t *testing.T) {
 				}
 				if !bytes.Equal(stream1, stream8) {
 					t.Error("telemetry stream differs between workers=1 and workers=8")
+				}
+				// The full metrics snapshot — including the logical
+				// plan-cache and noise-tape counters attributed on the
+				// commit path — must not depend on the worker count or
+				// on how speculation happened to schedule.
+				if !reflect.DeepEqual(rep1.Metrics, rep8.Metrics) {
+					t.Errorf("metrics differ:\nworkers=1: %v\nworkers=8: %v", rep1.Metrics, rep8.Metrics)
+				}
+				for _, name := range []string{
+					"sim.plan_cache.hits", "sim.plan_cache.misses",
+					"sim.noise_tape.hits", "sim.noise_tape.misses",
+				} {
+					if _, ok := rep1.Metrics[name]; !ok {
+						t.Errorf("metric %s missing from report", name)
+					}
+				}
+				// The noise stream is keyed by repeat index alone
+				// (common random numbers), so a whole search draws
+				// exactly Repeats distinct tapes.
+				if got := rep1.Metrics["sim.noise_tape.misses"]; got != 3 {
+					t.Errorf("sim.noise_tape.misses = %v, want %v (one per repeat index)", got, 3)
 				}
 			})
 		}
