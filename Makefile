@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-search fuzz check experiments experiments-quick cover clean
+.PHONY: all build test race vet bench bench-search bench-serve fuzz check experiments experiments-quick cover clean
 
 all: build test
 
@@ -34,6 +34,11 @@ bench:
 bench-search:
 	./scripts/bench.sh
 
+# Serving-path benchmark: open-loop QPS/latency curve for every arrival
+# pattern against a self-hosted fleet, written to BENCH_serve.json.
+bench-serve:
+	./scripts/bench_serve.sh
+
 # Short fuzzing pass over every fuzz target.
 fuzz:
 	$(GO) test -fuzz FuzzInputParsers -fuzztime 30s ./internal/apps
@@ -42,6 +47,8 @@ fuzz:
 	$(GO) test -fuzz FuzzLoad -fuzztime 20s ./internal/profile
 	$(GO) test -fuzz FuzzAnalyze -fuzztime 30s ./internal/analyze
 	$(GO) test -fuzz FuzzLoadCheckpoint -fuzztime 30s ./internal/checkpoint
+	$(GO) test -fuzz FuzzDecodeBundle -fuzztime 20s ./internal/fleet
+	$(GO) test -fuzz FuzzRingChurn -fuzztime 20s ./internal/fleet
 
 # Static gate: vet, race-enabled tests, and mapcheck over every bundled
 # application's default mapping on both machine models.

@@ -27,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"automap/internal/fleet"
 	"automap/internal/serve"
 )
 
@@ -36,11 +37,45 @@ func main() {
 	dir := flag.String("dir", "mapd-data", "result store directory")
 	searches := flag.Int("searches", 0, "max concurrent searches (0 = half of GOMAXPROCS)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (e.g. localhost:8357); off when empty — keep it loopback-only, it is unauthenticated")
+	replica := flag.String("replica", "", "this daemon's fleet name; joins the fleet in -peers (standalone when empty)")
+	peersFlag := flag.String("peers", "", "fleet replica list as name=url,name=url (requires -replica; must include it)")
+	vnodes := flag.Int("vnodes", 0, "fleet ring virtual nodes per replica (0 = default); all members and the router must agree")
 	flag.Parse()
 
-	srv, err := serve.New(*dir, *searches)
-	if err != nil {
-		log.Fatal(err)
+	// In fleet mode the daemon wraps itself in a replication agent: same
+	// store, same API, plus bundle push/stage/adopt (internal/fleet).
+	var (
+		srv     *serve.Server
+		rep     *fleet.Replica
+		handler http.Handler
+		err     error
+	)
+	if *replica != "" {
+		peers, perr := fleet.ParsePeers(*peersFlag)
+		if perr != nil {
+			log.Fatal(perr)
+		}
+		rep, err = fleet.NewReplica(fleet.ReplicaConfig{
+			Name:     *replica,
+			Peers:    peers,
+			Dir:      *dir,
+			Searches: *searches,
+			Vnodes:   *vnodes,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv = rep.Server()
+		handler = rep.Handler()
+	} else {
+		if *peersFlag != "" {
+			log.Fatal("mapd: -peers requires -replica")
+		}
+		srv, err = serve.New(*dir, *searches)
+		if err != nil {
+			log.Fatal(err)
+		}
+		handler = srv.Handler()
 	}
 	if n := srv.ResumePending(); n > 0 {
 		fmt.Printf("resuming %d interrupted search(es) from %s\n", n, *dir)
@@ -61,7 +96,7 @@ func main() {
 		}()
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	hs := &http.Server{Addr: *addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
@@ -82,5 +117,8 @@ func main() {
 	}
 	// ListenAndServe returned because Shutdown ran; the drain already
 	// completed inside the signal goroutine.
+	if rep != nil {
+		rep.Close()
+	}
 	fmt.Println("mapd stopped; store is restartable")
 }

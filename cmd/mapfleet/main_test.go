@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestQuotaFlags(t *testing.T) {
+	q := quotaFlags{}
+	if err := q.Set("batch=2.5:5"); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Set("free=0"); err != nil {
+		t.Fatal(err)
+	}
+	if got := q["batch"]; got.RPS != 2.5 || got.Burst != 5 {
+		t.Fatalf("batch quota = %+v", got)
+	}
+	if got := q["free"]; got.RPS != 0 || got.Burst != 0 {
+		t.Fatalf("free quota = %+v", got)
+	}
+	if q.String() == "" {
+		t.Error("String() empty")
+	}
+	for _, bad := range []string{"", "noequals", "=1", "t=abc", "t=1:x"} {
+		if err := q.Set(bad); err == nil {
+			t.Errorf("Set(%q) succeeded", bad)
+		}
+	}
+}

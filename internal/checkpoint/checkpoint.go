@@ -136,12 +136,23 @@ func Load(path string) (*Snapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
+	s, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (from %s)", err, path)
+	}
+	return s, nil
+}
+
+// Decode parses snapshot bytes produced by Save. It is the byte-level
+// half of Load, exposed for callers that receive snapshots over the wire
+// (fleet checkpoint replication) rather than from a file.
+func Decode(data []byte) (*Snapshot, error) {
 	var s Snapshot
 	if err := json.Unmarshal(data, &s); err != nil {
-		return nil, fmt.Errorf("checkpoint: parsing %s: %w", path, err)
+		return nil, fmt.Errorf("checkpoint: parsing: %w", err)
 	}
 	if s.Version != Version {
-		return nil, fmt.Errorf("checkpoint: %s has format version %d, this build supports %d", path, s.Version, Version)
+		return nil, fmt.Errorf("checkpoint: snapshot has format version %d, this build supports %d", s.Version, Version)
 	}
 	return &s, nil
 }

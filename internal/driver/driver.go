@@ -115,6 +115,13 @@ type Options struct {
 	// CheckpointEvery is the number of fresh candidate measurements
 	// between periodic checkpoint writes; <= 0 means the default (25).
 	CheckpointEvery int
+	// OnCheckpoint, when set, runs after every successful checkpoint
+	// write (periodic and end-of-search). It is called on the search
+	// goroutine with internal locks held, so it must return quickly —
+	// the mapd fleet uses it to nudge an asynchronous replication
+	// pusher, never to do I/O inline. It has no effect on the search
+	// trajectory and is deliberately outside the snapshot fingerprint.
+	OnCheckpoint func()
 	// ResumeFrom restores a snapshot produced by an earlier run with
 	// identical configuration. The search replays from the start —
 	// committing the snapshot's recorded measurements instead of
@@ -601,7 +608,13 @@ func (e *Evaluator) writeCheckpointLocked() error {
 	snap.Suggested = e.Suggested
 	snap.Evaluated = e.Evaluated
 	snap.Evals = append([]checkpoint.Eval(nil), e.log...)
-	return snap.Save(e.ckptPath)
+	if err := snap.Save(e.ckptPath); err != nil {
+		return err
+	}
+	if e.Opts.OnCheckpoint != nil {
+		e.Opts.OnCheckpoint()
+	}
+	return nil
 }
 
 // WriteCheckpoint persists the current search state to

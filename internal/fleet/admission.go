@@ -1,0 +1,114 @@
+// Admission control: per-tenant token buckets for the fleet router.
+//
+// The router sheds rather than queues: a request over quota is answered
+// immediately with 429 and a Retry-After computed from the bucket's
+// refill rate, so overload surfaces as fast, honest back-pressure instead
+// of queueing delay and client timeouts. Buckets are lazily created per
+// tenant (the X-Tenant header; absent means the shared "default" tenant).
+
+package fleet
+
+import (
+	"math"
+	"sync"
+
+	"automap/internal/telemetry"
+)
+
+// Quota is a token-bucket rate limit. The zero value means unlimited.
+type Quota struct {
+	// RPS is the sustained refill rate in requests per second; <= 0
+	// disables limiting for the tenant.
+	RPS float64
+	// Burst is the bucket capacity; <= 0 defaults to ceil(RPS), at
+	// least 1.
+	Burst int
+}
+
+// burst returns the effective bucket capacity.
+func (q Quota) burst() float64 {
+	if q.Burst > 0 {
+		return float64(q.Burst)
+	}
+	b := math.Ceil(q.RPS)
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// bucket is one tenant's token bucket.
+type bucket struct {
+	q      Quota
+	tokens float64
+	last   float64 // clock seconds at the last refill
+}
+
+// Admission is the router's shedding policy: a default quota, per-tenant
+// overrides, and the live buckets.
+type Admission struct {
+	mu        sync.Mutex
+	def       Quota
+	overrides map[string]Quota
+	buckets   map[string]*bucket
+	clock     telemetry.Clock
+}
+
+// maxTenants bounds the bucket map; beyond it, idle buckets are discarded
+// (tenants restart at full burst) so unbounded tenant names cannot grow
+// memory without bound.
+const maxTenants = 16384
+
+// NewAdmission returns an admission controller with the given default
+// quota and per-tenant overrides. clock is injectable for tests; nil
+// means the wall clock.
+func NewAdmission(def Quota, overrides map[string]Quota, clock telemetry.Clock) *Admission {
+	if clock == nil {
+		clock = telemetry.WallClock()
+	}
+	a := &Admission{
+		def:       def,
+		overrides: make(map[string]Quota, len(overrides)),
+		buckets:   make(map[string]*bucket),
+		clock:     clock,
+	}
+	//mapvet:unordered copying a map into a map is order-insensitive
+	for tenant, q := range overrides {
+		a.overrides[tenant] = q
+	}
+	return a
+}
+
+// Admit charges one request to tenant's bucket. It returns ok=true when
+// the request may proceed; otherwise retryAfter is the seconds until the
+// bucket next holds a whole token (always > 0).
+func (a *Admission) Admit(tenant string) (ok bool, retryAfter float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	q, found := a.overrides[tenant]
+	if !found {
+		q = a.def
+	}
+	if q.RPS <= 0 {
+		return true, 0
+	}
+	now := a.clock()
+	b := a.buckets[tenant]
+	if b == nil {
+		if len(a.buckets) >= maxTenants {
+			a.buckets = make(map[string]*bucket)
+		}
+		b = &bucket{q: q, tokens: q.burst(), last: now}
+		a.buckets[tenant] = b
+	}
+	b.tokens += (now - b.last) * q.RPS
+	b.last = now
+	if cap := q.burst(); b.tokens > cap {
+		b.tokens = cap
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, (1 - b.tokens) / q.RPS
+}

@@ -1,0 +1,173 @@
+// Bundle: the unit of fleet replication.
+//
+// Two kinds flow between replicas, both pushed by a fingerprint's owner
+// to its ring successor (and served to any peer on pull-on-miss):
+//
+//   - checkpoint bundles carry a live search's latest snapshot plus the
+//     complete-line prefix of its event stream, staged by the backup so
+//     it can adopt and resume the search if the owner dies;
+//   - result bundles carry a finished search's terminal state (result
+//     document or failure) plus its full event stream, installed into
+//     the receiver's store so any replica serves the completed search.
+//
+// Decoding is strict and total: a corrupt payload — truncated JSON, an
+// unknown field, a key that is not a fingerprint, a snapshot from another
+// format version — errors and never panics; FuzzDecodeBundle holds the
+// line. Keys double as file names in store directories, so key validation
+// is also the path-traversal guard.
+
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"automap/internal/checkpoint"
+	"automap/internal/serve/store"
+)
+
+// Bundle kinds.
+const (
+	KindCheckpoint = "checkpoint"
+	KindResult     = "result"
+)
+
+// Bundle is one replicated fingerprint state. JSON []byte fields travel
+// base64-encoded.
+type Bundle struct {
+	// Key is the serve fingerprint (lowercase hex, as minted by
+	// serve.Request.Fingerprint).
+	Key string `json:"key"`
+	// Kind is KindCheckpoint or KindResult.
+	Kind string `json:"kind"`
+	// Request is the canonical request document for the fingerprint.
+	Request json.RawMessage `json:"request"`
+	// Status and the fields below describe a result bundle: the terminal
+	// store status ("done" or "failed"), the result document, and the
+	// failure message.
+	Status string          `json:"status,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	// Checkpoint is a checkpoint.Snapshot in its Save encoding
+	// (checkpoint bundles only).
+	Checkpoint []byte `json:"checkpoint,omitempty"`
+	// Events is the persisted NDJSON event stream: the complete-line
+	// prefix at snapshot time for checkpoint bundles, the full stream
+	// for result bundles.
+	Events []byte `json:"events,omitempty"`
+}
+
+// Encode marshals the bundle for the wire.
+func (b *Bundle) Encode() ([]byte, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(b)
+}
+
+// DecodeBundle strictly parses and validates wire bytes. Any deviation —
+// malformed JSON, unknown fields, an invalid key, an undecodable
+// snapshot — is an error, never a panic.
+func DecodeBundle(data []byte) (*Bundle, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var b Bundle
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("fleet: parsing bundle: %w", err)
+	}
+	// Exactly one JSON value: trailing garbage is corruption, not framing.
+	if dec.More() {
+		return nil, fmt.Errorf("fleet: bundle has trailing data")
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}
+
+// maxKeyLen bounds fingerprint keys; serve mints 24 hex characters, the
+// slack tolerates longer digests from future builds without admitting
+// unbounded file names.
+const maxKeyLen = 128
+
+// ValidKey reports whether key is usable as a fingerprint: non-empty,
+// bounded, lowercase hex. Keys name files inside store directories, so
+// this is also the guard that keeps "../" and friends out of paths built
+// from replicated payloads.
+func ValidKey(key string) bool {
+	if len(key) == 0 || len(key) > maxKeyLen {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// validDoc reports whether raw is a JSON object — the only shape request
+// and result documents take. json.Valid alone is too loose: a nil
+// RawMessage marshals to the valid-but-empty "null".
+func validDoc(raw json.RawMessage) bool {
+	trimmed := bytes.TrimSpace(raw)
+	return len(trimmed) > 0 && trimmed[0] == '{' && json.Valid(trimmed)
+}
+
+// Validate checks the bundle's internal consistency.
+func (b *Bundle) Validate() error {
+	if !ValidKey(b.Key) {
+		return fmt.Errorf("fleet: bundle key %q is not a fingerprint", b.Key)
+	}
+	if !validDoc(b.Request) {
+		return fmt.Errorf("fleet: bundle %s carries an invalid request document", b.Key)
+	}
+	if len(b.Events) > 0 && b.Events[len(b.Events)-1] != '\n' {
+		return fmt.Errorf("fleet: bundle %s events do not end on a line boundary", b.Key)
+	}
+	switch b.Kind {
+	case KindCheckpoint:
+		if b.Status != "" || len(b.Result) > 0 || b.Error != "" {
+			return fmt.Errorf("fleet: checkpoint bundle %s carries result fields", b.Key)
+		}
+		if _, err := checkpoint.Decode(b.Checkpoint); err != nil {
+			return fmt.Errorf("fleet: bundle %s: %w", b.Key, err)
+		}
+	case KindResult:
+		if len(b.Checkpoint) > 0 {
+			return fmt.Errorf("fleet: result bundle %s carries a checkpoint", b.Key)
+		}
+		switch store.Status(b.Status) {
+		case store.StatusDone:
+			if !validDoc(b.Result) {
+				return fmt.Errorf("fleet: done bundle %s carries an invalid result document", b.Key)
+			}
+		case store.StatusFailed:
+			if b.Error == "" {
+				return fmt.Errorf("fleet: failed bundle %s carries no error", b.Key)
+			}
+			if len(b.Result) > 0 {
+				return fmt.Errorf("fleet: failed bundle %s carries a result document", b.Key)
+			}
+		default:
+			return fmt.Errorf("fleet: result bundle %s has non-terminal status %q", b.Key, b.Status)
+		}
+	default:
+		return fmt.Errorf("fleet: unknown bundle kind %q", b.Kind)
+	}
+	return nil
+}
+
+// completeLines returns the prefix of data through its last newline: the
+// complete NDJSON lines. A crash or a snapshot taken mid-write can leave
+// a torn tail; replicating it would poison the byte-identity contract on
+// the adopter.
+func completeLines(data []byte) []byte {
+	i := bytes.LastIndexByte(data, '\n')
+	if i < 0 {
+		return nil
+	}
+	return data[:i+1]
+}

@@ -1,0 +1,201 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"automap/internal/checkpoint"
+)
+
+// validCheckpointBytes returns a minimal decodable snapshot.
+func validCheckpointBytes(t testing.TB) []byte {
+	data, err := json.Marshal(&checkpoint.Snapshot{
+		Version:   checkpoint.Version,
+		Algorithm: "ccd",
+		Program:   "stencil:500x500",
+		Machine:   "default",
+		Seed:      7,
+		Repeats:   3,
+		EventSeq:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// testResultBundle returns a valid finished-search bundle.
+func testResultBundle() *Bundle {
+	return &Bundle{
+		Key:     "00112233445566778899aabb",
+		Kind:    KindResult,
+		Request: json.RawMessage(`{"app":"stencil"}`),
+		Status:  "done",
+		Result:  json.RawMessage(`{"best":1}`),
+		Events:  []byte("{\"seq\":1}\n{\"seq\":2}\n"),
+	}
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	ckpt := &Bundle{
+		Key:        "deadbeef00112233",
+		Kind:       KindCheckpoint,
+		Request:    json.RawMessage(`{"app":"stencil"}`),
+		Checkpoint: validCheckpointBytes(t),
+		Events:     []byte("{\"seq\":1}\n"),
+	}
+	for _, b := range []*Bundle{testResultBundle(), ckpt} {
+		data, err := b.Encode()
+		if err != nil {
+			t.Fatalf("encoding %s bundle: %v", b.Kind, err)
+		}
+		got, err := DecodeBundle(data)
+		if err != nil {
+			t.Fatalf("decoding %s bundle: %v", b.Kind, err)
+		}
+		if got.Key != b.Key || got.Kind != b.Kind || got.Status != b.Status ||
+			got.Error != b.Error ||
+			!bytes.Equal(got.Events, b.Events) || !bytes.Equal(got.Checkpoint, b.Checkpoint) ||
+			!bytes.Equal(got.Request, b.Request) || !bytes.Equal(got.Result, b.Result) {
+			t.Fatalf("round trip changed the bundle:\n got %+v\nwant %+v", got, b)
+		}
+	}
+}
+
+// TestDecodeBundleRejectsCorruption: every corruption mode is an error
+// with a diagnostic, never a panic and never a silently accepted bundle.
+func TestDecodeBundleRejectsCorruption(t *testing.T) {
+	valid, err := testResultBundle().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(f func(b *Bundle)) []byte {
+		b := testResultBundle()
+		f(b)
+		data, err := json.Marshal(b) // bypass Encode's own validation
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"truncated", valid[:len(valid)/2]},
+		{"trailing data", append(append([]byte{}, valid...), []byte(`{"key":"00"}`)...)},
+		{"unknown field", []byte(`{"key":"aa","kind":"result","request":{},"status":"done","result":{},"surprise":1}`)},
+		{"not json", []byte("::definitely not json::")},
+		{"empty key", mutate(func(b *Bundle) { b.Key = "" })},
+		{"uppercase key", mutate(func(b *Bundle) { b.Key = "DEADBEEF" })},
+		{"path traversal key", mutate(func(b *Bundle) { b.Key = "../../etc/passwd" })},
+		{"oversized key", mutate(func(b *Bundle) {
+			b.Key = string(bytes.Repeat([]byte("a"), maxKeyLen+1))
+		})},
+		{"no request", mutate(func(b *Bundle) { b.Request = nil })},
+		{"unknown kind", mutate(func(b *Bundle) { b.Kind = "gossip" })},
+		{"torn events", mutate(func(b *Bundle) { b.Events = []byte(`{"seq":1}`) })},
+		{"non-terminal status", mutate(func(b *Bundle) { b.Status = "running" })},
+		{"done without result", mutate(func(b *Bundle) { b.Result = nil })},
+		{"failed without error", mutate(func(b *Bundle) {
+			b.Status = "failed"
+			b.Result = nil
+		})},
+		{"failed with result", mutate(func(b *Bundle) {
+			b.Status = "failed"
+			b.Error = "boom"
+		})},
+		{"result with checkpoint", mutate(func(b *Bundle) {
+			b.Checkpoint = []byte(`{"version":1}`)
+		})},
+		{"checkpoint with result fields", mutate(func(b *Bundle) {
+			b.Kind = KindCheckpoint
+			b.Checkpoint = []byte(`{"version":1}`)
+		})},
+		{"checkpoint garbage snapshot", mutate(func(b *Bundle) {
+			b.Kind = KindCheckpoint
+			b.Status, b.Result = "", nil
+			b.Checkpoint = []byte("not a snapshot")
+		})},
+		{"checkpoint wrong version", mutate(func(b *Bundle) {
+			b.Kind = KindCheckpoint
+			b.Status, b.Result = "", nil
+			b.Checkpoint = []byte(`{"version":99}`)
+		})},
+	}
+	for _, tc := range cases {
+		if b, err := DecodeBundle(tc.data); err == nil {
+			t.Errorf("%s: decoded without error: %+v", tc.name, b)
+		}
+	}
+}
+
+func TestValidKey(t *testing.T) {
+	good := []string{"0", "abcdef0123456789", "00112233445566778899aabb"}
+	for _, k := range good {
+		if !ValidKey(k) {
+			t.Errorf("ValidKey(%q) = false", k)
+		}
+	}
+	bad := []string{"", "ABCDEF", "xyz", "abc/def", "..", "a b", "abc\n",
+		string(bytes.Repeat([]byte("f"), maxKeyLen+1))}
+	for _, k := range bad {
+		if ValidKey(k) {
+			t.Errorf("ValidKey(%q) = true", k)
+		}
+	}
+}
+
+func TestCompleteLines(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", ""},
+		{"torn", ""},
+		{"a\n", "a\n"},
+		{"a\nb\ntorn tail", "a\nb\n"},
+		{"\n", "\n"},
+	}
+	for _, tc := range cases {
+		if got := string(completeLines([]byte(tc.in))); got != tc.want {
+			t.Errorf("completeLines(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// FuzzDecodeBundle is the satellite's corruption gate: arbitrary wire
+// bytes must either decode to a bundle that re-validates and round-trips,
+// or error — never panic.
+func FuzzDecodeBundle(f *testing.F) {
+	if valid, err := testResultBundle().Encode(); err == nil {
+		f.Add(valid)
+	}
+	ckpt := &Bundle{
+		Key:        "deadbeef",
+		Kind:       KindCheckpoint,
+		Request:    json.RawMessage(`{}`),
+		Checkpoint: []byte(`{"version":1}`),
+	}
+	if valid, err := ckpt.Encode(); err == nil {
+		f.Add(valid)
+	}
+	f.Add([]byte(`{"key":"../oops","kind":"result"}`))
+	f.Add([]byte(`{"key":"aa","kind":"checkpoint","request":{},"checkpoint":"bm90IGpzb24="}`))
+	f.Add([]byte("\x00\x01\x02"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeBundle(data)
+		if err != nil {
+			return
+		}
+		if err := b.Validate(); err != nil {
+			t.Fatalf("DecodeBundle accepted a bundle Validate rejects: %v", err)
+		}
+		re, err := b.Encode()
+		if err != nil {
+			t.Fatalf("decoded bundle does not re-encode: %v", err)
+		}
+		if _, err := DecodeBundle(re); err != nil {
+			t.Fatalf("re-encoded bundle does not decode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,32 @@
+package fleet
+
+import "testing"
+
+func TestParsePeers(t *testing.T) {
+	got, err := ParsePeers(" a=http://h1:1/ , b=http://h2:2 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got["a"] != "http://h1:1" || got["b"] != "http://h2:2" {
+		t.Fatalf("ParsePeers = %v (trailing slash must be trimmed, whitespace tolerated)", got)
+	}
+
+	// Empty segments (trailing commas) are tolerated.
+	if got, err := ParsePeers("a=http://h1:1,,"); err != nil || len(got) != 1 {
+		t.Fatalf("trailing commas: %v %v", got, err)
+	}
+
+	for _, bad := range []string{
+		"",                            // empty list
+		",",                           // only separators
+		"a",                           // no '='
+		"=http://h1:1",                // empty name
+		"a=",                          // empty url
+		"a=http://h1:1,a=http://h2:2", // duplicate name
+		"a=http://h1:1,b",             // one bad entry poisons the list
+	} {
+		if got, err := ParsePeers(bad); err == nil {
+			t.Errorf("ParsePeers(%q) = %v, want error", bad, got)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+// Bench: the sweep harness behind scripts/bench_serve.sh. It offers each
+// arrival pattern at several rates against a warmed-up target and
+// collects one Point per (pattern, rate) — the fleet's QPS/latency curve.
+
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// BenchConfig parameterizes a sweep.
+type BenchConfig struct {
+	Target   string
+	Patterns []Pattern
+	// Rates are the offered mean RPS levels, swept low to high per
+	// pattern.
+	Rates  []float64
+	Window time.Duration
+	Bodies []string
+	ZipfS  float64
+	Seed   uint64
+	// Gap separates consecutive points so one window's stragglers do
+	// not pollute the next (0 = 500ms).
+	Gap time.Duration
+}
+
+// BenchReport is the BENCH_serve.json document.
+type BenchReport struct {
+	GeneratedBy string       `json:"generated_by"`
+	Target      string       `json:"target"`
+	Keys        int          `json:"keys"`
+	ZipfS       float64      `json:"zipf_s"`
+	WindowSec   float64      `json:"window_sec"`
+	Seed        uint64       `json:"seed"`
+	Points      []Point      `json:"points"`
+	Env         BenchEnviron `json:"env"`
+}
+
+// BenchEnviron records what served the load.
+type BenchEnviron struct {
+	Replicas int    `json:"replicas,omitempty"`
+	Note     string `json:"note,omitempty"`
+}
+
+// RunBench sweeps every (pattern, rate) pair in order and collects the
+// points. logf, when non-nil, narrates progress.
+func RunBench(ctx context.Context, cfg BenchConfig, logf func(format string, args ...any)) (*BenchReport, error) {
+	if len(cfg.Patterns) == 0 {
+		cfg.Patterns = Patterns
+	}
+	if len(cfg.Rates) == 0 {
+		return nil, fmt.Errorf("loadgen: bench needs at least one rate")
+	}
+	gap := cfg.Gap
+	if gap <= 0 {
+		gap = 500 * time.Millisecond
+	}
+	rep := &BenchReport{
+		GeneratedBy: "scripts/bench_serve.sh",
+		Target:      cfg.Target,
+		Keys:        len(cfg.Bodies),
+		ZipfS:       cfg.ZipfS,
+		WindowSec:   cfg.Window.Seconds(),
+		Seed:        cfg.Seed,
+	}
+	for _, p := range cfg.Patterns {
+		for i, rps := range cfg.Rates {
+			pt, err := Run(ctx, Config{
+				Target:   cfg.Target,
+				Pattern:  p,
+				RPS:      rps,
+				Duration: cfg.Window,
+				Bodies:   cfg.Bodies,
+				ZipfS:    cfg.ZipfS,
+				// Distinct seeds per point keep the schedules
+				// independent yet reproducible.
+				Seed: cfg.Seed + uint64(i)*1000 + uint64(len(rep.Points)),
+			})
+			if err != nil {
+				return nil, err
+			}
+			rep.Points = append(rep.Points, *pt)
+			if logf != nil {
+				logf("%-8s %6.0f rps offered: %6.2f rps accepted, p50 %.2fms p99 %.2fms, shed %d",
+					p, rps, pt.AchievedRPS, pt.P50Ms, pt.P99Ms, pt.Shed)
+			}
+			select {
+			case <-time.After(gap):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+	}
+	return rep, nil
+}
+
+// DefaultBodies returns n distinct quick search requests (distinct seeds,
+// hence distinct fingerprints) suitable for load generation: each first
+// submission runs a sub-second search, every repeat coalesces.
+func DefaultBodies(n int) []string {
+	bodies := make([]string, n)
+	for i := range bodies {
+		bodies[i] = fmt.Sprintf(`{"app":"stencil","input":"500x500","algorithm":"ccd","seed":%d,`+
+			`"max_suggestions":60,"repeats":2,"final_repeats":2,"final_candidates":2}`, i+1)
+	}
+	return bodies
+}
+
+// Warmup submits every body once and waits for all of them to finish, so
+// measurement windows see a steady-state (cache-serving) fleet. It
+// tolerates shed submissions by retrying until the deadline.
+func Warmup(ctx context.Context, target string, bodies []string, timeout time.Duration) error {
+	client := &http.Client{Timeout: 30 * time.Second}
+	deadline := time.Now().Add(timeout)
+	ids := make(map[string]bool)
+	for _, body := range bodies {
+		for {
+			id, done, err := submitOnce(ctx, client, target, body)
+			if err == nil && id != "" {
+				if !done {
+					ids[id] = true
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("loadgen: warmup submission never accepted: %v", err)
+			}
+			select {
+			case <-time.After(200 * time.Millisecond):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+	for id := range ids {
+		for {
+			if done := pollDone(ctx, client, target, id); done {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("loadgen: warmup search %s never finished", id)
+			}
+			select {
+			case <-time.After(200 * time.Millisecond):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+	return nil
+}
+
+// submitOnce POSTs one search; done reports an already-finished result.
+func submitOnce(ctx context.Context, client *http.Client, target, body string) (id string, done bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		target+"/v1/search", strings.NewReader(body))
+	if err != nil {
+		return "", false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return "", false, fmt.Errorf("submit = %d", resp.StatusCode)
+	}
+	var st struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return "", false, err
+	}
+	return st.ID, st.Status == "done" || st.Status == "failed", nil
+}
+
+// pollDone reports whether the search reached a terminal state.
+func pollDone(ctx context.Context, client *http.Client, target, id string) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		target+"/v1/search/"+id, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Status string `json:"status"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&st) != nil {
+		return false
+	}
+	return st.Status == "done" || st.Status == "failed"
+}

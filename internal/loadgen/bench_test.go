@@ -1,0 +1,176 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// benchDaemon is a minimal in-memory daemon for bench/warmup tests: every
+// submitted body gets an id; a search reports "running" for its first
+// polls minutes, then "done". shedFirst sheds that many submissions with
+// 429 before accepting (warmup retry path).
+type benchDaemon struct {
+	mu        sync.Mutex
+	ids       map[string]string // body -> id
+	polls     map[string]int    // id -> polls served
+	pollsDone int               // polls before a search turns done
+	shedFirst int
+	submits   int
+}
+
+func (d *benchDaemon) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if r.Method == http.MethodPost {
+		d.submits++
+		if d.submits <= d.shedFirst {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprintln(w, `{"error":"shed"}`)
+			return
+		}
+		var body strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := r.Body.Read(buf)
+			body.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		id, ok := d.ids[body.String()]
+		if !ok {
+			id = fmt.Sprintf("%032d", len(d.ids)+1)
+			d.ids[body.String()] = id
+		}
+		json.NewEncoder(w).Encode(map[string]string{"id": id, "status": d.status(id)})
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/search/")
+	d.polls[id]++
+	json.NewEncoder(w).Encode(map[string]string{"id": id, "status": d.status(id)})
+}
+
+func (d *benchDaemon) status(id string) string {
+	if d.polls[id] >= d.pollsDone {
+		return "done"
+	}
+	return "running"
+}
+
+func newBenchDaemon(pollsDone, shedFirst int) *benchDaemon {
+	return &benchDaemon{
+		ids:       make(map[string]string),
+		polls:     make(map[string]int),
+		pollsDone: pollsDone,
+		shedFirst: shedFirst,
+	}
+}
+
+// TestDefaultBodies: n distinct valid request documents, distinct seeds.
+func TestDefaultBodies(t *testing.T) {
+	bodies := DefaultBodies(4)
+	if len(bodies) != 4 {
+		t.Fatalf("DefaultBodies(4) returned %d bodies", len(bodies))
+	}
+	seen := make(map[string]bool)
+	for _, b := range bodies {
+		if seen[b] {
+			t.Fatalf("duplicate body: %s", b)
+		}
+		seen[b] = true
+		var doc map[string]any
+		if err := json.Unmarshal([]byte(b), &doc); err != nil {
+			t.Fatalf("body is not valid JSON: %v\n%s", err, b)
+		}
+	}
+}
+
+// TestWarmup: every body is submitted (tolerating initial shed), running
+// searches are polled to done.
+func TestWarmup(t *testing.T) {
+	d := newBenchDaemon(2, 2)
+	ts := httptest.NewServer(d)
+	defer ts.Close()
+	if err := Warmup(context.Background(), ts.URL, DefaultBodies(3), 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.ids) != 3 {
+		t.Fatalf("warmup registered %d searches, want 3", len(d.ids))
+	}
+	for id, polls := range d.polls {
+		if polls < d.pollsDone {
+			t.Errorf("search %s left after %d polls, never seen done", id, polls)
+		}
+	}
+}
+
+// TestWarmupTimeout: a daemon that sheds forever fails the warmup with an
+// error, not a hang.
+func TestWarmupTimeout(t *testing.T) {
+	d := newBenchDaemon(1, 1<<30)
+	ts := httptest.NewServer(d)
+	defer ts.Close()
+	err := Warmup(context.Background(), ts.URL, DefaultBodies(1), 300*time.Millisecond)
+	if err == nil {
+		t.Fatal("warmup against an always-shedding daemon succeeded")
+	}
+}
+
+// TestRunBench: the sweep produces one point per (pattern, rate) in
+// order, carries the config into the report, and narrates via logf.
+func TestRunBench(t *testing.T) {
+	d := newBenchDaemon(0, 0)
+	ts := httptest.NewServer(d)
+	defer ts.Close()
+	var logged int
+	rep, err := RunBench(context.Background(), BenchConfig{
+		Target:   ts.URL,
+		Patterns: []Pattern{Poisson, Bursty},
+		Rates:    []float64{50, 100},
+		Window:   200 * time.Millisecond,
+		Bodies:   DefaultBodies(4),
+		ZipfS:    1.1,
+		Seed:     11,
+		Gap:      10 * time.Millisecond,
+	}, func(format string, args ...any) { logged++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 4 {
+		t.Fatalf("sweep produced %d points, want 4", len(rep.Points))
+	}
+	if logged != 4 {
+		t.Errorf("logf called %d times, want once per point", logged)
+	}
+	want := []struct {
+		pattern string
+		rps     float64
+	}{{"poisson", 50}, {"poisson", 100}, {"bursty", 50}, {"bursty", 100}}
+	for i, w := range want {
+		pt := rep.Points[i]
+		if pt.Pattern != w.pattern || pt.OfferedRPS != w.rps {
+			t.Errorf("point %d = (%s, %v), want (%s, %v)", i, pt.Pattern, pt.OfferedRPS, w.pattern, w.rps)
+		}
+		if pt.Sent == 0 || pt.Accepted != pt.Sent {
+			t.Errorf("point %d: %d sent, %d accepted against an always-200 daemon", i, pt.Sent, pt.Accepted)
+		}
+	}
+	if rep.Target != ts.URL || rep.Keys != 4 || rep.Seed != 11 || rep.ZipfS != 1.1 {
+		t.Errorf("report config fields wrong: %+v", rep)
+	}
+
+	if _, err := RunBench(context.Background(), BenchConfig{Target: ts.URL}, nil); err == nil {
+		t.Error("bench with no rates succeeded")
+	}
+}

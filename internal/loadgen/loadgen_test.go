@@ -1,0 +1,216 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"automap/internal/xrand"
+)
+
+func testConfig(p Pattern, rps float64, d time.Duration, seed uint64) Config {
+	return Config{
+		Target:   "http://unused",
+		Pattern:  p,
+		RPS:      rps,
+		Duration: d,
+		Bodies:   DefaultBodies(8),
+		Seed:     seed,
+	}
+}
+
+// TestScheduleDeterministic: the generator's core promise — identical
+// configurations offer byte-identical load; a different seed differs.
+func TestScheduleDeterministic(t *testing.T) {
+	cfg := testConfig(Poisson, 200, 5*time.Second, 42)
+	a := schedule(cfg, xrand.New(cfg.Seed))
+	b := schedule(cfg, xrand.New(cfg.Seed))
+	if len(a) != len(b) {
+		t.Fatalf("same seed produced %d vs %d arrivals", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	cfg.Seed = 43
+	c := schedule(cfg, xrand.New(cfg.Seed))
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestScheduleRates: each pattern's arrival count tracks its mean rate,
+// arrivals stay inside the run window, and the modulated patterns behave
+// like their definitions (bursty fires only in on-windows; diurnal
+// actually swings).
+func TestScheduleRates(t *testing.T) {
+	const (
+		rps = 100.0
+		dur = 10 * time.Second
+	)
+	for _, p := range Patterns {
+		cfg := testConfig(p, rps, dur, 7)
+		arr := schedule(cfg, xrand.New(cfg.Seed))
+		mean := rps * dur.Seconds()
+		// A Poisson count's stddev is sqrt(mean) ≈ 32 here; ±5 sigma
+		// keeps the test deterministic-in-practice for every pattern.
+		if got := float64(len(arr)); math.Abs(got-mean) > 5*math.Sqrt(mean) {
+			t.Errorf("%s: %v arrivals for mean %v", p, got, mean)
+		}
+		for i, a := range arr {
+			if a.at < 0 || a.at >= dur {
+				t.Fatalf("%s: arrival %d at %v outside [0, %v)", p, i, a.at, dur)
+			}
+			if a.body < 0 || a.body >= len(cfg.Bodies) {
+				t.Fatalf("%s: arrival %d picks body %d of %d", p, i, a.body, len(cfg.Bodies))
+			}
+			if i > 0 && a.at < arr[i-1].at {
+				t.Fatalf("%s: arrivals out of order at %d", p, i)
+			}
+		}
+	}
+
+	bursty := schedule(testConfig(Bursty, rps, dur, 7), xrand.New(7))
+	for _, a := range bursty {
+		if int(a.at/time.Second)%2 != 0 {
+			t.Fatalf("bursty arrival at %v lands in an off window", a.at)
+		}
+	}
+
+	// Diurnal: the half of the cycle around the peak must see clearly
+	// more arrivals than the trough half.
+	diurnal := schedule(testConfig(Diurnal, rps, dur, 7), xrand.New(7))
+	peak, trough := 0, 0
+	for _, a := range diurnal {
+		if a.at < 5*time.Second {
+			peak++
+		} else {
+			trough++
+		}
+	}
+	if peak <= trough {
+		t.Errorf("diurnal peak half has %d arrivals vs trough half's %d", peak, trough)
+	}
+}
+
+// TestZipfPopularity: rank 0 dominates and the distribution is monotone
+// (lower rank, more arrivals) within noise.
+func TestZipfPopularity(t *testing.T) {
+	cfg := testConfig(Poisson, 500, 20*time.Second, 9)
+	cfg.ZipfS = 1.1
+	counts := make([]int, len(cfg.Bodies))
+	for _, a := range schedule(cfg, xrand.New(cfg.Seed)) {
+		counts[a.body]++
+	}
+	if counts[0] <= counts[len(counts)-1] {
+		t.Fatalf("rank 0 drew %d, last rank %d — not Zipf-skewed: %v",
+			counts[0], counts[len(counts)-1], counts)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if share := float64(counts[0]) / float64(total); share < 0.25 {
+		t.Errorf("rank 0 share %.2f, want the head of a Zipf(1.1) over 8 ranks (~0.37)", share)
+	}
+}
+
+// stubResponder makes every request answer with one fixed behavior.
+type stubResponder struct {
+	code       int
+	retryAfter bool
+	hits       atomic.Int64
+}
+
+func (s *stubResponder) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.hits.Add(1)
+	if s.retryAfter {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(s.code)
+	fmt.Fprintln(w, "{}")
+}
+
+// TestRunClassification: the measured Point attributes every response to
+// the right bucket — accepted, shed (with and without Retry-After), and
+// HTTP errors.
+func TestRunClassification(t *testing.T) {
+	cases := []struct {
+		name  string
+		stub  *stubResponder
+		count func(p *Point) (got int, retryAfter int)
+	}{
+		{"accepted", &stubResponder{code: 200},
+			func(p *Point) (int, int) { return p.Accepted, 0 }},
+		{"shed with retry-after", &stubResponder{code: 429, retryAfter: true},
+			func(p *Point) (int, int) { return p.Shed, p.Shed }},
+		{"shed without retry-after", &stubResponder{code: 429},
+			func(p *Point) (int, int) { return p.Shed, 0 }},
+		{"http error", &stubResponder{code: 500},
+			func(p *Point) (int, int) { return p.HTTPErrors, 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ts := httptest.NewServer(tc.stub)
+			defer ts.Close()
+			pt, err := Run(context.Background(), Config{
+				Target:   ts.URL,
+				Pattern:  Poisson,
+				RPS:      200,
+				Duration: 300 * time.Millisecond,
+				Bodies:   DefaultBodies(4),
+				Seed:     5,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pt.Sent == 0 {
+				t.Fatal("no requests sent")
+			}
+			got, retryAfter := tc.count(pt)
+			if got != pt.Sent {
+				t.Errorf("classified %d of %d sent as %s: %+v", got, pt.Sent, tc.name, pt)
+			}
+			if pt.ShedWithRetryAfter != retryAfter {
+				t.Errorf("shed_with_retry_after = %d, want %d", pt.ShedWithRetryAfter, retryAfter)
+			}
+			if int(tc.stub.hits.Load()) != pt.Sent {
+				t.Errorf("server saw %d requests, point says %d sent", tc.stub.hits.Load(), pt.Sent)
+			}
+			if tc.stub.code == 200 && (pt.P50Ms <= 0 || pt.MaxMs < pt.P99Ms || pt.P99Ms < pt.P50Ms) {
+				t.Errorf("implausible latency percentiles: %+v", pt)
+			}
+		})
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		q    float64
+		want float64
+	}{{0.5, 5}, {0.9, 9}, {0.99, 10}, {0.01, 1}}
+	for _, tc := range cases {
+		if got := percentile(vals, tc.q); got != tc.want {
+			t.Errorf("percentile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("percentile of empty = %v", got)
+	}
+}

@@ -62,12 +62,43 @@ import (
 // tooling overrides it at link time (-ldflags "-X .../serve.Version=...").
 var Version = "dev"
 
+// Config parameterizes a daemon. The zero value plus Dir is a working
+// standalone daemon; the fleet fields wire a replica into a cluster.
+type Config struct {
+	// Dir is the result store directory.
+	Dir string
+	// Searches bounds concurrently running searches (<= 0: half of
+	// GOMAXPROCS, at least 1 — each search has its own internal
+	// simulation worker pool).
+	Searches int
+	// Replica, when non-empty, names this daemon inside a fleet. The
+	// name is stamped onto every Prometheus sample as a replica label
+	// and echoed on every response as an X-Mapd-Replica header; the
+	// deterministic per-search event streams never carry it.
+	Replica string
+	// OnCheckpoint, when set, runs after each successful search
+	// checkpoint write for the given fingerprint key. It is called on
+	// the search goroutine with driver locks held — return fast; the
+	// fleet uses it to nudge its asynchronous checkpoint replicator.
+	OnCheckpoint func(key string)
+	// OnFinished, when set, runs once per search that reaches a terminal
+	// state (Done or Failed) in this process, after the result is
+	// persisted. The fleet uses it to push the finished result to the
+	// fingerprint's backup replica.
+	OnFinished func(key string)
+}
+
 // Server is the mapd daemon: an HTTP handler plus the search worker pool
 // behind it.
 type Server struct {
+	cfg Config
 	st  *store.Store
 	reg *telemetry.Registry
 	mux *http.ServeMux
+
+	// draining flips once, when Drain starts: /healthz turns 503 so a
+	// fleet router ejects the replica before its searches suspend.
+	draining atomic.Bool
 
 	// sem bounds concurrently running searches; queued searches hold a
 	// goroutine but no slot.
@@ -119,14 +150,20 @@ var (
 	searchDurBounds  = []float64{0.01, 0.1, 0.5, 1, 5, 10, 30, 60, 300, 1800, 7200}
 )
 
-// New returns a daemon over the store directory dir running at most
-// `searches` concurrent searches (<= 0: half of GOMAXPROCS, at least 1 —
-// each search has its own internal simulation worker pool).
+// New returns a standalone daemon over the store directory dir running at
+// most `searches` concurrent searches; see NewServer for the full
+// configuration surface.
 func New(dir string, searches int) (*Server, error) {
-	st, err := store.Open(dir)
+	return NewServer(Config{Dir: dir, Searches: searches})
+}
+
+// NewServer returns a daemon built from cfg.
+func NewServer(cfg Config) (*Server, error) {
+	st, err := store.Open(cfg.Dir)
 	if err != nil {
 		return nil, err
 	}
+	searches := cfg.Searches
 	if searches <= 0 {
 		searches = runtime.GOMAXPROCS(0) / 2
 		if searches < 1 {
@@ -136,6 +173,7 @@ func New(dir string, searches int) (*Server, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	reg := telemetry.NewRegistry()
 	s := &Server{
+		cfg:        cfg,
 		st:         st,
 		reg:        reg,
 		sem:        make(chan struct{}, searches),
@@ -172,9 +210,7 @@ func New(dir string, searches int) (*Server, error) {
 	mux.HandleFunc("GET /v1/search/{id}/explain", s.handleExplain)
 	mux.HandleFunc("GET /v1/searches", s.handleList)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Write([]byte("ok\n"))
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux = mux
 	return s, nil
 }
@@ -186,10 +222,29 @@ func New(dir string, searches int) (*Server, error) {
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := s.clock()
+		if s.cfg.Replica != "" {
+			w.Header().Set("X-Mapd-Replica", s.cfg.Replica)
+		}
 		s.mux.ServeHTTP(w, r)
 		s.hReqLatency.Observe(s.clock() - start)
 	})
 }
+
+// handleHealthz is the router-facing liveness probe. A draining daemon
+// answers 503 with a "draining" body so the fleet router ejects it from
+// the ring before its in-flight searches suspend; a healthy one answers
+// 200 "ok".
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("draining\n"))
+		return
+	}
+	w.Write([]byte("ok\n"))
+}
+
+// Draining reports whether Drain has started.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // DebugHandler returns the profiling mux (net/http/pprof). It is served
 // only on mapd's -debug-addr listener, never registered on the API mux.
@@ -239,6 +294,7 @@ func (s *Server) ResumePending() int {
 // Suspended; queued searches suspend without starting. After Drain returns
 // the store directory is a complete, restartable image of the daemon.
 func (s *Server) Drain() {
+	s.draining.Store(true)
 	s.baseCancel()
 	s.wg.Wait()
 }
@@ -282,6 +338,11 @@ func (s *Server) runSearch(e *store.Entry, req *Request, trace string) {
 	defer func() {
 		sl.end(runSpan)
 		s.finishSpans(e.Key, suspended)
+		// Fleet hook: every terminal outcome — Done or Failed, whichever
+		// path produced it — is pushed to the fingerprint's backup.
+		if s.cfg.OnFinished != nil && e.Status().Finished() {
+			s.cfg.OnFinished(e.Key)
+		}
 	}()
 
 	queueStart := s.clock()
@@ -368,6 +429,10 @@ func (s *Server) runSearch(e *store.Entry, req *Request, trace string) {
 	// result document's metrics snapshot.
 	p.opts.WallMetrics = s.reg
 	p.opts.CheckpointPath = ckptPath
+	if s.cfg.OnCheckpoint != nil {
+		key := e.Key
+		p.opts.OnCheckpoint = func() { s.cfg.OnCheckpoint(key) }
+	}
 	budget := p.budget
 	budget.Context = s.baseCtx
 
@@ -662,6 +727,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", telemetry.PrometheusContentType)
+	if s.cfg.Replica != "" {
+		s.reg.WritePrometheusLabeled(w, fmt.Sprintf("replica=%q", s.cfg.Replica))
+		return
+	}
 	s.reg.WritePrometheus(w)
 }
 

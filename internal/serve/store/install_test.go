@@ -1,0 +1,102 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+)
+
+// TestInstallFinishedEntry covers the fleet-replication write path: a
+// result computed elsewhere lands in this store as a finished entry with
+// the same files a local search would have produced.
+func TestInstallFinishedEntry(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := []byte(`{"app":"stencil"}`)
+	res := []byte(`{"final_sec":2}`)
+	events := []byte("{\"seq\":1}\n{\"seq\":2}\n")
+
+	e, err := st.Install("kd", req, StatusDone, res, "", events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Status() != StatusDone {
+		t.Fatalf("status = %s, want done", e.Status())
+	}
+	select {
+	case <-e.Done():
+	default:
+		t.Fatal("installed entry's Done channel is open")
+	}
+	result, errMsg, ok := e.Result()
+	if !ok || errMsg != "" || !bytes.Equal(result, res) {
+		t.Fatalf("Result() = %q, %q, %v", result, errMsg, ok)
+	}
+	onDisk, err := os.ReadFile(st.EventsPath("kd"))
+	if err != nil || !bytes.Equal(onDisk, events) {
+		t.Fatalf("events file = %q, %v", onDisk, err)
+	}
+
+	// Idempotent: a second install of the same key returns the entry
+	// untouched.
+	e2, err := st.Install("kd", req, StatusDone, res, "", events)
+	if err != nil || e2 != e {
+		t.Fatalf("re-install: %v, sameEntry=%v", err, e2 == e)
+	}
+
+	// Failed searches install too, with the error instead of a result.
+	f, err := st.Install("kf", req, StatusFailed, nil, "boom", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, errMsg, ok := f.Result(); !ok || errMsg != "boom" {
+		t.Fatalf("failed install Result() = %q, %v", errMsg, ok)
+	}
+
+	// Non-terminal statuses are rejected outright.
+	if _, err := st.Install("kr", req, StatusRunning, nil, "", nil); err == nil {
+		t.Fatal("install with running status succeeded")
+	}
+
+	// The installed state survives a reload like any locally finished
+	// search.
+	st2, err := Open(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, ok := st2.Get("kd")
+	if !ok || re.Status() != StatusDone {
+		t.Fatalf("reloaded entry: ok=%v status=%v", ok, re.Status())
+	}
+	if result, _, _ := re.Result(); !bytes.Equal(result, res) {
+		t.Fatalf("reloaded result = %q", result)
+	}
+}
+
+// TestInstallRefusesLiveEntry: replicated bytes must never clobber a
+// search this store is actively running or holding for resume.
+func TestInstallRefusesLiveEntry(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, owner, err := st.Begin("live", []byte(`{}`))
+	if err != nil || !owner {
+		t.Fatalf("Begin: %v owner=%v", err, owner)
+	}
+	for _, status := range []Status{StatusQueued, StatusRunning, StatusSuspended} {
+		switch status {
+		case StatusRunning:
+			e.Start()
+		case StatusSuspended:
+			e.Suspend()
+		}
+		_, err := st.Install("live", []byte(`{}`), StatusDone, []byte(`{}`), "", nil)
+		if !errors.Is(err, ErrInFlight) {
+			t.Fatalf("install over %s entry: err = %v, want ErrInFlight", status, err)
+		}
+	}
+}

@@ -342,6 +342,87 @@ func (s *Store) Begin(key string, request []byte) (e *Entry, owner bool, err err
 	return e, true, nil
 }
 
+// ErrInFlight reports an Install against a key this store is actively
+// searching (or holding for resume); replicated bytes must never clobber
+// a live local search's files.
+var ErrInFlight = errors.New("store: entry is in flight locally")
+
+// Install creates a finished entry for key from replicated bytes — the
+// request document, the terminal status, the result document or error
+// message, and the full persisted event stream — and persists all three
+// files with the store's atomic-write discipline. It is the receiving
+// half of fleet result replication (gossip push and pull-on-miss): the
+// search ran elsewhere, this store only records its outcome.
+//
+// Install is idempotent: a key that is already finished locally returns
+// the existing entry untouched (determinism guarantees the bytes agree).
+// A key that is queued, running, or suspended locally returns
+// ErrInFlight.
+func (s *Store) Install(key string, request []byte, status Status, result []byte, errMsg string, events []byte) (*Entry, error) {
+	if !status.Finished() {
+		return nil, fmt.Errorf("store: install %s with non-terminal status %q", key, status)
+	}
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		s.mu.Unlock()
+		if e.Status().Finished() {
+			return e, nil
+		}
+		return nil, fmt.Errorf("%w: %s", ErrInFlight, key)
+	}
+	e := &Entry{
+		Key:     key,
+		st:      s,
+		status:  status,
+		request: append([]byte(nil), request...),
+		result:  append([]byte(nil), result...),
+		errMsg:  errMsg,
+		done:    make(chan struct{}),
+		events:  NewEventLog(),
+	}
+	if len(result) == 0 {
+		e.result = nil
+	}
+	e.events.Write(events)
+	e.events.Close()
+	close(e.done)
+	s.entries[key] = e
+	s.mu.Unlock()
+
+	// Persist outside the lock, result file last: on reload, a request
+	// without a result file surfaces as Suspended, so a crash between the
+	// writes under-reports (re-replicable) rather than fabricating state.
+	if err := writeAtomic(filepath.Join(s.dir, key+reqSuffix), e.request); err != nil {
+		s.rollbackInstall(key)
+		return nil, err
+	}
+	if len(events) > 0 {
+		if err := writeAtomic(s.EventsPath(key), events); err != nil {
+			s.rollbackInstall(key)
+			return nil, err
+		}
+	}
+	rf := resultFile{Status: status, Error: errMsg, Result: string(result)}
+	data, err := json.MarshalIndent(rf, "", "  ")
+	if err != nil {
+		s.rollbackInstall(key)
+		return nil, fmt.Errorf("store: marshal result %s: %w", key, err)
+	}
+	if err := writeAtomic(s.resultPath(key), data); err != nil {
+		s.rollbackInstall(key)
+		return nil, err
+	}
+	return e, nil
+}
+
+// rollbackInstall forgets a partially installed entry so a later Install
+// (or a real search) can retry the key.
+func (s *Store) rollbackInstall(key string) {
+	s.mu.Lock()
+	delete(s.entries, key)
+	s.mu.Unlock()
+}
+
 // Resume claims a Suspended entry for resumption: it flips it to Queued
 // and returns true exactly once per suspension, making the caller the
 // owner. Entries in any other state are left alone.

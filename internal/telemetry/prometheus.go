@@ -70,6 +70,15 @@ func mergeLabels(labels, extra string) string {
 // counts all observations ≤ its bound, ending at le="+Inf") plus _sum
 // and _count series. Returns nil without writing on a nil registry.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.WritePrometheusLabeled(w, "")
+}
+
+// WritePrometheusLabeled is WritePrometheus with one extra label pair —
+// `replica="r1"`, say — merged into every sample's label set. A fleet
+// replica uses it to stamp its name onto the shared serve metric names,
+// so a scraper aggregating several replicas can still tell them apart
+// without the registry itself knowing about labels.
+func (r *Registry) WritePrometheusLabeled(w io.Writer, extra string) error {
 	if r == nil {
 		return nil
 	}
@@ -87,6 +96,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	//mapvet:unordered chunks are sorted by family name before writing
 	for name, c := range r.counts {
 		base, labels := promName(name)
+		labels = mergeLabels(labels, extra)
 		if !strings.HasSuffix(base, "_total") {
 			base += "_total"
 		}
@@ -96,12 +106,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	//mapvet:unordered chunks are sorted by family name before writing
 	for name, g := range r.gauges {
 		base, labels := promName(name)
+		labels = mergeLabels(labels, extra)
 		chunks = append(chunks, chunk{base, fmt.Sprintf(
 			"# TYPE %s gauge\n%s%s %s\n", base, base, labels, formatFloat(g.Value()))})
 	}
 	//mapvet:unordered chunks are sorted by family name before writing
 	for name, h := range r.hists {
 		base, labels := promName(name)
+		labels = mergeLabels(labels, extra)
 		var b strings.Builder
 		fmt.Fprintf(&b, "# TYPE %s histogram\n", base)
 		h.mu.Lock()

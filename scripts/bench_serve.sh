@@ -1,0 +1,25 @@
+#!/bin/sh
+# Serving-path benchmark: offers each arrival pattern (poisson, bursty,
+# diurnal) at several open-loop rates against a self-hosted in-process
+# fleet and records the QPS/latency curve in BENCH_serve.json.
+#
+# The fleet is 2 replicas behind a router with a 400 rps default quota, so
+# the top rate exercises admission control (shed points carry 429 counts)
+# while the lower rates measure steady-state proxy + store-hit latency.
+# Schedules are seeded: two runs offer identical load.
+#
+#   RATES=50,200,800 WINDOW=5s OUT=BENCH_serve.json ./scripts/bench_serve.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+GO=${GO:-go}
+OUT=${OUT:-BENCH_serve.json}
+RATES=${RATES:-50,200,800}
+WINDOW=${WINDOW:-5s}
+
+$GO build -o bin/loadgen ./cmd/loadgen
+./bin/loadgen -bench -selfhost 2 -selfhost-rps 400 \
+    -pattern all -rates "$RATES" -duration "$WINDOW" \
+    -keys 8 -zipf 1.1 -seed 1 -out "$OUT"
+echo "bench_serve: wrote $OUT"

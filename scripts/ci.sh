@@ -2,8 +2,9 @@
 # Static gate for the AutoMap reproduction: vet, race-enabled tests, a
 # coverage ratchet, mapcheck over every bundled application's default
 # mapping on both machine models, and smoke tests for telemetry, worker
-# determinism, checkpoint/resume, checkpoint fuzzing, and the mapd daemon
-# binary. Any failure fails the gate. Run from the repository root,
+# determinism, checkpoint/resume, checkpoint and fleet fuzzing, and the
+# mapd and mapfleet binaries (including replica failover and load
+# shedding). Any failure fails the gate. Run from the repository root,
 # directly or via `make check`.
 set -eu
 
@@ -32,6 +33,13 @@ echo "== go test -race (serve e2e)"
 # from the race gate.
 $GO test -race -count=1 -run 'TestDaemon|TestDrainResume|TestStoreStress' ./internal/serve/...
 
+echo "== go test -race (fleet e2e)"
+# The fleet byte-identity and failover tests exercise the cross-replica
+# surface: replication pushes racing adoption, duplicate submits racing
+# reclaim, and router failover — exactly the paths where a data race
+# would corrupt the exactly-once guarantee.
+$GO test -race -count=1 -run 'TestFleetByteIdentity|TestFleetFailover' ./internal/fleet/
+
 echo "== go test (full, no race, with coverage)"
 $GO test -coverprofile="$tdir/cover.out" ./...
 
@@ -50,6 +58,13 @@ awk -v t="$total" -v f="$floor" 'BEGIN {
 
 echo "== checkpoint fuzz smoke"
 $GO test -fuzz FuzzLoadCheckpoint -fuzztime 5s -run '^$' ./internal/checkpoint
+
+echo "== fleet fuzz smoke"
+# Replication bundles cross the network between replicas; a corrupt or
+# adversarial payload must decode to an error, never a panic or a
+# half-validated install.
+$GO test -fuzz FuzzDecodeBundle -fuzztime 5s -run '^$' ./internal/fleet
+$GO test -fuzz FuzzRingChurn -fuzztime 5s -run '^$' ./internal/fleet
 
 echo "== mapcheck"
 $GO build -o bin/mapcheck ./cmd/mapcheck
@@ -166,5 +181,15 @@ echo "== mapd daemon smoke"
 # streaming, SIGTERM drain, and serving stored results across a restart.
 $GO build -o bin/mapd ./cmd/mapd
 $GO run ./scripts/mapdsmoke -mapd bin/mapd -dir "$tdir/mapd" -addr 127.0.0.1:18356
+
+echo "== fleet smoke"
+# Black-box exercise of the fleet binaries as real processes: two mapd
+# replicas behind a mapfleet router; submit through the router, SIGKILL
+# the owner, verify the survivor serves the replicated result
+# byte-identically, then overload the router and require honest shedding
+# (429 + Retry-After, zero client timeouts).
+$GO build -o bin/mapfleet ./cmd/mapfleet
+$GO run ./scripts/fleetsmoke -mapd bin/mapd -mapfleet bin/mapfleet \
+    -dir "$tdir/fleet" -port-base 18360
 
 echo "ci: all checks passed"

@@ -1,0 +1,255 @@
+// Command fleetsmoke is the CI gate's black-box exercise of the fleet
+// binaries: it starts two mapd replicas and a mapfleet router as real
+// processes, submits a search through the router, SIGKILLs the replica
+// that ran it, and verifies the survivor serves the replicated result
+// byte-identically. It then offers a short open-loop overload with
+// internal/loadgen and asserts the router sheds with 429 + Retry-After
+// rather than queueing requests into timeouts.
+//
+// Usage: go run ./scripts/fleetsmoke -mapd bin/mapd -mapfleet bin/mapfleet -dir /tmp/fleet
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"automap/internal/loadgen"
+)
+
+const request = `{"app":"stencil","input":"500x500","algorithm":"ccd","seed":13,` +
+	`"max_suggestions":100,"repeats":2,"final_repeats":2,"final_candidates":2}`
+
+// start launches one binary and returns its command handle.
+func start(bin string, args ...string) *exec.Cmd {
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		log.Fatalf("starting %s: %v", bin, err)
+	}
+	return cmd
+}
+
+// waitHealthy polls base/healthz until it answers 200.
+func waitHealthy(base string) {
+	for deadline := time.Now().Add(30 * time.Second); ; time.Sleep(50 * time.Millisecond) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("%s never became healthy", base)
+		}
+	}
+}
+
+type status struct {
+	ID        string          `json:"id"`
+	Status    string          `json:"status"`
+	Coalesced bool            `json:"coalesced"`
+	Error     string          `json:"error,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
+}
+
+// get fetches one status document and the replica that served it.
+func get(base, id string) (status, string) {
+	resp, err := http.Get(base + "/v1/search/" + id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		log.Fatalf("decoding status: %v", err)
+	}
+	return st, resp.Header.Get("X-Mapd-Routed-To")
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fleetsmoke: ")
+	mapd := flag.String("mapd", "bin/mapd", "path to the mapd binary")
+	mapfleet := flag.String("mapfleet", "bin/mapfleet", "path to the mapfleet binary")
+	dir := flag.String("dir", "", "store parent directory (required)")
+	portBase := flag.Int("port-base", 18360, "first of three consecutive ports (replica a, replica b, router)")
+	flag.Parse()
+	if *dir == "" {
+		log.Fatal("-dir is required")
+	}
+
+	addrA := fmt.Sprintf("127.0.0.1:%d", *portBase)
+	addrB := fmt.Sprintf("127.0.0.1:%d", *portBase+1)
+	addrR := fmt.Sprintf("127.0.0.1:%d", *portBase+2)
+	peers := fmt.Sprintf("a=http://%s,b=http://%s", addrA, addrB)
+	router := "http://" + addrR
+
+	procs := map[string]*exec.Cmd{
+		"a": start(*mapd, "-addr", addrA, "-dir", filepath.Join(*dir, "a"),
+			"-searches", "1", "-replica", "a", "-peers", peers),
+		"b": start(*mapd, "-addr", addrB, "-dir", filepath.Join(*dir, "b"),
+			"-searches", "1", "-replica", "b", "-peers", peers),
+	}
+	waitHealthy("http://" + addrA)
+	waitHealthy("http://" + addrB)
+	// A deliberately low default quota so the overload phase below sheds;
+	// its burst (= ceil(rps)) comfortably covers the functional phase.
+	routerCmd := start(*mapfleet, "-addr", addrR, "-replicas", peers,
+		"-rps", "25", "-health-every", "100ms")
+	procs["router"] = routerCmd
+	waitHealthy(router)
+	defer func() {
+		for _, cmd := range procs {
+			cmd.Process.Signal(syscall.SIGTERM)
+		}
+		for _, cmd := range procs {
+			cmd.Wait()
+		}
+	}()
+
+	// Submit through the router; note which replica owns the search.
+	resp, err := http.Post(router+"/v1/search", "application/json", strings.NewReader(request))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var first status
+	err = json.NewDecoder(resp.Body).Decode(&first)
+	owner := resp.Header.Get("X-Mapd-Routed-To")
+	resp.Body.Close()
+	if err != nil || first.ID == "" {
+		log.Fatalf("submit failed: %v (%+v)", err, first)
+	}
+	if owner != "a" && owner != "b" {
+		log.Fatalf("router did not report a routed-to replica (got %q)", owner)
+	}
+
+	var done status
+	for deadline := time.Now().Add(120 * time.Second); ; time.Sleep(100 * time.Millisecond) {
+		st, routed := get(router, first.ID)
+		if routed != owner {
+			log.Fatalf("status for %s routed to %s, want its owner %s", first.ID, routed, owner)
+		}
+		if st.Status == "done" {
+			done = st
+			break
+		}
+		if st.Status == "failed" {
+			log.Fatalf("search failed: %s", st.Error)
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("search stuck in %s", st.Status)
+		}
+	}
+
+	// Kill the owner the hard way and wait for the router to eject it.
+	survivor := "b"
+	if owner == "b" {
+		survivor = "a"
+	}
+	procs[owner].Process.Kill()
+	procs[owner].Wait()
+	delete(procs, owner)
+	for deadline := time.Now().Add(15 * time.Second); ; time.Sleep(100 * time.Millisecond) {
+		resp, err := http.Get(router + "/v1/fleet")
+		if err != nil {
+			log.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var fs struct {
+			Replicas []struct {
+				Name    string `json:"name"`
+				Healthy bool   `json:"healthy"`
+			} `json:"replicas"`
+		}
+		if err := json.Unmarshal(body, &fs); err != nil {
+			log.Fatalf("parsing /v1/fleet: %v", err)
+		}
+		ejected := false
+		for _, r := range fs.Replicas {
+			if r.Name == owner && !r.Healthy {
+				ejected = true
+			}
+		}
+		if ejected {
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("router never ejected killed replica %s: %s", owner, body)
+		}
+	}
+
+	// The survivor serves the replicated result byte-identically. The
+	// result bundle was pushed when the search finished; poll briefly in
+	// case that push was still in flight when the owner died.
+	for deadline := time.Now().Add(30 * time.Second); ; time.Sleep(100 * time.Millisecond) {
+		st, routed := get(router, first.ID)
+		if st.Status == "done" {
+			if routed != survivor {
+				log.Fatalf("result served by %q after failover, want survivor %s", routed, survivor)
+			}
+			if !bytes.Equal(st.Result, done.Result) {
+				log.Fatal("survivor served a different result document than the owner")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("survivor never served the replicated result (last status %s)", st.Status)
+		}
+	}
+	// A duplicate submit now coalesces onto the survivor's stored result
+	// without starting a new search.
+	resp, err = http.Post(router+"/v1/search", "application/json", strings.NewReader(request))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var again status
+	err = json.NewDecoder(resp.Body).Decode(&again)
+	resp.Body.Close()
+	if err != nil || again.Status != "done" || !bytes.Equal(again.Result, done.Result) {
+		log.Fatalf("post-failover submit not served from the replicated store: %v (%+v)", err, again)
+	}
+	fmt.Printf("fleetsmoke: failover ok (owner %s killed, survivor %s serves)\n", owner, survivor)
+
+	// Overload: offer far more than the router's 25 rps quota and require
+	// honest shedding — 429s carrying Retry-After, zero client timeouts.
+	pt, err := loadgen.Run(context.Background(), loadgen.Config{
+		Target:   router,
+		Pattern:  loadgen.Bursty,
+		RPS:      300,
+		Duration: 2 * time.Second,
+		Bodies:   []string{request},
+		Seed:     3,
+		Timeout:  10 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch {
+	case pt.Shed == 0:
+		log.Fatalf("overload at 300 rps against a 25 rps quota shed nothing: %+v", pt)
+	case pt.ShedWithRetryAfter != pt.Shed:
+		log.Fatalf("%d of %d shed responses lack Retry-After", pt.Shed-pt.ShedWithRetryAfter, pt.Shed)
+	case pt.Timeouts > 0:
+		log.Fatalf("overload produced %d client timeouts; shedding must answer instead of queueing: %+v", pt.Timeouts, pt)
+	case pt.Accepted == 0:
+		log.Fatalf("overload admitted nothing — quota misconfigured: %+v", pt)
+	}
+	fmt.Printf("fleetsmoke: shed ok (%d sent, %d accepted, %d shed with Retry-After, 0 timeouts)\n",
+		pt.Sent, pt.Accepted, pt.Shed)
+	fmt.Println("fleetsmoke: ok")
+}

@@ -183,24 +183,26 @@ func TestScopes(t *testing.T) {
 		{
 			sortedmapsAnalyzer,
 			[]string{"automap/internal/machine", "automap/internal/rt", "automap/internal/telemetry",
-				"automap/internal/serve", "automap/internal/serve/store", "automap/internal/analyze"},
+				"automap/internal/serve", "automap/internal/serve/store", "automap/internal/analyze",
+				"automap/internal/fleet"},
 			[]string{"automap/internal/apps", "automap/internal/search"},
 		},
 		{
 			atomicwriteAnalyzer,
 			[]string{"automap/internal/checkpoint", "automap/internal/mapping", "automap/internal/cluster",
-				"automap/internal/profile", "automap/internal/serve/store"},
+				"automap/internal/profile", "automap/internal/serve/store", "automap/internal/fleet"},
 			[]string{"automap/internal/fsatomic", "automap/internal/serve", "automap/internal/telemetry"},
 		},
 		{
 			ctxgoroutineAnalyzer,
-			[]string{"automap/internal/serve", "automap/internal/driver"},
+			[]string{"automap/internal/serve", "automap/internal/driver", "automap/internal/fleet"},
 			[]string{"automap/internal/rt", "automap/internal/search"},
 		},
 		{
 			errfactAnalyzer,
 			[]string{"automap/internal/rt", "automap/internal/serve", "automap/internal/serve/store",
-				"automap/internal/telemetry", "automap/internal/checkpoint", "automap/cmd/automap", "automap/cmd/mapd"},
+				"automap/internal/telemetry", "automap/internal/checkpoint", "automap/internal/fleet",
+				"automap/cmd/automap", "automap/cmd/mapd"},
 			[]string{"automap/internal/sim", "automap/internal/machine"},
 		},
 	}

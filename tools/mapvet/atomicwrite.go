@@ -21,13 +21,14 @@ import (
 var atomicwriteAnalyzer = &Analyzer{
 	Name: "atomicwrite",
 	Doc: "forbid direct os.WriteFile/os.Create on persistence paths " +
-		"(checkpoint, mapping, cluster, profile, serve/store): use fsatomic.WriteFile",
+		"(checkpoint, mapping, cluster, profile, serve/store, fleet): use fsatomic.WriteFile",
 	Applies: scopedTo(
 		"automap/internal/checkpoint",
 		"automap/internal/mapping",
 		"automap/internal/cluster",
 		"automap/internal/profile",
 		"automap/internal/serve/store",
+		"automap/internal/fleet",
 	),
 	Run: runAtomicWrite,
 }

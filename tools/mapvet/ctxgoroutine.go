@@ -18,11 +18,12 @@ import (
 // `//mapvet:detached <reason>` on the `go` statement (or the line above).
 var ctxgoroutineAnalyzer = &Analyzer{
 	Name: "ctxgoroutine",
-	Doc: "require goroutines in serve and driver to be tied to a context.Context or " +
+	Doc: "require goroutines in serve, driver, and fleet to be tied to a context.Context or " +
 		"sync.WaitGroup (or annotated //mapvet:detached)",
 	Applies: scopedTo(
 		"automap/internal/serve",
 		"automap/internal/driver",
+		"automap/internal/fleet",
 	),
 	Run: runCtxGoroutine,
 }

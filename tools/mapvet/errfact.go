@@ -24,13 +24,14 @@ import (
 var errfactAnalyzer = &Analyzer{
 	Name: "errfact",
 	Doc: "require errors.Is/errors.As on error-classification paths " +
-		"(rt, checkpoint, telemetry, serve, serve/store, cmd/automap, cmd/mapd)",
+		"(rt, checkpoint, telemetry, serve, serve/store, fleet, cmd/automap, cmd/mapd)",
 	Applies: scopedTo(
 		"automap/internal/rt",
 		"automap/internal/checkpoint",
 		"automap/internal/telemetry",
 		"automap/internal/serve",
 		"automap/internal/serve/store",
+		"automap/internal/fleet",
 		"automap/cmd/automap",
 		"automap/cmd/mapd",
 	),

@@ -25,7 +25,7 @@ import (
 var sortedmapsAnalyzer = &Analyzer{
 	Name: "sortedmaps",
 	Doc: "require sorted-keys iteration (or a //mapvet:unordered annotation) for map ranges " +
-		"in output-producing packages (machine, rt, mapping, analyze, viz, telemetry, profile, serve, serve/store, checkpoint, cluster)",
+		"in output-producing packages (machine, rt, mapping, analyze, viz, telemetry, profile, serve, serve/store, checkpoint, cluster, fleet)",
 	Applies: scopedTo(
 		"automap/internal/machine",
 		"automap/internal/rt",
@@ -38,6 +38,7 @@ var sortedmapsAnalyzer = &Analyzer{
 		"automap/internal/serve/store",
 		"automap/internal/checkpoint",
 		"automap/internal/cluster",
+		"automap/internal/fleet",
 	),
 	Run: runSortedMaps,
 }
